@@ -1,0 +1,83 @@
+// Ablation (beyond the paper's figures): the three implementations of the
+// precise collision-rate model — the paper's truncated binomial sum, our
+// closed form, and the paper's deployment strategy (precomputed piecewise
+// regression) — compared on accuracy and lookup latency. Also includes the
+// rough and linear models for context.
+//
+// The point the paper makes in Section 4.4 is that the full sum is too
+// expensive for online use; this quantifies how much cheaper the
+// alternatives are and what accuracy they give up.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/collision_model.h"
+#include "util/timer.h"
+
+using namespace streamagg;
+
+namespace {
+
+struct Row {
+  const char* name;
+  double max_err = 0.0;
+  double nanos_per_call = 0.0;
+};
+
+Row Evaluate(const char* name, const CollisionModel& model,
+             const PreciseCollisionModel& reference) {
+  Row row;
+  row.name = name;
+  // Accuracy over the paper's operating range.
+  for (double b : {300.0, 1000.0, 3000.0}) {
+    for (double r = 0.05; r <= 50.0; r += 0.15) {
+      const double exact = reference.Rate(r * b, b);
+      if (exact < 1e-3) continue;
+      const double err = std::fabs(model.Rate(r * b, b) - exact) / exact;
+      row.max_err = std::max(row.max_err, err);
+    }
+  }
+  // Latency.
+  const int kCalls = 200000;
+  double sink = 0.0;
+  Timer timer;
+  for (int i = 0; i < kCalls; ++i) {
+    const double r = 0.1 + (i % 500) * 0.1;
+    sink += model.Rate(r * 1000.0, 1000.0);
+  }
+  row.nanos_per_call = timer.ElapsedMicros() * 1000.0 / kCalls;
+  if (sink < 0) std::printf("%f", sink);  // Defeat dead-code elimination.
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation — collision model implementations",
+                     "Zhang et al., SIGMOD 2005, Section 4.4 (design choice)");
+  PreciseCollisionModel closed_form;
+  TruncatedSumCollisionModel truncated;
+  PrecomputedCollisionModel precomputed;
+  RoughCollisionModel rough;
+  LinearCollisionModel linear;
+
+  std::vector<Row> rows;
+  rows.push_back(Evaluate("closed-form (ours)", closed_form, closed_form));
+  rows.push_back(Evaluate("truncated-sum (paper Eq 13)", truncated,
+                          closed_form));
+  rows.push_back(Evaluate("precomputed regression", precomputed, closed_form));
+  rows.push_back(Evaluate("rough (Eq 10)", rough, closed_form));
+  rows.push_back(Evaluate("linear (Eq 16)", linear, closed_form));
+
+  std::printf("%-30s %-14s %-14s\n", "model", "max rel err", "ns per call");
+  for (const Row& row : rows) {
+    std::printf("%-30s %-14.4f %-14.1f\n", row.name, row.max_err,
+                row.nanos_per_call);
+  }
+  std::printf("\nexpected: truncated-sum matches closed form but is orders "
+              "of magnitude slower;\nprecomputed within 5%%; rough wildly "
+              "off at small g/b; linear good only below x ~ 0.4\n");
+  return 0;
+}

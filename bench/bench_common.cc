@@ -1,0 +1,87 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "core/feeding_graph.h"
+
+namespace streamagg {
+namespace bench {
+
+PaperData MakePaperData(size_t records, uint64_t seed) {
+  FlowGeneratorOptions options;
+  options.mean_flow_length = 30.0;
+  options.seed = seed;
+  auto generator = std::move(FlowGenerator::MakePaperTrace(options)).value();
+  PaperData data;
+  data.trace = std::make_unique<Trace>(
+      Trace::Generate(*generator, records, /*duration=*/62.0));
+  data.declustered =
+      std::make_unique<Trace>(std::move(data.trace->OneRecordPerFlow()).value());
+  data.stats = std::make_unique<TraceStats>(data.trace.get());
+  data.catalog = std::make_unique<RelationCatalog>(
+      RelationCatalog::FromTrace(data.stats.get(), /*clustered=*/true));
+  data.catalog_unclustered = std::make_unique<RelationCatalog>(
+      RelationCatalog::FromTrace(data.stats.get(), /*clustered=*/false));
+  return data;
+}
+
+std::unique_ptr<UniformGenerator> MakePaperUniformGenerator(uint64_t seed) {
+  const Schema schema = *Schema::Default(4);
+  auto universe = GroupUniverse::Hierarchical(
+      schema, {552, 1846, 2117, 2837}, seed);
+  return std::make_unique<UniformGenerator>(std::move(*universe), seed + 1);
+}
+
+double MeasuredPerRecordCost(const Trace& trace, const Configuration& config,
+                             const std::vector<double>& buckets,
+                             const CostParams& cost) {
+  auto specs = config.ToRuntimeSpecs(buckets);
+  auto runtime = ConfigurationRuntime::Make(trace.schema(),
+                                            std::move(*specs), /*epoch=*/0.0);
+  (*runtime)->ProcessTrace(trace);
+  return (*runtime)->counters().IntraCost(cost.c1, cost.c2) /
+         static_cast<double>(trace.size());
+}
+
+std::vector<Configuration> AllConfigurations(
+    const Schema& schema, const std::vector<AttributeSet>& queries) {
+  const FeedingGraph graph = *FeedingGraph::Build(schema, queries);
+  const std::vector<AttributeSet>& phantoms = graph.phantoms();
+  std::vector<Configuration> configs;
+  for (uint32_t subset = 0; subset < (1u << phantoms.size()); ++subset) {
+    std::vector<AttributeSet> chosen;
+    for (size_t i = 0; i < phantoms.size(); ++i) {
+      if ((subset >> i) & 1u) chosen.push_back(phantoms[i]);
+    }
+    auto config = Configuration::Make(schema, queries, chosen);
+    if (config.ok()) configs.push_back(std::move(*config));
+  }
+  return configs;
+}
+
+SchemeErrors AllocationErrors(const SpaceAllocator& allocator,
+                              const CostModel& cost_model,
+                              const Configuration& config,
+                              double memory_words) {
+  auto cost_of = [&](AllocationScheme scheme) {
+    auto buckets = allocator.Allocate(config, memory_words, scheme);
+    return cost_model.PerRecordCost(config, *buckets);
+  };
+  const double es = cost_of(AllocationScheme::kES);
+  SchemeErrors errors;
+  errors.sl = 100.0 * (cost_of(AllocationScheme::kSL) - es) / es;
+  errors.sr = 100.0 * (cost_of(AllocationScheme::kSR) - es) / es;
+  errors.pl = 100.0 * (cost_of(AllocationScheme::kPL) - es) / es;
+  errors.pr = 100.0 * (cost_of(AllocationScheme::kPR) - es) / es;
+  return errors;
+}
+
+void PrintHeader(const std::string& experiment, const std::string& paper_ref) {
+  std::printf("=======================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("=======================================================\n");
+}
+
+}  // namespace bench
+}  // namespace streamagg

@@ -1,0 +1,77 @@
+#ifndef STREAMAGG_BENCH_BENCH_COMMON_H_
+#define STREAMAGG_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/optimizer.h"
+#include "core/space_allocation.h"
+#include "dsms/configuration_runtime.h"
+#include "stream/flow_generator.h"
+#include "stream/trace_stats.h"
+#include "stream/uniform_generator.h"
+
+namespace streamagg {
+namespace bench {
+
+/// The stand-in for the paper's real tcpdump trace (Section 6.1): 860 000
+/// clustered netflow-like records over 62 seconds with the paper's
+/// projection group counts, plus the de-clustered one-record-per-flow
+/// variant used for model validation (Section 4.2).
+struct PaperData {
+  std::unique_ptr<Trace> trace;
+  std::unique_ptr<Trace> declustered;
+  std::unique_ptr<TraceStats> stats;       // Over *trace.
+  std::unique_ptr<RelationCatalog> catalog;  // Clustered statistics.
+  /// Same group counts with flow lengths forced to 1: the de-clustered
+  /// parameters the paper's space-allocation study operates on (collision
+  /// rates there are large enough for allocation quality to matter).
+  std::unique_ptr<RelationCatalog> catalog_unclustered;
+};
+
+/// Builds the paper-calibrated dataset. `records` defaults to the paper's
+/// 860 000; smaller values speed up smoke runs.
+PaperData MakePaperData(size_t records = 860000, uint64_t seed = 42);
+
+/// A synthetic uniform stream whose projections match the paper's real-data
+/// group counts (Section 6.1 synthetic setup): unclustered records drawn
+/// uniformly from a hierarchically calibrated universe.
+std::unique_ptr<UniformGenerator> MakePaperUniformGenerator(uint64_t seed);
+
+/// Runs `config`/`buckets` over `trace` (single epoch) and returns the
+/// measured per-record intra-epoch cost in c1 units.
+double MeasuredPerRecordCost(const Trace& trace, const Configuration& config,
+                             const std::vector<double>& buckets,
+                             const CostParams& cost);
+
+/// All configurations for a query set: one per subset of candidate
+/// phantoms, including the empty subset (no phantoms).
+std::vector<Configuration> AllConfigurations(
+    const Schema& schema, const std::vector<AttributeSet>& queries);
+
+/// Prints the standard bench banner.
+void PrintHeader(const std::string& experiment, const std::string& paper_ref);
+
+/// Relative cost error of each heuristic against exhaustive space
+/// allocation (ES), in percent: 100 * (cost_h - cost_ES) / cost_ES.
+struct SchemeErrors {
+  double sl = 0.0;
+  double sr = 0.0;
+  double pl = 0.0;
+  double pr = 0.0;
+};
+
+/// Computes the Figure 9/10-style errors of SL/SR/PL/PR vs ES for one
+/// configuration and memory size (model-estimated costs, as in the paper's
+/// Section 6.2).
+SchemeErrors AllocationErrors(const SpaceAllocator& allocator,
+                              const CostModel& cost_model,
+                              const Configuration& config,
+                              double memory_words);
+
+}  // namespace bench
+}  // namespace streamagg
+
+#endif  // STREAMAGG_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,40 @@
+// Figure 10: relative error of the space-allocation heuristics vs ES for
+// the two deep four-attribute configurations, across M = 20k..100k words:
+//   (a) (ABCD(ABC(A BC(B C)) D))
+//   (b) (ABCD(AB BCD(BC BD CD)))
+//
+// Expected shape (paper Section 6.2.2): SL best in almost every cell; SR
+// second; PL/PR errors reach ~15-35%.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace streamagg;
+
+int main() {
+  bench::PrintHeader("Figure 10 — space allocation schemes (deep shapes)",
+                     "Zhang et al., SIGMOD 2005, Section 6.2.2, Figure 10");
+  bench::PaperData data = bench::MakePaperData();
+  PreciseCollisionModel precise;
+  CostModel cost_model(data.catalog_unclustered.get(), &precise,
+                       CostParams{1.0, 50.0});
+  SpaceAllocator allocator(&cost_model);
+  const Schema& schema = data.trace->schema();
+
+  for (const char* text :
+       {"(ABCD(ABC(A BC(B C)) D))", "(ABCD(AB BCD(BC BD CD)))"}) {
+    auto config = Configuration::Parse(schema, text);
+    std::printf("\nconfiguration %s\n", text);
+    std::printf("%-10s %-10s %-10s %-10s %-10s\n", "M", "SL(%)", "SR(%)",
+                "PL(%)", "PR(%)");
+    for (double m = 20000; m <= 100000; m += 20000) {
+      const bench::SchemeErrors e =
+          bench::AllocationErrors(allocator, cost_model, *config, m);
+      std::printf("%-10.0f %-10.2f %-10.2f %-10.2f %-10.2f\n", m, e.sl, e.sr,
+                  e.pl, e.pr);
+    }
+  }
+  std::printf("\npaper: SL best except one cell; PL/PR up to ~35%%\n");
+  return 0;
+}

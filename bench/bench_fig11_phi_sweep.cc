@@ -1,0 +1,60 @@
+// Figure 11: model-estimated cost of the phantom-choosing algorithms as a
+// function of GS's space parameter phi, for the query set {A, B, C, D} on
+// uniform random 4-dimensional data with M = 40 000.
+//
+// Costs are normalized by the optimal cost (EPES: exhaustive phantoms +
+// exhaustive space). Expected shape (paper Section 6.3.1): GS has a knee —
+// too-small phi starves tables, too-large phi leaves no room for more
+// phantoms; GCSL sits below GS for every phi; GCPL lower-bounds GS.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/phantom_chooser.h"
+#include "stream/trace_stats.h"
+
+using namespace streamagg;
+
+int main() {
+  bench::PrintHeader("Figure 11 — phantom choosing vs phi",
+                     "Zhang et al., SIGMOD 2005, Section 6.3.1, Figure 11");
+  auto generator = bench::MakePaperUniformGenerator(/*seed=*/77);
+  const Trace trace = Trace::Generate(*generator, 1000000, 62.0);
+  TraceStats stats(&trace);
+  const RelationCatalog catalog =
+      RelationCatalog::FromTrace(&stats, /*clustered=*/false);
+  PreciseCollisionModel precise;
+  CostModel cost_model(&catalog, &precise, CostParams{1.0, 50.0});
+  SpaceAllocator allocator(&cost_model);
+  PhantomChooser chooser(&cost_model, &allocator);
+  const Schema& schema = trace.schema();
+
+  std::vector<AttributeSet> queries;
+  for (int i = 0; i < 4; ++i) queries.push_back(AttributeSet::Single(i));
+  const double kMemory = 40000.0;
+
+  auto epes = chooser.ExhaustiveOptimal(schema, queries, kMemory);
+  const double optimal = epes->est_cost;
+  std::printf("EPES optimal configuration: %s (cost %.4f)\n",
+              epes->config.ToString().c_str(), optimal);
+
+  auto gcsl = chooser.GreedyByCollisionRate(schema, queries, kMemory,
+                                            AllocationScheme::kSL);
+  auto gcpl = chooser.GreedyByCollisionRate(schema, queries, kMemory,
+                                            AllocationScheme::kPL);
+  std::printf("GCSL: %s (relative cost %.3f)\n",
+              gcsl->config.ToString().c_str(), gcsl->est_cost / optimal);
+  std::printf("GCPL: %s (relative cost %.3f)\n\n",
+              gcpl->config.ToString().c_str(), gcpl->est_cost / optimal);
+
+  std::printf("%-6s %-10s %-10s %-10s %-24s\n", "phi", "GS", "GCSL", "GCPL",
+              "GS configuration");
+  for (double phi = 0.6; phi <= 1.31; phi += 0.1) {
+    auto gs = chooser.GreedyBySpace(schema, queries, kMemory, phi);
+    std::printf("%-6.1f %-10.3f %-10.3f %-10.3f %-24s\n", phi,
+                gs->est_cost / optimal, gcsl->est_cost / optimal,
+                gcpl->est_cost / optimal, gs->config.ToString().c_str());
+  }
+  std::printf("\npaper: GS knee around phi ~ 1; GCSL below GS everywhere\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Micro-benchmark (google-benchmark): LFTA hash-table probe throughput.
+//
+// The LFTA probe is the c1 unit of the paper's cost model — every record
+// pays at least one per raw relation. This measures probes per second under
+// different collision pressures (g/b) and key widths, and the end-to-end
+// record rate of a phantom cascade.
+
+#include <benchmark/benchmark.h>
+
+#include "dsms/configuration_runtime.h"
+#include "dsms/lfta_hash_table.h"
+#include "stream/uniform_generator.h"
+#include "util/random.h"
+
+using namespace streamagg;
+
+namespace {
+
+void BM_ProbeThroughput(benchmark::State& state) {
+  const double ratio = static_cast<double>(state.range(0)) / 10.0;
+  const int width = static_cast<int>(state.range(1));
+  const uint64_t buckets = 4096;
+  const uint64_t groups = static_cast<uint64_t>(buckets * ratio);
+  LftaHashTable table(buckets, width, 1);
+  Random rng(7);
+  GroupKey key;
+  key.size = static_cast<uint8_t>(width);
+  for (auto _ : state) {
+    const uint32_t group = static_cast<uint32_t>(rng.Uniform(groups));
+    for (int i = 0; i < width; ++i) key.values[i] = group + i * 0x9e37;
+    benchmark::DoNotOptimize(table.Probe(key, 1, nullptr, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["collision_rate"] = table.CollisionRate();
+}
+BENCHMARK(BM_ProbeThroughput)
+    ->ArgsProduct({{5, 10, 30}, {1, 4}})  // g/b in {0.5, 1, 3} x width.
+    ->ArgNames({"gb_x10", "width"});
+
+void BM_CascadeRecordRate(benchmark::State& state) {
+  // Full ABCD(AB BCD(BC BD CD)) cascade fed by uniform records.
+  const Schema schema = *Schema::Default(4);
+  auto generator =
+      std::move(UniformGenerator::Make(schema, 2837, 3)).value();
+  std::vector<RuntimeRelationSpec> specs(6);
+  auto set = [&](const char* s) { return *schema.ParseAttributeSet(s); };
+  specs[0] = {set("ABCD"), 2048, false, -1, -1};
+  specs[1] = {set("AB"), 512, true, 0, 0};
+  specs[2] = {set("BCD"), 1024, false, -1, 0};
+  specs[3] = {set("BC"), 512, true, 1, 2};
+  specs[4] = {set("BD"), 512, true, 2, 2};
+  specs[5] = {set("CD"), 512, true, 3, 2};
+  auto runtime =
+      std::move(ConfigurationRuntime::Make(schema, specs, 0.0)).value();
+  for (auto _ : state) {
+    Record r = generator->Next();
+    runtime->ProcessRecord(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CascadeRecordRate);
+
+void BM_FlushEpoch(benchmark::State& state) {
+  const Schema schema = *Schema::Default(4);
+  auto generator =
+      std::move(UniformGenerator::Make(schema, 2837, 5)).value();
+  std::vector<RuntimeRelationSpec> specs(4);
+  auto set = [&](const char* s) { return *schema.ParseAttributeSet(s); };
+  specs[0] = {set("ABCD"), 4096, false, -1, -1};
+  specs[1] = {set("AB"), 1024, true, 0, 0};
+  specs[2] = {set("BC"), 1024, true, 1, 0};
+  specs[3] = {set("CD"), 1024, true, 2, 0};
+  auto runtime =
+      std::move(ConfigurationRuntime::Make(schema, specs, 0.0)).value();
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 20000; ++i) runtime->ProcessRecord(generator->Next());
+    state.ResumeTiming();
+    runtime->FlushEpoch();
+  }
+}
+BENCHMARK(BM_FlushEpoch)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

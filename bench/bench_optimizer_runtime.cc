@@ -1,0 +1,114 @@
+// Micro-benchmark (google-benchmark): optimizer running time.
+//
+// The paper claims configuration selection is sub-millisecond (Section
+// 6.3.4), enabling adaptive re-optimization on live streams. This measures
+// GCSL end-to-end (feeding graph + greedy phantoms + SL allocation) and its
+// components for the paper's workloads.
+
+#include <benchmark/benchmark.h>
+
+#include "core/optimizer.h"
+#include "core/phantom_chooser.h"
+
+using namespace streamagg;
+
+namespace {
+
+RelationCatalog PaperCatalog() {
+  const Schema schema = *Schema::Default(4);
+  auto set = [&](const char* s) { return *schema.ParseAttributeSet(s); };
+  return *RelationCatalog::Synthetic(
+      schema,
+      {
+          {set("A").mask(), 552},
+          {set("B").mask(), 600},
+          {set("C").mask(), 700},
+          {set("D").mask(), 800},
+          {set("AB").mask(), 1846},
+          {set("AC").mask(), 1700},
+          {set("AD").mask(), 1750},
+          {set("BC").mask(), 1800},
+          {set("BD").mask(), 1900},
+          {set("CD").mask(), 2000},
+          {set("ABC").mask(), 2117},
+          {set("ABD").mask(), 2200},
+          {set("ACD").mask(), 2250},
+          {set("BCD").mask(), 2300},
+          {set("ABCD").mask(), 2837},
+      },
+      /*flow_length=*/30.0);
+}
+
+std::vector<AttributeSet> SingletonQueries(int n) {
+  std::vector<AttributeSet> out;
+  for (int i = 0; i < n; ++i) out.push_back(AttributeSet::Single(i));
+  return out;
+}
+
+void BM_OptimizeGCSL(benchmark::State& state) {
+  const RelationCatalog catalog = PaperCatalog();
+  const auto queries = SingletonQueries(4);
+  Optimizer optimizer;
+  for (auto _ : state) {
+    auto plan = optimizer.Optimize(catalog, queries, 40000.0);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_OptimizeGCSL)->Unit(benchmark::kMicrosecond);
+
+void BM_OptimizeGCSLPairQueries(benchmark::State& state) {
+  const RelationCatalog catalog = PaperCatalog();
+  const Schema schema = catalog.schema();
+  const std::vector<AttributeSet> queries = {
+      *schema.ParseAttributeSet("AB"), *schema.ParseAttributeSet("BC"),
+      *schema.ParseAttributeSet("BD"), *schema.ParseAttributeSet("CD")};
+  Optimizer optimizer;
+  for (auto _ : state) {
+    auto plan = optimizer.Optimize(catalog, queries, 40000.0);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_OptimizeGCSLPairQueries)->Unit(benchmark::kMicrosecond);
+
+void BM_OptimizeGreedySpace(benchmark::State& state) {
+  const RelationCatalog catalog = PaperCatalog();
+  const auto queries = SingletonQueries(4);
+  OptimizerOptions options;
+  options.strategy = OptimizeStrategy::kGreedySpace;
+  Optimizer optimizer(options);
+  for (auto _ : state) {
+    auto plan = optimizer.Optimize(catalog, queries, 40000.0);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_OptimizeGreedySpace)->Unit(benchmark::kMicrosecond);
+
+void BM_SpaceAllocationSL(benchmark::State& state) {
+  const RelationCatalog catalog = PaperCatalog();
+  PreciseCollisionModel precise;
+  CostModel cost_model(&catalog, &precise, CostParams{1.0, 50.0});
+  SpaceAllocator allocator(&cost_model);
+  auto config = Configuration::Parse(catalog.schema(),
+                                     "ABCD(AB BCD(BC BD CD))");
+  for (auto _ : state) {
+    auto buckets = allocator.Allocate(*config, 40000.0, AllocationScheme::kSL);
+    benchmark::DoNotOptimize(buckets);
+  }
+}
+BENCHMARK(BM_SpaceAllocationSL)->Unit(benchmark::kMicrosecond);
+
+void BM_SpaceAllocationES(benchmark::State& state) {
+  const RelationCatalog catalog = PaperCatalog();
+  PreciseCollisionModel precise;
+  CostModel cost_model(&catalog, &precise, CostParams{1.0, 50.0});
+  SpaceAllocator allocator(&cost_model);
+  auto config = Configuration::Parse(catalog.schema(),
+                                     "ABCD(AB BCD(BC BD CD))");
+  for (auto _ : state) {
+    auto buckets = allocator.Allocate(*config, 40000.0, AllocationScheme::kES);
+    benchmark::DoNotOptimize(buckets);
+  }
+}
+BENCHMARK(BM_SpaceAllocationES)->Unit(benchmark::kMillisecond);
+
+}  // namespace

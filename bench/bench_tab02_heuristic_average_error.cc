@@ -1,0 +1,53 @@
+// Table 2: average relative error (vs exhaustive space allocation) of the
+// four heuristics across all configurations of the query set
+// {AB, BC, BD, CD}, for M = 20k..100k.
+//
+// Expected shape (paper Table 2): SL lowest at every M (paper: 2-6%), SR
+// second (5-9%), PL and PR clearly worse (10-23%).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace streamagg;
+
+int main() {
+  bench::PrintHeader("Table 2 — average error of the allocation heuristics",
+                     "Zhang et al., SIGMOD 2005, Section 6.2.2, Table 2");
+  bench::PaperData data = bench::MakePaperData();
+  PreciseCollisionModel precise;
+  CostModel cost_model(data.catalog_unclustered.get(), &precise,
+                       CostParams{1.0, 50.0});
+  SpaceAllocator allocator(&cost_model);
+  const Schema& schema = data.trace->schema();
+
+  const std::vector<AttributeSet> queries = {
+      *schema.ParseAttributeSet("AB"), *schema.ParseAttributeSet("BC"),
+      *schema.ParseAttributeSet("BD"), *schema.ParseAttributeSet("CD")};
+  const std::vector<Configuration> configs =
+      bench::AllConfigurations(schema, queries);
+  std::printf("configurations evaluated: %zu\n\n", configs.size());
+
+  std::printf("%-12s %-8s %-8s %-8s %-8s\n", "M (thousand)", "SL(%)", "SR(%)",
+              "PL(%)", "PR(%)");
+  for (double m = 20000; m <= 100000; m += 20000) {
+    bench::SchemeErrors sum;
+    int count = 0;
+    for (const Configuration& config : configs) {
+      const bench::SchemeErrors e =
+          bench::AllocationErrors(allocator, cost_model, config, m);
+      sum.sl += e.sl;
+      sum.sr += e.sr;
+      sum.pl += e.pl;
+      sum.pr += e.pr;
+      ++count;
+    }
+    std::printf("%-12.0f %-8.2f %-8.2f %-8.2f %-8.2f\n", m / 1000.0,
+                sum.sl / count, sum.sr / count, sum.pl / count,
+                sum.pr / count);
+  }
+  std::printf("\npaper Table 2: SL 2.2-6.0, SR 5.3-9.4, PL 14.2-23.4, "
+              "PR 10.1-22.7 (%%)\n");
+  return 0;
+}

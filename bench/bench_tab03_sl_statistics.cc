@@ -1,0 +1,56 @@
+// Table 3: how often SL is the best of the four heuristics across all
+// configurations of {AB, BC, BD, CD}, and how far it is from the best when
+// it is not.
+//
+// Expected shape (paper Table 3): SL is best in 44-100% of configurations
+// (rising with M) and within ~2% of the best heuristic otherwise.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace streamagg;
+
+int main() {
+  bench::PrintHeader("Table 3 — statistics on SL",
+                     "Zhang et al., SIGMOD 2005, Section 6.2.2, Table 3");
+  bench::PaperData data = bench::MakePaperData();
+  PreciseCollisionModel precise;
+  CostModel cost_model(data.catalog_unclustered.get(), &precise,
+                       CostParams{1.0, 50.0});
+  SpaceAllocator allocator(&cost_model);
+  const Schema& schema = data.trace->schema();
+
+  const std::vector<AttributeSet> queries = {
+      *schema.ParseAttributeSet("AB"), *schema.ParseAttributeSet("BC"),
+      *schema.ParseAttributeSet("BD"), *schema.ParseAttributeSet("CD")};
+  const std::vector<Configuration> configs =
+      bench::AllConfigurations(schema, queries);
+
+  std::printf("%-12s %-16s %-28s\n", "M (thousand)", "SL best (%)",
+              "error from best when not (%)");
+  for (double m = 20000; m <= 100000; m += 20000) {
+    int best_count = 0;
+    double distance_sum = 0.0;
+    int distance_count = 0;
+    for (const Configuration& config : configs) {
+      const bench::SchemeErrors e =
+          bench::AllocationErrors(allocator, cost_model, config, m);
+      const double best = std::min({e.sl, e.sr, e.pl, e.pr});
+      if (e.sl <= best + 1e-9) {
+        ++best_count;
+      } else {
+        distance_sum += e.sl - best;
+        ++distance_count;
+      }
+    }
+    std::printf("%-12.0f %-16.1f %-28.3f\n", m / 1000.0,
+                100.0 * best_count / configs.size(),
+                distance_count > 0 ? distance_sum / distance_count : 0.0);
+  }
+  std::printf("\npaper Table 3: SL best 44-100%% of configurations; at most "
+              "2.2%% from the best otherwise\n");
+  return 0;
+}

@@ -1,0 +1,200 @@
+// streamagg_cli — run the full pipeline on a CSV trace from the command
+// line:
+//
+//   # Generate a demo trace (netflow-like, with per-packet lengths):
+//   streamagg_cli --make-demo-trace /tmp/packets.csv
+//
+//   # Answer queries over it:
+//   streamagg_cli --trace /tmp/packets.csv --memory 40000 \
+//     --query "select srcIP, count(*) from R group by srcIP, time/10" \
+//     --query "select dstIP, avg(len) from R group by dstIP, time/10"
+//
+// Options:
+//   --trace FILE        input trace (see stream/trace_io.h for the format)
+//   --query SQL         one or more queries (paper GSQL-like syntax)
+//   --memory WORDS      LFTA memory budget in 4-byte words (default 40000)
+//   --adaptive          enable drift-triggered re-planning
+//   --top N             rows printed per query and epoch (default 3)
+//   --save-plan FILE    write the chosen plan (pin it for later runs)
+//   --make-demo-trace FILE   write a demo trace and exit
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/plan_io.h"
+#include "stream/flow_generator.h"
+#include "stream/trace_io.h"
+#include "util/random.h"
+
+using namespace streamagg;
+
+namespace {
+
+int MakeDemoTrace(const std::string& path) {
+  auto flows = std::move(FlowGenerator::MakePaperTrace({})).value();
+  const Schema schema =
+      *Schema::Make({"srcIP", "srcPort", "dstIP", "dstPort", "len"});
+  Random length_rng(7);
+  Trace trace(schema);
+  const size_t kN = 400000;
+  trace.Reserve(kN);
+  trace.set_duration_seconds(62.0);
+  for (size_t i = 0; i < kN; ++i) {
+    Record r = flows->Next();
+    r.values[4] = 40 + static_cast<uint32_t>(length_rng.Uniform(1461));
+    r.timestamp = 62.0 * static_cast<double>(i) / kN;
+    trace.AppendWithFlow(r, flows->last_flow_id());
+  }
+  const Status status = SaveTraceCsv(trace, path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu records to %s (schema: srcIP,srcPort,dstIP,"
+              "dstPort,len)\n",
+              trace.size(), path.c_str());
+  return 0;
+}
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --trace FILE --query SQL [--query SQL ...]\n"
+               "          [--memory WORDS] [--adaptive] [--top N]\n"
+               "       %s --make-demo-trace FILE\n",
+               argv0, argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::vector<std::string> query_texts;
+  double memory_words = 40000.0;
+  bool adaptive = false;
+  size_t top = 3;
+  std::string save_plan_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--make-demo-trace") return MakeDemoTrace(next());
+    if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--query") {
+      query_texts.push_back(next());
+    } else if (arg == "--memory") {
+      memory_words = std::strtod(next(), nullptr);
+    } else if (arg == "--adaptive") {
+      adaptive = true;
+    } else if (arg == "--top") {
+      top = static_cast<size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--save-plan") {
+      save_plan_path = next();
+    } else {
+      PrintUsage(argv[0]);
+      return 2;
+    }
+  }
+  if (trace_path.empty() || query_texts.empty() || memory_words <= 0.0) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+
+  auto trace = LoadTraceCsv(trace_path);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "error: %s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu records over %.1f s\n", trace->size(),
+              trace->duration_seconds());
+
+  StreamAggEngine::Options options;
+  options.memory_words = memory_words;
+  options.adaptive = adaptive;
+  options.sample_size = std::min<size_t>(50000, trace->size());
+  auto engine =
+      StreamAggEngine::FromQueryTexts(trace->schema(), query_texts, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  for (const Record& r : trace->records()) {
+    if (Status s = (*engine)->Process(r); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (Status s = (*engine)->Finish(); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("configuration: %s\n", (*engine)->ConfigurationText().c_str());
+  if (!save_plan_path.empty() && (*engine)->plan() != nullptr) {
+    std::FILE* f = std::fopen(save_plan_path.c_str(), "w");
+    if (f != nullptr) {
+      const std::string text =
+          SerializePlan(trace->schema(), *(*engine)->plan());
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("plan pinned to %s\n", save_plan_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not open %s\n",
+                   save_plan_path.c_str());
+    }
+  }
+  const RuntimeCounters counters = (*engine)->counters();
+  std::printf("%.2f probes/record, %.4f HFTA transfers/record, %d "
+              "re-optimizations\n\n",
+              static_cast<double>(counters.total_probes()) / counters.records,
+              static_cast<double>(counters.total_transfers()) /
+                  counters.records,
+              (*engine)->reoptimizations());
+
+  const std::vector<ParsedQuery>& queries = (*engine)->parsed_queries();
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const ParsedQuery& q = queries[qi];
+    std::printf("== Q%zu: %s\n", qi + 1, query_texts[qi].c_str());
+    for (uint64_t epoch : (*engine)->Epochs(static_cast<int>(qi))) {
+      const EpochAggregate& result =
+          (*engine)->EpochResult(static_cast<int>(qi), epoch);
+      std::vector<std::pair<const GroupKey*, const AggregateState*>> rows;
+      rows.reserve(result.size());
+      for (const auto& [key, state] : result) {
+        if (!q.HavingSatisfied(key, state)) continue;  // having clause.
+        rows.emplace_back(&key, &state);
+      }
+      std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+        return a.second->count > b.second->count;
+      });
+      std::printf("  epoch %" PRIu64 " (%zu groups%s):", epoch, rows.size(),
+                  q.having.has_value() ? " after having" : "");
+      std::printf("  ");
+      for (const QueryOutput& out : q.outputs) {
+        std::printf("%s ", out.name.c_str());
+      }
+      std::printf("\n");
+      for (size_t row = 0; row < std::min(top, rows.size()); ++row) {
+        std::printf("    ");
+        for (size_t col = 0; col < q.outputs.size(); ++col) {
+          std::printf("%.1f ",
+                      q.OutputValue(col, *rows[row].first, *rows[row].second));
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamagg {
+
+AdaptiveController::AdaptiveController(const CostModel* cost_model,
+                                       const OptimizedPlan* plan,
+                                       Options options)
+    : cost_model_(cost_model), options_(options) {
+  planned_rates_ = cost_model_->CollisionRates(plan->config, plan->buckets);
+}
+
+AdaptiveController::AdaptiveController(const CostModel* cost_model,
+                                       const OptimizedPlan* plan)
+    : AdaptiveController(cost_model, plan, Options()) {}
+
+double AdaptiveController::MaxDeviation(
+    const ConfigurationRuntime& runtime) const {
+  double max_deviation = 0.0;
+  const int n = std::min<int>(runtime.num_relations(),
+                              static_cast<int>(planned_rates_.size()));
+  for (int i = 0; i < n; ++i) {
+    const LftaHashTable& table = runtime.table(i);
+    if (table.probes() < options_.min_probes_per_table) continue;
+    const double measured = table.CollisionRate();
+    const double planned = planned_rates_[i];
+    const double gap = measured - planned;  // Upward drift only.
+    if (gap < options_.absolute_floor) continue;
+    const double deviation = gap / std::max(planned, options_.absolute_floor);
+    max_deviation = std::max(max_deviation, deviation);
+  }
+  return max_deviation;
+}
+
+bool AdaptiveController::ShouldReoptimize(
+    const ConfigurationRuntime& runtime) const {
+  return MaxDeviation(runtime) > options_.deviation_threshold;
+}
+
+std::map<uint32_t, uint64_t> AdaptiveController::EstimateGroupCounts(
+    const ConfigurationRuntime& runtime) const {
+  std::map<uint32_t, uint64_t> estimates;
+  for (int i = 0; i < runtime.num_relations(); ++i) {
+    const LftaHashTable& table = runtime.table(i);
+    const double b = static_cast<double>(table.num_buckets());
+    const double occ = static_cast<double>(table.occupied_buckets());
+    if (b < 2.0 || occ <= 0.0) continue;
+    double g;
+    if (occ >= b - 0.5) {
+      // Saturated table: occupancy can no longer resolve g; report a lower
+      // bound of ~3b (occupancy reaches ~95% of b there).
+      g = 3.0 * b;
+    } else {
+      g = std::log1p(-occ / b) / std::log1p(-1.0 / b);
+    }
+    estimates[runtime.spec(i).attrs.mask()] =
+        std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(g)));
+  }
+  return estimates;
+}
+
+}  // namespace streamagg

@@ -1,0 +1,73 @@
+#ifndef STREAMAGG_CORE_ADAPTIVE_H_
+#define STREAMAGG_CORE_ADAPTIVE_H_
+
+#include <map>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "dsms/configuration_runtime.h"
+
+namespace streamagg {
+
+/// Drift detection and statistics re-estimation for adaptive
+/// re-optimization — the system-level question the paper raises in its
+/// conclusions ("issues related to adaptivity and frequency of execution").
+///
+/// The controller compares the collision rates each table actually exhibits
+/// against the rates the optimizer assumed when it produced the plan. When
+/// the data distribution shifts (group counts grow or shrink, clusteredness
+/// changes), measured rates leave the assumed band and the controller
+/// recommends re-optimization; fresh group-count estimates are recovered
+/// from table occupancy without storing the stream.
+class AdaptiveController {
+ public:
+  struct Options {
+    /// Relative deviation of measured vs planned collision rate that
+    /// triggers re-optimization (e.g. 0.5 = 50% off), with an absolute
+    /// floor so near-zero planned rates do not trigger on noise.
+    double deviation_threshold = 0.5;
+    double absolute_floor = 0.05;
+    /// Checks are meaningless before the tables have seen real traffic.
+    uint64_t min_probes_per_table = 1000;
+  };
+
+  /// Captures the plan's assumptions. `cost_model` supplies the collision
+  /// model the plan was built with; not owned.
+  AdaptiveController(const CostModel* cost_model, const OptimizedPlan* plan,
+                     Options options);
+  /// Default options.
+  AdaptiveController(const CostModel* cost_model, const OptimizedPlan* plan);
+
+  /// The collision rates the plan assumed, per relation node.
+  const std::vector<double>& planned_rates() const { return planned_rates_; }
+
+  /// True when any sufficiently-probed table's measured collision rate
+  /// *exceeds* the planned rate beyond the threshold. Only upward drift
+  /// triggers: rates above plan mean the chosen configuration is paying
+  /// more than budgeted, while rates below plan cost nothing extra and are
+  /// also what cold (still-filling) tables exhibit.
+  bool ShouldReoptimize(const ConfigurationRuntime& runtime) const;
+
+  /// Largest relative upward deviation across sufficiently-probed tables
+  /// (0 when none qualify or all rates are at/below plan).
+  double MaxDeviation(const ConfigurationRuntime& runtime) const;
+
+  /// Estimates the current number of groups of every *instantiated*
+  /// relation from its table occupancy: the expected number of occupied
+  /// buckets after g distinct groups is b (1 - (1 - 1/b)^g), inverted as
+  ///   g = log(1 - occ/b) / log(1 - 1/b).
+  /// Keys are AttributeSet masks; merge with prior statistics to rebuild a
+  /// catalog for re-optimization (no stream storage required). Call
+  /// mid-epoch: the end-of-epoch flush empties every table.
+  std::map<uint32_t, uint64_t> EstimateGroupCounts(
+      const ConfigurationRuntime& runtime) const;
+
+ private:
+  const CostModel* cost_model_;
+  Options options_;
+  std::vector<double> planned_rates_;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_CORE_ADAPTIVE_H_

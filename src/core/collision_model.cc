@@ -1,0 +1,112 @@
+#include "core/collision_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamagg {
+
+double RoughCollisionModel::Rate(double g, double b) const {
+  if (g <= 1.0 || b < 1.0) return 0.0;
+  return std::clamp(1.0 - b / g, 0.0, 1.0);
+}
+
+double PreciseCollisionModel::Rate(double g, double b) const {
+  return RandomHashCollisionRate(g, b);
+}
+
+double TruncatedSumCollisionModel::Rate(double g, double b) const {
+  if (g <= 1.0 || b < 1.0) return 0.0;
+  if (b == 1.0) return (g - 1.0) / g;  // Everything shares one bucket.
+  const uint64_t gi = static_cast<uint64_t>(std::llround(g));
+  const double p = 1.0 / b;
+  const double mu = g * p;
+  const double sigma = std::sqrt(g * p * (1.0 - p));
+  const uint64_t k_max = std::min<uint64_t>(
+      gi, static_cast<uint64_t>(std::ceil(mu + sigmas_ * sigma)) + 1);
+  // Iterate the binomial pmf with the ratio recurrence
+  // P(k+1) = P(k) * (g-k)/(k+1) * p/(1-p), seeded at k = 0.
+  double pmf = std::exp(g * std::log1p(-p));  // P(k = 0)
+  const double odds = p / (1.0 - p);
+  double sum = 0.0;
+  for (uint64_t k = 0; k <= k_max; ++k) {
+    if (k >= 2) sum += pmf * static_cast<double>(k - 1);
+    pmf *= (g - static_cast<double>(k)) / static_cast<double>(k + 1) * odds;
+  }
+  return std::clamp(b / g * sum, 0.0, 1.0);
+}
+
+double CollisionProbabilityComponent(double g, double b, uint64_t k) {
+  if (k < 2 || g <= 1.0 || b < 1.0) return 0.0;
+  const double pmf = BinomialPmf(static_cast<uint64_t>(std::llround(g)),
+                                 1.0 / b, k);
+  return b * pmf * static_cast<double>(k - 1) / g;
+}
+
+PrecomputedCollisionModel::PrecomputedCollisionModel() {
+  // Six intervals over r = g/b, matching the paper's Figure 7 range. The
+  // rate is trained at large b (where it depends on r alone; Table 1 shows
+  // < 1.5% variation across b).
+  const double kEdges[] = {0.0, 0.5, 1.0, 2.0, 4.0, 10.0, 50.0};
+  const double kTrainBuckets = 2000.0;
+  PreciseCollisionModel precise;
+  for (int i = 0; i + 1 < 7; ++i) {
+    const double lo = kEdges[i];
+    const double hi = kEdges[i + 1];
+    // Below r = 1 the rate itself approaches 0, so a direct fit has
+    // unbounded *relative* error near the low edge; fitting x(r)/r instead
+    // keeps the relative error of x equal to that of the fitted quantity.
+    const bool fit_ratio = lo < 1.0;
+    std::vector<double> xs;
+    std::vector<double> ys;
+    const int kSamples = 64;
+    for (int s = 0; s <= kSamples; ++s) {
+      const double r = lo + (hi - lo) * s / kSamples;
+      if (r * kTrainBuckets < 2.0) continue;  // g <= 1 has no collisions.
+      const double rate = precise.Rate(r * kTrainBuckets, kTrainBuckets);
+      xs.push_back(r);
+      ys.push_back(fit_ratio ? rate / r : rate);
+    }
+    auto fit = FitPolynomial(xs, ys, /*degree=*/2);
+    // The training grid is well-conditioned by construction.
+    Interval interval{lo, hi, fit_ratio, std::move(fit).value()};
+    max_fit_error_ = std::max(max_fit_error_, interval.fit.max_relative_error);
+    intervals_.push_back(std::move(interval));
+  }
+}
+
+double PrecomputedCollisionModel::Rate(double g, double b) const {
+  if (g <= 1.0 || b < 1.0) return 0.0;
+  const double r = g / b;
+  for (const Interval& interval : intervals_) {
+    if (r <= interval.hi) {
+      const double value = interval.fit.Evaluate(r);
+      return std::clamp(interval.fit_ratio ? value * r : value, 0.0, 1.0);
+    }
+  }
+  // Beyond the precomputed range the curve is nearly saturated; fall back to
+  // the closed form.
+  return RandomHashCollisionRate(g, b);
+}
+
+double LinearCollisionModel::Rate(double g, double b) const {
+  if (g <= 1.0 || b < 1.0) return 0.0;
+  return std::clamp(alpha_ + mu_ * (g / b), 0.0, 1.0);
+}
+
+std::unique_ptr<CollisionModel> MakeCollisionModel(CollisionModelKind kind) {
+  switch (kind) {
+    case CollisionModelKind::kRough:
+      return std::make_unique<RoughCollisionModel>();
+    case CollisionModelKind::kPrecise:
+      return std::make_unique<PreciseCollisionModel>();
+    case CollisionModelKind::kTruncatedSum:
+      return std::make_unique<TruncatedSumCollisionModel>();
+    case CollisionModelKind::kPrecomputed:
+      return std::make_unique<PrecomputedCollisionModel>();
+    case CollisionModelKind::kLinear:
+      return std::make_unique<LinearCollisionModel>();
+  }
+  return nullptr;
+}
+
+}  // namespace streamagg

@@ -1,0 +1,139 @@
+#ifndef STREAMAGG_CORE_COLLISION_MODEL_H_
+#define STREAMAGG_CORE_COLLISION_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "util/math.h"
+#include "util/status.h"
+
+namespace streamagg {
+
+/// Default coefficients of the paper's linear low-collision-rate fit
+/// x = alpha + mu * (g/b) (Equation 16, Figure 8).
+inline constexpr double kLinearAlpha = 0.0267;
+inline constexpr double kLinearMu = 0.354;
+
+/// Estimates the collision rate of a single-entry-per-bucket hash table with
+/// g groups and b buckets under the random-hash assumption (paper Section
+/// 4). Clustered data divides the random-data rate by the average flow
+/// length (Equation 15).
+class CollisionModel {
+ public:
+  virtual ~CollisionModel() = default;
+
+  /// Collision rate for uniformly distributed (unclustered) records.
+  /// Returns a value in [0, 1]; g <= 1 yields 0.
+  virtual double Rate(double g, double b) const = 0;
+
+  /// Collision rate for clustered data with average flow length l >= 1
+  /// (paper Equation 15: a linear 1/l relationship).
+  double ClusteredRate(double g, double b, double l) const {
+    const double x = Rate(g, b) / (l < 1.0 ? 1.0 : l);
+    return x > 1.0 ? 1.0 : x;
+  }
+
+  virtual const char* name() const = 0;
+};
+
+/// The expectation-based "rough model" x = 1 - b/g (paper Equation 10),
+/// clamped to [0, 1].
+class RoughCollisionModel : public CollisionModel {
+ public:
+  double Rate(double g, double b) const override;
+  const char* name() const override { return "rough"; }
+};
+
+/// The "precise model" (paper Equation 13) in closed form:
+/// x = 1 - (b/g) (1 - (1 - 1/b)^g). See DESIGN.md Section 2 for the
+/// equivalence to the paper's binomial sum.
+class PreciseCollisionModel : public CollisionModel {
+ public:
+  double Rate(double g, double b) const override;
+  const char* name() const override { return "precise"; }
+};
+
+/// The paper's literal computation of Equation 13: a binomial sum over k,
+/// truncated at mu + 5 sigma via the Gaussian approximation argument of
+/// Section 4.4. Kept for validation/ablation; production paths use the
+/// closed form.
+class TruncatedSumCollisionModel : public CollisionModel {
+ public:
+  /// `sigmas` controls the truncation point (the paper suggests 5).
+  explicit TruncatedSumCollisionModel(double sigmas = 5.0) : sigmas_(sigmas) {}
+  double Rate(double g, double b) const override;
+  const char* name() const override { return "truncated-sum"; }
+
+ private:
+  double sigmas_;
+};
+
+/// Per-k contribution to Equation 13,
+///   b * C(g, k) (1/b)^k (1 - 1/b)^(g-k) (k - 1) / g,
+/// the bell-shaped curve of paper Figure 6.
+double CollisionProbabilityComponent(double g, double b, uint64_t k);
+
+/// The paper's deployment model (Section 4.4): because the rate depends
+/// (almost) only on the ratio r = g/b, it is precomputed once as a function
+/// of r and approximated by piecewise quadratic regression over six
+/// intervals; lookups are then a few flops.
+class PrecomputedCollisionModel : public CollisionModel {
+ public:
+  /// Fits the six intervals against the precise model at construction.
+  /// Ratios above the last interval saturate via the closed form.
+  PrecomputedCollisionModel();
+
+  double Rate(double g, double b) const override;
+  const char* name() const override { return "precomputed"; }
+
+  /// Fit quality over the training grid (max relative error; the paper
+  /// targets 5% per interval).
+  double max_fit_error() const { return max_fit_error_; }
+
+ private:
+  struct Interval {
+    double lo;
+    double hi;
+    /// True when the fit approximates x(r)/r rather than x(r) directly
+    /// (used below r = 1, where direct fits have unbounded relative error).
+    bool fit_ratio;
+    PolynomialFit fit;
+  };
+  std::vector<Interval> intervals_;
+  double max_fit_error_ = 0.0;
+};
+
+/// The linear approximation x = alpha + mu * r of the low-rate regime
+/// (paper Equation 16), clamped to [0, 1]. The space-allocation analysis
+/// additionally uses the alpha = 0 variant (Section 5.1).
+class LinearCollisionModel : public CollisionModel {
+ public:
+  explicit LinearCollisionModel(double alpha = kLinearAlpha,
+                                double mu = kLinearMu)
+      : alpha_(alpha), mu_(mu) {}
+  double Rate(double g, double b) const override;
+  const char* name() const override { return "linear"; }
+
+  double alpha() const { return alpha_; }
+  double mu() const { return mu_; }
+
+ private:
+  double alpha_;
+  double mu_;
+};
+
+/// Kinds of collision model, for option plumbing.
+enum class CollisionModelKind {
+  kRough,
+  kPrecise,
+  kTruncatedSum,
+  kPrecomputed,
+  kLinear,
+};
+
+/// Factory over CollisionModelKind.
+std::unique_ptr<CollisionModel> MakeCollisionModel(CollisionModelKind kind);
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_CORE_COLLISION_MODEL_H_

@@ -1,0 +1,486 @@
+#include "core/configuration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace streamagg {
+
+namespace {
+
+/// Intermediate tree node used while assembling/normalizing configurations.
+struct ProtoNode {
+  AttributeSet attrs;
+  int parent = -1;
+  bool is_query = false;
+  int query_index = -1;
+  std::vector<MetricSpec> query_metrics;  // Declared metrics (queries only).
+};
+
+/// Normalizes proto nodes into BFS order (parents before children, siblings
+/// by ascending mask) and builds children lists.
+Result<Configuration> Finalize(const Schema& schema,
+                               std::vector<ProtoNode> protos) {
+  const int n = static_cast<int>(protos.size());
+  // Children adjacency on proto indices.
+  std::vector<std::vector<int>> kids(n);
+  std::vector<int> roots;
+  for (int i = 0; i < n; ++i) {
+    if (protos[i].parent >= 0) {
+      kids[protos[i].parent].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  auto by_mask = [&](int a, int b) {
+    return protos[a].attrs.mask() < protos[b].attrs.mask();
+  };
+  std::sort(roots.begin(), roots.end(), by_mask);
+  for (auto& k : kids) std::sort(k.begin(), k.end(), by_mask);
+
+  std::vector<int> order;  // BFS over proto indices.
+  order.reserve(n);
+  for (size_t head = 0; head < roots.size(); ++head) order.push_back(roots[head]);
+  for (size_t head = 0; head < order.size(); ++head) {
+    for (int child : kids[order[head]]) order.push_back(child);
+  }
+  if (static_cast<int>(order.size()) != n) {
+    return Status::InvalidArgument("configuration contains a parent cycle");
+  }
+  std::vector<int> new_index(n);
+  for (int i = 0; i < n; ++i) new_index[order[i]] = i;
+
+  std::vector<Configuration::Node> nodes(n);
+  int num_queries = 0;
+  for (int i = 0; i < n; ++i) {
+    const ProtoNode& p = protos[order[i]];
+    Configuration::Node& node = nodes[i];
+    node.attrs = p.attrs;
+    node.is_query = p.is_query;
+    node.query_index = p.query_index;
+    node.query_metrics = p.query_metrics;
+    node.parent = p.parent < 0 ? -1 : new_index[p.parent];
+    if (node.parent >= 0) nodes[node.parent].children.push_back(i);
+    if (p.is_query) ++num_queries;
+  }
+  // A relation must maintain every metric any descendant reports: evicted
+  // entries flow downward, so the state has to be carried from the top.
+  // Children have larger indices; fold bottom-up.
+  for (int i = n - 1; i >= 0; --i) {
+    std::vector<MetricSpec> needed = nodes[i].query_metrics;
+    for (int child : nodes[i].children) {
+      auto merged = UnionMetrics(needed, nodes[child].metrics);
+      if (!merged.ok()) return merged.status();
+      needed = std::move(*merged);
+    }
+    nodes[i].metrics = std::move(needed);
+  }
+  return Configuration(schema, std::move(nodes), num_queries);
+}
+
+}  // namespace
+
+namespace {
+
+Status ValidateQueryDef(const Schema& schema, const QueryDef& q) {
+  if (q.group_by.empty() || !q.group_by.IsSubsetOf(schema.AllAttributes())) {
+    return Status::InvalidArgument("query attributes invalid for schema");
+  }
+  if (q.metrics.size() > static_cast<size_t>(kMaxMetrics)) {
+    return Status::InvalidArgument("too many metrics on query " +
+                                   schema.FormatAttributeSet(q.group_by));
+  }
+  for (const MetricSpec& m : q.metrics) {
+    if (m.attr >= schema.num_attributes()) {
+      return Status::InvalidArgument("metric attribute outside schema");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<MetricSpec> NormalizedMetrics(std::vector<MetricSpec> metrics) {
+  std::sort(metrics.begin(), metrics.end());
+  metrics.erase(std::unique(metrics.begin(), metrics.end()), metrics.end());
+  return metrics;
+}
+
+}  // namespace
+
+Result<Configuration> Configuration::Make(
+    const Schema& schema, const std::vector<AttributeSet>& queries,
+    std::vector<AttributeSet> phantoms) {
+  return Make(schema, std::vector<QueryDef>(queries.begin(), queries.end()),
+              std::move(phantoms));
+}
+
+Result<Configuration> Configuration::Make(const Schema& schema,
+                                          std::vector<QueryDef> queries,
+                                          std::vector<AttributeSet> phantoms) {
+  if (queries.empty()) return Status::InvalidArgument("no queries");
+  std::set<AttributeSet> seen;
+  std::vector<ProtoNode> protos;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const QueryDef& q = queries[qi];
+    STREAMAGG_RETURN_NOT_OK(ValidateQueryDef(schema, q));
+    if (!seen.insert(q.group_by).second) {
+      return Status::InvalidArgument("duplicate relation: " +
+                                     schema.FormatAttributeSet(q.group_by));
+    }
+    ProtoNode p;
+    p.attrs = q.group_by;
+    p.is_query = true;
+    p.query_index = static_cast<int>(qi);
+    p.query_metrics = NormalizedMetrics(q.metrics);
+    protos.push_back(p);
+  }
+  for (AttributeSet ph : phantoms) {
+    if (ph.empty() || !ph.IsSubsetOf(schema.AllAttributes())) {
+      return Status::InvalidArgument("phantom attributes invalid for schema");
+    }
+    if (!seen.insert(ph).second) {
+      return Status::InvalidArgument(
+          "duplicate relation (phantom repeats a relation): " +
+          schema.FormatAttributeSet(ph));
+    }
+    ProtoNode p;
+    p.attrs = ph;
+    protos.push_back(p);
+  }
+  // Parent: the minimal proper superset (smallest attribute count, then
+  // smallest mask) among instantiated relations.
+  for (size_t i = 0; i < protos.size(); ++i) {
+    int best = -1;
+    for (size_t j = 0; j < protos.size(); ++j) {
+      if (i == j) continue;
+      if (!protos[i].attrs.IsProperSubsetOf(protos[j].attrs)) continue;
+      if (best < 0) {
+        best = static_cast<int>(j);
+        continue;
+      }
+      const int bc = protos[best].attrs.Count();
+      const int jc = protos[j].attrs.Count();
+      if (jc < bc ||
+          (jc == bc && protos[j].attrs.mask() < protos[best].attrs.mask())) {
+        best = static_cast<int>(j);
+      }
+    }
+    protos[i].parent = best;
+  }
+  return Finalize(schema, std::move(protos));
+}
+
+Result<Configuration> Configuration::MakeFlat(
+    const Schema& schema, const std::vector<AttributeSet>& queries) {
+  return MakeFlat(schema,
+                  std::vector<QueryDef>(queries.begin(), queries.end()));
+}
+
+Result<Configuration> Configuration::MakeFlat(const Schema& schema,
+                                              std::vector<QueryDef> queries) {
+  if (queries.empty()) return Status::InvalidArgument("no queries");
+  std::set<AttributeSet> seen;
+  std::vector<ProtoNode> protos;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const QueryDef& q = queries[qi];
+    STREAMAGG_RETURN_NOT_OK(ValidateQueryDef(schema, q));
+    if (!seen.insert(q.group_by).second) {
+      return Status::InvalidArgument("duplicate relation: " +
+                                     schema.FormatAttributeSet(q.group_by));
+    }
+    ProtoNode p;
+    p.attrs = q.group_by;
+    p.is_query = true;
+    p.query_index = static_cast<int>(qi);
+    p.query_metrics = NormalizedMetrics(q.metrics);
+    protos.push_back(p);  // parent stays -1: raw, independent.
+  }
+  return Finalize(schema, std::move(protos));
+}
+
+namespace {
+
+/// Recursive-descent parser for the paper's configuration notation.
+class NotationParser {
+ public:
+  NotationParser(const Schema& schema, const std::string& text)
+      : schema_(schema), text_(text) {}
+
+  /// Parses the full text into proto nodes (parents created before their
+  /// children). Leaf order of appearance is recorded in leaf_order_.
+  Result<std::vector<ProtoNode>> Run() {
+    STREAMAGG_RETURN_NOT_OK(ParseList(-1));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters in configuration: " +
+                                     text_.substr(pos_));
+    }
+    if (protos_.empty()) {
+      return Status::InvalidArgument("empty configuration");
+    }
+    return protos_;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtNameChar() const {
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    return c != '(' && c != ')' &&
+           !std::isspace(static_cast<unsigned char>(c));
+  }
+
+  /// Parses a space-separated list of relations (or parenthesized groups,
+  /// spliced into the current level) until ')' or end of input.
+  Status ParseList(int parent) {
+    SkipSpace();
+    while (pos_ < text_.size() && text_[pos_] != ')') {
+      if (text_[pos_] == '(') {
+        // A grouping paren at list level, e.g. the outer parens in
+        // "(ABCD(AB BCD(...)))": parse its contents at this same level.
+        ++pos_;
+        STREAMAGG_RETURN_NOT_OK(ParseList(parent));
+        if (pos_ >= text_.size() || text_[pos_] != ')') {
+          return Status::InvalidArgument("unbalanced '(' in configuration");
+        }
+        ++pos_;
+      } else {
+        STREAMAGG_RETURN_NOT_OK(ParseRelation(parent));
+      }
+      SkipSpace();
+    }
+    return Status::OK();
+  }
+
+  Status ParseRelation(int parent) {
+    const size_t start = pos_;
+    while (AtNameChar()) ++pos_;
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected relation name at position " +
+                                     std::to_string(start));
+    }
+    const std::string name = text_.substr(start, pos_ - start);
+    STREAMAGG_ASSIGN_OR_RETURN(AttributeSet attrs,
+                               schema_.ParseAttributeSet(name));
+    ProtoNode p;
+    p.attrs = attrs;
+    p.parent = parent;
+    const int me = static_cast<int>(protos_.size());
+    protos_.push_back(p);
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      ++pos_;
+      STREAMAGG_RETURN_NOT_OK(ParseList(me));
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return Status::InvalidArgument("unbalanced '(' in configuration");
+      }
+      ++pos_;
+    }
+    return Status::OK();
+  }
+
+  const Schema& schema_;
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::vector<ProtoNode> protos_;
+};
+
+Status ValidateParsedStructure(const Schema& schema,
+                               const std::vector<ProtoNode>& protos) {
+  std::set<AttributeSet> seen;
+  for (const ProtoNode& p : protos) {
+    if (!seen.insert(p.attrs).second) {
+      return Status::InvalidArgument("duplicate relation: " +
+                                     schema.FormatAttributeSet(p.attrs));
+    }
+    if (p.parent >= 0 &&
+        !p.attrs.IsProperSubsetOf(protos[p.parent].attrs)) {
+      return Status::InvalidArgument(
+          "relation " + schema.FormatAttributeSet(p.attrs) +
+          " is not a proper subset of its parent " +
+          schema.FormatAttributeSet(protos[p.parent].attrs));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Configuration> Configuration::Parse(const Schema& schema,
+                                           const std::string& text) {
+  NotationParser parser(schema, text);
+  STREAMAGG_ASSIGN_OR_RETURN(std::vector<ProtoNode> protos, parser.Run());
+  STREAMAGG_RETURN_NOT_OK(ValidateParsedStructure(schema, protos));
+  // Leaves are queries, indexed in order of appearance.
+  std::vector<bool> has_child(protos.size(), false);
+  for (const ProtoNode& p : protos) {
+    if (p.parent >= 0) has_child[p.parent] = true;
+  }
+  int next_query = 0;
+  for (size_t i = 0; i < protos.size(); ++i) {
+    if (!has_child[i]) {
+      protos[i].is_query = true;
+      protos[i].query_index = next_query++;
+    }
+  }
+  return Finalize(schema, std::move(protos));
+}
+
+Result<Configuration> Configuration::Parse(
+    const Schema& schema, const std::string& text,
+    const std::vector<AttributeSet>& queries) {
+  return Parse(schema, text,
+               std::vector<QueryDef>(queries.begin(), queries.end()));
+}
+
+Result<Configuration> Configuration::Parse(
+    const Schema& schema, const std::string& text,
+    const std::vector<QueryDef>& queries) {
+  NotationParser parser(schema, text);
+  STREAMAGG_ASSIGN_OR_RETURN(std::vector<ProtoNode> protos, parser.Run());
+  STREAMAGG_RETURN_NOT_OK(ValidateParsedStructure(schema, protos));
+  for (const QueryDef& q : queries) {
+    STREAMAGG_RETURN_NOT_OK(ValidateQueryDef(schema, q));
+  }
+  std::vector<bool> found(queries.size(), false);
+  for (ProtoNode& p : protos) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      if (p.attrs == queries[qi].group_by) {
+        p.is_query = true;
+        p.query_index = static_cast<int>(qi);
+        p.query_metrics = NormalizedMetrics(queries[qi].metrics);
+        found[qi] = true;
+        break;
+      }
+    }
+  }
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    if (!found[qi]) {
+      return Status::InvalidArgument(
+          "query missing from configuration: " +
+          schema.FormatAttributeSet(queries[qi].group_by));
+    }
+  }
+  // A leaf that is not a query would never deliver results anywhere.
+  std::vector<bool> has_child(protos.size(), false);
+  for (const ProtoNode& p : protos) {
+    if (p.parent >= 0) has_child[p.parent] = true;
+  }
+  for (size_t i = 0; i < protos.size(); ++i) {
+    if (!has_child[i] && !protos[i].is_query) {
+      return Status::InvalidArgument(
+          "leaf relation is not a query: " +
+          schema.FormatAttributeSet(protos[i].attrs));
+    }
+  }
+  return Finalize(schema, std::move(protos));
+}
+
+std::vector<int> Configuration::RawRelations() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (nodes_[i].parent < 0) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> Configuration::Leaves() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (nodes_[i].children.empty()) out.push_back(i);
+  }
+  return out;
+}
+
+int Configuration::FindNode(AttributeSet attrs) const {
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (nodes_[i].attrs == attrs) return i;
+  }
+  return -1;
+}
+
+std::vector<AttributeSet> Configuration::QuerySets() const {
+  std::vector<AttributeSet> out(static_cast<size_t>(num_queries_));
+  for (const Node& n : nodes_) {
+    if (n.is_query) out[n.query_index] = n.attrs;
+  }
+  return out;
+}
+
+std::vector<QueryDef> Configuration::QueryDefs() const {
+  std::vector<QueryDef> out(static_cast<size_t>(num_queries_));
+  for (const Node& n : nodes_) {
+    if (n.is_query) {
+      out[n.query_index] = QueryDef(n.attrs, n.query_metrics);
+    }
+  }
+  return out;
+}
+
+std::vector<AttributeSet> Configuration::PhantomSets() const {
+  std::vector<AttributeSet> out;
+  for (const Node& n : nodes_) {
+    if (!n.is_query) out.push_back(n.attrs);
+  }
+  return out;
+}
+
+std::string Configuration::ToString() const {
+  std::string out;
+  auto render = [&](auto&& self, int idx) -> void {
+    out += schema_.FormatAttributeSet(nodes_[idx].attrs);
+    if (!nodes_[idx].children.empty()) {
+      out += '(';
+      bool first = true;
+      for (int child : nodes_[idx].children) {
+        if (!first) out += ' ';
+        self(self, child);
+        first = false;
+      }
+      out += ')';
+    }
+  };
+  bool first = true;
+  for (int root : RawRelations()) {
+    if (!first) out += ' ';
+    render(render, root);
+    first = false;
+  }
+  return out;
+}
+
+Result<Configuration> Configuration::WithPhantom(AttributeSet phantom) const {
+  std::vector<AttributeSet> phantoms = PhantomSets();
+  phantoms.push_back(phantom);
+  return Make(schema_, QueryDefs(), std::move(phantoms));
+}
+
+Result<std::vector<RuntimeRelationSpec>> Configuration::ToRuntimeSpecs(
+    const std::vector<double>& buckets) const {
+  if (buckets.size() != static_cast<size_t>(num_nodes())) {
+    return Status::InvalidArgument("one bucket count per relation required");
+  }
+  std::vector<RuntimeRelationSpec> specs(nodes_.size());
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (!(buckets[i] >= 1.0) || !std::isfinite(buckets[i])) {
+      return Status::InvalidArgument(
+          "bucket counts must be finite and >= 1 (relation " +
+          schema_.FormatAttributeSet(nodes_[i].attrs) + ")");
+    }
+    specs[i].attrs = nodes_[i].attrs;
+    specs[i].num_buckets = static_cast<uint64_t>(std::floor(buckets[i]));
+    specs[i].is_query = nodes_[i].is_query;
+    specs[i].query_index = nodes_[i].query_index;
+    specs[i].parent = nodes_[i].parent;
+    specs[i].metrics = nodes_[i].metrics;
+    specs[i].query_metrics = nodes_[i].query_metrics;
+  }
+  return specs;
+}
+
+}  // namespace streamagg

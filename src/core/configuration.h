@@ -1,0 +1,152 @@
+#ifndef STREAMAGG_CORE_CONFIGURATION_H_
+#define STREAMAGG_CORE_CONFIGURATION_H_
+
+#include <string>
+#include <vector>
+
+#include "dsms/configuration_runtime.h"
+#include "stream/aggregate.h"
+#include "stream/schema.h"
+#include "util/status.h"
+
+namespace streamagg {
+
+/// A user aggregation query: its grouping attributes plus the distributive
+/// metrics it reports beyond count(*) (e.g. sum of packet lengths, from
+/// which the HFTA derives averages — the paper's motivating "report the
+/// average packet length" queries).
+struct QueryDef {
+  AttributeSet group_by;
+  std::vector<MetricSpec> metrics;
+
+  QueryDef() = default;
+  /// A count(*)-only query, the paper's setting. Explicit so that
+  /// brace-initialized AttributeSet lists keep selecting the count-only
+  /// API overloads unambiguously.
+  explicit QueryDef(AttributeSet set) : group_by(set) {}
+  QueryDef(AttributeSet set, std::vector<MetricSpec> m)
+      : group_by(set), metrics(std::move(m)) {}
+};
+
+/// A configuration: the set of relations (user queries + chosen phantoms)
+/// instantiated in the LFTA, organized as a feeding forest (paper Section
+/// 3.1 — "while the feeding graph is a DAG, a configuration is always a
+/// tree"). Nodes are stored parents-before-children; raw relations have
+/// parent -1.
+class Configuration {
+ public:
+  struct Node {
+    AttributeSet attrs;
+    int parent = -1;
+    std::vector<int> children;
+    bool is_query = false;
+    /// Position in the original query list (stable across configurations of
+    /// the same query set); -1 for phantoms.
+    int query_index = -1;
+    /// Metrics this relation must maintain: its own declared metrics (for
+    /// queries) plus everything its descendants need — a parent's evictions
+    /// feed its children, so state flows downward.
+    std::vector<MetricSpec> metrics;
+    /// For queries: the metrics the user declared (what the HFTA reports).
+    std::vector<MetricSpec> query_metrics;
+  };
+
+  /// Builds the configuration containing `queries` and `phantoms`. Each
+  /// node's parent is its minimal instantiated proper superset; ties between
+  /// incomparable minimal supersets are broken by fewer attributes, then
+  /// smaller attribute mask (deterministic). Duplicate relations and
+  /// phantoms equal to queries are rejected.
+  static Result<Configuration> Make(const Schema& schema,
+                                    std::vector<QueryDef> queries,
+                                    std::vector<AttributeSet> phantoms);
+
+  /// Count-only convenience (the paper's setting).
+  static Result<Configuration> Make(const Schema& schema,
+                                    const std::vector<AttributeSet>& queries,
+                                    std::vector<AttributeSet> phantoms);
+
+  /// Builds the naive evaluation of Section 2.4: every query is an
+  /// independent raw relation probed by each record, with no feeding even
+  /// when one query's attributes contain another's. This is the paper's
+  /// no-sharing baseline.
+  static Result<Configuration> MakeFlat(const Schema& schema,
+                                        std::vector<QueryDef> queries);
+  static Result<Configuration> MakeFlat(
+      const Schema& schema, const std::vector<AttributeSet>& queries);
+
+  /// Parses the paper's notation, e.g. "AB(A B) CD(C D)" or
+  /// "(ABCD(AB BCD(BC BD CD)))". Leaf relations are the queries, in order
+  /// of appearance; internal relations are phantoms.
+  static Result<Configuration> Parse(const Schema& schema,
+                                     const std::string& text);
+
+  /// Parses the notation with an explicit query list: every relation whose
+  /// attribute set appears in `queries` is a query (it may be internal);
+  /// every query must appear in the text.
+  static Result<Configuration> Parse(const Schema& schema,
+                                     const std::string& text,
+                                     const std::vector<QueryDef>& queries);
+  static Result<Configuration> Parse(const Schema& schema,
+                                     const std::string& text,
+                                     const std::vector<AttributeSet>& queries);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(int i) const { return nodes_[i]; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_queries() const { return num_queries_; }
+  int num_phantoms() const { return num_nodes() - num_queries_; }
+
+  /// Indices of relations fed directly by the stream.
+  std::vector<int> RawRelations() const;
+  /// Indices of relations with no children (always queries).
+  std::vector<int> Leaves() const;
+  /// Index of the node with the given attribute set, or -1.
+  int FindNode(AttributeSet attrs) const;
+  /// The query attribute sets in query_index order.
+  std::vector<AttributeSet> QuerySets() const;
+  /// The full query definitions (attributes + metrics) in query_index order.
+  std::vector<QueryDef> QueryDefs() const;
+  /// The phantom attribute sets, in node order.
+  std::vector<AttributeSet> PhantomSets() const;
+
+  /// Hash-bucket entry size of node `i` in 4-byte words: one word per
+  /// grouping attribute, one for the counter, kMetricWords per maintained
+  /// metric (paper Section 5.3 uses variable entry sizes; metrics extend
+  /// the same accounting).
+  int EntryWords(int i) const {
+    return nodes_[i].attrs.Count() + 1 +
+           kMetricWords * static_cast<int>(nodes_[i].metrics.size());
+  }
+
+  /// Renders the paper's notation: top-level relations space-separated,
+  /// children in parentheses, e.g. "ABCD(AB BCD(BC BD CD))".
+  std::string ToString() const;
+
+  /// Builds a new configuration with one extra phantom.
+  Result<Configuration> WithPhantom(AttributeSet phantom) const;
+
+  /// Converts to runtime specs for the DSMS executor. `buckets[i]` is the
+  /// (fractional) bucket count of node i; it is rounded down with a minimum
+  /// of one bucket.
+  Result<std::vector<RuntimeRelationSpec>> ToRuntimeSpecs(
+      const std::vector<double>& buckets) const;
+
+  /// Direct construction from pre-validated nodes (parents before children,
+  /// children lists consistent with parent fields). Prefer Make/Parse, which
+  /// validate and normalize; this is public for the implementation and for
+  /// advanced embedders.
+  Configuration(Schema schema, std::vector<Node> nodes, int num_queries)
+      : schema_(std::move(schema)),
+        nodes_(std::move(nodes)),
+        num_queries_(num_queries) {}
+
+ private:
+  Schema schema_;
+  std::vector<Node> nodes_;
+  int num_queries_ = 0;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_CORE_CONFIGURATION_H_

@@ -1,0 +1,268 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/feeding_graph.h"
+#include "stream/trace_stats.h"
+
+namespace streamagg {
+
+Result<std::unique_ptr<StreamAggEngine>> StreamAggEngine::FromQueryTexts(
+    const Schema& schema, const std::vector<std::string>& queries,
+    Options options) {
+  STREAMAGG_ASSIGN_OR_RETURN(std::vector<ParsedQuery> parsed,
+                             ParseQuerySet(schema, queries));
+  std::vector<QueryDef> defs;
+  defs.reserve(parsed.size());
+  for (const ParsedQuery& q : parsed) defs.push_back(q.def);
+  if (parsed.front().epoch_seconds > 0.0) {
+    options.epoch_seconds = parsed.front().epoch_seconds;
+  }
+  return std::unique_ptr<StreamAggEngine>(new StreamAggEngine(
+      schema, std::move(defs), std::move(parsed), options));
+}
+
+Result<std::unique_ptr<StreamAggEngine>> StreamAggEngine::FromQueryDefs(
+    const Schema& schema, std::vector<QueryDef> queries, Options options) {
+  if (queries.empty()) return Status::InvalidArgument("no queries");
+  for (const QueryDef& q : queries) {
+    if (q.group_by.empty() || !q.group_by.IsSubsetOf(schema.AllAttributes())) {
+      return Status::InvalidArgument("query attributes invalid for schema");
+    }
+  }
+  return std::unique_ptr<StreamAggEngine>(new StreamAggEngine(
+      schema, std::move(queries), {}, options));
+}
+
+Result<std::unique_ptr<StreamAggEngine>> StreamAggEngine::FromPinnedPlan(
+    const Schema& schema, OptimizedPlan plan,
+    std::map<uint32_t, uint64_t> catalog_counts, Options options) {
+  std::vector<QueryDef> queries = plan.config.QueryDefs();
+  if (queries.empty()) return Status::InvalidArgument("plan has no queries");
+  STREAMAGG_ASSIGN_OR_RETURN(
+      std::unique_ptr<StreamAggEngine> engine,
+      FromQueryDefs(schema, std::move(queries), options));
+  // Statistics snapshot for the adaptive path. When no counts are given,
+  // derive a degenerate catalog from the plan itself is impossible, so
+  // require counts whenever adaptivity is requested.
+  if (options.adaptive) {
+    if (catalog_counts.empty()) {
+      return Status::InvalidArgument(
+          "adaptive pinned-plan engines need catalog counts");
+    }
+    STREAMAGG_ASSIGN_OR_RETURN(
+        RelationCatalog catalog,
+        RelationCatalog::Synthetic(schema, std::move(catalog_counts)));
+    engine->catalog_ = std::make_unique<RelationCatalog>(std::move(catalog));
+  } else if (!catalog_counts.empty()) {
+    auto catalog =
+        RelationCatalog::Synthetic(schema, std::move(catalog_counts));
+    if (catalog.ok()) {
+      engine->catalog_ = std::make_unique<RelationCatalog>(std::move(*catalog));
+    }
+  }
+  engine->plan_ = std::make_unique<OptimizedPlan>(std::move(plan));
+  STREAMAGG_RETURN_NOT_OK(engine->InstallRuntime());
+  engine->sample_.reset();  // No sampling phase.
+  return engine;
+}
+
+StreamAggEngine::StreamAggEngine(const Schema& schema,
+                                 std::vector<QueryDef> queries,
+                                 std::vector<ParsedQuery> parsed,
+                                 Options options)
+    : schema_(schema),
+      queries_(std::move(queries)),
+      parsed_(std::move(parsed)),
+      options_(options),
+      optimizer_(options.optimizer),
+      collision_model_(
+          MakeCollisionModel(options.optimizer.collision_model)),
+      sample_(std::make_unique<Trace>(schema)) {
+  sample_->Reserve(options_.sample_size);
+  std::vector<std::vector<MetricSpec>> per_query_metrics;
+  per_query_metrics.reserve(queries_.size());
+  for (const QueryDef& q : queries_) per_query_metrics.push_back(q.metrics);
+  accumulated_hfta_ = std::make_unique<Hfta>(std::move(per_query_metrics));
+}
+
+Status StreamAggEngine::PlanFromSample() {
+  sample_stats_ = std::make_unique<TraceStats>(sample_.get());
+  catalog_ = std::make_unique<RelationCatalog>(
+      RelationCatalog::FromTrace(sample_stats_.get(), options_.clustered));
+  STREAMAGG_ASSIGN_OR_RETURN(
+      OptimizedPlan plan,
+      optimizer_.Optimize(*catalog_, queries_, options_.memory_words));
+  last_optimize_millis_ = plan.optimize_millis;
+  plan_ = std::make_unique<OptimizedPlan>(std::move(plan));
+  STREAMAGG_RETURN_NOT_OK(InstallRuntime());
+  // Replay the buffered sample — its records were never processed.
+  for (const Record& r : sample_->records()) runtime_->ProcessRecord(r);
+  return Status::OK();
+}
+
+Status StreamAggEngine::InstallRuntime() {
+  STREAMAGG_ASSIGN_OR_RETURN(std::vector<RuntimeRelationSpec> specs,
+                             plan_->ToRuntimeSpecs());
+  STREAMAGG_ASSIGN_OR_RETURN(
+      std::unique_ptr<ConfigurationRuntime> runtime,
+      ConfigurationRuntime::Make(schema_, std::move(specs),
+                                 options_.epoch_seconds));
+  runtime_ = std::move(runtime);
+  return Status::OK();
+}
+
+void StreamAggEngine::AccumulateCounters() {
+  if (runtime_ == nullptr) return;
+  const RuntimeCounters& c = runtime_->counters();
+  total_counters_.records += c.records;
+  total_counters_.intra_probes += c.intra_probes;
+  total_counters_.intra_transfers += c.intra_transfers;
+  total_counters_.flush_probes += c.flush_probes;
+  total_counters_.flush_transfers += c.flush_transfers;
+  total_counters_.epochs_flushed += c.epochs_flushed;
+}
+
+Status StreamAggEngine::HandleEpochBoundary(uint64_t next_epoch) {
+  // Judge drift on the live (pre-flush) tables.
+  CostModel cost_model(catalog_.get(), collision_model_.get(),
+                       options_.optimizer.cost);
+  AdaptiveController controller(&cost_model, plan_.get(),
+                                options_.adaptive_options);
+  if (!controller.ShouldReoptimize(*runtime_)) return Status::OK();
+
+  // Fresh statistics from table occupancy; fall back to the previous
+  // catalog for relations that are not instantiated.
+  const std::map<uint32_t, uint64_t> estimates =
+      controller.EstimateGroupCounts(*runtime_);
+  std::vector<AttributeSet> group_bys;
+  for (const QueryDef& q : queries_) group_bys.push_back(q.group_by);
+  STREAMAGG_ASSIGN_OR_RETURN(FeedingGraph graph,
+                             FeedingGraph::Build(schema_, group_bys));
+  std::set<AttributeSet> interesting(group_bys.begin(), group_bys.end());
+  for (AttributeSet p : graph.phantoms()) interesting.insert(p);
+  for (int i = 0; i < schema_.num_attributes(); ++i) {
+    interesting.insert(AttributeSet::Single(i));
+  }
+  std::map<uint32_t, uint64_t> counts;
+  for (AttributeSet set : interesting) {
+    auto it = estimates.find(set.mask());
+    counts[set.mask()] =
+        it != estimates.end() ? it->second : catalog_->GroupCount(set);
+  }
+  const double flow_length = catalog_->FlowLength(schema_.AllAttributes());
+  STREAMAGG_ASSIGN_OR_RETURN(
+      RelationCatalog next_catalog,
+      RelationCatalog::Synthetic(schema_, std::move(counts), flow_length));
+
+  // Retire the current runtime at the boundary: flush its epoch, keep its
+  // results and counters, then swap in the re-planned configuration.
+  runtime_->FlushEpoch();
+  accumulated_hfta_->MergeFrom(runtime_->hfta());
+  AccumulateCounters();
+
+  catalog_ = std::make_unique<RelationCatalog>(std::move(next_catalog));
+  STREAMAGG_ASSIGN_OR_RETURN(
+      OptimizedPlan plan,
+      optimizer_.Optimize(*catalog_, queries_, options_.memory_words));
+  last_optimize_millis_ = plan.optimize_millis;
+  ++reoptimizations_;
+  plan_ = std::make_unique<OptimizedPlan>(std::move(plan));
+  STREAMAGG_RETURN_NOT_OK(InstallRuntime());
+  (void)next_epoch;
+  return Status::OK();
+}
+
+Status StreamAggEngine::Process(const Record& record) {
+  // The shared where clause filters records before any table sees them
+  // (the F of the LFTA's Filter-Transform-Aggregate); filtered records are
+  // also excluded from statistics.
+  if (!parsed_.empty() && !parsed_.front().RecordPasses(record)) {
+    return Status::OK();
+  }
+  if (runtime_ == nullptr) {
+    sample_->Append(record);
+    if (sample_->size() >= options_.sample_size) {
+      STREAMAGG_RETURN_NOT_OK(PlanFromSample());
+    }
+    // Track epochs during sampling too, so boundaries line up later.
+    if (options_.epoch_seconds > 0.0) {
+      current_epoch_ = static_cast<uint64_t>(
+          std::floor(record.timestamp / options_.epoch_seconds));
+    }
+    saw_record_ = true;
+    return Status::OK();
+  }
+  if (options_.epoch_seconds > 0.0) {
+    const uint64_t epoch = static_cast<uint64_t>(
+        std::floor(record.timestamp / options_.epoch_seconds));
+    if (saw_record_ && epoch != current_epoch_) {
+      if (options_.adaptive) {
+        STREAMAGG_RETURN_NOT_OK(HandleEpochBoundary(epoch));
+      }
+      current_epoch_ = epoch;
+    } else if (!saw_record_) {
+      current_epoch_ = epoch;
+    }
+  }
+  saw_record_ = true;
+  // The runtime flushes its own epoch when it sees the boundary timestamp
+  // (unless the adaptive path already swapped it above).
+  runtime_->ProcessRecord(record);
+  return Status::OK();
+}
+
+Status StreamAggEngine::Finish() {
+  if (runtime_ == nullptr && sample_ != nullptr && sample_->size() > 0) {
+    // Short stream: plan from whatever was collected.
+    STREAMAGG_RETURN_NOT_OK(PlanFromSample());
+  }
+  if (runtime_ != nullptr) {
+    runtime_->FlushEpoch();
+    accumulated_hfta_->MergeFrom(runtime_->hfta());
+    AccumulateCounters();
+    runtime_.reset();
+  }
+  return Status::OK();
+}
+
+std::string StreamAggEngine::ConfigurationText() const {
+  return plan_ != nullptr ? plan_->config.ToString() : std::string();
+}
+
+const EpochAggregate& StreamAggEngine::EpochResult(int query_index,
+                                              uint64_t epoch) const {
+  if (runtime_ != nullptr) {
+    const EpochAggregate& live = runtime_->hfta().Result(query_index, epoch);
+    if (!live.empty()) return live;
+  }
+  return accumulated_hfta_->Result(query_index, epoch);
+}
+
+std::vector<uint64_t> StreamAggEngine::Epochs(int query_index) const {
+  std::set<uint64_t> epochs;
+  if (runtime_ != nullptr) {
+    for (uint64_t e : runtime_->hfta().Epochs(query_index)) epochs.insert(e);
+  }
+  for (uint64_t e : accumulated_hfta_->Epochs(query_index)) epochs.insert(e);
+  return std::vector<uint64_t>(epochs.begin(), epochs.end());
+}
+
+RuntimeCounters StreamAggEngine::counters() const {
+  RuntimeCounters total = total_counters_;
+  if (runtime_ != nullptr) {
+    const RuntimeCounters& c = runtime_->counters();
+    total.records += c.records;
+    total.intra_probes += c.intra_probes;
+    total.intra_transfers += c.intra_transfers;
+    total.flush_probes += c.flush_probes;
+    total.flush_transfers += c.flush_transfers;
+    total.epochs_flushed += c.epochs_flushed;
+  }
+  return total;
+}
+
+}  // namespace streamagg

@@ -1,0 +1,137 @@
+#ifndef STREAMAGG_CORE_ENGINE_H_
+#define STREAMAGG_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adaptive.h"
+#include "core/optimizer.h"
+#include "core/query_language.h"
+#include "stream/trace_stats.h"
+
+namespace streamagg {
+
+/// The one-object entry point a monitoring deployment uses: give it a
+/// schema, the queries (in the paper's GSQL-like syntax or as QueryDefs)
+/// and an LFTA memory budget; feed it records; read per-epoch results.
+///
+/// Lifecycle:
+///   1. *Sampling* — the first `sample_size` records are buffered and used
+///      to measure group counts and flow lengths.
+///   2. *Planning* — the optimizer chooses phantoms and allocates memory;
+///      the buffered records are replayed into the runtime.
+///   3. *Running* — records flow straight through. At every epoch boundary
+///      the engine (optionally) checks the AdaptiveController and, on
+///      drift, re-plans from statistics estimated out of the live tables —
+///      never storing the stream.
+class StreamAggEngine {
+ public:
+  struct Options {
+    double memory_words = 40000.0;
+    /// Records buffered for the initial statistics pass.
+    size_t sample_size = 50000;
+    /// Epoch length; overridden by the queries' time/N grouping when the
+    /// engine is built from query texts.
+    double epoch_seconds = 0.0;
+    /// Enable drift-triggered re-planning at epoch boundaries.
+    bool adaptive = false;
+    AdaptiveController::Options adaptive_options;
+    OptimizerOptions optimizer;
+    /// Treat the stream as clustered (estimate flow lengths) during the
+    /// sampling pass.
+    bool clustered = true;
+  };
+
+  /// Builds an engine from queries in the paper's query language. The
+  /// epoch comes from their time/N grouping (if any).
+  static Result<std::unique_ptr<StreamAggEngine>> FromQueryTexts(
+      const Schema& schema, const std::vector<std::string>& queries,
+      Options options);
+
+  /// Builds an engine from explicit query definitions.
+  static Result<std::unique_ptr<StreamAggEngine>> FromQueryDefs(
+      const Schema& schema, std::vector<QueryDef> queries, Options options);
+
+  /// Builds an engine around a pre-made (pinned) plan — e.g. one restored
+  /// with core/plan_io.h — skipping the sampling phase entirely: the first
+  /// record flows straight into the runtime. The plan's query definitions
+  /// become the engine's queries. Adaptive re-planning, if enabled, needs
+  /// statistics; they are taken from `catalog_counts` (AttributeSet mask ->
+  /// group count; may be empty when adaptivity is off).
+  static Result<std::unique_ptr<StreamAggEngine>> FromPinnedPlan(
+      const Schema& schema, OptimizedPlan plan,
+      std::map<uint32_t, uint64_t> catalog_counts, Options options);
+
+  /// Feeds one record. Records must arrive in non-decreasing timestamp
+  /// order. Returns an error only for internal planning failures (e.g. the
+  /// memory budget cannot host the query tables).
+  Status Process(const Record& record);
+
+  /// Completes the current epoch (call at end of stream).
+  Status Finish();
+
+  /// True once the sampling phase is over and a plan is live.
+  bool planned() const { return runtime_ != nullptr; }
+  /// The live configuration ("" while still sampling).
+  std::string ConfigurationText() const;
+  /// The live plan (nullptr while still sampling); serialize it with
+  /// core/plan_io.h to pin the configuration across runs.
+  const OptimizedPlan* plan() const { return plan_.get(); }
+
+  /// Final aggregate of query `query_index` for `epoch` (empty if none).
+  /// Results survive adaptive runtime swaps.
+  const EpochAggregate& EpochResult(int query_index, uint64_t epoch) const;
+  /// Epochs with results for `query_index`, ascending.
+  std::vector<uint64_t> Epochs(int query_index) const;
+
+  /// Aggregated operation counters across all runtimes so far.
+  RuntimeCounters counters() const;
+  int reoptimizations() const { return reoptimizations_; }
+  double last_optimize_millis() const { return last_optimize_millis_; }
+  const std::vector<ParsedQuery>& parsed_queries() const { return parsed_; }
+  int num_queries() const { return static_cast<int>(queries_.size()); }
+
+ private:
+  StreamAggEngine(const Schema& schema, std::vector<QueryDef> queries,
+                  std::vector<ParsedQuery> parsed, Options options);
+
+  /// Ends the sampling phase: measures statistics, plans, replays buffer.
+  Status PlanFromSample();
+
+  /// Epoch boundary: drift check, possible re-plan, runtime swap.
+  Status HandleEpochBoundary(uint64_t next_epoch);
+
+  /// Builds (or rebuilds) the runtime for `plan_`, carrying the HFTA over.
+  Status InstallRuntime();
+
+  void AccumulateCounters();
+
+  Schema schema_;
+  std::vector<QueryDef> queries_;
+  std::vector<ParsedQuery> parsed_;  // Empty when built from QueryDefs.
+  Options options_;
+  Optimizer optimizer_;
+  std::unique_ptr<CollisionModel> collision_model_;
+
+  // Sampling phase. The stats object holds a pointer into sample_, so both
+  // stay alive as long as catalog_ may consult them.
+  std::unique_ptr<Trace> sample_;
+  std::unique_ptr<TraceStats> sample_stats_;
+
+  // Live state.
+  std::unique_ptr<RelationCatalog> catalog_;  // Snapshot behind plan_.
+  std::unique_ptr<OptimizedPlan> plan_;
+  std::unique_ptr<ConfigurationRuntime> runtime_;
+  std::unique_ptr<Hfta> accumulated_hfta_;  // Results across runtime swaps.
+  uint64_t current_epoch_ = 0;
+  bool saw_record_ = false;
+  RuntimeCounters total_counters_;
+  int reoptimizations_ = 0;
+  double last_optimize_millis_ = 0.0;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_CORE_ENGINE_H_

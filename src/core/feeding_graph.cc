@@ -1,0 +1,51 @@
+#include "core/feeding_graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace streamagg {
+
+Result<FeedingGraph> FeedingGraph::Build(const Schema& schema,
+                                         std::vector<AttributeSet> queries) {
+  if (queries.empty()) return Status::InvalidArgument("no queries");
+  if (queries.size() > 20) {
+    return Status::InvalidArgument("more than 20 queries is unsupported");
+  }
+  std::set<AttributeSet> query_set;
+  for (AttributeSet q : queries) {
+    if (q.empty()) return Status::InvalidArgument("empty query attribute set");
+    if (!q.IsSubsetOf(schema.AllAttributes())) {
+      return Status::InvalidArgument("query attributes outside schema");
+    }
+    if (!query_set.insert(q).second) {
+      return Status::InvalidArgument("duplicate query: " +
+                                     schema.FormatAttributeSet(q));
+    }
+  }
+  // Enumerate unions of every subset of >= 2 queries.
+  std::set<AttributeSet> phantom_set;
+  const size_t nq = queries.size();
+  for (uint32_t subset = 1; subset < (1u << nq); ++subset) {
+    if (__builtin_popcount(subset) < 2) continue;
+    AttributeSet u;
+    for (size_t i = 0; i < nq; ++i) {
+      if ((subset >> i) & 1u) u = u.Union(queries[i]);
+    }
+    if (query_set.find(u) == query_set.end()) phantom_set.insert(u);
+  }
+  std::vector<AttributeSet> phantoms(phantom_set.begin(), phantom_set.end());
+  std::sort(phantoms.begin(), phantoms.end(),
+            [](AttributeSet a, AttributeSet b) {
+              if (a.Count() != b.Count()) return a.Count() < b.Count();
+              return a.mask() < b.mask();
+            });
+  return FeedingGraph(std::move(queries), std::move(phantoms));
+}
+
+std::vector<AttributeSet> FeedingGraph::AllRelations() const {
+  std::vector<AttributeSet> all = queries_;
+  all.insert(all.end(), phantoms_.begin(), phantoms_.end());
+  return all;
+}
+
+}  // namespace streamagg

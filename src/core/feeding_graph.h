@@ -1,0 +1,48 @@
+#ifndef STREAMAGG_CORE_FEEDING_GRAPH_H_
+#define STREAMAGG_CORE_FEEDING_GRAPH_H_
+
+#include <vector>
+
+#include "stream/schema.h"
+#include "util/status.h"
+
+namespace streamagg {
+
+/// The relation feeding graph of a query set (paper Section 2.6, Figure 4):
+/// nodes are the user queries plus every candidate phantom — the distinct
+/// unions of two or more queries that are not themselves queries (a phantom
+/// feeding fewer than two relations is never beneficial). A relation feeds
+/// another iff its attribute set is a proper superset.
+class FeedingGraph {
+ public:
+  /// Builds the graph. Queries must be non-empty, distinct, non-empty sets
+  /// within the schema. At most 20 queries (phantom enumeration is
+  /// exponential in the query count).
+  static Result<FeedingGraph> Build(const Schema& schema,
+                                    std::vector<AttributeSet> queries);
+
+  const std::vector<AttributeSet>& queries() const { return queries_; }
+  /// Candidate phantoms, deterministically ordered by (attribute count,
+  /// mask).
+  const std::vector<AttributeSet>& phantoms() const { return phantoms_; }
+
+  /// All nodes (queries then phantoms).
+  std::vector<AttributeSet> AllRelations() const;
+
+  /// True iff `parent` can feed `child` (strict containment).
+  static bool Feeds(AttributeSet parent, AttributeSet child) {
+    return child.IsProperSubsetOf(parent);
+  }
+
+ private:
+  FeedingGraph(std::vector<AttributeSet> queries,
+               std::vector<AttributeSet> phantoms)
+      : queries_(std::move(queries)), phantoms_(std::move(phantoms)) {}
+
+  std::vector<AttributeSet> queries_;
+  std::vector<AttributeSet> phantoms_;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_CORE_FEEDING_GRAPH_H_

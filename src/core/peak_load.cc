@@ -1,0 +1,122 @@
+#include "core/peak_load.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace streamagg {
+
+const char* PeakLoadMethodName(PeakLoadMethod method) {
+  return method == PeakLoadMethod::kShrink ? "shrink" : "shift";
+}
+
+namespace {
+
+std::vector<double> ClampBuckets(std::vector<double> buckets) {
+  for (double& b : buckets) b = std::max(1.0, b);
+  return buckets;
+}
+
+/// Shrink with factor s: every table scaled by s.
+std::vector<double> ShrinkBuckets(const std::vector<double>& buckets,
+                                  double s) {
+  std::vector<double> out(buckets.size());
+  for (size_t i = 0; i < buckets.size(); ++i) out[i] = buckets[i] * s;
+  return ClampBuckets(std::move(out));
+}
+
+/// Shift with fraction t: each query loses t of its space; the freed words
+/// go to phantoms proportionally to their current space.
+std::vector<double> ShiftBuckets(const Configuration& config,
+                                 const std::vector<double>& buckets,
+                                 double t) {
+  double freed_words = 0.0;
+  double phantom_words = 0.0;
+  for (int i = 0; i < config.num_nodes(); ++i) {
+    const double h = config.EntryWords(i);
+    if (config.node(i).is_query) {
+      freed_words += buckets[i] * h * t;
+    } else {
+      phantom_words += buckets[i] * h;
+    }
+  }
+  std::vector<double> out(buckets.size());
+  for (int i = 0; i < config.num_nodes(); ++i) {
+    if (config.node(i).is_query) {
+      out[i] = buckets[i] * (1.0 - t);
+    } else {
+      out[i] = phantom_words > 0.0
+                   ? buckets[i] * (1.0 + freed_words / phantom_words)
+                   : buckets[i];
+    }
+  }
+  return ClampBuckets(std::move(out));
+}
+
+}  // namespace
+
+PeakLoadResult EnforcePeakLoad(const CostModel& cost_model,
+                               const Configuration& config,
+                               const std::vector<double>& buckets,
+                               double peak_limit, PeakLoadMethod method) {
+  auto finish = [&](std::vector<double> adjusted) {
+    PeakLoadResult result;
+    result.end_of_epoch_cost = cost_model.EndOfEpochCost(config, adjusted);
+    result.per_record_cost = cost_model.PerRecordCost(config, adjusted);
+    result.satisfied = result.end_of_epoch_cost <= peak_limit * (1.0 + 1e-9);
+    result.buckets = std::move(adjusted);
+    return result;
+  };
+
+  if (cost_model.EndOfEpochCost(config, buckets) <= peak_limit) {
+    return finish(buckets);
+  }
+  const bool has_phantoms = config.num_phantoms() > 0;
+  const bool use_shift = method == PeakLoadMethod::kShift && has_phantoms;
+
+  auto apply = [&](double knob) {
+    // Shrink: knob is the scale s (1 = unchanged, ->0 = strongest).
+    // Shift: knob is 1 - t (1 = unchanged, ->0 = all query space moved).
+    return use_shift ? ShiftBuckets(config, buckets, 1.0 - knob)
+                     : ShrinkBuckets(buckets, knob);
+  };
+
+  // E_u is not monotone in the knob (shifting a lot of space to phantoms
+  // eventually *raises* E_u because flushed phantom entries cascade into
+  // starved query tables), so scan a grid for the weakest adjustment that
+  // satisfies the constraint; remember the global minimum as a fallback.
+  const int kGrid = 512;
+  double best_feasible = -1.0;
+  double argmin_knob = 1.0;
+  double min_eu = std::numeric_limits<double>::infinity();
+  for (int i = kGrid - 1; i >= 1; --i) {
+    const double knob = static_cast<double>(i) / kGrid;
+    const double eu = cost_model.EndOfEpochCost(config, apply(knob));
+    if (eu < min_eu) {
+      min_eu = eu;
+      argmin_knob = knob;
+    }
+    if (eu <= peak_limit) {
+      best_feasible = knob;
+      break;  // Scanning downward from the weakest adjustment.
+    }
+  }
+  if (best_feasible < 0.0) {
+    // No grid point satisfies the constraint; report the best attempt.
+    return finish(apply(argmin_knob));
+  }
+  // Refine between best_feasible and the next-weaker grid point.
+  double lo = best_feasible;
+  double hi = std::min(1.0, best_feasible + 1.0 / kGrid);
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (cost_model.EndOfEpochCost(config, apply(mid)) <= peak_limit) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return finish(apply(lo));
+}
+
+}  // namespace streamagg

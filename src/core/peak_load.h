@@ -1,0 +1,42 @@
+#ifndef STREAMAGG_CORE_PEAK_LOAD_H_
+#define STREAMAGG_CORE_PEAK_LOAD_H_
+
+#include <vector>
+
+#include "core/cost_model.h"
+
+namespace streamagg {
+
+/// Methods for bringing the end-of-epoch update cost E_u under the peak
+/// load constraint E_p (paper Section 6.3.4).
+enum class PeakLoadMethod {
+  kShrink,  ///< Scale all hash tables down proportionally.
+  kShift,   ///< Move space from queries to phantoms (queries dominate E_u
+            ///< because each of their entries costs c2).
+};
+
+const char* PeakLoadMethodName(PeakLoadMethod method);
+
+/// Result of a peak-load adjustment.
+struct PeakLoadResult {
+  std::vector<double> buckets;   ///< Adjusted allocation.
+  double end_of_epoch_cost = 0;  ///< E_u after adjustment.
+  double per_record_cost = 0;    ///< e_m after adjustment.
+  bool satisfied = false;        ///< E_u <= E_p achieved.
+};
+
+/// Adjusts `buckets` so that EndOfEpochCost <= peak_limit, using the given
+/// method. Shrink binary-searches a global scale factor in (0, 1]; shift
+/// binary-searches the fraction of query space moved to phantoms (total
+/// memory preserved). When the configuration has no phantoms, shift
+/// degenerates to shrink. If even the strongest adjustment cannot satisfy
+/// the constraint, the closest allocation is returned with
+/// satisfied = false.
+PeakLoadResult EnforcePeakLoad(const CostModel& cost_model,
+                               const Configuration& config,
+                               const std::vector<double>& buckets,
+                               double peak_limit, PeakLoadMethod method);
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_CORE_PEAK_LOAD_H_

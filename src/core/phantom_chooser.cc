@@ -1,0 +1,235 @@
+#include "core/phantom_chooser.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace streamagg {
+
+namespace {
+
+std::vector<AttributeSet> GroupBySets(const std::vector<QueryDef>& queries) {
+  std::vector<AttributeSet> out;
+  out.reserve(queries.size());
+  for (const QueryDef& q : queries) out.push_back(q.group_by);
+  return out;
+}
+
+}  // namespace
+
+Result<ChooseResult> PhantomChooser::GreedyByCollisionRate(
+    const Schema& schema, const std::vector<AttributeSet>& queries,
+    double memory_words, AllocationScheme scheme) const {
+  return GreedyByCollisionRate(
+      schema, std::vector<QueryDef>(queries.begin(), queries.end()),
+      memory_words, scheme);
+}
+
+Result<ChooseResult> PhantomChooser::GreedyByCollisionRate(
+    const Schema& schema, const std::vector<QueryDef>& queries,
+    double memory_words, AllocationScheme scheme) const {
+  STREAMAGG_ASSIGN_OR_RETURN(FeedingGraph graph,
+                             FeedingGraph::Build(schema, GroupBySets(queries)));
+  STREAMAGG_ASSIGN_OR_RETURN(Configuration config,
+                             Configuration::Make(schema, queries, {}));
+  STREAMAGG_ASSIGN_OR_RETURN(std::vector<double> buckets,
+                             allocator_->Allocate(config, memory_words, scheme));
+  double cost = cost_model_->PerRecordCost(config, buckets);
+
+  ChooseResult result{std::move(config), std::move(buckets), cost, {}};
+  result.steps.push_back(PhantomStep{AttributeSet(), cost});
+
+  std::vector<AttributeSet> remaining = graph.phantoms();
+  while (!remaining.empty()) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    int best_index = -1;
+    Configuration best_config = result.config;
+    std::vector<double> best_buckets;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      auto with = result.config.WithPhantom(remaining[i]);
+      if (!with.ok()) continue;
+      auto alloc = allocator_->Allocate(*with, memory_words, scheme);
+      if (!alloc.ok()) continue;  // e.g. memory too small for more tables.
+      const double c = cost_model_->PerRecordCost(*with, *alloc);
+      if (c < best_cost) {
+        best_cost = c;
+        best_index = static_cast<int>(i);
+        best_config = std::move(*with);
+        best_buckets = std::move(*alloc);
+      }
+    }
+    // Stop when the best addition is no longer beneficial (Section 3.4.2).
+    if (best_index < 0 || best_cost >= result.est_cost) break;
+    result.config = std::move(best_config);
+    result.buckets = std::move(best_buckets);
+    result.est_cost = best_cost;
+    result.steps.push_back(PhantomStep{remaining[best_index], best_cost});
+    remaining.erase(remaining.begin() + best_index);
+  }
+  return result;
+}
+
+Result<ChooseResult> PhantomChooser::GreedyBySpace(
+    const Schema& schema, const std::vector<AttributeSet>& queries,
+    double memory_words, double phi) const {
+  return GreedyBySpace(schema,
+                       std::vector<QueryDef>(queries.begin(), queries.end()),
+                       memory_words, phi);
+}
+
+Result<ChooseResult> PhantomChooser::GreedyBySpace(
+    const Schema& schema, const std::vector<QueryDef>& queries,
+    double memory_words, double phi) const {
+  if (phi <= 0.0) return Status::InvalidArgument("phi must be positive");
+  STREAMAGG_ASSIGN_OR_RETURN(FeedingGraph graph,
+                             FeedingGraph::Build(schema, GroupBySets(queries)));
+  const RelationCatalog& catalog = cost_model_->catalog();
+
+  // Entry size of a relation in this query set: a relation must maintain
+  // the metrics of every query its attribute set contains.
+  auto entry_words = [&](AttributeSet attrs) {
+    std::vector<MetricSpec> maintained;
+    for (const QueryDef& q : queries) {
+      if (q.group_by.IsSubsetOf(attrs)) {
+        auto merged = UnionMetrics(maintained, q.metrics);
+        if (merged.ok()) maintained = std::move(*merged);
+      }
+    }
+    return attrs.Count() + 1 + kMetricWords * static_cast<int>(maintained.size());
+  };
+  // Words consumed by a relation at phi * g buckets.
+  auto phi_words = [&](AttributeSet attrs) {
+    return phi * static_cast<double>(catalog.GroupCount(attrs)) *
+           entry_words(attrs);
+  };
+  auto phi_buckets = [&](AttributeSet attrs) {
+    return std::max(1.0, phi * static_cast<double>(catalog.GroupCount(attrs)));
+  };
+
+  STREAMAGG_ASSIGN_OR_RETURN(Configuration config,
+                             Configuration::Make(schema, queries, {}));
+  double used_words = 0.0;
+  for (const QueryDef& q : queries) used_words += phi_words(q.group_by);
+  if (used_words > memory_words) {
+    // The paper assumes the queries fit at phi * g; when they do not we keep
+    // the no-phantom configuration and let the proportional redistribution
+    // below scale everything to fit.
+    used_words = memory_words;
+  }
+
+  // Cost under the "phi * g buckets each" sizing of the current tree.
+  auto phi_cost = [&](const Configuration& cfg) {
+    std::vector<double> buckets(cfg.num_nodes());
+    for (int i = 0; i < cfg.num_nodes(); ++i) {
+      buckets[i] = phi_buckets(cfg.node(i).attrs);
+    }
+    return cost_model_->PerRecordCost(cfg, buckets);
+  };
+
+  double current_cost = phi_cost(config);
+  ChooseResult result{std::move(config), {}, current_cost, {}};
+  result.steps.push_back(PhantomStep{AttributeSet(), current_cost});
+
+  std::vector<AttributeSet> remaining = graph.phantoms();
+  while (!remaining.empty()) {
+    double best_ratio = 0.0;
+    double best_cost = 0.0;
+    int best_index = -1;
+    Configuration best_config = result.config;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      const double words = phi_words(remaining[i]);
+      if (used_words + words > memory_words) continue;
+      auto with = result.config.WithPhantom(remaining[i]);
+      if (!with.ok()) continue;
+      const double cost_with = phi_cost(*with);
+      const double benefit = result.est_cost - cost_with;
+      const double ratio = benefit / words;  // Benefit per unit space.
+      if (benefit > 0.0 && ratio > best_ratio) {
+        best_ratio = ratio;
+        best_cost = cost_with;
+        best_index = static_cast<int>(i);
+        best_config = std::move(*with);
+      }
+    }
+    if (best_index < 0) break;
+    used_words += phi_words(remaining[best_index]);
+    result.config = std::move(best_config);
+    result.est_cost = best_cost;
+    result.steps.push_back(PhantomStep{remaining[best_index], best_cost});
+    remaining.erase(remaining.begin() + best_index);
+  }
+
+  // Final sizing: phi * g buckets each, plus the leftover space spread
+  // proportionally to group counts (Section 6.3).
+  const int n = result.config.num_nodes();
+  std::vector<double> words(n, 0.0);
+  double total_g = 0.0;
+  double total_words = 0.0;
+  for (int i = 0; i < n; ++i) {
+    words[i] = phi_words(result.config.node(i).attrs);
+    total_g += static_cast<double>(
+        catalog.GroupCount(result.config.node(i).attrs));
+    total_words += words[i];
+  }
+  if (total_words > memory_words) {
+    // Queries alone exceeded the budget: scale down proportionally.
+    for (double& w : words) w *= memory_words / total_words;
+  } else {
+    const double leftover = memory_words - total_words;
+    for (int i = 0; i < n; ++i) {
+      words[i] += leftover *
+                  static_cast<double>(
+                      catalog.GroupCount(result.config.node(i).attrs)) /
+                  total_g;
+    }
+  }
+  result.buckets.resize(n);
+  for (int i = 0; i < n; ++i) {
+    const double h = result.config.EntryWords(i);
+    result.buckets[i] = std::max(1.0, words[i] / h);
+  }
+  result.est_cost = cost_model_->PerRecordCost(result.config, result.buckets);
+  return result;
+}
+
+Result<ChooseResult> PhantomChooser::ExhaustiveOptimal(
+    const Schema& schema, const std::vector<AttributeSet>& queries,
+    double memory_words, AllocationScheme scheme) const {
+  return ExhaustiveOptimal(
+      schema, std::vector<QueryDef>(queries.begin(), queries.end()),
+      memory_words, scheme);
+}
+
+Result<ChooseResult> PhantomChooser::ExhaustiveOptimal(
+    const Schema& schema, const std::vector<QueryDef>& queries,
+    double memory_words, AllocationScheme scheme) const {
+  STREAMAGG_ASSIGN_OR_RETURN(FeedingGraph graph,
+                             FeedingGraph::Build(schema, GroupBySets(queries)));
+  const std::vector<AttributeSet>& phantoms = graph.phantoms();
+  if (phantoms.size() > 14) {
+    return Status::InvalidArgument(
+        "too many candidate phantoms for exhaustive search; use a greedy "
+        "strategy");
+  }
+  std::optional<ChooseResult> best;
+  for (uint32_t subset = 0; subset < (1u << phantoms.size()); ++subset) {
+    std::vector<AttributeSet> chosen;
+    for (size_t i = 0; i < phantoms.size(); ++i) {
+      if ((subset >> i) & 1u) chosen.push_back(phantoms[i]);
+    }
+    auto config = Configuration::Make(schema, queries, chosen);
+    if (!config.ok()) continue;
+    auto alloc = allocator_->Allocate(*config, memory_words, scheme);
+    if (!alloc.ok()) continue;  // Too many tables for the budget.
+    const double cost = cost_model_->PerRecordCost(*config, *alloc);
+    if (!best.has_value() || cost < best->est_cost) {
+      best = ChooseResult{std::move(*config), std::move(*alloc), cost, {}};
+    }
+  }
+  if (!best.has_value()) {
+    return Status::ResourceExhausted("no feasible configuration fits in M");
+  }
+  return std::move(*best);
+}
+
+}  // namespace streamagg

@@ -1,0 +1,77 @@
+#ifndef STREAMAGG_CORE_PHANTOM_CHOOSER_H_
+#define STREAMAGG_CORE_PHANTOM_CHOOSER_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/feeding_graph.h"
+#include "core/space_allocation.h"
+
+namespace streamagg {
+
+/// One accepted step of a greedy phantom-choosing run. The first entry of a
+/// trajectory describes the starting (no-phantom) configuration with an
+/// empty `phantom`; paper Figure 12 plots `cost_after` against the step
+/// index.
+struct PhantomStep {
+  AttributeSet phantom;
+  double cost_after = 0.0;
+};
+
+/// Result of a phantom-choosing run: the chosen configuration, its space
+/// allocation (buckets per node), the estimated per-record cost, and the
+/// greedy trajectory.
+struct ChooseResult {
+  Configuration config;
+  std::vector<double> buckets;
+  double est_cost = 0.0;
+  std::vector<PhantomStep> steps;
+};
+
+/// Implements the paper's configuration-selection algorithms:
+///  * GreedyByCollisionRate — GC (Section 3.4.2): always allocate all of M,
+///    add the phantom with the largest cost benefit, stop when benefit
+///    turns negative. GC + SL is the paper's recommended GCSL.
+///  * GreedyBySpace — GS (Section 3.4.1): give each relation phi * g
+///    buckets, add phantoms by benefit per unit space, then spread leftover
+///    space proportionally to group counts.
+///  * ExhaustiveOptimal — EPES (Section 6.3): try every phantom subset with
+///    exhaustive space allocation. Exponential; the oracle baseline.
+class PhantomChooser {
+ public:
+  /// Neither pointer is owned; both must outlive the chooser.
+  PhantomChooser(const CostModel* cost_model, const SpaceAllocator* allocator)
+      : cost_model_(cost_model), allocator_(allocator) {}
+
+  Result<ChooseResult> GreedyByCollisionRate(
+      const Schema& schema, const std::vector<QueryDef>& queries,
+      double memory_words, AllocationScheme scheme) const;
+  Result<ChooseResult> GreedyByCollisionRate(
+      const Schema& schema, const std::vector<AttributeSet>& queries,
+      double memory_words, AllocationScheme scheme) const;
+
+  Result<ChooseResult> GreedyBySpace(const Schema& schema,
+                                     const std::vector<QueryDef>& queries,
+                                     double memory_words, double phi) const;
+  Result<ChooseResult> GreedyBySpace(const Schema& schema,
+                                     const std::vector<AttributeSet>& queries,
+                                     double memory_words, double phi) const;
+
+  /// `scheme` is the space allocation applied to every candidate subset
+  /// (kES reproduces the paper's EPES). Limited to 14 candidate phantoms
+  /// (16384 configurations).
+  Result<ChooseResult> ExhaustiveOptimal(
+      const Schema& schema, const std::vector<QueryDef>& queries,
+      double memory_words, AllocationScheme scheme = AllocationScheme::kES) const;
+  Result<ChooseResult> ExhaustiveOptimal(
+      const Schema& schema, const std::vector<AttributeSet>& queries,
+      double memory_words, AllocationScheme scheme = AllocationScheme::kES) const;
+
+ private:
+  const CostModel* cost_model_;
+  const SpaceAllocator* allocator_;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_CORE_PHANTOM_CHOOSER_H_

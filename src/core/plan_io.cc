@@ -1,0 +1,159 @@
+#include "core/plan_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace streamagg {
+
+namespace {
+
+std::string MetricToken(const Schema& schema, const MetricSpec& m) {
+  return std::string(AggregateOpName(m.op)) + ":" + schema.name(m.attr);
+}
+
+Result<MetricSpec> ParseMetricToken(const Schema& schema,
+                                    const std::string& token) {
+  const size_t colon = token.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("bad metric token: " + token);
+  }
+  const std::string op_name = token.substr(0, colon);
+  MetricSpec spec;
+  if (op_name == "sum") {
+    spec.op = AggregateOp::kSum;
+  } else if (op_name == "min") {
+    spec.op = AggregateOp::kMin;
+  } else if (op_name == "max") {
+    spec.op = AggregateOp::kMax;
+  } else {
+    return Status::InvalidArgument("unknown metric op: " + op_name);
+  }
+  STREAMAGG_ASSIGN_OR_RETURN(int attr, schema.IndexOf(token.substr(colon + 1)));
+  spec.attr = static_cast<uint8_t>(attr);
+  return spec;
+}
+
+std::vector<std::string> SplitBy(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t next = text.find(sep, pos);
+    if (next == std::string::npos) {
+      out.push_back(text.substr(pos));
+      return out;
+    }
+    out.push_back(text.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SerializePlan(const Schema& schema, const OptimizedPlan& plan) {
+  std::ostringstream out;
+  out << "streamagg-plan v1\n";
+  out << "schema";
+  for (const std::string& name : schema.names()) out << ' ' << name;
+  out << '\n';
+  for (const QueryDef& q : plan.config.QueryDefs()) {
+    out << "query " << schema.FormatAttributeSet(q.group_by) << ' ';
+    if (q.metrics.empty()) {
+      out << '-';
+    } else {
+      for (size_t i = 0; i < q.metrics.size(); ++i) {
+        if (i > 0) out << ',';
+        out << MetricToken(schema, q.metrics[i]);
+      }
+    }
+    out << '\n';
+  }
+  out << "config " << plan.config.ToString() << '\n';
+  out << "buckets";
+  char buffer[64];
+  for (double b : plan.buckets) {
+    std::snprintf(buffer, sizeof buffer, " %.6g", b);
+    out << buffer;
+  }
+  out << '\n';
+  return out.str();
+}
+
+Result<OptimizedPlan> DeserializePlan(const Schema& schema,
+                                      const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "streamagg-plan v1") {
+    return Status::InvalidArgument("not a streamagg-plan v1 document");
+  }
+  if (!std::getline(in, line) || line.rfind("schema ", 0) != 0) {
+    return Status::InvalidArgument("missing schema line");
+  }
+  {
+    const std::vector<std::string> names = SplitBy(line.substr(7), ' ');
+    if (static_cast<int>(names.size()) != schema.num_attributes()) {
+      return Status::InvalidArgument("schema arity mismatch");
+    }
+    for (int i = 0; i < schema.num_attributes(); ++i) {
+      if (names[i] != schema.name(i)) {
+        return Status::InvalidArgument("schema name mismatch: expected " +
+                                       schema.name(i) + ", found " + names[i]);
+      }
+    }
+  }
+  std::vector<QueryDef> queries;
+  std::string config_text;
+  std::vector<double> buckets;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("query ", 0) == 0) {
+      const std::vector<std::string> parts = SplitBy(line.substr(6), ' ');
+      if (parts.size() != 2) {
+        return Status::InvalidArgument("bad query line: " + line);
+      }
+      STREAMAGG_ASSIGN_OR_RETURN(AttributeSet group_by,
+                                 schema.ParseAttributeSet(parts[0]));
+      QueryDef def(group_by);
+      if (parts[1] != "-") {
+        for (const std::string& token : SplitBy(parts[1], ',')) {
+          STREAMAGG_ASSIGN_OR_RETURN(MetricSpec spec,
+                                     ParseMetricToken(schema, token));
+          def.metrics.push_back(spec);
+        }
+      }
+      queries.push_back(std::move(def));
+    } else if (line.rfind("config ", 0) == 0) {
+      config_text = line.substr(7);
+    } else if (line.rfind("buckets", 0) == 0) {
+      for (const std::string& token : SplitBy(line.substr(7), ' ')) {
+        if (token.empty()) continue;
+        char* end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end == token.c_str()) {
+          return Status::InvalidArgument("bad bucket count: " + token);
+        }
+        buckets.push_back(value);
+      }
+    } else {
+      return Status::InvalidArgument("unknown plan line: " + line);
+    }
+  }
+  if (queries.empty()) return Status::InvalidArgument("plan has no queries");
+  if (config_text.empty()) {
+    return Status::InvalidArgument("plan has no config line");
+  }
+  STREAMAGG_ASSIGN_OR_RETURN(
+      Configuration config, Configuration::Parse(schema, config_text, queries));
+  if (buckets.size() != static_cast<size_t>(config.num_nodes())) {
+    return Status::InvalidArgument("bucket count does not match config size");
+  }
+  // Validate the allocation eagerly (one bucket minimum etc.).
+  STREAMAGG_RETURN_NOT_OK(config.ToRuntimeSpecs(buckets).status());
+  OptimizedPlan plan{std::move(config), std::move(buckets), 0.0, 0.0,
+                     true, 0.0, {}};
+  return plan;
+}
+
+}  // namespace streamagg

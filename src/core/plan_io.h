@@ -1,0 +1,35 @@
+#ifndef STREAMAGG_CORE_PLAN_IO_H_
+#define STREAMAGG_CORE_PLAN_IO_H_
+
+#include <string>
+
+#include "core/optimizer.h"
+
+namespace streamagg {
+
+/// Text serialization of an optimized plan, so a deployment can pin a
+/// vetted configuration across restarts (or ship plans from an offline
+/// optimizer to LFTA hosts) without re-measuring statistics. The format is
+/// line-oriented and human-editable:
+///
+///   streamagg-plan v1
+///   schema srcIP srcPort dstIP dstPort len
+///   query dstIP,dstPort sum:len
+///   query srcIP,dstIP -
+///   config srcIP,dstIP,dstPort(dstIP,dstPort srcIP,dstIP)
+///   buckets 2048.0 512.0 512.0
+///
+/// `query` lines list group-by attributes (schema spelling) and a
+/// comma-separated metric list (`op:attr`) or `-` for count-only.
+/// `buckets` follow the configuration's node order.
+std::string SerializePlan(const Schema& schema, const OptimizedPlan& plan);
+
+/// Parses a plan for `schema` (names must match the serialized ones).
+/// Model-estimated fields (costs, timings) are recomputed by callers if
+/// needed; the deserialized plan carries the configuration and allocation.
+Result<OptimizedPlan> DeserializePlan(const Schema& schema,
+                                      const std::string& text);
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_CORE_PLAN_IO_H_

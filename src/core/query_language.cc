@@ -1,0 +1,579 @@
+#include "core/query_language.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace streamagg {
+
+namespace {
+
+/// Token kinds of the mini query language.
+enum class TokenKind { kIdent, kNumber, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // Identifier (lower-cased copy in `lower`), number, or
+                     // single-character symbol.
+  std::string lower;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+
+  const Token& current() const { return current_; }
+
+  void Advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    current_ = Token{};
+    if (pos_ >= text_.size()) {
+      current_.kind = TokenKind::kEnd;
+      return;
+    }
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = TokenKind::kIdent;
+      current_.text = text_.substr(start, pos_ - start);
+      current_.lower = current_.text;
+      std::transform(current_.lower.begin(), current_.lower.end(),
+                     current_.lower.begin(),
+                     [](unsigned char ch) { return std::tolower(ch); });
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.')) {
+        ++pos_;
+      }
+      current_.kind = TokenKind::kNumber;
+      current_.text = text_.substr(start, pos_ - start);
+      return;
+    }
+    current_.kind = TokenKind::kSymbol;
+    current_.text = std::string(1, c);
+    ++pos_;
+    // Two-character comparison operators: <=, >=, !=.
+    if ((c == '<' || c == '>' || c == '!') && pos_ < text_.size() &&
+        text_[pos_] == '=') {
+      current_.text.push_back('=');
+      ++pos_;
+    }
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+/// Maps a comparison symbol token to its operator.
+Result<CompareOp> ParseCompareSymbol(const std::string& text) {
+  if (text == "=") return CompareOp::kEq;
+  if (text == "!=") return CompareOp::kNe;
+  if (text == "<") return CompareOp::kLt;
+  if (text == "<=") return CompareOp::kLe;
+  if (text == ">") return CompareOp::kGt;
+  if (text == ">=") return CompareOp::kGe;
+  return Status::InvalidArgument("query parse error: expected comparison "
+                                 "operator, found '" + text + "'");
+}
+
+/// Recursive-descent parser for the grammar in the header.
+class QueryParser {
+ public:
+  QueryParser(const Schema& schema, const std::string& text)
+      : schema_(schema), lexer_(text) {}
+
+  Result<ParsedQuery> Run() {
+    STREAMAGG_RETURN_NOT_OK(ExpectKeyword("select"));
+    STREAMAGG_RETURN_NOT_OK(ParseSelectList());
+    STREAMAGG_RETURN_NOT_OK(ExpectKeyword("from"));
+    if (lexer_.current().kind != TokenKind::kIdent) {
+      return Error("expected relation name after 'from'");
+    }
+    query_.relation = lexer_.current().text;
+    lexer_.Advance();
+    if (lexer_.current().kind == TokenKind::kIdent &&
+        lexer_.current().lower == "where") {
+      lexer_.Advance();
+      STREAMAGG_RETURN_NOT_OK(ParseWhere());
+    }
+    STREAMAGG_RETURN_NOT_OK(ExpectKeyword("group"));
+    STREAMAGG_RETURN_NOT_OK(ExpectKeyword("by"));
+    STREAMAGG_RETURN_NOT_OK(ParseGroupList());
+    if (lexer_.current().kind == TokenKind::kIdent &&
+        lexer_.current().lower == "having") {
+      lexer_.Advance();
+      STREAMAGG_RETURN_NOT_OK(ParseHaving());
+    }
+    if (lexer_.current().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input: " + lexer_.current().text);
+    }
+    STREAMAGG_RETURN_NOT_OK(ResolveOutputs());
+    return query_;
+  }
+
+ private:
+  Status Error(const std::string& message) {
+    return Status::InvalidArgument("query parse error: " + message);
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (lexer_.current().kind != TokenKind::kIdent ||
+        lexer_.current().lower != keyword) {
+      return Error("expected '" + keyword + "', found '" +
+                   lexer_.current().text + "'");
+    }
+    lexer_.Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(char symbol) {
+    if (lexer_.current().kind != TokenKind::kSymbol ||
+        lexer_.current().text[0] != symbol) {
+      return Error(std::string("expected '") + symbol + "', found '" +
+                   lexer_.current().text + "'");
+    }
+    lexer_.Advance();
+    return Status::OK();
+  }
+
+  bool AtSymbol(char symbol) const {
+    return lexer_.current().kind == TokenKind::kSymbol &&
+           lexer_.current().text[0] == symbol;
+  }
+
+  /// Optional "as IDENT"; returns the alias or "".
+  Result<std::string> ParseAlias() {
+    if (lexer_.current().kind == TokenKind::kIdent &&
+        lexer_.current().lower == "as") {
+      lexer_.Advance();
+      if (lexer_.current().kind != TokenKind::kIdent) {
+        return Error("expected alias after 'as'");
+      }
+      std::string alias = lexer_.current().text;
+      lexer_.Advance();
+      return alias;
+    }
+    return std::string();
+  }
+
+  Status ParseSelectList() {
+    while (true) {
+      STREAMAGG_RETURN_NOT_OK(ParseSelectItem());
+      if (!AtSymbol(',')) break;
+      lexer_.Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelectItem() {
+    if (lexer_.current().kind != TokenKind::kIdent) {
+      return Error("expected select item, found '" + lexer_.current().text +
+                   "'");
+    }
+    const std::string word = lexer_.current().text;
+    const std::string lower = lexer_.current().lower;
+    lexer_.Advance();
+    QueryOutput output;
+    if (lower == "count" || lower == "sum" || lower == "min" ||
+        lower == "max" || lower == "avg") {
+      if (AtSymbol('(')) {
+        lexer_.Advance();
+        if (lower == "count") {
+          STREAMAGG_RETURN_NOT_OK(ExpectSymbol('*'));
+          output.kind = QueryOutput::Kind::kCount;
+        } else {
+          if (lexer_.current().kind != TokenKind::kIdent) {
+            return Error("expected attribute inside " + lower + "()");
+          }
+          auto idx = schema_.IndexOf(lexer_.current().text);
+          if (!idx.ok()) {
+            return Error("unknown attribute '" + lexer_.current().text + "'");
+          }
+          output.attr = *idx;
+          lexer_.Advance();
+          output.kind = lower == "sum"   ? QueryOutput::Kind::kSum
+                        : lower == "min" ? QueryOutput::Kind::kMin
+                        : lower == "max" ? QueryOutput::Kind::kMax
+                                         : QueryOutput::Kind::kAvg;
+        }
+        STREAMAGG_RETURN_NOT_OK(ExpectSymbol(')'));
+        STREAMAGG_ASSIGN_OR_RETURN(std::string alias, ParseAlias());
+        output.name = alias.empty()
+                          ? lower + (output.attr >= 0
+                                         ? "_" + schema_.name(output.attr)
+                                         : "")
+                          : alias;
+        query_.outputs.push_back(output);
+        return Status::OK();
+      }
+      // Fall through: an attribute that happens to be named like a keyword.
+    }
+    auto idx = schema_.IndexOf(word);
+    if (!idx.ok()) {
+      return Error("unknown attribute '" + word + "' in select list");
+    }
+    output.kind = QueryOutput::Kind::kGroupAttr;
+    output.attr = *idx;
+    STREAMAGG_ASSIGN_OR_RETURN(std::string alias, ParseAlias());
+    output.name = alias.empty() ? word : alias;
+    query_.outputs.push_back(output);
+    return Status::OK();
+  }
+
+  Status ParseGroupList() {
+    while (true) {
+      STREAMAGG_RETURN_NOT_OK(ParseGroupItem());
+      if (!AtSymbol(',')) break;
+      lexer_.Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseGroupItem() {
+    if (lexer_.current().kind != TokenKind::kIdent) {
+      return Error("expected grouping item, found '" + lexer_.current().text +
+                   "'");
+    }
+    if (lexer_.current().lower == "time") {
+      lexer_.Advance();
+      STREAMAGG_RETURN_NOT_OK(ExpectSymbol('/'));
+      if (lexer_.current().kind != TokenKind::kNumber) {
+        return Error("expected epoch length after 'time/'");
+      }
+      const double seconds = std::strtod(lexer_.current().text.c_str(), nullptr);
+      if (seconds <= 0.0) return Error("epoch length must be positive");
+      if (query_.epoch_seconds > 0.0 && query_.epoch_seconds != seconds) {
+        return Error("conflicting time/ groupings");
+      }
+      query_.epoch_seconds = seconds;
+      lexer_.Advance();
+      STREAMAGG_RETURN_NOT_OK(ParseAlias().status());
+      return Status::OK();
+    }
+    auto idx = schema_.IndexOf(lexer_.current().text);
+    if (!idx.ok()) {
+      return Error("unknown grouping attribute '" + lexer_.current().text +
+                   "'");
+    }
+    if (query_.def.group_by.ContainsIndex(*idx)) {
+      return Error("duplicate grouping attribute '" + lexer_.current().text +
+                   "'");
+    }
+    query_.def.group_by =
+        query_.def.group_by.Union(AttributeSet::Single(*idx));
+    lexer_.Advance();
+    STREAMAGG_RETURN_NOT_OK(ParseAlias().status());
+    return Status::OK();
+  }
+
+  /// where clause: conjunction of `attr op constant` comparisons.
+  Status ParseWhere() {
+    while (true) {
+      if (lexer_.current().kind != TokenKind::kIdent) {
+        return Error("expected attribute in where clause");
+      }
+      auto idx = schema_.IndexOf(lexer_.current().text);
+      if (!idx.ok()) {
+        return Error("unknown attribute '" + lexer_.current().text +
+                     "' in where clause");
+      }
+      lexer_.Advance();
+      if (lexer_.current().kind != TokenKind::kSymbol) {
+        return Error("expected comparison operator in where clause");
+      }
+      STREAMAGG_ASSIGN_OR_RETURN(CompareOp op,
+                                 ParseCompareSymbol(lexer_.current().text));
+      lexer_.Advance();
+      if (lexer_.current().kind != TokenKind::kNumber) {
+        return Error("expected constant in where clause");
+      }
+      AttributePredicate predicate;
+      predicate.attr = *idx;
+      predicate.op = op;
+      predicate.value = static_cast<uint32_t>(
+          std::strtoull(lexer_.current().text.c_str(), nullptr, 10));
+      query_.filters.push_back(predicate);
+      lexer_.Advance();
+      if (lexer_.current().kind == TokenKind::kIdent &&
+          lexer_.current().lower == "and") {
+        lexer_.Advance();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  /// having clause: one aggregate comparison, e.g. the paper's "provided
+  /// this number of packets is more than 100".
+  Status ParseHaving() {
+    if (lexer_.current().kind != TokenKind::kIdent) {
+      return Error("expected aggregate in having clause");
+    }
+    const std::string lower = lexer_.current().lower;
+    HavingClause having;
+    if (lower == "count") {
+      having.kind = QueryOutput::Kind::kCount;
+    } else if (lower == "sum") {
+      having.kind = QueryOutput::Kind::kSum;
+    } else if (lower == "min") {
+      having.kind = QueryOutput::Kind::kMin;
+    } else if (lower == "max") {
+      having.kind = QueryOutput::Kind::kMax;
+    } else if (lower == "avg") {
+      having.kind = QueryOutput::Kind::kAvg;
+    } else {
+      return Error("expected aggregate in having clause, found '" +
+                   lexer_.current().text + "'");
+    }
+    lexer_.Advance();
+    STREAMAGG_RETURN_NOT_OK(ExpectSymbol('('));
+    if (having.kind == QueryOutput::Kind::kCount) {
+      STREAMAGG_RETURN_NOT_OK(ExpectSymbol('*'));
+    } else {
+      if (lexer_.current().kind != TokenKind::kIdent) {
+        return Error("expected attribute inside having aggregate");
+      }
+      auto idx = schema_.IndexOf(lexer_.current().text);
+      if (!idx.ok()) {
+        return Error("unknown attribute '" + lexer_.current().text +
+                     "' in having clause");
+      }
+      having.attr = *idx;
+      lexer_.Advance();
+    }
+    STREAMAGG_RETURN_NOT_OK(ExpectSymbol(')'));
+    if (lexer_.current().kind != TokenKind::kSymbol) {
+      return Error("expected comparison operator in having clause");
+    }
+    STREAMAGG_ASSIGN_OR_RETURN(CompareOp op,
+                               ParseCompareSymbol(lexer_.current().text));
+    having.op = op;
+    lexer_.Advance();
+    if (lexer_.current().kind != TokenKind::kNumber) {
+      return Error("expected constant in having clause");
+    }
+    having.value = std::strtod(lexer_.current().text.c_str(), nullptr);
+    lexer_.Advance();
+    query_.having = having;
+    return Status::OK();
+  }
+
+  /// Validates select items against the grouping and derives the metric
+  /// list (avg -> sum; duplicates folded).
+  Status ResolveOutputs() {
+    if (query_.def.group_by.empty()) {
+      return Error("at least one grouping attribute is required");
+    }
+    if (query_.outputs.empty()) return Error("empty select list");
+    // Metrics demanded by the having clause.
+    if (query_.having.has_value() &&
+        query_.having->kind != QueryOutput::Kind::kCount) {
+      AggregateOp op = AggregateOp::kSum;
+      if (query_.having->kind == QueryOutput::Kind::kMin) {
+        op = AggregateOp::kMin;
+      } else if (query_.having->kind == QueryOutput::Kind::kMax) {
+        op = AggregateOp::kMax;
+      }
+      auto merged = UnionMetrics(
+          query_.def.metrics,
+          {MetricSpec{op, static_cast<uint8_t>(query_.having->attr)}});
+      STREAMAGG_RETURN_NOT_OK(merged.status());
+      query_.def.metrics = std::move(*merged);
+    }
+    for (const QueryOutput& out : query_.outputs) {
+      switch (out.kind) {
+        case QueryOutput::Kind::kGroupAttr:
+          if (!query_.def.group_by.ContainsIndex(out.attr)) {
+            return Error("select item '" + schema_.name(out.attr) +
+                         "' is not a grouping attribute");
+          }
+          break;
+        case QueryOutput::Kind::kCount:
+          break;
+        case QueryOutput::Kind::kSum:
+        case QueryOutput::Kind::kAvg: {
+          auto merged = UnionMetrics(
+              query_.def.metrics,
+              {MetricSpec{AggregateOp::kSum, static_cast<uint8_t>(out.attr)}});
+          STREAMAGG_RETURN_NOT_OK(merged.status());
+          query_.def.metrics = std::move(*merged);
+          break;
+        }
+        case QueryOutput::Kind::kMin:
+        case QueryOutput::Kind::kMax: {
+          const AggregateOp op = out.kind == QueryOutput::Kind::kMin
+                                     ? AggregateOp::kMin
+                                     : AggregateOp::kMax;
+          auto merged = UnionMetrics(
+              query_.def.metrics,
+              {MetricSpec{op, static_cast<uint8_t>(out.attr)}});
+          STREAMAGG_RETURN_NOT_OK(merged.status());
+          query_.def.metrics = std::move(*merged);
+          break;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  const Schema& schema_;
+  Lexer lexer_;
+  ParsedQuery query_;
+};
+
+/// Index of the metric a select item reads, within the query's metric list.
+int MetricIndexFor(const QueryDef& def, AggregateOp op, int attr) {
+  const MetricSpec target{op, static_cast<uint8_t>(attr)};
+  for (size_t i = 0; i < def.metrics.size(); ++i) {
+    if (def.metrics[i] == target) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+double ParsedQuery::OutputValue(size_t i, const GroupKey& key,
+                                const AggregateState& state) const {
+  const QueryOutput& out = outputs[i];
+  switch (out.kind) {
+    case QueryOutput::Kind::kGroupAttr: {
+      // Position of the attribute within the (sorted) group key.
+      int pos = 0;
+      for (int idx : def.group_by.Indices()) {
+        if (idx == out.attr) return static_cast<double>(key.values[pos]);
+        ++pos;
+      }
+      return 0.0;
+    }
+    case QueryOutput::Kind::kCount:
+      return static_cast<double>(state.count);
+    case QueryOutput::Kind::kSum:
+    case QueryOutput::Kind::kAvg: {
+      const int m = MetricIndexFor(def, AggregateOp::kSum, out.attr);
+      if (m < 0) return 0.0;
+      const double sum = static_cast<double>(state.metrics[m]);
+      return out.kind == QueryOutput::Kind::kSum
+                 ? sum
+                 : sum / static_cast<double>(state.count);
+    }
+    case QueryOutput::Kind::kMin: {
+      const int m = MetricIndexFor(def, AggregateOp::kMin, out.attr);
+      return m < 0 ? 0.0 : static_cast<double>(state.metrics[m]);
+    }
+    case QueryOutput::Kind::kMax: {
+      const int m = MetricIndexFor(def, AggregateOp::kMax, out.attr);
+      return m < 0 ? 0.0 : static_cast<double>(state.metrics[m]);
+    }
+  }
+  return 0.0;
+}
+
+bool Compare(double lhs, CompareOp op, double rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+bool ParsedQuery::RecordPasses(const Record& record) const {
+  for (const AttributePredicate& predicate : filters) {
+    if (!predicate.Matches(record)) return false;
+  }
+  return true;
+}
+
+bool ParsedQuery::HavingSatisfied(const GroupKey& key,
+                                  const AggregateState& state) const {
+  if (!having.has_value()) return true;
+  double value = 0.0;
+  switch (having->kind) {
+    case QueryOutput::Kind::kCount:
+      value = static_cast<double>(state.count);
+      break;
+    case QueryOutput::Kind::kSum:
+    case QueryOutput::Kind::kAvg: {
+      const int m = MetricIndexFor(def, AggregateOp::kSum, having->attr);
+      if (m < 0) return true;
+      value = static_cast<double>(state.metrics[m]);
+      if (having->kind == QueryOutput::Kind::kAvg) {
+        value /= static_cast<double>(state.count);
+      }
+      break;
+    }
+    case QueryOutput::Kind::kMin: {
+      const int m = MetricIndexFor(def, AggregateOp::kMin, having->attr);
+      if (m < 0) return true;
+      value = static_cast<double>(state.metrics[m]);
+      break;
+    }
+    case QueryOutput::Kind::kMax: {
+      const int m = MetricIndexFor(def, AggregateOp::kMax, having->attr);
+      if (m < 0) return true;
+      value = static_cast<double>(state.metrics[m]);
+      break;
+    }
+    case QueryOutput::Kind::kGroupAttr:
+      return true;
+  }
+  (void)key;
+  return Compare(value, having->op, having->value);
+}
+
+Result<ParsedQuery> ParseQuery(const Schema& schema, const std::string& text) {
+  QueryParser parser(schema, text);
+  return parser.Run();
+}
+
+Result<std::vector<ParsedQuery>> ParseQuerySet(
+    const Schema& schema, const std::vector<std::string>& texts) {
+  if (texts.empty()) return Status::InvalidArgument("empty query set");
+  std::vector<ParsedQuery> out;
+  for (const std::string& text : texts) {
+    STREAMAGG_ASSIGN_OR_RETURN(ParsedQuery q, ParseQuery(schema, text));
+    if (!out.empty()) {
+      if (q.relation != out.front().relation) {
+        return Status::InvalidArgument(
+            "queries read different relations: " + out.front().relation +
+            " vs " + q.relation);
+      }
+      if (q.epoch_seconds != out.front().epoch_seconds) {
+        return Status::InvalidArgument(
+            "queries disagree on the epoch (time/N) specification");
+      }
+      if (!(q.filters == out.front().filters)) {
+        return Status::InvalidArgument(
+            "queries must share the same where clause (phantom sharing "
+            "requires one record filter upstream of all queries)");
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace streamagg

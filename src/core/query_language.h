@@ -1,0 +1,108 @@
+#ifndef STREAMAGG_CORE_QUERY_LANGUAGE_H_
+#define STREAMAGG_CORE_QUERY_LANGUAGE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/configuration.h"
+#include "stream/schema.h"
+#include "util/status.h"
+
+namespace streamagg {
+
+/// Comparison operators of where/having clauses.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Evaluates `lhs op rhs`.
+bool Compare(double lhs, CompareOp op, double rhs);
+
+/// A record-level filter: `attr op constant` (the F of the LFTA's
+/// "Filter, Transform, Aggregate"). Conjunctions only.
+struct AttributePredicate {
+  int attr = 0;
+  CompareOp op = CompareOp::kEq;
+  uint32_t value = 0;
+
+  bool Matches(const Record& record) const {
+    return Compare(static_cast<double>(record.values[attr]), op,
+                   static_cast<double>(value));
+  }
+  bool operator==(const AttributePredicate& o) const {
+    return attr == o.attr && op == o.op && value == o.value;
+  }
+};
+
+/// A parsed select-list item of a stream aggregation query.
+struct QueryOutput {
+  enum class Kind {
+    kGroupAttr,  ///< A grouping attribute echoed in the output.
+    kCount,      ///< count(*).
+    kSum,        ///< sum(attr).
+    kMin,        ///< min(attr).
+    kMax,        ///< max(attr).
+    kAvg,        ///< avg(attr) — computed at the HFTA as sum/count.
+  };
+  Kind kind = Kind::kCount;
+  int attr = -1;     ///< Schema attribute index (kGroupAttr and aggregates).
+  std::string name;  ///< Output column name ("as" alias or derived).
+};
+
+/// A result-level filter on an aggregate, e.g. the paper's "provided this
+/// number of packets is more than 100": `having count(*) > 100`.
+struct HavingClause {
+  QueryOutput::Kind kind = QueryOutput::Kind::kCount;
+  int attr = -1;
+  CompareOp op = CompareOp::kGt;
+  double value = 0.0;
+};
+
+/// A parsed aggregation query in the paper's GSQL-like syntax (Section 2.2):
+///
+///   select A, tb, count(*) as cnt
+///   from R
+///   group by A, time/60 as tb
+///
+/// Grouping on `time/N` defines the epoch; other grouping items must be
+/// schema attributes. Supported aggregates: count(*), sum(x), min(x),
+/// max(x), avg(x) (avg is rewritten to a sum metric and divided by the
+/// count at result time).
+struct ParsedQuery {
+  QueryDef def;                ///< Grouping attributes + required metrics.
+  double epoch_seconds = 0.0;  ///< From time/N; 0 when absent.
+  std::vector<QueryOutput> outputs;
+  std::string relation;  ///< The from-clause name (informational).
+  /// Record-level conjunction from the where clause (empty = pass all).
+  std::vector<AttributePredicate> filters;
+  /// Optional result-level condition from the having clause.
+  std::optional<HavingClause> having;
+
+  /// Value of output column `i` for a result row. kGroupAttr outputs read
+  /// the key; aggregates read the state (avg divides sum by count).
+  double OutputValue(size_t i, const GroupKey& key,
+                     const AggregateState& state) const;
+
+  /// True when `record` passes every where-clause predicate.
+  bool RecordPasses(const Record& record) const;
+
+  /// True when a result row passes the having clause (always true when
+  /// there is none).
+  bool HavingSatisfied(const GroupKey& key, const AggregateState& state) const;
+};
+
+/// Parses one query. Keywords are case-insensitive; attribute names are
+/// resolved against `schema`.
+Result<ParsedQuery> ParseQuery(const Schema& schema, const std::string& text);
+
+/// Parses a query set, validating that all queries agree on the epoch
+/// (the paper processes one epoch per configuration), read the same
+/// relation, and share the same where clause (phantom sharing requires the
+/// same record filter upstream of every query; the paper's queries differ
+/// *only* in grouping attributes). Returns the parsed queries; collect
+/// their `def`s for the optimizer.
+Result<std::vector<ParsedQuery>> ParseQuerySet(
+    const Schema& schema, const std::vector<std::string>& texts);
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_CORE_QUERY_LANGUAGE_H_

@@ -1,0 +1,3 @@
+#include "core/relation.h"
+
+// Relation is a plain aggregate; this file anchors the build target.

@@ -1,0 +1,31 @@
+#ifndef STREAMAGG_CORE_RELATION_H_
+#define STREAMAGG_CORE_RELATION_H_
+
+#include <cstdint>
+
+#include "stream/attribute_set.h"
+
+namespace streamagg {
+
+/// Metadata of one relation (query or phantom) used by the cost model:
+/// the attribute set, its number of groups `g`, and its average flow
+/// length `l` (paper Sections 3-5). Entry size follows the paper's 4-byte
+/// accounting: one word per attribute plus one word for the counter.
+struct Relation {
+  AttributeSet attrs;
+  uint64_t group_count = 0;
+  double avg_flow_length = 1.0;
+
+  /// Hash-bucket entry size h in 4-byte words (paper Section 5.3).
+  int entry_words() const { return attrs.Count() + 1; }
+
+  /// The "effective" weight g*h/l that the analytic space-allocation results
+  /// are expressed in after the Section 5.3 refinements.
+  double EffectiveWeight() const {
+    return static_cast<double>(group_count) * entry_words() / avg_flow_length;
+  }
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_CORE_RELATION_H_

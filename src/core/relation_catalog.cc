@@ -1,0 +1,88 @@
+#include "core/relation_catalog.h"
+
+#include <algorithm>
+
+#include "core/feeding_graph.h"
+
+namespace streamagg {
+
+RelationCatalog RelationCatalog::FromTrace(TraceStats* stats, bool clustered) {
+  RelationCatalog catalog;
+  catalog.stats_ = stats;
+  catalog.clustered_ = clustered;
+  catalog.schema_ = std::make_shared<const Schema>(stats->trace().schema());
+  return catalog;
+}
+
+Result<RelationCatalog> RelationCatalog::Synthetic(
+    const Schema& schema, std::map<uint32_t, uint64_t> group_counts,
+    double flow_length) {
+  if (flow_length < 1.0) {
+    return Status::InvalidArgument("flow_length must be >= 1");
+  }
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    if (group_counts.find(AttributeSet::Single(i).mask()) ==
+        group_counts.end()) {
+      return Status::InvalidArgument(
+          "synthetic catalog needs a group count for every single attribute "
+          "(missing " +
+          schema.name(i) + ")");
+    }
+  }
+  for (const auto& [mask, count] : group_counts) {
+    if (count == 0) return Status::InvalidArgument("zero group count");
+    if (!AttributeSet(mask).IsSubsetOf(schema.AllAttributes())) {
+      return Status::InvalidArgument("group count for set outside schema");
+    }
+  }
+  RelationCatalog catalog;
+  catalog.synthetic_counts_ = std::move(group_counts);
+  catalog.synthetic_flow_length_ = flow_length;
+  catalog.schema_ = std::make_shared<const Schema>(schema);
+  return catalog;
+}
+
+uint64_t RelationCatalog::GroupCount(AttributeSet attrs) const {
+  if (stats_ != nullptr) return stats_->GroupCount(attrs);
+  auto it = synthetic_counts_.find(attrs.mask());
+  if (it != synthetic_counts_.end()) return it->second;
+  // Independence estimate: product of the singleton counts, capped by the
+  // count of any declared superset.
+  long double product = 1.0L;
+  for (int i : attrs.Indices()) {
+    product *= static_cast<long double>(
+        synthetic_counts_.at(AttributeSet::Single(i).mask()));
+  }
+  uint64_t cap = UINT64_MAX;
+  for (const auto& [mask, count] : synthetic_counts_) {
+    if (attrs.IsSubsetOf(AttributeSet(mask))) cap = std::min(cap, count);
+  }
+  const long double capped = std::min(product, static_cast<long double>(cap));
+  return static_cast<uint64_t>(std::max(1.0L, capped));
+}
+
+double RelationCatalog::FlowLength(AttributeSet attrs) const {
+  if (stats_ != nullptr) {
+    return clustered_ ? stats_->AvgFlowLength(attrs) : 1.0;
+  }
+  return synthetic_flow_length_;
+}
+
+void RelationCatalog::Prewarm(const std::vector<AttributeSet>& queries) const {
+  auto graph = FeedingGraph::Build(*schema_, queries);
+  if (!graph.ok()) return;
+  for (AttributeSet relation : graph->AllRelations()) {
+    GroupCount(relation);
+    FlowLength(relation);
+  }
+}
+
+Relation RelationCatalog::Get(AttributeSet attrs) const {
+  Relation r;
+  r.attrs = attrs;
+  r.group_count = GroupCount(attrs);
+  r.avg_flow_length = FlowLength(attrs);
+  return r;
+}
+
+}  // namespace streamagg

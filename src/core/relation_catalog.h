@@ -1,0 +1,66 @@
+#ifndef STREAMAGG_CORE_RELATION_CATALOG_H_
+#define STREAMAGG_CORE_RELATION_CATALOG_H_
+
+#include <map>
+#include <memory>
+
+#include "core/relation.h"
+#include "stream/schema.h"
+#include "stream/trace_stats.h"
+#include "util/status.h"
+
+namespace streamagg {
+
+/// Supplies the per-relation statistics (group count g, average flow length
+/// l) that the collision and cost models consume, for *any* attribute set —
+/// the optimizer asks about phantoms that are not user queries. Two backends:
+///
+///  * FromTrace: measures statistics from a trace (the paper derives g and
+///    flow lengths from the observed stream, Sections 4.3 and 6).
+///  * Synthetic: explicit group counts for declared sets; undeclared sets
+///    fall back to the independence estimate min(prod of per-attribute
+///    counts, g of the full attribute set), handy for unit tests and for
+///    what-if analyses without data.
+class RelationCatalog {
+ public:
+  /// Measures from trace statistics. `stats` must outlive the catalog.
+  /// `clustered` enables flow-length estimation; pass false for data known
+  /// to be unclustered (saves the estimation pass, l = 1).
+  static RelationCatalog FromTrace(TraceStats* stats, bool clustered = true);
+
+  /// Builds from explicit per-set group counts (keys are AttributeSet
+  /// masks). Every singleton attribute of the schema must be present or
+  /// derivable. `flow_length` applies to all sets.
+  static Result<RelationCatalog> Synthetic(
+      const Schema& schema, std::map<uint32_t, uint64_t> group_counts,
+      double flow_length = 1.0);
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Full relation metadata for `attrs`.
+  Relation Get(AttributeSet attrs) const;
+
+  uint64_t GroupCount(AttributeSet attrs) const;
+  double FlowLength(AttributeSet attrs) const;
+
+  /// Forces measurement of g and l for every relation in the feeding graph
+  /// of `queries` (queries plus all candidate phantoms). Trace-backed
+  /// statistics are collected lazily; prewarming separates the one-off
+  /// statistics pass from optimization proper — the paper's sub-millisecond
+  /// claim (Section 6.3.4) assumes statistics are already maintained.
+  void Prewarm(const std::vector<AttributeSet>& queries) const;
+
+ private:
+  RelationCatalog() = default;
+
+  // Exactly one backend is active.
+  TraceStats* stats_ = nullptr;  // Not owned.
+  bool clustered_ = true;
+  std::map<uint32_t, uint64_t> synthetic_counts_;
+  double synthetic_flow_length_ = 1.0;
+  std::shared_ptr<const Schema> schema_;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_CORE_RELATION_CATALOG_H_

@@ -1,0 +1,432 @@
+#include "core/space_allocation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+namespace streamagg {
+
+const char* AllocationSchemeName(AllocationScheme scheme) {
+  switch (scheme) {
+    case AllocationScheme::kSL:
+      return "SL";
+    case AllocationScheme::kSR:
+      return "SR";
+    case AllocationScheme::kPL:
+      return "PL";
+    case AllocationScheme::kPR:
+      return "PR";
+    case AllocationScheme::kES:
+      return "ES";
+  }
+  return "?";
+}
+
+double SpaceAllocator::NodeWeight(const Configuration& config, int node) const {
+  // Effective weight g*h/l (paper Section 5.3), with the entry size h taken
+  // from the configuration so that maintained metrics are accounted for.
+  const Relation rel = cost_model_->catalog().Get(config.node(node).attrs);
+  return static_cast<double>(rel.group_count) * config.EntryWords(node) /
+         rel.avg_flow_length;
+}
+
+std::vector<double> SpaceAllocator::SqrtProportionalWords(
+    const std::vector<double>& weights, double memory_words) {
+  double total = 0.0;
+  for (double w : weights) total += std::sqrt(std::max(w, 0.0));
+  std::vector<double> out(weights.size(), 0.0);
+  if (total <= 0.0) {
+    for (double& w : out) w = memory_words / static_cast<double>(out.size());
+    return out;
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    out[i] = memory_words * std::sqrt(std::max(weights[i], 0.0)) / total;
+  }
+  return out;
+}
+
+std::vector<double> SpaceAllocator::TwoLevelOptimalWords(
+    const std::vector<double>& child_weights, double memory_words) const {
+  const double f = static_cast<double>(child_weights.size());
+  const double mu = options_.mu;
+  const double c1 = cost_model_->params().c1;
+  const double c2 = cost_model_->params().c2;
+  double s = 0.0;  // sum of sqrt(G_j)
+  for (double g : child_weights) s += std::sqrt(std::max(g, 0.0));
+  std::vector<double> out(child_weights.size() + 1, 0.0);
+  if (s <= 0.0) {
+    out[0] = memory_words;
+    return out;
+  }
+  // Equation 19 analog: mu c2 M lambda^2 - 2 mu c2 S lambda - f c1 = 0.
+  const double a = mu * c2 * memory_words;
+  const double bq = -2.0 * mu * c2 * s;
+  const double cq = -f * c1;
+  const double lambda = (-bq + std::sqrt(bq * bq - 4.0 * a * cq)) / (2.0 * a);
+  double children_total = 0.0;
+  for (size_t i = 0; i < child_weights.size(); ++i) {
+    out[i + 1] = std::sqrt(std::max(child_weights[i], 0.0)) / lambda;
+    children_total += out[i + 1];
+  }
+  out[0] = memory_words - children_total;  // > M/2 (paper Section 5.1).
+  return out;
+}
+
+std::vector<double> SpaceAllocator::SupernodeWords(const Configuration& config,
+                                                   double memory_words,
+                                                   bool linear_combination) const {
+  const int n = config.num_nodes();
+  // Post-order effective weights: a leaf's is its own weight; an internal
+  // node folds its children in, linearly (SL) or by square roots (SR).
+  std::vector<double> eff(n, 0.0);
+  for (int i = n - 1; i >= 0; --i) {  // Children have larger indices.
+    const Configuration::Node& node = config.node(i);
+    const double own = NodeWeight(config, i);
+    if (node.children.empty()) {
+      eff[i] = own;
+    } else if (linear_combination) {
+      double sum = own;
+      for (int c : node.children) sum += eff[c];
+      eff[i] = sum;
+    } else {
+      double sum = std::sqrt(std::max(own, 0.0));
+      for (int c : node.children) sum += std::sqrt(std::max(eff[c], 0.0));
+      eff[i] = sum * sum;
+    }
+  }
+  // Top level: the roots form an "all queries" configuration over their
+  // effective weights; allocate optimally (proportional to square roots).
+  std::vector<int> roots = config.RawRelations();
+  std::vector<double> root_weights;
+  root_weights.reserve(roots.size());
+  for (int r : roots) root_weights.push_back(eff[r]);
+  const std::vector<double> root_words =
+      SqrtProportionalWords(root_weights, memory_words);
+
+  // Decompose supernodes top-down with the two-level optimal split.
+  std::vector<double> words(n, 0.0);
+  std::function<void(int, double)> decompose = [&](int idx, double budget) {
+    const Configuration::Node& node = config.node(idx);
+    if (node.children.empty()) {
+      words[idx] = budget;
+      return;
+    }
+    std::vector<double> child_weights;
+    child_weights.reserve(node.children.size());
+    for (int c : node.children) child_weights.push_back(eff[c]);
+    const std::vector<double> split =
+        TwoLevelOptimalWords(child_weights, budget);
+    words[idx] = split[0];
+    for (size_t k = 0; k < node.children.size(); ++k) {
+      decompose(node.children[k], split[k + 1]);
+    }
+  };
+  for (size_t r = 0; r < roots.size(); ++r) decompose(roots[r], root_words[r]);
+  return words;
+}
+
+std::vector<double> SpaceAllocator::ProportionalWords(
+    const Configuration& config, double memory_words, bool sqrt_weights) const {
+  const int n = config.num_nodes();
+  std::vector<double> share(n, 0.0);
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    // PL/PR are the paper's naive baselines: they look only at the group
+    // count, ignoring entry size and flow length.
+    const double g = static_cast<double>(
+        cost_model_->catalog().GroupCount(config.node(i).attrs));
+    share[i] = sqrt_weights ? std::sqrt(g) : g;
+    total += share[i];
+  }
+  std::vector<double> words(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    words[i] = total > 0.0 ? memory_words * share[i] / total
+                           : memory_words / n;
+  }
+  return words;
+}
+
+Result<std::vector<double>> SpaceAllocator::WordsToBuckets(
+    const Configuration& config, std::vector<double> words,
+    double memory_words) const {
+  const int n = config.num_nodes();
+  std::vector<double> entry(n, 0.0);
+  double min_total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    entry[i] = static_cast<double>(config.EntryWords(i));
+    min_total += entry[i];
+  }
+  if (min_total > memory_words) {
+    return Status::ResourceExhausted(
+        "memory too small for one bucket per relation");
+  }
+  // Normalize so the budget is used exactly (schemes and grid rounding may
+  // land slightly off M).
+  double sum = 0.0;
+  for (double w : words) sum += std::max(w, 0.0);
+  if (sum > 0.0) {
+    const double scale = memory_words / sum;
+    for (double& w : words) w = std::max(w, 0.0) * scale;
+  } else {
+    for (int i = 0; i < n; ++i) words[i] = memory_words / n;
+  }
+  // Raise undersized tables to one bucket, shaving the excess from the
+  // others proportionally.
+  for (int round = 0; round < n; ++round) {
+    double deficit = 0.0;
+    double shrinkable = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (words[i] < entry[i]) {
+        deficit += entry[i] - words[i];
+      } else {
+        shrinkable += words[i] - entry[i];
+      }
+    }
+    if (deficit <= 0.0) break;
+    const double scale = (shrinkable - deficit) / shrinkable;
+    for (int i = 0; i < n; ++i) {
+      if (words[i] < entry[i]) {
+        words[i] = entry[i];
+      } else {
+        words[i] = entry[i] + (words[i] - entry[i]) * scale;
+      }
+    }
+  }
+  std::vector<double> buckets(n, 0.0);
+  for (int i = 0; i < n; ++i) buckets[i] = words[i] / entry[i];
+  return buckets;
+}
+
+Result<std::vector<double>> SpaceAllocator::Allocate(
+    const Configuration& config, double memory_words,
+    AllocationScheme scheme) const {
+  if (config.num_nodes() == 0) {
+    return Status::InvalidArgument("empty configuration");
+  }
+  if (memory_words <= 0.0) {
+    return Status::InvalidArgument("memory must be positive");
+  }
+  switch (scheme) {
+    case AllocationScheme::kSL:
+      return WordsToBuckets(config,
+                            SupernodeWords(config, memory_words, true),
+                            memory_words);
+    case AllocationScheme::kSR:
+      return WordsToBuckets(config,
+                            SupernodeWords(config, memory_words, false),
+                            memory_words);
+    case AllocationScheme::kPL:
+      return WordsToBuckets(config,
+                            ProportionalWords(config, memory_words, false),
+                            memory_words);
+    case AllocationScheme::kPR:
+      return WordsToBuckets(config,
+                            ProportionalWords(config, memory_words, true),
+                            memory_words);
+    case AllocationScheme::kES:
+      return ExhaustiveWords(config, memory_words);
+  }
+  return Status::InvalidArgument("unknown allocation scheme");
+}
+
+Result<double> SpaceAllocator::AllocateAndCost(const Configuration& config,
+                                               double memory_words,
+                                               AllocationScheme scheme) const {
+  STREAMAGG_ASSIGN_OR_RETURN(std::vector<double> buckets,
+                             Allocate(config, memory_words, scheme));
+  return cost_model_->PerRecordCost(config, buckets);
+}
+
+namespace {
+
+/// State for the grid search: integer units per node, each >= its minimum.
+struct GridSearch {
+  const Configuration* config;
+  const CostModel* cost_model;
+  double unit_words = 0.0;
+  std::vector<double> entry_words;
+  std::vector<int> min_units;
+
+  double Evaluate(const std::vector<int>& units,
+                  std::vector<double>* scratch) const {
+    std::vector<double>& buckets = *scratch;
+    for (size_t i = 0; i < units.size(); ++i) {
+      buckets[i] = units[i] * unit_words / entry_words[i];
+    }
+    return cost_model->PerRecordCost(*config, buckets);
+  }
+};
+
+/// Steepest-descent over single-unit moves until no move improves.
+void HillClimb(const GridSearch& grid, std::vector<int>* units, double* cost) {
+  const size_t n = units->size();
+  std::vector<double> scratch(n, 0.0);
+  bool improved = true;
+  int guard = 0;
+  const int kMaxIterations = 200000;
+  while (improved && guard++ < kMaxIterations) {
+    improved = false;
+    double best_cost = *cost;
+    int best_from = -1;
+    int best_to = -1;
+    for (size_t from = 0; from < n; ++from) {
+      if ((*units)[from] <= grid.min_units[from]) continue;
+      --(*units)[from];
+      for (size_t to = 0; to < n; ++to) {
+        if (to == from) continue;
+        ++(*units)[to];
+        const double c = grid.Evaluate(*units, &scratch);
+        if (c < best_cost - 1e-15) {
+          best_cost = c;
+          best_from = static_cast<int>(from);
+          best_to = static_cast<int>(to);
+        }
+        --(*units)[to];
+      }
+      ++(*units)[from];
+    }
+    if (best_from >= 0) {
+      --(*units)[best_from];
+      ++(*units)[best_to];
+      *cost = best_cost;
+      improved = true;
+    }
+  }
+}
+
+/// Rounds fractional unit shares onto the grid, respecting minimums and the
+/// exact total, by largest remainder.
+std::vector<int> RoundToGrid(const std::vector<double>& words,
+                             const GridSearch& grid, int total_units) {
+  const size_t n = words.size();
+  std::vector<int> units(n, 0);
+  std::vector<std::pair<double, size_t>> remainders;
+  int used = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double exact = words[i] / grid.unit_words;
+    units[i] = std::max(grid.min_units[i], static_cast<int>(exact));
+    used += units[i];
+    remainders.emplace_back(exact - std::floor(exact), i);
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  size_t cursor = 0;
+  while (used < total_units) {
+    units[remainders[cursor % n].second] += 1;
+    ++used;
+    ++cursor;
+  }
+  // If rounding overshot (mins pushed us over), take back from the largest.
+  while (used > total_units) {
+    size_t biggest = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (units[i] - grid.min_units[i] > units[biggest] - grid.min_units[biggest]) {
+        biggest = i;
+      }
+    }
+    if (units[biggest] <= grid.min_units[biggest]) break;
+    --units[biggest];
+    --used;
+  }
+  return units;
+}
+
+}  // namespace
+
+Result<std::vector<double>> SpaceAllocator::ExhaustiveWords(
+    const Configuration& config, double memory_words) const {
+  const int n = config.num_nodes();
+  GridSearch grid;
+  grid.config = &config;
+  grid.cost_model = cost_model_;
+  grid.unit_words = memory_words / options_.es_grid;
+  grid.entry_words.resize(n);
+  grid.min_units.resize(n);
+  int min_total = 0;
+  for (int i = 0; i < n; ++i) {
+    grid.entry_words[i] = static_cast<double>(config.EntryWords(i));
+    grid.min_units[i] = std::max(
+        1, static_cast<int>(std::ceil(grid.entry_words[i] / grid.unit_words)));
+    min_total += grid.min_units[i];
+  }
+  if (min_total > options_.es_grid) {
+    return Status::ResourceExhausted(
+        "ES grid too coarse for one bucket per relation");
+  }
+
+  std::vector<int> best_units;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<double> scratch(n, 0.0);
+
+  if (n <= options_.es_exact_max_relations) {
+    // Full enumeration of compositions of the grid into n parts.
+    std::vector<int> units(n, 0);
+    std::function<void(int, int)> enumerate = [&](int idx, int remaining) {
+      if (idx == n - 1) {
+        if (remaining < grid.min_units[idx]) return;
+        units[idx] = remaining;
+        const double c = grid.Evaluate(units, &scratch);
+        if (c < best_cost) {
+          best_cost = c;
+          best_units = units;
+        }
+        return;
+      }
+      int tail_min = 0;
+      for (int j = idx + 1; j < n; ++j) tail_min += grid.min_units[j];
+      for (int u = grid.min_units[idx]; u <= remaining - tail_min; ++u) {
+        units[idx] = u;
+        enumerate(idx + 1, remaining - u);
+      }
+    };
+    enumerate(0, options_.es_grid);
+  } else {
+    // Multi-start steepest descent (see DESIGN.md: the paper's exhaustive
+    // sweep is infeasible at this size).
+    std::vector<std::vector<double>> starts;
+    starts.push_back(SupernodeWords(config, memory_words, true));
+    starts.push_back(SupernodeWords(config, memory_words, false));
+    starts.push_back(ProportionalWords(config, memory_words, false));
+    starts.push_back(ProportionalWords(config, memory_words, true));
+    starts.emplace_back(n, memory_words / n);  // Uniform.
+    for (const auto& start_words : starts) {
+      std::vector<int> units = RoundToGrid(start_words, grid, options_.es_grid);
+      double cost = grid.Evaluate(units, &scratch);
+      HillClimb(grid, &units, &cost);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_units = std::move(units);
+      }
+    }
+  }
+  if (best_units.empty()) {
+    return Status::Internal("ES search found no feasible allocation");
+  }
+
+  // Refinement at finer granularity around the coarse optimum.
+  if (options_.es_refine_grid > options_.es_grid) {
+    const int scale = options_.es_refine_grid / options_.es_grid;
+    GridSearch fine = grid;
+    fine.unit_words = memory_words / options_.es_refine_grid;
+    for (int i = 0; i < n; ++i) {
+      fine.min_units[i] = std::max(
+          1, static_cast<int>(std::ceil(fine.entry_words[i] / fine.unit_words)));
+    }
+    std::vector<int> units(n);
+    for (int i = 0; i < n; ++i) {
+      units[i] = std::max(fine.min_units[i], best_units[i] * scale);
+    }
+    double cost = fine.Evaluate(units, &scratch);
+    HillClimb(fine, &units, &cost);
+    std::vector<double> words(n);
+    for (int i = 0; i < n; ++i) words[i] = units[i] * fine.unit_words;
+    return WordsToBuckets(config, std::move(words), memory_words);
+  }
+
+  std::vector<double> words(n);
+  for (int i = 0; i < n; ++i) words[i] = best_units[i] * grid.unit_words;
+  return WordsToBuckets(config, std::move(words), memory_words);
+}
+
+}  // namespace streamagg

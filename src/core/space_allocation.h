@@ -1,0 +1,100 @@
+#ifndef STREAMAGG_CORE_SPACE_ALLOCATION_H_
+#define STREAMAGG_CORE_SPACE_ALLOCATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/cost_model.h"
+#include "util/status.h"
+
+namespace streamagg {
+
+/// Space-allocation schemes of paper Section 5.2.
+enum class AllocationScheme {
+  kSL,  ///< Supernode with Linear combination (Heuristic 1; the paper's pick).
+  kSR,  ///< Supernode with Square-Root combination (Heuristic 2).
+  kPL,  ///< Linear Proportional (Heuristic 3; naive baseline).
+  kPR,  ///< Square-root Proportional (Heuristic 4; naive baseline).
+  kES,  ///< Exhaustive Space search at 1% granularity (oracle baseline).
+};
+
+const char* AllocationSchemeName(AllocationScheme scheme);
+
+struct SpaceAllocatorOptions {
+  /// Slope of the linearized collision rate used by the analytic formulas
+  /// (paper Equation 16 with the small alpha dropped, Section 5.1).
+  double mu = 0.354;
+  /// ES grid: allocations move in units of M / es_grid (paper uses 1%).
+  int es_grid = 100;
+  /// Configurations with at most this many relations are searched
+  /// exhaustively; larger ones use multi-start steepest descent (see
+  /// DESIGN.md — the paper's full sweep is infeasible beyond ~5 relations).
+  int es_exact_max_relations = 4;
+  /// After the coarse search, ES refines at granularity M / es_refine_grid.
+  int es_refine_grid = 1000;
+};
+
+/// Splits LFTA memory among the hash tables of a configuration (paper
+/// Section 5). All sizes are in 4-byte words; results are returned as
+/// fractional bucket counts per node with sum_i buckets_i * h_i <= M.
+class SpaceAllocator {
+ public:
+  /// `cost_model` supplies c1/c2 and the collision model used by the ES
+  /// objective. Not owned; must outlive the allocator.
+  SpaceAllocator(const CostModel* cost_model, SpaceAllocatorOptions options = {})
+      : cost_model_(cost_model), options_(options) {}
+
+  /// Allocates `memory_words` across the configuration with the given
+  /// scheme. Fails when the memory cannot give every table at least one
+  /// bucket.
+  Result<std::vector<double>> Allocate(const Configuration& config,
+                                       double memory_words,
+                                       AllocationScheme scheme) const;
+
+  /// Per-record cost of the configuration under this allocator's cost
+  /// model; convenience for "allocate then evaluate" call sites.
+  Result<double> AllocateAndCost(const Configuration& config,
+                                 double memory_words,
+                                 AllocationScheme scheme) const;
+
+  /// Optimal two-level split (paper Equations 20/21 with the Section 5.3
+  /// variable-entry-size refinement): one phantom feeding f leaves with
+  /// effective weights `child_weights` (g*h/l each), total budget M words.
+  /// Returns words [w_phantom, w_child1, ..., w_childf]. The phantom always
+  /// receives more than half of M.
+  std::vector<double> TwoLevelOptimalWords(
+      const std::vector<double>& child_weights, double memory_words) const;
+
+  /// Words proportional to sqrt(weights) summing to M — optimal for
+  /// configurations with no phantoms (paper Section 5.1 / 6.2.1).
+  static std::vector<double> SqrtProportionalWords(
+      const std::vector<double>& weights, double memory_words);
+
+ private:
+  /// Per-node words for the supernode heuristics; `linear_combination`
+  /// selects SL (sum of weights) versus SR (sum of square roots).
+  std::vector<double> SupernodeWords(const Configuration& config,
+                                     double memory_words,
+                                     bool linear_combination) const;
+
+  std::vector<double> ProportionalWords(const Configuration& config,
+                                        double memory_words, bool sqrt) const;
+
+  Result<std::vector<double>> ExhaustiveWords(const Configuration& config,
+                                              double memory_words) const;
+
+  /// Clamps so every node can hold >= 1 bucket and converts words->buckets.
+  Result<std::vector<double>> WordsToBuckets(const Configuration& config,
+                                             std::vector<double> words,
+                                             double memory_words) const;
+
+  double NodeWeight(const Configuration& config, int node) const;
+
+  const CostModel* cost_model_;
+  SpaceAllocatorOptions options_;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_CORE_SPACE_ALLOCATION_H_

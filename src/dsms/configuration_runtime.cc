@@ -1,0 +1,186 @@
+#include "dsms/configuration_runtime.h"
+
+#include <cmath>
+#include <string>
+
+namespace streamagg {
+
+Result<std::unique_ptr<ConfigurationRuntime>> ConfigurationRuntime::Make(
+    const Schema& schema, std::vector<RuntimeRelationSpec> specs,
+    double epoch_seconds, uint64_t seed) {
+  if (specs.empty()) {
+    return Status::InvalidArgument("configuration has no relations");
+  }
+  int num_queries = 0;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const RuntimeRelationSpec& s = specs[i];
+    if (s.attrs.empty()) {
+      return Status::InvalidArgument("relation with empty attribute set");
+    }
+    if (!s.attrs.IsSubsetOf(schema.AllAttributes())) {
+      return Status::InvalidArgument("relation attributes outside schema");
+    }
+    if (s.num_buckets < 1) {
+      return Status::InvalidArgument("relation with zero buckets: " +
+                                     schema.FormatAttributeSet(s.attrs));
+    }
+    if (s.parent >= static_cast<int>(i)) {
+      return Status::InvalidArgument(
+          "specs must be ordered parents before children");
+    }
+    if (s.parent >= 0 &&
+        !s.attrs.IsProperSubsetOf(specs[s.parent].attrs)) {
+      return Status::InvalidArgument(
+          "child attributes must be a proper subset of the parent's");
+    }
+    if (s.metrics.size() > static_cast<size_t>(kMaxMetrics)) {
+      return Status::InvalidArgument("too many metrics for relation " +
+                                     schema.FormatAttributeSet(s.attrs));
+    }
+    for (const MetricSpec& m : s.metrics) {
+      if (m.attr >= schema.num_attributes()) {
+        return Status::InvalidArgument("metric attribute outside schema");
+      }
+    }
+    if (s.parent >= 0 && !MetricsSubset(s.metrics, specs[s.parent].metrics)) {
+      return Status::InvalidArgument(
+          "child metrics must be a subset of the parent's (" +
+          schema.FormatAttributeSet(s.attrs) + ")");
+    }
+    if (s.is_query) {
+      if (s.query_index < 0) {
+        return Status::InvalidArgument("query without query_index");
+      }
+      if (!MetricsSubset(s.query_metrics, s.metrics)) {
+        return Status::InvalidArgument(
+            "query metrics must be maintained by the relation (" +
+            schema.FormatAttributeSet(s.attrs) + ")");
+      }
+      ++num_queries;
+    } else if (s.query_index >= 0) {
+      return Status::InvalidArgument("phantom with query_index");
+    }
+  }
+  // query_index values must be exactly 0..num_queries-1, each once.
+  std::vector<bool> seen(static_cast<size_t>(num_queries), false);
+  for (const auto& s : specs) {
+    if (!s.is_query) continue;
+    if (s.query_index >= num_queries || seen[s.query_index]) {
+      return Status::InvalidArgument("query_index values must be a permutation");
+    }
+    seen[s.query_index] = true;
+  }
+  return std::unique_ptr<ConfigurationRuntime>(new ConfigurationRuntime(
+      schema, std::move(specs), epoch_seconds, seed, num_queries));
+}
+
+ConfigurationRuntime::ConfigurationRuntime(
+    const Schema& schema, std::vector<RuntimeRelationSpec> specs,
+    double epoch_seconds, uint64_t seed, int num_queries)
+    : schema_(schema),
+      specs_(std::move(specs)),
+      children_(specs_.size()),
+      epoch_seconds_(epoch_seconds) {
+  std::vector<std::vector<MetricSpec>> query_metrics(
+      static_cast<size_t>(num_queries));
+  tables_.reserve(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    tables_.push_back(std::make_unique<LftaHashTable>(
+        specs_[i].num_buckets, specs_[i].attrs.Count(), specs_[i].metrics,
+        seed + 0x9e3779b97f4a7c15ULL * (i + 1)));
+    if (specs_[i].parent >= 0) {
+      children_[specs_[i].parent].push_back(static_cast<int>(i));
+    } else {
+      raw_relations_.push_back(static_cast<int>(i));
+    }
+    if (specs_[i].is_query) {
+      query_metrics[specs_[i].query_index] = specs_[i].query_metrics;
+    }
+  }
+  hfta_ = std::make_unique<Hfta>(std::move(query_metrics));
+}
+
+void ConfigurationRuntime::ProbeRelation(int rel, const GroupKey& key,
+                                         const AggregateState& state,
+                                         bool flushing) {
+  if (flushing) {
+    ++counters_.flush_probes;
+  } else {
+    ++counters_.intra_probes;
+  }
+  GroupKey evicted_key;
+  AggregateState evicted_state;
+  const ProbeOutcome outcome =
+      tables_[rel]->ProbeState(key, state, &evicted_key, &evicted_state);
+  if (outcome == ProbeOutcome::kCollision) {
+    PropagateEviction(rel, evicted_key, evicted_state, flushing);
+  }
+}
+
+void ConfigurationRuntime::PropagateEviction(int rel, const GroupKey& key,
+                                             const AggregateState& state,
+                                             bool flushing) {
+  const RuntimeRelationSpec& spec = specs_[rel];
+  if (spec.is_query) {
+    hfta_->Add(spec.query_index, current_epoch_, key,
+               state.Project(spec.metrics, spec.query_metrics));
+    if (flushing) {
+      ++counters_.flush_transfers;
+    } else {
+      ++counters_.intra_transfers;
+    }
+  }
+  for (int child : children_[rel]) {
+    const GroupKey child_key =
+        GroupKey::ProjectKey(key, spec.attrs, specs_[child].attrs);
+    ProbeRelation(child, child_key,
+                  state.Project(spec.metrics, specs_[child].metrics),
+                  flushing);
+  }
+}
+
+void ConfigurationRuntime::ProcessRecord(const Record& record) {
+  if (epoch_seconds_ > 0.0) {
+    const uint64_t epoch =
+        static_cast<uint64_t>(std::floor(record.timestamp / epoch_seconds_));
+    if (saw_record_ && epoch != current_epoch_) {
+      FlushEpoch();
+      current_epoch_ = epoch;
+    } else if (!saw_record_) {
+      current_epoch_ = epoch;
+    }
+  }
+  saw_record_ = true;
+  ++counters_.records;
+  for (int raw : raw_relations_) {
+    ProbeRelation(raw, GroupKey::Project(record, specs_[raw].attrs),
+                  AggregateState::FromRecord(record, specs_[raw].metrics),
+                  /*flushing=*/false);
+  }
+}
+
+void ConfigurationRuntime::FlushEpoch() {
+  // Top-down: specs are ordered parents before children, so by the time a
+  // relation is flushed it already holds everything its ancestors pushed
+  // down during this flush (paper Section 3.2.2).
+  for (size_t rel = 0; rel < specs_.size(); ++rel) {
+    tables_[rel]->FlushState([&](const GroupKey& key,
+                                 const AggregateState& state) {
+      PropagateEviction(static_cast<int>(rel), key, state, /*flushing=*/true);
+    });
+  }
+  ++counters_.epochs_flushed;
+}
+
+void ConfigurationRuntime::ProcessTrace(const Trace& trace) {
+  for (const Record& r : trace.records()) ProcessRecord(r);
+  if (saw_record_) FlushEpoch();
+}
+
+uint64_t ConfigurationRuntime::TotalMemoryWords() const {
+  uint64_t total = 0;
+  for (const auto& t : tables_) total += t->memory_words();
+  return total;
+}
+
+}  // namespace streamagg

@@ -1,0 +1,127 @@
+#ifndef STREAMAGG_DSMS_CONFIGURATION_RUNTIME_H_
+#define STREAMAGG_DSMS_CONFIGURATION_RUNTIME_H_
+
+#include <memory>
+#include <vector>
+
+#include "dsms/hfta.h"
+#include "dsms/lfta_hash_table.h"
+#include "stream/schema.h"
+#include "stream/trace.h"
+#include "util/status.h"
+
+namespace streamagg {
+
+/// One relation (query or phantom) instantiated in the LFTA, as consumed by
+/// the runtime. Specs must be listed parents-before-children; `parent` is an
+/// index into the spec vector or -1 for raw relations (fed directly by the
+/// stream, paper Section 3.1).
+struct RuntimeRelationSpec {
+  AttributeSet attrs;
+  uint64_t num_buckets = 0;
+  /// True for user queries: evicted entries are transferred to the HFTA.
+  bool is_query = false;
+  /// Position of this query in the user's query list (used to address HFTA
+  /// results); -1 for phantoms.
+  int query_index = -1;
+  int parent = -1;
+  /// Metrics this relation maintains beyond count(*). Must be a superset of
+  /// every child's metrics (a parent's evictions feed its children).
+  std::vector<MetricSpec> metrics;
+  /// For queries: the metrics the user asked for (a sublist of `metrics`,
+  /// which may be wider when the query also feeds other relations). Evicted
+  /// states are narrowed to this list before the HFTA.
+  std::vector<MetricSpec> query_metrics;
+};
+
+/// Operation counters of a runtime execution. The paper's "actual cost"
+/// experiments (Section 6.3.2) weight these with the architecture constants:
+/// cost = (probes) * c1 + (transfers) * c2.
+struct RuntimeCounters {
+  uint64_t records = 0;          ///< Stream records processed.
+  uint64_t intra_probes = 0;     ///< Hash-table probes during the epoch (c1).
+  uint64_t intra_transfers = 0;  ///< LFTA->HFTA evictions during the epoch (c2).
+  uint64_t flush_probes = 0;     ///< Probes during end-of-epoch flushes (c1).
+  uint64_t flush_transfers = 0;  ///< Transfers during end-of-epoch flushes (c2).
+  uint64_t epochs_flushed = 0;
+
+  uint64_t total_probes() const { return intra_probes + flush_probes; }
+  uint64_t total_transfers() const { return intra_transfers + flush_transfers; }
+
+  /// Weighted intra-epoch (maintenance) cost, paper Equation 4/7 measured.
+  double IntraCost(double c1, double c2) const {
+    return static_cast<double>(intra_probes) * c1 +
+           static_cast<double>(intra_transfers) * c2;
+  }
+  /// Weighted end-of-epoch (update) cost, paper Equation 8 measured.
+  double FlushCost(double c1, double c2) const {
+    return static_cast<double>(flush_probes) * c1 +
+           static_cast<double>(flush_transfers) * c2;
+  }
+  double TotalCost(double c1, double c2) const {
+    return IntraCost(c1, c2) + FlushCost(c1, c2);
+  }
+};
+
+/// Executes a configuration of LFTA hash tables over a stream: records
+/// probe the raw relations; collisions cascade evicted entries down the
+/// feeding tree; query evictions transfer to the HFTA; epoch boundaries
+/// flush every table top-down (paper Sections 2.2-2.5, 3.2).
+class ConfigurationRuntime {
+ public:
+  /// Validates the specs (topological parent order, child attrs strictly
+  /// contained in parent attrs, queries indexed 0..n-1 exactly once) and
+  /// builds the tables. `epoch_seconds` <= 0 means a single unbounded epoch.
+  static Result<std::unique_ptr<ConfigurationRuntime>> Make(
+      const Schema& schema, std::vector<RuntimeRelationSpec> specs,
+      double epoch_seconds, uint64_t seed = 0x1f7a);
+
+  /// Feeds one record (timestamp drives epoch switching; records must arrive
+  /// in non-decreasing timestamp order).
+  void ProcessRecord(const Record& record);
+
+  /// Feeds a whole trace and flushes the final epoch.
+  void ProcessTrace(const Trace& trace);
+
+  /// Flushes all tables for the current epoch (also called automatically
+  /// when a record with a later epoch arrives and at end of ProcessTrace).
+  void FlushEpoch();
+
+  const RuntimeCounters& counters() const { return counters_; }
+  const Hfta& hfta() const { return *hfta_; }
+  int num_relations() const { return static_cast<int>(specs_.size()); }
+  const RuntimeRelationSpec& spec(int i) const { return specs_[i]; }
+  const LftaHashTable& table(int i) const { return *tables_[i]; }
+
+  /// Total LFTA memory used by all tables, in 4-byte words.
+  uint64_t TotalMemoryWords() const;
+
+ private:
+  ConfigurationRuntime(const Schema& schema,
+                       std::vector<RuntimeRelationSpec> specs,
+                       double epoch_seconds, uint64_t seed, int num_queries);
+
+  /// Probes relation `rel` with `key`/`state`; on collision propagates the
+  /// evicted entry to the HFTA (if a query) and to all children.
+  void ProbeRelation(int rel, const GroupKey& key, const AggregateState& state,
+                     bool flushing);
+
+  /// Delivers an evicted entry of relation `rel` downstream.
+  void PropagateEviction(int rel, const GroupKey& key,
+                         const AggregateState& state, bool flushing);
+
+  Schema schema_;
+  std::vector<RuntimeRelationSpec> specs_;
+  std::vector<std::unique_ptr<LftaHashTable>> tables_;
+  std::vector<std::vector<int>> children_;
+  std::vector<int> raw_relations_;
+  std::unique_ptr<Hfta> hfta_;
+  double epoch_seconds_;
+  uint64_t current_epoch_ = 0;
+  bool saw_record_ = false;
+  RuntimeCounters counters_;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_DSMS_CONFIGURATION_RUNTIME_H_

@@ -1,0 +1,40 @@
+#include "dsms/hfta.h"
+
+namespace streamagg {
+
+std::vector<uint64_t> Hfta::Epochs(int query_index) const {
+  std::vector<uint64_t> out;
+  out.reserve(per_query_[query_index].size());
+  for (const auto& [epoch, agg] : per_query_[query_index]) {
+    out.push_back(epoch);
+  }
+  return out;
+}
+
+const EpochAggregate& Hfta::Result(int query_index, uint64_t epoch) const {
+  const auto& epochs = per_query_[query_index];
+  auto it = epochs.find(epoch);
+  return it == epochs.end() ? empty_ : it->second;
+}
+
+void Hfta::MergeFrom(const Hfta& other) {
+  for (int q = 0; q < num_queries() && q < other.num_queries(); ++q) {
+    for (const auto& [epoch, groups] : other.per_query_[q]) {
+      for (const auto& [key, state] : groups) {
+        auto [it, inserted] = per_query_[q][epoch].try_emplace(key, state);
+        if (!inserted) it->second.Merge(state, metrics_[q]);
+      }
+    }
+  }
+  transfers_ += other.transfers_;
+}
+
+uint64_t Hfta::TotalCount(int query_index, uint64_t epoch) const {
+  uint64_t total = 0;
+  for (const auto& [key, state] : Result(query_index, epoch)) {
+    total += state.count;
+  }
+  return total;
+}
+
+}  // namespace streamagg

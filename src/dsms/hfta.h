@@ -1,0 +1,78 @@
+#ifndef STREAMAGG_DSMS_HFTA_H_
+#define STREAMAGG_DSMS_HFTA_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/aggregate.h"
+#include "stream/record.h"
+
+namespace streamagg {
+
+/// Per-epoch aggregation result of one query: group -> partial-free final
+/// state (count plus the query's declared metrics).
+using EpochAggregate =
+    std::unordered_map<GroupKey, AggregateState, GroupKeyHash>;
+
+/// The high-level query node (paper Section 2.1): receives partial
+/// {group, state} entries evicted from the LFTA and combines entries for the
+/// same group and epoch into the final query answers. The HFTA runs in
+/// abundant host memory, so a hash map per (query, epoch) suffices.
+class Hfta {
+ public:
+  /// Count-only queries (the paper's setting).
+  explicit Hfta(int num_queries)
+      : Hfta(std::vector<std::vector<MetricSpec>>(
+            static_cast<size_t>(num_queries))) {}
+
+  /// One metric list per query; incoming states must follow it.
+  explicit Hfta(std::vector<std::vector<MetricSpec>> per_query_metrics)
+      : metrics_(std::move(per_query_metrics)),
+        per_query_(metrics_.size()) {}
+
+  /// Accepts one evicted entry for `query_index` in `epoch`, merging it
+  /// with any partial state already held for the group. Each call models
+  /// one LFTA-to-HFTA transfer (cost c2 in the paper's model).
+  void Add(int query_index, uint64_t epoch, const GroupKey& key,
+           const AggregateState& state) {
+    auto [it, inserted] = per_query_[query_index][epoch].try_emplace(key, state);
+    if (!inserted) it->second.Merge(state, metrics_[query_index]);
+    ++transfers_;
+  }
+
+  int num_queries() const { return static_cast<int>(per_query_.size()); }
+  const std::vector<MetricSpec>& query_metrics(int query_index) const {
+    return metrics_[query_index];
+  }
+
+  /// Total number of LFTA-to-HFTA transfers observed (c2 operations).
+  uint64_t transfers() const { return transfers_; }
+
+  /// Epochs for which `query_index` received any data, in increasing order.
+  std::vector<uint64_t> Epochs(int query_index) const;
+
+  /// Final aggregate of `query_index` for `epoch` (empty if none).
+  const EpochAggregate& Result(int query_index, uint64_t epoch) const;
+
+  /// Sums counts over all groups for a query/epoch (equals the number of
+  /// records in that epoch when the pipeline is lossless).
+  uint64_t TotalCount(int query_index, uint64_t epoch) const;
+
+  /// Folds all of `other`'s results into this HFTA (same query set and
+  /// metric lists required). Used when a runtime is retired during adaptive
+  /// re-planning and its results must be preserved. Transfer counts are
+  /// accumulated as well.
+  void MergeFrom(const Hfta& other);
+
+ private:
+  std::vector<std::vector<MetricSpec>> metrics_;
+  std::vector<std::map<uint64_t, EpochAggregate>> per_query_;
+  uint64_t transfers_ = 0;
+  EpochAggregate empty_;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_DSMS_HFTA_H_

@@ -1,0 +1,151 @@
+#ifndef STREAMAGG_DSMS_LFTA_HASH_TABLE_H_
+#define STREAMAGG_DSMS_LFTA_HASH_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/aggregate.h"
+#include "stream/record.h"
+#include "util/status.h"
+
+namespace streamagg {
+
+/// Outcome of probing an LFTA hash table with a group key.
+enum class ProbeOutcome {
+  kInserted,  ///< Bucket was empty; the group was installed.
+  kUpdated,   ///< Bucket held the same group; its state was merged.
+  kCollision, ///< Bucket held a different group; it was evicted and replaced.
+};
+
+/// Gigascope-style low-level aggregation hash table (paper Section 2.2):
+/// one {group, state} entry per bucket, where the state is the running
+/// count(*) plus any additional distributive metrics (sum/min/max of an
+/// attribute). A probe either merges into the resident group, installs into
+/// an empty bucket, or *collides* — evicting the resident entry so the
+/// caller can propagate it (to the HFTA, or to fed relations when phantoms
+/// are configured).
+///
+/// Memory accounting follows the paper: each bucket stores `key_width`
+/// 4-byte attribute words, one 4-byte counter, and kMetricWords words per
+/// metric, so a table occupies
+/// num_buckets * (key_width + 1 + kMetricWords * metrics) words.
+class LftaHashTable {
+ public:
+  /// Creates a count-only table (the paper's setting).
+  LftaHashTable(uint64_t num_buckets, int key_width, uint64_t seed)
+      : LftaHashTable(num_buckets, key_width, {}, seed) {}
+
+  /// Creates a table maintaining count(*) plus `metrics`.
+  /// Requires num_buckets >= 1, 1 <= key_width <= kMaxAttributes and at
+  /// most kMaxMetrics metrics.
+  LftaHashTable(uint64_t num_buckets, int key_width,
+                std::vector<MetricSpec> metrics, uint64_t seed);
+
+  LftaHashTable(const LftaHashTable&) = delete;
+  LftaHashTable& operator=(const LftaHashTable&) = delete;
+  LftaHashTable(LftaHashTable&&) = default;
+  LftaHashTable& operator=(LftaHashTable&&) = default;
+
+  /// Probes with `key`, folding `add` into its running state (record-level
+  /// probes pass AggregateState::FromRecord or FromCount(1); probes fed by
+  /// a parent's eviction carry the evicted partial state). On kCollision
+  /// the displaced entry is written to *evicted_key / *evicted_state before
+  /// the new group is installed. `add.num_metrics` must match the table's
+  /// metric count.
+  ProbeOutcome ProbeState(const GroupKey& key, const AggregateState& add,
+                          GroupKey* evicted_key, AggregateState* evicted_state);
+
+  /// Count-only convenience for tables without metrics.
+  ProbeOutcome Probe(const GroupKey& key, uint64_t add_count,
+                     GroupKey* evicted_key, uint64_t* evicted_count);
+
+  /// Invokes fn(key, state) for every occupied bucket, then empties the
+  /// table. Used for end-of-epoch processing (paper Section 3.2.2).
+  template <typename Fn>
+  void FlushState(Fn&& fn) {
+    for (uint64_t bucket = 0; bucket < num_buckets_; ++bucket) {
+      uint32_t* slot = SlotAt(bucket);
+      if (slot[key_width_] == 0) continue;
+      GroupKey key;
+      AggregateState state;
+      LoadEntry(slot, &key, &state);
+      slot[key_width_] = 0;
+      fn(key, state);
+    }
+    occupied_ = 0;
+  }
+
+  /// Count-only flush convenience: fn(key, count).
+  template <typename Fn>
+  void Flush(Fn&& fn) {
+    FlushState([&](const GroupKey& key, const AggregateState& state) {
+      fn(key, state.count);
+    });
+  }
+
+  /// Invokes fn(key, count) for every occupied bucket without clearing.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (uint64_t bucket = 0; bucket < num_buckets_; ++bucket) {
+      const uint32_t* slot = SlotAt(bucket);
+      if (slot[key_width_] == 0) continue;
+      GroupKey key;
+      AggregateState state;
+      LoadEntry(slot, &key, &state);
+      fn(key, state.count);
+    }
+  }
+
+  uint64_t num_buckets() const { return num_buckets_; }
+  int key_width() const { return key_width_; }
+  const std::vector<MetricSpec>& metrics() const { return metrics_; }
+  int slot_words() const { return slot_words_; }
+  /// Total LFTA memory footprint in 4-byte words.
+  uint64_t memory_words() const {
+    return num_buckets_ * static_cast<uint64_t>(slot_words_);
+  }
+  uint64_t occupied_buckets() const { return occupied_; }
+
+  // Lifetime statistics (monotonic; not reset by Flush).
+  uint64_t probes() const { return probes_; }
+  uint64_t collisions() const { return collisions_; }
+  uint64_t updates() const { return updates_; }
+  /// Empirical collision rate = collisions / probes (0 when unprobed).
+  double CollisionRate() const {
+    return probes_ == 0
+               ? 0.0
+               : static_cast<double>(collisions_) / static_cast<double>(probes_);
+  }
+  void ResetStats();
+
+ private:
+  uint32_t* SlotAt(uint64_t bucket) {
+    return slots_.data() + bucket * static_cast<uint64_t>(slot_words_);
+  }
+  const uint32_t* SlotAt(uint64_t bucket) const {
+    return slots_.data() + bucket * static_cast<uint64_t>(slot_words_);
+  }
+  void LoadEntry(const uint32_t* slot, GroupKey* key,
+                 AggregateState* state) const;
+  void StoreEntry(uint32_t* slot, const GroupKey& key,
+                  const AggregateState& state);
+
+  uint64_t num_buckets_;
+  int key_width_;
+  std::vector<MetricSpec> metrics_;
+  int slot_words_;
+  uint64_t seed_;
+  /// Bucket layout: key_width attribute words, one count word (zero marks
+  /// an empty bucket; live counts are clamped to >= 1), then kMetricWords
+  /// words per metric (64-bit states split into two words).
+  std::vector<uint32_t> slots_;
+  uint64_t occupied_ = 0;
+
+  uint64_t probes_ = 0;
+  uint64_t collisions_ = 0;
+  uint64_t updates_ = 0;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_DSMS_LFTA_HASH_TABLE_H_

@@ -1,0 +1,79 @@
+#include "dsms/load_simulator.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace streamagg {
+
+Result<LoadSimulationResult> SimulateLftaLoad(
+    const Trace& trace, const std::vector<RuntimeRelationSpec>& specs,
+    const LoadSimulationOptions& options) {
+  if (options.service_rate <= 0.0) {
+    return Status::InvalidArgument("service_rate must be positive");
+  }
+  if (options.queue_capacity < 1) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  STREAMAGG_ASSIGN_OR_RETURN(
+      std::unique_ptr<ConfigurationRuntime> runtime,
+      ConfigurationRuntime::Make(trace.schema(), specs,
+                                 options.epoch_seconds));
+
+  LoadSimulationResult result;
+  result.offered = trace.size();
+
+  // Measured cost (c1/c2-weighted operations) of running one record.
+  auto serve = [&](size_t index) {
+    const RuntimeCounters before = runtime->counters();
+    runtime->ProcessRecord(trace.record(index));
+    const RuntimeCounters& after = runtime->counters();
+    const double cost =
+        (after.total_probes() - before.total_probes()) * options.c1 +
+        (after.total_transfers() - before.total_transfers()) * options.c2;
+    ++result.processed;
+    return cost / options.service_rate;  // Service time in seconds.
+  };
+
+  std::deque<size_t> queue;  // Indices of records waiting for the server.
+  double server_free = 0.0;  // Time the server finishes its current work.
+
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const double now = trace.record(i).timestamp;
+    // Let the server work off the queue up to the current arrival.
+    while (!queue.empty()) {
+      const double start =
+          std::max(server_free, trace.record(queue.front()).timestamp);
+      if (start > now) break;  // Head has not even arrived/started yet.
+      const double service = serve(queue.front());
+      queue.pop_front();
+      result.busy_seconds += service;
+      server_free = start + service;
+      if (server_free > now) break;  // Busy past the current arrival.
+    }
+    if (queue.size() >= options.queue_capacity) {
+      ++result.dropped;  // Shed: the record never reaches any table.
+    } else {
+      queue.push_back(i);
+    }
+  }
+  // Drain whatever is still queued (end of stream; no more arrivals).
+  while (!queue.empty()) {
+    const double start =
+        std::max(server_free, trace.record(queue.front()).timestamp);
+    const double service = serve(queue.front());
+    queue.pop_front();
+    result.busy_seconds += service;
+    server_free = start + service;
+  }
+  runtime->FlushEpoch();
+
+  result.drop_rate =
+      result.offered == 0
+          ? 0.0
+          : static_cast<double>(result.dropped) / result.offered;
+  const double duration = std::max(trace.duration_seconds(), 1e-9);
+  result.utilization = result.busy_seconds / duration;
+  return result;
+}
+
+}  // namespace streamagg

@@ -1,0 +1,63 @@
+#include "dsms/reference_aggregator.h"
+
+#include <cmath>
+
+namespace streamagg {
+
+std::map<uint64_t, EpochAggregate> ComputeReferenceAggregate(
+    const Trace& trace, AttributeSet group_by, double epoch_seconds,
+    const std::vector<MetricSpec>& metrics) {
+  std::map<uint64_t, EpochAggregate> out;
+  for (const Record& r : trace.records()) {
+    const uint64_t epoch =
+        epoch_seconds > 0.0
+            ? static_cast<uint64_t>(std::floor(r.timestamp / epoch_seconds))
+            : 0;
+    const AggregateState contribution = AggregateState::FromRecord(r, metrics);
+    auto [it, inserted] = out[epoch].try_emplace(
+        GroupKey::Project(r, group_by), contribution);
+    if (!inserted) it->second.Merge(contribution, metrics);
+  }
+  return out;
+}
+
+bool AggregatesEqual(const std::map<uint64_t, EpochAggregate>& expected,
+                     const Hfta& hfta, int query_index,
+                     std::string* diagnostic) {
+  for (const auto& [epoch, groups] : expected) {
+    const EpochAggregate& actual = hfta.Result(query_index, epoch);
+    if (actual.size() != groups.size()) {
+      if (diagnostic != nullptr) {
+        *diagnostic = "epoch " + std::to_string(epoch) + ": expected " +
+                      std::to_string(groups.size()) + " groups, got " +
+                      std::to_string(actual.size());
+      }
+      return false;
+    }
+    for (const auto& [key, state] : groups) {
+      auto it = actual.find(key);
+      if (it == actual.end() || !(it->second == state)) {
+        if (diagnostic != nullptr) {
+          *diagnostic = "epoch " + std::to_string(epoch) + ", group " +
+                        key.ToString() + ": expected " + state.ToString() +
+                        ", got " +
+                        (it == actual.end() ? std::string("<missing>")
+                                            : it->second.ToString());
+        }
+        return false;
+      }
+    }
+  }
+  // Also reject spurious epochs on the HFTA side.
+  for (uint64_t epoch : hfta.Epochs(query_index)) {
+    if (expected.find(epoch) == expected.end()) {
+      if (diagnostic != nullptr) {
+        *diagnostic = "unexpected epoch " + std::to_string(epoch);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace streamagg

@@ -1,0 +1,30 @@
+#ifndef STREAMAGG_DSMS_REFERENCE_AGGREGATOR_H_
+#define STREAMAGG_DSMS_REFERENCE_AGGREGATOR_H_
+
+#include <map>
+#include <string>
+
+#include "dsms/hfta.h"
+#include "stream/attribute_set.h"
+#include "stream/trace.h"
+
+namespace streamagg {
+
+/// Exact per-epoch group-by aggregates of a trace, computed directly (no
+/// LFTA). Serves as ground truth: the LFTA/HFTA pipeline must produce
+/// identical results regardless of configuration, phantom choice or space
+/// allocation — phantoms change cost, never answers. `metrics` lists the
+/// extra aggregates beyond count(*) (empty reproduces the paper's setting).
+std::map<uint64_t, EpochAggregate> ComputeReferenceAggregate(
+    const Trace& trace, AttributeSet group_by, double epoch_seconds,
+    const std::vector<MetricSpec>& metrics = {});
+
+/// True when the HFTA's results for `query_index` equal `expected` exactly
+/// (same epochs, groups, counts and metric states). On mismatch, fills
+/// *diagnostic with a short description.
+bool AggregatesEqual(const std::map<uint64_t, EpochAggregate>& expected,
+                     const Hfta& hfta, int query_index, std::string* diagnostic);
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_DSMS_REFERENCE_AGGREGATOR_H_

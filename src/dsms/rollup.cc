@@ -1,0 +1,24 @@
+#include "dsms/rollup.h"
+
+namespace streamagg {
+
+Result<EpochAggregate> Rollup(const EpochAggregate& aggregate,
+                              AttributeSet from, AttributeSet to,
+                              const std::vector<MetricSpec>& metrics) {
+  if (!to.IsSubsetOf(from)) {
+    return Status::InvalidArgument(
+        "rollup target must be a subset of the source grouping");
+  }
+  if (to.empty()) {
+    return Status::InvalidArgument("rollup target must be non-empty");
+  }
+  EpochAggregate out;
+  for (const auto& [key, state] : aggregate) {
+    const GroupKey coarse = GroupKey::ProjectKey(key, from, to);
+    auto [it, inserted] = out.try_emplace(coarse, state);
+    if (!inserted) it->second.Merge(state, metrics);
+  }
+  return out;
+}
+
+}  // namespace streamagg

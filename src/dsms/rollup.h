@@ -1,0 +1,24 @@
+#ifndef STREAMAGG_DSMS_ROLLUP_H_
+#define STREAMAGG_DSMS_ROLLUP_H_
+
+#include <vector>
+
+#include "dsms/hfta.h"
+#include "stream/attribute_set.h"
+#include "util/status.h"
+
+namespace streamagg {
+
+/// Folds a per-epoch aggregate of relation `from` onto the coarser grouping
+/// `to` (to ⊂ from), merging states per projected group. This is the HFTA
+/// counterpart of LFTA feeding: a query's results can answer any coarser
+/// ad-hoc grouping after the fact (e.g. derive per-srcIP totals from a
+/// (srcIP, dstIP) query, as the paper's alert example needs). `metrics` is
+/// the state layout of `aggregate` (the query's declared metric list).
+Result<EpochAggregate> Rollup(const EpochAggregate& aggregate,
+                              AttributeSet from, AttributeSet to,
+                              const std::vector<MetricSpec>& metrics);
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_DSMS_ROLLUP_H_

@@ -1,0 +1,46 @@
+#include "dsms/sliding_window.h"
+
+namespace streamagg {
+
+Result<SlidingWindowView> SlidingWindowView::Make(const Hfta* hfta,
+                                                  int query_index,
+                                                  int panes_per_window) {
+  if (hfta == nullptr) return Status::InvalidArgument("null hfta");
+  if (query_index < 0 || query_index >= hfta->num_queries()) {
+    return Status::InvalidArgument("query index out of range");
+  }
+  if (panes_per_window < 1) {
+    return Status::InvalidArgument("panes_per_window must be >= 1");
+  }
+  return SlidingWindowView(hfta, query_index, panes_per_window);
+}
+
+std::vector<uint64_t> SlidingWindowView::WindowEnds() const {
+  return hfta_->Epochs(query_index_);
+}
+
+EpochAggregate SlidingWindowView::WindowEndingAt(uint64_t end_pane) const {
+  EpochAggregate window;
+  const std::vector<MetricSpec>& metrics = hfta_->query_metrics(query_index_);
+  const uint64_t first_pane =
+      end_pane >= static_cast<uint64_t>(panes_per_window_ - 1)
+          ? end_pane - (panes_per_window_ - 1)
+          : 0;
+  for (uint64_t pane = first_pane; pane <= end_pane; ++pane) {
+    for (const auto& [key, state] : hfta_->Result(query_index_, pane)) {
+      auto [it, inserted] = window.try_emplace(key, state);
+      if (!inserted) it->second.Merge(state, metrics);
+    }
+  }
+  return window;
+}
+
+uint64_t SlidingWindowView::WindowTotalCount(uint64_t end_pane) const {
+  uint64_t total = 0;
+  for (const auto& [key, state] : WindowEndingAt(end_pane)) {
+    total += state.count;
+  }
+  return total;
+}
+
+}  // namespace streamagg

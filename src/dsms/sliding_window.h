@@ -1,0 +1,53 @@
+#ifndef STREAMAGG_DSMS_SLIDING_WINDOW_H_
+#define STREAMAGG_DSMS_SLIDING_WINDOW_H_
+
+#include <vector>
+
+#include "dsms/hfta.h"
+#include "util/status.h"
+
+namespace streamagg {
+
+/// Sliding-window aggregation on top of epoch (pane) results — the "panes"
+/// technique: the LFTA/HFTA pipeline aggregates tumbling panes of length p
+/// seconds; a sliding window of length k*p that advances by one pane is the
+/// merge of its k most recent panes. All supported aggregates (count, sum,
+/// min, max) are distributive, so pane merging is exact. This connects the
+/// paper's epoch-based evaluation to the sliding-window sharing literature
+/// it cites ([2, 6] in its related work).
+class SlidingWindowView {
+ public:
+  /// A view over `hfta`'s results for `query_index` with windows of
+  /// `panes_per_window` panes. The HFTA must outlive the view.
+  /// Fails if panes_per_window < 1 or the query index is out of range.
+  static Result<SlidingWindowView> Make(const Hfta* hfta, int query_index,
+                                        int panes_per_window);
+
+  int panes_per_window() const { return panes_per_window_; }
+
+  /// Pane indices that can serve as window ends (every pane with data; a
+  /// window may cover leading panes with no data, which contribute
+  /// nothing).
+  std::vector<uint64_t> WindowEnds() const;
+
+  /// The aggregate of the window covering panes
+  /// [end_pane - panes_per_window + 1, end_pane], merged per group.
+  EpochAggregate WindowEndingAt(uint64_t end_pane) const;
+
+  /// Total record count inside the window (sums group counts).
+  uint64_t WindowTotalCount(uint64_t end_pane) const;
+
+ private:
+  SlidingWindowView(const Hfta* hfta, int query_index, int panes_per_window)
+      : hfta_(hfta),
+        query_index_(query_index),
+        panes_per_window_(panes_per_window) {}
+
+  const Hfta* hfta_;
+  int query_index_;
+  int panes_per_window_;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_DSMS_SLIDING_WINDOW_H_

@@ -1,0 +1,99 @@
+#include "stream/aggregate.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace streamagg {
+
+const char* AggregateOpName(AggregateOp op) {
+  switch (op) {
+    case AggregateOp::kSum:
+      return "sum";
+    case AggregateOp::kMin:
+      return "min";
+    case AggregateOp::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+AggregateState AggregateState::FromRecord(const Record& record,
+                                          const std::vector<MetricSpec>& specs) {
+  assert(specs.size() <= kMaxMetrics);
+  AggregateState s;
+  s.count = 1;
+  s.num_metrics = static_cast<uint8_t>(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    s.metrics[i] = record.values[specs[i].attr];
+  }
+  return s;
+}
+
+void AggregateState::Merge(const AggregateState& other,
+                           const std::vector<MetricSpec>& specs) {
+  assert(other.num_metrics == num_metrics);
+  assert(specs.size() == num_metrics);
+  count += other.count;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    switch (specs[i].op) {
+      case AggregateOp::kSum:
+        metrics[i] += other.metrics[i];
+        break;
+      case AggregateOp::kMin:
+        metrics[i] = std::min(metrics[i], other.metrics[i]);
+        break;
+      case AggregateOp::kMax:
+        metrics[i] = std::max(metrics[i], other.metrics[i]);
+        break;
+    }
+  }
+}
+
+AggregateState AggregateState::Project(
+    const std::vector<MetricSpec>& from,
+    const std::vector<MetricSpec>& to) const {
+  assert(from.size() == num_metrics);
+  AggregateState out;
+  out.count = count;
+  out.num_metrics = static_cast<uint8_t>(to.size());
+  for (size_t i = 0; i < to.size(); ++i) {
+    const auto it = std::find(from.begin(), from.end(), to[i]);
+    assert(it != from.end());
+    out.metrics[i] = metrics[static_cast<size_t>(it - from.begin())];
+  }
+  return out;
+}
+
+std::string AggregateState::ToString() const {
+  std::string out = "count=" + std::to_string(count);
+  for (uint8_t i = 0; i < num_metrics; ++i) {
+    out += ",m" + std::to_string(i) + "=" + std::to_string(metrics[i]);
+  }
+  return out;
+}
+
+Result<std::vector<MetricSpec>> UnionMetrics(
+    const std::vector<MetricSpec>& a, const std::vector<MetricSpec>& b) {
+  std::vector<MetricSpec> out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (out.size() > static_cast<size_t>(kMaxMetrics)) {
+    return Status::ResourceExhausted(
+        "more than " + std::to_string(kMaxMetrics) +
+        " distinct metrics required by one relation");
+  }
+  return out;
+}
+
+bool MetricsSubset(const std::vector<MetricSpec>& needle,
+                   const std::vector<MetricSpec>& haystack) {
+  for (const MetricSpec& m : needle) {
+    if (std::find(haystack.begin(), haystack.end(), m) == haystack.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace streamagg

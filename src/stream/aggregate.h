@@ -1,0 +1,102 @@
+#ifndef STREAMAGG_STREAM_AGGREGATE_H_
+#define STREAMAGG_STREAM_AGGREGATE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/record.h"
+#include "util/status.h"
+
+namespace streamagg {
+
+/// Distributive aggregate functions beyond count(*). The paper's queries
+/// are counts, but its motivating examples include "report the average
+/// packet length" — avg is derived at the HFTA from sum and count. All ops
+/// here are distributive, so partial states evicted from LFTA tables merge
+/// associatively along the phantom feeding tree.
+enum class AggregateOp : uint8_t {
+  kSum,
+  kMin,
+  kMax,
+};
+
+const char* AggregateOpName(AggregateOp op);
+
+/// One extra aggregate maintained by a relation: op applied to a record
+/// attribute (e.g. sum of packet lengths). count(*) is always maintained
+/// and is not listed as a metric.
+struct MetricSpec {
+  AggregateOp op = AggregateOp::kSum;
+  uint8_t attr = 0;
+
+  bool operator==(const MetricSpec& o) const {
+    return op == o.op && attr == o.attr;
+  }
+  bool operator<(const MetricSpec& o) const {
+    if (op != o.op) return static_cast<int>(op) < static_cast<int>(o.op);
+    return attr < o.attr;
+  }
+};
+
+/// Maximum number of metrics per relation (inline storage everywhere).
+inline constexpr int kMaxMetrics = 4;
+
+/// Words of LFTA memory one metric occupies in a bucket. Sums need 64 bits;
+/// min/max fit the attribute width but are stored uniformly for layout
+/// simplicity.
+inline constexpr int kMetricWords = 2;
+
+/// A partial aggregate: the count plus the states of up to kMaxMetrics
+/// metrics, in the order of the owning relation's metric list. States merge
+/// associatively (sum adds, min/max fold), which is what makes the LFTA
+/// eviction cascade correct for these functions.
+struct AggregateState {
+  uint64_t count = 0;
+  std::array<uint64_t, kMaxMetrics> metrics{};
+  uint8_t num_metrics = 0;
+
+  /// The state contributed by one record under `specs`.
+  static AggregateState FromRecord(const Record& record,
+                                   const std::vector<MetricSpec>& specs);
+
+  /// A count-only state (no metrics).
+  static AggregateState FromCount(uint64_t count) {
+    AggregateState s;
+    s.count = count;
+    return s;
+  }
+
+  /// Folds `other` into this state. Both must follow the same `specs`.
+  void Merge(const AggregateState& other, const std::vector<MetricSpec>& specs);
+
+  /// Narrows this state (laid out per `from`) to the metric list `to`,
+  /// which must be a sublist of `from`. Used when a parent's eviction feeds
+  /// a child that maintains fewer metrics.
+  AggregateState Project(const std::vector<MetricSpec>& from,
+                         const std::vector<MetricSpec>& to) const;
+
+  bool operator==(const AggregateState& o) const {
+    if (count != o.count || num_metrics != o.num_metrics) return false;
+    for (uint8_t i = 0; i < num_metrics; ++i) {
+      if (metrics[i] != o.metrics[i]) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const;
+};
+
+/// Returns the sorted, deduplicated union of two metric lists. Fails if the
+/// union exceeds kMaxMetrics.
+Result<std::vector<MetricSpec>> UnionMetrics(
+    const std::vector<MetricSpec>& a, const std::vector<MetricSpec>& b);
+
+/// True when every metric of `needle` appears in `haystack`.
+bool MetricsSubset(const std::vector<MetricSpec>& needle,
+                   const std::vector<MetricSpec>& haystack);
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_STREAM_AGGREGATE_H_

@@ -1,0 +1,41 @@
+#include "stream/attribute_set.h"
+
+#include <cassert>
+
+namespace streamagg {
+
+AttributeSet AttributeSet::Single(int index) {
+  assert(index >= 0 && index < kMaxAttributes);
+  return AttributeSet(1u << index);
+}
+
+AttributeSet AttributeSet::Of(std::initializer_list<int> indices) {
+  uint32_t mask = 0;
+  for (int i : indices) {
+    assert(i >= 0 && i < kMaxAttributes);
+    mask |= 1u << i;
+  }
+  return AttributeSet(mask);
+}
+
+std::vector<int> AttributeSet::Indices() const {
+  std::vector<int> out;
+  out.reserve(Count());
+  for (int i = 0; i < kMaxAttributes; ++i) {
+    if (ContainsIndex(i)) out.push_back(i);
+  }
+  return out;
+}
+
+std::string AttributeSet::ToString() const {
+  // Default rendering assumes single-letter attribute names A, B, C, ...
+  // (the paper's convention). Schema::FormatAttributeSet handles named
+  // attributes.
+  std::string out;
+  for (int i = 0; i < kMaxAttributes; ++i) {
+    if (ContainsIndex(i)) out.push_back(static_cast<char>('A' + i));
+  }
+  return out;
+}
+
+}  // namespace streamagg

@@ -1,0 +1,78 @@
+#ifndef STREAMAGG_STREAM_ATTRIBUTE_SET_H_
+#define STREAMAGG_STREAM_ATTRIBUTE_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace streamagg {
+
+/// Maximum number of grouping attributes a stream schema may carry. The
+/// paper's workloads use 3-4 attributes; 16 leaves headroom for data-cube
+/// style query sets while keeping records inline and fixed-size.
+inline constexpr int kMaxAttributes = 16;
+
+/// A set of grouping attributes, represented as a bitmask over schema
+/// positions. Relations, queries and phantoms are all identified by their
+/// AttributeSet (paper Section 2.6: a relation such as "ABC" is the set
+/// {A, B, C}).
+class AttributeSet {
+ public:
+  /// The empty set.
+  constexpr AttributeSet() : mask_(0) {}
+
+  /// Constructs from a raw bitmask (bit i == attribute index i).
+  constexpr explicit AttributeSet(uint32_t mask) : mask_(mask) {}
+
+  /// Singleton set {index}. Requires 0 <= index < kMaxAttributes.
+  static AttributeSet Single(int index);
+
+  /// Set containing the given attribute indices.
+  static AttributeSet Of(std::initializer_list<int> indices);
+
+  uint32_t mask() const { return mask_; }
+  bool empty() const { return mask_ == 0; }
+
+  /// Number of attributes in the set.
+  int Count() const { return __builtin_popcount(mask_); }
+
+  bool ContainsIndex(int index) const { return (mask_ >> index) & 1u; }
+  bool Contains(AttributeSet other) const {
+    return (mask_ & other.mask_) == other.mask_;
+  }
+  bool IsSubsetOf(AttributeSet other) const { return other.Contains(*this); }
+  bool IsProperSubsetOf(AttributeSet other) const {
+    return IsSubsetOf(other) && mask_ != other.mask_;
+  }
+
+  AttributeSet Union(AttributeSet other) const {
+    return AttributeSet(mask_ | other.mask_);
+  }
+  AttributeSet Intersect(AttributeSet other) const {
+    return AttributeSet(mask_ & other.mask_);
+  }
+  AttributeSet Minus(AttributeSet other) const {
+    return AttributeSet(mask_ & ~other.mask_);
+  }
+
+  /// Indices of member attributes in increasing order.
+  std::vector<int> Indices() const;
+
+  /// Renders as concatenated upper-case letters ("ABC") for schemas whose
+  /// attributes are single letters; falls back to "{name1,name2}" style for
+  /// multi-character attribute names. See Schema::FormatAttributeSet.
+  std::string ToString() const;
+
+  bool operator==(const AttributeSet& o) const { return mask_ == o.mask_; }
+  bool operator!=(const AttributeSet& o) const { return mask_ != o.mask_; }
+  /// Arbitrary but deterministic total order (by mask), so sets of
+  /// AttributeSet are stable across runs.
+  bool operator<(const AttributeSet& o) const { return mask_ < o.mask_; }
+
+ private:
+  uint32_t mask_;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_STREAM_ATTRIBUTE_SET_H_

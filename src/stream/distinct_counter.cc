@@ -1,0 +1,37 @@
+#include "stream/distinct_counter.h"
+
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace streamagg {
+
+DistinctCounter::DistinctCounter(uint64_t bits, uint64_t seed)
+    : bits_((bits < 64 ? 64 : (bits + 63) / 64 * 64)), seed_(seed) {
+  bitmap_.assign(bits_ / 64, 0);
+}
+
+void DistinctCounter::Add(const GroupKey& key) {
+  const uint64_t h = HashWords(key.values.data(), key.size, seed_) % bits_;
+  bitmap_[h / 64] |= (1ULL << (h % 64));
+}
+
+uint64_t DistinctCounter::ZeroBits() const {
+  uint64_t ones = 0;
+  for (uint64_t word : bitmap_) ones += __builtin_popcountll(word);
+  return bits_ - ones;
+}
+
+uint64_t DistinctCounter::Estimate() const {
+  const uint64_t zeros = ZeroBits();
+  if (zeros == 0) return bits_;  // Saturated; report the resolvable maximum.
+  const double m = static_cast<double>(bits_);
+  const double estimate = -m * std::log(static_cast<double>(zeros) / m);
+  return static_cast<uint64_t>(std::llround(estimate));
+}
+
+void DistinctCounter::Reset() {
+  bitmap_.assign(bits_ / 64, 0);
+}
+
+}  // namespace streamagg

@@ -1,0 +1,48 @@
+#ifndef STREAMAGG_STREAM_DISTINCT_COUNTER_H_
+#define STREAMAGG_STREAM_DISTINCT_COUNTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/record.h"
+
+namespace streamagg {
+
+/// Bounded-memory distinct-count estimation by linear (bitmap) counting —
+/// the classic stream-era technique (Whang et al.): hash each key into an
+/// m-bit bitmap; with z zero bits left, the distinct count estimate is
+///   n ~= -m ln(z / m).
+/// TraceStats uses exact sets by default (fine at the paper's scale); this
+/// estimator serves long-running deployments where the optimizer's group
+/// counts must be maintained in O(m) memory per candidate relation.
+class DistinctCounter {
+ public:
+  /// `bits` is the bitmap size m; the estimate stays within a few percent
+  /// while the true count is below ~m (and degrades as the bitmap fills).
+  /// Rounded up to a multiple of 64; minimum 64.
+  explicit DistinctCounter(uint64_t bits = 1 << 14, uint64_t seed = 0xd15);
+
+  /// Adds a key occurrence (idempotent per distinct key, by construction).
+  void Add(const GroupKey& key);
+
+  /// Current estimate of the number of distinct keys added. Returns the
+  /// bitmap size when the bitmap is saturated (estimate diverges).
+  uint64_t Estimate() const;
+
+  /// Number of zero bits remaining (diagnostic; saturation indicator).
+  uint64_t ZeroBits() const;
+
+  uint64_t bits() const { return bits_; }
+
+  /// Empties the bitmap (e.g. at an epoch boundary).
+  void Reset();
+
+ private:
+  uint64_t bits_;
+  uint64_t seed_;
+  std::vector<uint64_t> bitmap_;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_STREAM_DISTINCT_COUNTER_H_

@@ -1,0 +1,47 @@
+#include "stream/flow_generator.h"
+
+namespace streamagg {
+
+Result<std::unique_ptr<FlowGenerator>> FlowGenerator::MakePaperTrace(
+    FlowGeneratorOptions options) {
+  STREAMAGG_ASSIGN_OR_RETURN(Schema schema, Schema::Default(4));
+  STREAMAGG_ASSIGN_OR_RETURN(
+      GroupUniverse universe,
+      GroupUniverse::Hierarchical(schema, {552, 1846, 2117, 2837},
+                                  options.seed));
+  return std::make_unique<FlowGenerator>(std::move(universe), options);
+}
+
+FlowGenerator::FlowGenerator(GroupUniverse universe,
+                             FlowGeneratorOptions options)
+    : universe_(std::move(universe)),
+      options_(options),
+      rng_(options.seed ^ 0xf10f10f1ULL) {
+  if (options_.concurrent_flows < 1) options_.concurrent_flows = 1;
+  if (options_.mean_flow_length < 1.0) options_.mean_flow_length = 1.0;
+  Reset();
+}
+
+void FlowGenerator::StartFlow(ActiveFlow* slot) {
+  slot->group_index = static_cast<uint32_t>(rng_.Uniform(universe_.size()));
+  slot->flow_id = next_flow_id_++;
+  slot->remaining = rng_.Geometric(options_.mean_flow_length);
+}
+
+Record FlowGenerator::Next() {
+  ActiveFlow& flow = active_[rng_.Uniform(active_.size())];
+  Record r = universe_.tuple(flow.group_index);
+  last_flow_id_ = flow.flow_id;
+  if (--flow.remaining == 0) StartFlow(&flow);
+  return r;
+}
+
+void FlowGenerator::Reset() {
+  rng_ = Random(options_.seed ^ 0xf10f10f1ULL);
+  next_flow_id_ = 1;
+  last_flow_id_ = 0;
+  active_.assign(static_cast<size_t>(options_.concurrent_flows), ActiveFlow{});
+  for (auto& flow : active_) StartFlow(&flow);
+}
+
+}  // namespace streamagg

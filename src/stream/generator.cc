@@ -1,0 +1,117 @@
+#include "stream/generator.h"
+
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace streamagg {
+
+namespace {
+
+// Packs a record's attribute values for membership testing while building
+// universes.
+struct TupleHash {
+  int width;
+  size_t operator()(const Record& r) const {
+    return static_cast<size_t>(
+        HashWords(r.values.data(), static_cast<size_t>(width), 0x7061636bULL));
+  }
+};
+
+struct TupleEq {
+  int width;
+  bool operator()(const Record& a, const Record& b) const {
+    for (int i = 0; i < width; ++i) {
+      if (a.values[i] != b.values[i]) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+Result<GroupUniverse> GroupUniverse::Uniform(
+    const Schema& schema, uint64_t num_groups,
+    std::vector<uint32_t> cardinalities, uint64_t seed) {
+  const int d = schema.num_attributes();
+  if (cardinalities.size() != static_cast<size_t>(d)) {
+    return Status::InvalidArgument("need one cardinality per attribute");
+  }
+  long double product = 1.0L;
+  for (uint32_t c : cardinalities) {
+    if (c == 0) return Status::InvalidArgument("zero attribute cardinality");
+    product *= c;
+  }
+  if (product < static_cast<long double>(num_groups) * 1.2L) {
+    return Status::InvalidArgument(
+        "attribute domains too small for requested group count");
+  }
+  Random rng(seed);
+  std::unordered_set<Record, TupleHash, TupleEq> seen(
+      /*bucket_count=*/num_groups * 2, TupleHash{d}, TupleEq{d});
+  std::vector<Record> tuples;
+  tuples.reserve(num_groups);
+  while (tuples.size() < num_groups) {
+    Record r;
+    for (int i = 0; i < d; ++i) {
+      r.values[i] = static_cast<uint32_t>(rng.Uniform(cardinalities[i]));
+    }
+    if (seen.insert(r).second) tuples.push_back(r);
+  }
+  return GroupUniverse(schema, std::move(tuples));
+}
+
+Result<GroupUniverse> GroupUniverse::Hierarchical(
+    const Schema& schema, std::vector<uint64_t> level_sizes, uint64_t seed) {
+  const int d = schema.num_attributes();
+  if (level_sizes.size() != static_cast<size_t>(d)) {
+    return Status::InvalidArgument("need one level size per attribute");
+  }
+  for (size_t i = 1; i < level_sizes.size(); ++i) {
+    if (level_sizes[i] < level_sizes[i - 1]) {
+      return Status::InvalidArgument("level sizes must be non-decreasing");
+    }
+  }
+  if (level_sizes[0] == 0) {
+    return Status::InvalidArgument("level sizes must be positive");
+  }
+  Random rng(seed);
+  // Level 0: distinct single values.
+  std::vector<Record> level;
+  {
+    std::unordered_set<uint32_t> seen;
+    while (seen.size() < level_sizes[0]) {
+      seen.insert(static_cast<uint32_t>(rng.Next64()));
+    }
+    for (uint32_t v : seen) {
+      Record r;
+      r.values[0] = v;
+      level.push_back(r);
+    }
+  }
+  // Level k: extend a random tuple of level k-1 with a fresh value for
+  // attribute k, keeping tuples distinct. Prefix projections therefore have
+  // exactly level_sizes[k-1] distinct values.
+  for (int k = 1; k < d; ++k) {
+    std::unordered_set<Record, TupleHash, TupleEq> seen(
+        level_sizes[k] * 2, TupleHash{k + 1}, TupleEq{k + 1});
+    std::vector<Record> next;
+    next.reserve(level_sizes[k]);
+    // Every prefix must appear at least once so the projection count is
+    // exact: start by extending each tuple of the previous level once.
+    for (const Record& base : level) {
+      Record r = base;
+      r.values[k] = static_cast<uint32_t>(rng.Next64());
+      if (seen.insert(r).second) next.push_back(r);
+    }
+    while (next.size() < level_sizes[k]) {
+      Record r = level[rng.Uniform(level.size())];
+      r.values[k] = static_cast<uint32_t>(rng.Next64());
+      if (seen.insert(r).second) next.push_back(r);
+    }
+    level = std::move(next);
+  }
+  return GroupUniverse(schema, std::move(level));
+}
+
+}  // namespace streamagg

@@ -1,0 +1,80 @@
+#ifndef STREAMAGG_STREAM_GENERATOR_H_
+#define STREAMAGG_STREAM_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/record.h"
+#include "stream/schema.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace streamagg {
+
+/// Produces an unbounded deterministic sequence of stream records. Concrete
+/// generators model the paper's workloads: uniform random tuples (Section
+/// 6.1 synthetic data), Zipf-skewed variants, and clustered netflow-like
+/// packet streams (the substitution for the paper's tcpdump trace).
+class RecordGenerator {
+ public:
+  virtual ~RecordGenerator() = default;
+
+  RecordGenerator(const RecordGenerator&) = delete;
+  RecordGenerator& operator=(const RecordGenerator&) = delete;
+
+  virtual const Schema& schema() const = 0;
+
+  /// Produces the next record. Timestamps are assigned by the caller (see
+  /// Trace::Generate); generators leave Record::timestamp at zero.
+  virtual Record Next() = 0;
+
+  /// Identifier of the flow the most recent record belongs to, or 0 for
+  /// generators without a flow structure. Used to build per-flow datasets
+  /// (paper Section 4.2 de-clusters real data this way).
+  virtual uint32_t last_flow_id() const { return 0; }
+
+  /// Restarts the sequence from the beginning (same seed).
+  virtual void Reset() = 0;
+
+ protected:
+  RecordGenerator() = default;
+};
+
+/// A fixed universe of distinct group tuples from which generators draw.
+/// Controlling the universe pins the exact number of groups `g` of the full
+/// relation and gives deterministic projection cardinalities — the paper
+/// calibrates its synthetic data "with the same number of groups as those
+/// encountered in real data" (Section 6.1).
+class GroupUniverse {
+ public:
+  /// Draws `num_groups` distinct tuples, each attribute uniform over
+  /// [0, cardinalities[i]). Fails if the cross-product is too small to host
+  /// the requested number of distinct tuples.
+  static Result<GroupUniverse> Uniform(const Schema& schema,
+                                       uint64_t num_groups,
+                                       std::vector<uint32_t> cardinalities,
+                                       uint64_t seed);
+
+  /// Draws a universe whose *prefix projections* have exactly the given
+  /// cardinalities: level_sizes[k] distinct tuples over the first k+1
+  /// attributes, with level_sizes increasing. Used to mimic the paper's
+  /// real-trace projection counts (552 / 1846 / 2117 / 2837).
+  static Result<GroupUniverse> Hierarchical(const Schema& schema,
+                                            std::vector<uint64_t> level_sizes,
+                                            uint64_t seed);
+
+  size_t size() const { return tuples_.size(); }
+  const Record& tuple(size_t i) const { return tuples_[i]; }
+  const Schema& schema() const { return schema_; }
+
+ private:
+  GroupUniverse(Schema schema, std::vector<Record> tuples)
+      : schema_(std::move(schema)), tuples_(std::move(tuples)) {}
+
+  Schema schema_;
+  std::vector<Record> tuples_;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_STREAM_GENERATOR_H_

@@ -1,0 +1,31 @@
+#include "stream/record.h"
+
+#include <cassert>
+
+namespace streamagg {
+
+GroupKey GroupKey::ProjectKey(const GroupKey& key, AttributeSet from,
+                              AttributeSet to) {
+  assert(to.IsSubsetOf(from));
+  GroupKey out;
+  uint8_t src = 0;
+  for (int i : from.Indices()) {
+    if (to.ContainsIndex(i)) {
+      out.values[out.size++] = key.values[src];
+    }
+    ++src;
+  }
+  return out;
+}
+
+std::string GroupKey::ToString() const {
+  std::string out = "(";
+  for (uint8_t i = 0; i < size; ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace streamagg

@@ -1,0 +1,66 @@
+#ifndef STREAMAGG_STREAM_RECORD_H_
+#define STREAMAGG_STREAM_RECORD_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "stream/attribute_set.h"
+#include "util/hash.h"
+
+namespace streamagg {
+
+/// A single stream tuple: up to kMaxAttributes 4-byte attribute values plus
+/// a timestamp in seconds. Matches the paper's setup where every attribute
+/// value is a 4-byte unit (Section 6.1).
+struct Record {
+  std::array<uint32_t, kMaxAttributes> values{};
+  double timestamp = 0.0;
+
+  uint32_t value(int index) const { return values[index]; }
+};
+
+/// The grouping key of a record projected onto an attribute set: the member
+/// attribute values in increasing attribute order. Fixed-size and inline so
+/// HFTA maps and reference aggregators avoid allocation.
+struct GroupKey {
+  std::array<uint32_t, kMaxAttributes> values{};
+  uint8_t size = 0;
+
+  /// Projects `record` onto `set`.
+  static GroupKey Project(const Record& record, AttributeSet set) {
+    GroupKey key;
+    for (int i : set.Indices()) {
+      key.values[key.size++] = record.values[i];
+    }
+    return key;
+  }
+
+  /// Projects an existing key for attribute set `from` onto a subset `to`.
+  /// Requires to ⊆ from.
+  static GroupKey ProjectKey(const GroupKey& key, AttributeSet from,
+                             AttributeSet to);
+
+  bool operator==(const GroupKey& o) const {
+    if (size != o.size) return false;
+    for (uint8_t i = 0; i < size; ++i) {
+      if (values[i] != o.values[i]) return false;
+    }
+    return true;
+  }
+
+  /// Debug rendering, e.g. "(3,17)".
+  std::string ToString() const;
+};
+
+/// Hash functor for GroupKey, for use with std::unordered_map.
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& k) const {
+    return static_cast<size_t>(HashWords(k.values.data(), k.size,
+                                         /*seed=*/0x5151bead5151beadULL));
+  }
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_STREAM_RECORD_H_

@@ -1,0 +1,99 @@
+#include "stream/schema.h"
+
+#include <set>
+
+namespace streamagg {
+
+Result<Schema> Schema::Default(int num_attributes) {
+  if (num_attributes < 1 || num_attributes > kMaxAttributes) {
+    return Status::InvalidArgument("num_attributes out of range");
+  }
+  std::vector<std::string> names;
+  names.reserve(num_attributes);
+  for (int i = 0; i < num_attributes; ++i) {
+    names.emplace_back(1, static_cast<char>('A' + i));
+  }
+  return Schema(std::move(names));
+}
+
+Result<Schema> Schema::Make(std::vector<std::string> names) {
+  if (names.empty() || names.size() > static_cast<size_t>(kMaxAttributes)) {
+    return Status::InvalidArgument("schema must have 1..16 attributes");
+  }
+  std::set<std::string> seen;
+  for (const auto& n : names) {
+    if (n.empty()) return Status::InvalidArgument("empty attribute name");
+    if (!seen.insert(n).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + n);
+    }
+  }
+  return Schema(std::move(names));
+}
+
+AttributeSet Schema::AllAttributes() const {
+  uint32_t mask = (num_attributes() == 32)
+                      ? ~0u
+                      : ((1u << num_attributes()) - 1u);
+  return AttributeSet(mask);
+}
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return Status::NotFound("no attribute named " + name);
+}
+
+bool Schema::HasSingleLetterNames() const {
+  for (const auto& n : names_) {
+    if (n.size() != 1) return false;
+  }
+  return true;
+}
+
+Result<AttributeSet> Schema::ParseAttributeSet(const std::string& spec) const {
+  if (spec.empty()) return Status::InvalidArgument("empty attribute spec");
+  AttributeSet set;
+  if (spec.find(',') == std::string::npos && HasSingleLetterNames()) {
+    for (char c : spec) {
+      STREAMAGG_ASSIGN_OR_RETURN(int idx, IndexOf(std::string(1, c)));
+      if (set.ContainsIndex(idx)) {
+        return Status::InvalidArgument("duplicate attribute in spec: " + spec);
+      }
+      set = set.Union(AttributeSet::Single(idx));
+    }
+    return set;
+  }
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const std::string token = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    STREAMAGG_ASSIGN_OR_RETURN(int idx, IndexOf(token));
+    if (set.ContainsIndex(idx)) {
+      return Status::InvalidArgument("duplicate attribute in spec: " + spec);
+    }
+    set = set.Union(AttributeSet::Single(idx));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return set;
+}
+
+std::string Schema::FormatAttributeSet(AttributeSet set) const {
+  if (HasSingleLetterNames()) {
+    std::string out;
+    for (int i : set.Indices()) out += names_[i];
+    return out;
+  }
+  std::string out;
+  bool first = true;
+  for (int i : set.Indices()) {
+    if (!first) out += ',';
+    out += names_[i];
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace streamagg

@@ -1,0 +1,57 @@
+#ifndef STREAMAGG_STREAM_SCHEMA_H_
+#define STREAMAGG_STREAM_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/attribute_set.h"
+#include "util/status.h"
+
+namespace streamagg {
+
+/// Describes the grouping attributes of a stream relation (e.g. the paper's
+/// R(A, B, C, D) = IP packet headers with source IP, source port,
+/// destination IP, destination port). Time is carried separately on each
+/// record and is not a schema attribute.
+class Schema {
+ public:
+  /// Schema with attributes named by single letters A, B, C, ...
+  /// Requires 1 <= num_attributes <= kMaxAttributes.
+  static Result<Schema> Default(int num_attributes);
+
+  /// Schema with explicit attribute names (must be non-empty and unique).
+  static Result<Schema> Make(std::vector<std::string> names);
+
+  int num_attributes() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int index) const { return names_[index]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// The set of all attributes in this schema.
+  AttributeSet AllAttributes() const;
+
+  /// Index of the attribute called `name`, or NotFound.
+  Result<int> IndexOf(const std::string& name) const;
+
+  /// Parses an attribute-set spec. Two forms are accepted:
+  ///  * concatenated single letters, e.g. "ABD" (only when every attribute
+  ///    name is a single character), and
+  ///  * comma-separated names, e.g. "srcIP,dstIP".
+  Result<AttributeSet> ParseAttributeSet(const std::string& spec) const;
+
+  /// Renders an attribute set using this schema's names: "ABD" when all
+  /// names are single characters, "srcIP,dstIP" otherwise.
+  std::string FormatAttributeSet(AttributeSet set) const;
+
+  /// True when every attribute name is one character long, enabling the
+  /// paper's compact "AB(A B)" configuration notation.
+  bool HasSingleLetterNames() const;
+
+ private:
+  explicit Schema(std::vector<std::string> names) : names_(std::move(names)) {}
+
+  std::vector<std::string> names_;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_STREAM_SCHEMA_H_

@@ -1,0 +1,65 @@
+#include "stream/trace.h"
+
+#include <unordered_set>
+
+namespace streamagg {
+
+Trace Trace::Generate(RecordGenerator& generator, size_t n,
+                      double duration_seconds) {
+  Trace trace(generator.schema());
+  trace.Reserve(n);
+  trace.set_duration_seconds(duration_seconds);
+  const double step = n > 0 ? duration_seconds / static_cast<double>(n) : 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    Record r = generator.Next();
+    r.timestamp = step * static_cast<double>(i);
+    const uint32_t flow = generator.last_flow_id();
+    if (flow != 0) {
+      trace.AppendWithFlow(r, flow);
+    } else {
+      trace.Append(r);
+    }
+  }
+  return trace;
+}
+
+Result<Trace> Trace::OneRecordPerFlow() const {
+  if (!has_flow_ids()) {
+    return Status::FailedPrecondition("trace has no flow ids");
+  }
+  Trace out(schema_);
+  out.set_duration_seconds(duration_seconds_);
+  std::unordered_set<uint32_t> seen;
+  seen.reserve(records_.size() / 8 + 16);
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (seen.insert(flow_ids_[i]).second) {
+      out.AppendWithFlow(records_[i], flow_ids_[i]);
+    }
+  }
+  return out;
+}
+
+Result<Trace> Trace::ProjectPrefix(int k) const {
+  if (k < 1 || k > schema_.num_attributes()) {
+    return Status::InvalidArgument("prefix width out of range");
+  }
+  std::vector<std::string> names(schema_.names().begin(),
+                                 schema_.names().begin() + k);
+  STREAMAGG_ASSIGN_OR_RETURN(Schema narrow, Schema::Make(std::move(names)));
+  Trace out(narrow);
+  out.Reserve(records_.size());
+  out.set_duration_seconds(duration_seconds_);
+  for (size_t i = 0; i < records_.size(); ++i) {
+    Record r;
+    for (int a = 0; a < k; ++a) r.values[a] = records_[i].values[a];
+    r.timestamp = records_[i].timestamp;
+    if (has_flow_ids()) {
+      out.AppendWithFlow(r, flow_ids_[i]);
+    } else {
+      out.Append(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace streamagg

@@ -1,0 +1,147 @@
+#include "stream/trace_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace streamagg {
+
+namespace {
+
+/// Splits a CSV line (no quoting; the format has none).
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (true) {
+    const size_t comma = line.find(',', pos);
+    if (comma == std::string::npos) {
+      out.push_back(line.substr(pos));
+      return out;
+    }
+    out.push_back(line.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+}
+
+}  // namespace
+
+Status SaveTraceCsv(const Trace& trace, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open for writing: " + path + ": " +
+                                   std::strerror(errno));
+  }
+  const Schema& schema = trace.schema();
+  std::fprintf(f, "timestamp,flow_id");
+  for (const std::string& name : schema.names()) {
+    std::fprintf(f, ",%s", name.c_str());
+  }
+  std::fprintf(f, "\n");
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const Record& r = trace.record(i);
+    const uint32_t flow = trace.has_flow_ids() ? trace.flow_ids()[i] : 0;
+    std::fprintf(f, "%.9g,%u", r.timestamp, flow);
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      std::fprintf(f, ",%u", r.values[a]);
+    }
+    std::fprintf(f, "\n");
+  }
+  if (std::fclose(f) != 0) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Trace> LoadTraceCsv(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open: " + path + ": " +
+                            std::strerror(errno));
+  }
+  char buffer[4096];
+  if (std::fgets(buffer, sizeof buffer, f) == nullptr) {
+    std::fclose(f);
+    return Status::InvalidArgument("empty trace file: " + path);
+  }
+  std::string header(buffer);
+  while (!header.empty() &&
+         (header.back() == '\n' || header.back() == '\r')) {
+    header.pop_back();
+  }
+  std::vector<std::string> columns = SplitCsv(header);
+  if (columns.size() < 3 || columns[0] != "timestamp" ||
+      columns[1] != "flow_id") {
+    std::fclose(f);
+    return Status::InvalidArgument(
+        "bad header (want timestamp,flow_id,<attrs...>): " + header);
+  }
+  std::vector<std::string> names(columns.begin() + 2, columns.end());
+  auto schema = Schema::Make(std::move(names));
+  if (!schema.ok()) {
+    std::fclose(f);
+    return schema.status();
+  }
+  Trace trace(*schema);
+  const int d = schema->num_attributes();
+  size_t line_no = 1;
+  bool any_flow = false;
+  bool any_nonflow = false;
+  double max_timestamp = 0.0;
+  while (std::fgets(buffer, sizeof buffer, f) != nullptr) {
+    ++line_no;
+    if (buffer[0] == '\n' || buffer[0] == '\0') continue;
+    std::string line(buffer);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    const std::vector<std::string> fields = SplitCsv(line);
+    if (static_cast<int>(fields.size()) != d + 2) {
+      std::fclose(f);
+      return Status::InvalidArgument("wrong field count on line " +
+                                     std::to_string(line_no));
+    }
+    Record r;
+    char* end = nullptr;
+    r.timestamp = std::strtod(fields[0].c_str(), &end);
+    if (end == fields[0].c_str()) {
+      std::fclose(f);
+      return Status::InvalidArgument("bad timestamp on line " +
+                                     std::to_string(line_no));
+    }
+    const unsigned long long flow =
+        std::strtoull(fields[1].c_str(), nullptr, 10);
+    for (int a = 0; a < d; ++a) {
+      errno = 0;
+      const unsigned long long v =
+          std::strtoull(fields[a + 2].c_str(), &end, 10);
+      if (end == fields[a + 2].c_str() || v > 0xffffffffULL) {
+        std::fclose(f);
+        return Status::InvalidArgument("bad attribute value on line " +
+                                       std::to_string(line_no));
+      }
+      r.values[a] = static_cast<uint32_t>(v);
+    }
+    max_timestamp = std::max(max_timestamp, r.timestamp);
+    if ((flow != 0 && any_nonflow) || (flow == 0 && any_flow)) {
+      std::fclose(f);
+      return Status::InvalidArgument(
+          "mixed flow/non-flow records at line " + std::to_string(line_no));
+    }
+    if (flow != 0) {
+      any_flow = true;
+      trace.AppendWithFlow(r, static_cast<uint32_t>(flow));
+    } else {
+      any_nonflow = true;
+      trace.Append(r);
+    }
+  }
+  std::fclose(f);
+  trace.set_duration_seconds(max_timestamp);
+  return trace;
+}
+
+}  // namespace streamagg

@@ -1,0 +1,26 @@
+#ifndef STREAMAGG_STREAM_TRACE_IO_H_
+#define STREAMAGG_STREAM_TRACE_IO_H_
+
+#include <string>
+
+#include "stream/trace.h"
+
+namespace streamagg {
+
+/// CSV persistence for traces, so externally captured data (e.g. a real
+/// tcpdump extract converted to CSV) can be fed to the optimizer and
+/// runtime, and synthetic traces can be exported for inspection.
+///
+/// Format: a header line `timestamp,flow_id,<attr1>,<attr2>,...` followed
+/// by one record per line. `flow_id` is 0 for traces without flow
+/// structure. Attribute values are unsigned 32-bit decimals; timestamps are
+/// seconds as decimals.
+Status SaveTraceCsv(const Trace& trace, const std::string& path);
+
+/// Loads a trace saved by SaveTraceCsv (or hand-built in the same format).
+/// The schema is reconstructed from the header's attribute names.
+Result<Trace> LoadTraceCsv(const std::string& path);
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_STREAM_TRACE_IO_H_

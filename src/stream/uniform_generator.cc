@@ -1,0 +1,29 @@
+#include "stream/uniform_generator.h"
+
+#include <cmath>
+
+namespace streamagg {
+
+Result<std::unique_ptr<UniformGenerator>> UniformGenerator::Make(
+    const Schema& schema, uint64_t num_groups, uint64_t seed) {
+  const int d = schema.num_attributes();
+  const double per_attr =
+      std::ceil(std::pow(static_cast<double>(num_groups), 1.0 / d)) * 2.0;
+  std::vector<uint32_t> cards(static_cast<size_t>(d),
+                              static_cast<uint32_t>(per_attr) + 1);
+  STREAMAGG_ASSIGN_OR_RETURN(
+      GroupUniverse universe,
+      GroupUniverse::Uniform(schema, num_groups, std::move(cards), seed));
+  return std::make_unique<UniformGenerator>(std::move(universe), seed + 1);
+}
+
+UniformGenerator::UniformGenerator(GroupUniverse universe, uint64_t seed)
+    : universe_(std::move(universe)), seed_(seed), rng_(seed) {}
+
+Record UniformGenerator::Next() {
+  return universe_.tuple(rng_.Uniform(universe_.size()));
+}
+
+void UniformGenerator::Reset() { rng_ = Random(seed_); }
+
+}  // namespace streamagg

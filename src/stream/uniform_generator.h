@@ -1,0 +1,41 @@
+#ifndef STREAMAGG_STREAM_UNIFORM_GENERATOR_H_
+#define STREAMAGG_STREAM_UNIFORM_GENERATOR_H_
+
+#include <memory>
+
+#include "stream/generator.h"
+
+namespace streamagg {
+
+/// Emits records whose group is drawn uniformly at random from a fixed
+/// GroupUniverse: every group has the same expected number of records,
+/// matching the "uniformly distributed records" assumption of the paper's
+/// collision-rate analysis (Section 4.1) and its synthetic datasets
+/// (Section 6.1).
+class UniformGenerator : public RecordGenerator {
+ public:
+  /// Convenience constructor: builds a universe of `num_groups` groups with
+  /// per-attribute cardinality ~2 * num_groups^(1/d) so that projections
+  /// onto attribute subsets have realistic (smaller) group counts.
+  static Result<std::unique_ptr<UniformGenerator>> Make(const Schema& schema,
+                                                        uint64_t num_groups,
+                                                        uint64_t seed);
+
+  /// Draws from an explicit universe.
+  UniformGenerator(GroupUniverse universe, uint64_t seed);
+
+  const Schema& schema() const override { return universe_.schema(); }
+  Record Next() override;
+  void Reset() override;
+
+  const GroupUniverse& universe() const { return universe_; }
+
+ private:
+  GroupUniverse universe_;
+  uint64_t seed_;
+  Random rng_;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_STREAM_UNIFORM_GENERATOR_H_

@@ -1,0 +1,52 @@
+#include "stream/zipf_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace streamagg {
+
+Result<std::unique_ptr<ZipfGenerator>> ZipfGenerator::Make(
+    GroupUniverse universe, double theta, uint64_t seed) {
+  if (theta < 0.0) return Status::InvalidArgument("theta must be >= 0");
+  if (universe.size() == 0) return Status::InvalidArgument("empty universe");
+  const size_t g = universe.size();
+  std::vector<double> cdf(g);
+  double total = 0.0;
+  for (size_t i = 0; i < g; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf[i] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return std::unique_ptr<ZipfGenerator>(
+      new ZipfGenerator(std::move(universe), std::move(cdf), seed));
+}
+
+ZipfGenerator::ZipfGenerator(GroupUniverse universe, std::vector<double> cdf,
+                             uint64_t seed)
+    : universe_(std::move(universe)),
+      cdf_(std::move(cdf)),
+      rank_to_group_(universe_.size()),
+      seed_(seed),
+      rng_(seed) {
+  // Permute which group gets which popularity rank so that skew is not
+  // correlated with universe construction order.
+  std::iota(rank_to_group_.begin(), rank_to_group_.end(), 0u);
+  Random shuffle_rng(seed ^ 0xdeadbeefULL);
+  for (size_t i = rank_to_group_.size(); i > 1; --i) {
+    std::swap(rank_to_group_[i - 1], rank_to_group_[shuffle_rng.Uniform(i)]);
+  }
+}
+
+Record ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const size_t rank = static_cast<size_t>(
+      std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+  return universe_.tuple(rank_to_group_[rank]);
+}
+
+void ZipfGenerator::Reset() { rng_ = Random(seed_); }
+
+}  // namespace streamagg

@@ -1,0 +1,40 @@
+#ifndef STREAMAGG_STREAM_ZIPF_GENERATOR_H_
+#define STREAMAGG_STREAM_ZIPF_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "stream/generator.h"
+
+namespace streamagg {
+
+/// Emits records whose group follows a Zipf(theta) popularity distribution
+/// over a fixed GroupUniverse. Not part of the paper's evaluation; included
+/// as an extension to study model robustness under skew (the paper's
+/// collision model assumes each group receives the same expected number of
+/// records).
+class ZipfGenerator : public RecordGenerator {
+ public:
+  /// theta = 0 degenerates to uniform; common skew values are 0.5-1.2.
+  /// Fails if theta < 0 or the universe is empty.
+  static Result<std::unique_ptr<ZipfGenerator>> Make(GroupUniverse universe,
+                                                     double theta,
+                                                     uint64_t seed);
+
+  const Schema& schema() const override { return universe_.schema(); }
+  Record Next() override;
+  void Reset() override;
+
+ private:
+  ZipfGenerator(GroupUniverse universe, std::vector<double> cdf, uint64_t seed);
+
+  GroupUniverse universe_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i); ranks permuted per seed.
+  std::vector<uint32_t> rank_to_group_;
+  uint64_t seed_;
+  Random rng_;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_STREAM_ZIPF_GENERATOR_H_

@@ -1,0 +1,31 @@
+#ifndef STREAMAGG_UTIL_HASH_H_
+#define STREAMAGG_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace streamagg {
+
+/// Finalizing 64-bit mixer (SplitMix64 / Murmur3 fmix64 family). Provides
+/// the "random hash" assumption of the paper's collision-rate model.
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Hashes `n` 32-bit words with a per-table seed. Group keys in LFTA hash
+/// tables are short (<= 8 words), so a simple multiply-mix chain is both
+/// fast and well-distributed.
+inline uint64_t HashWords(const uint32_t* words, size_t n, uint64_t seed) {
+  uint64_t h = seed ^ (0x9e3779b97f4a7c15ULL + (static_cast<uint64_t>(n) << 2));
+  for (size_t i = 0; i < n; ++i) {
+    h = Mix64(h ^ (static_cast<uint64_t>(words[i]) + 0x9e3779b97f4a7c15ULL +
+                   (h << 6) + (h >> 2)));
+  }
+  return Mix64(h);
+}
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_UTIL_HASH_H_

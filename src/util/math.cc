@@ -1,0 +1,142 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace streamagg {
+
+double BinomialPmf(uint64_t n, double p, uint64_t k) {
+  if (k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  // log C(n, k) + k log p + (n - k) log(1 - p), via lgamma.
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  const double log_choose =
+      std::lgamma(nd + 1.0) - std::lgamma(kd + 1.0) - std::lgamma(nd - kd + 1.0);
+  const double log_pmf =
+      log_choose + kd * std::log(p) + (nd - kd) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double RandomHashCollisionRate(double g, double b) {
+  if (g <= 1.0 || b < 1.0) return 0.0;
+  // (1 - 1/b)^g computed via expm1/log1p for accuracy at large g, b.
+  const double p_empty = std::exp(g * std::log1p(-1.0 / b));
+  const double x = 1.0 - (b / g) * (1.0 - p_empty);
+  return std::clamp(x, 0.0, 1.0);
+}
+
+SummaryStats Summarize(const std::vector<double>& xs) {
+  SummaryStats s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  double sum = 0.0;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = x - s.mean;
+    ss += d * d;
+  }
+  s.stddev = std::sqrt(ss / static_cast<double>(xs.size()));
+  return s;
+}
+
+double PolynomialFit::Evaluate(double x) const {
+  double y = 0.0;
+  // Horner's rule over descending powers.
+  for (size_t i = coefficients.size(); i-- > 0;) {
+    y = y * x + coefficients[i];
+    if (i == 0) break;
+  }
+  return y;
+}
+
+Result<std::vector<double>> SolveLinearSystem(std::vector<double> a,
+                                              std::vector<double> b) {
+  const size_t n = b.size();
+  if (a.size() != n * n) {
+    return Status::InvalidArgument("matrix/vector size mismatch");
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row * n + col]) > std::fabs(a[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    if (std::fabs(a[pivot * n + col]) < 1e-12) {
+      return Status::InvalidArgument("singular linear system");
+    }
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) std::swap(a[col * n + j], a[pivot * n + j]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      for (size_t j = col; j < n; ++j) a[row * n + j] -= factor * a[col * n + j];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (size_t j = i + 1; j < n; ++j) acc -= a[i * n + j] * x[j];
+    x[i] = acc / a[i * n + i];
+    if (i == 0) break;
+  }
+  return x;
+}
+
+Result<PolynomialFit> FitPolynomial(const std::vector<double>& xs,
+                                    const std::vector<double>& ys,
+                                    int degree) {
+  if (degree < 0) return Status::InvalidArgument("degree must be >= 0");
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("xs and ys must have equal length");
+  }
+  const size_t m = static_cast<size_t>(degree) + 1;
+  if (xs.size() < m) {
+    return Status::InvalidArgument("not enough points for the requested degree");
+  }
+  // Normal equations: (V^T V) c = V^T y with Vandermonde V.
+  std::vector<double> ata(m * m, 0.0);
+  std::vector<double> aty(m, 0.0);
+  std::vector<double> powers(2 * m - 1, 0.0);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double p = 1.0;
+    for (size_t d = 0; d < 2 * m - 1; ++d) {
+      powers[d] = p;
+      p *= xs[i];
+    }
+    for (size_t r = 0; r < m; ++r) {
+      for (size_t c = 0; c < m; ++c) ata[r * m + c] += powers[r + c];
+      aty[r] += powers[r] * ys[i];
+    }
+  }
+  STREAMAGG_ASSIGN_OR_RETURN(std::vector<double> coeffs,
+                             SolveLinearSystem(std::move(ata), std::move(aty)));
+  PolynomialFit fit;
+  fit.coefficients = std::move(coeffs);
+  double sum_rel = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.Evaluate(xs[i]);
+    const double denom = std::max(std::fabs(ys[i]), 1e-9);
+    const double rel = std::fabs(pred - ys[i]) / denom;
+    fit.max_relative_error = std::max(fit.max_relative_error, rel);
+    sum_rel += rel;
+  }
+  fit.mean_relative_error = sum_rel / static_cast<double>(xs.size());
+  return fit;
+}
+
+}  // namespace streamagg

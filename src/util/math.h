@@ -1,0 +1,62 @@
+#ifndef STREAMAGG_UTIL_MATH_H_
+#define STREAMAGG_UTIL_MATH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace streamagg {
+
+/// Probability mass function of Binomial(n, p) evaluated at k, computed in a
+/// numerically stable way (log-space for extreme parameters). Returns 0 for
+/// k outside [0, n].
+double BinomialPmf(uint64_t n, double p, uint64_t k);
+
+/// Closed form of the paper's precise collision-rate model (Equation 13)
+/// for a randomly hashed relation with g groups and b buckets:
+///   x = 1 - (b/g) * (1 - (1 - 1/b)^g)
+/// (the expected fraction of records that find a different group in their
+/// bucket, because sum_k (k-1) Binom(g,1/b)(k) = g/b - 1 + P(k = 0)).
+/// Clamped to [0, 1]; g <= 1 or b < 1 yield 0.
+double RandomHashCollisionRate(double g, double b);
+
+/// Summary statistics over a sample.
+struct SummaryStats {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Population standard deviation.
+  double min = 0.0;
+  double max = 0.0;
+  size_t count = 0;
+};
+
+/// Computes mean / stddev / min / max of `xs`. Empty input yields all zeros.
+SummaryStats Summarize(const std::vector<double>& xs);
+
+/// Coefficients of an ordinary-least-squares polynomial fit
+/// y = c[0] + c[1] x + ... + c[degree] x^degree.
+struct PolynomialFit {
+  std::vector<double> coefficients;
+  double max_relative_error = 0.0;  ///< max |pred - y| / max(|y|, eps)
+  double mean_relative_error = 0.0;
+
+  /// Evaluates the fitted polynomial at x.
+  double Evaluate(double x) const;
+};
+
+/// Least-squares polynomial regression of the given degree. Requires
+/// xs.size() == ys.size() and xs.size() > degree. `degree` of 1 gives the
+/// paper's linear fits; 2 gives the "two-dimensional regression" used for
+/// the precomputed collision-rate curve (Section 4.4).
+Result<PolynomialFit> FitPolynomial(const std::vector<double>& xs,
+                                    const std::vector<double>& ys,
+                                    int degree);
+
+/// Solves the square linear system a * x = b by Gaussian elimination with
+/// partial pivoting. `a` is row-major n x n. Fails on (near-)singular input.
+Result<std::vector<double>> SolveLinearSystem(std::vector<double> a,
+                                              std::vector<double> b);
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_UTIL_MATH_H_

@@ -1,0 +1,88 @@
+#ifndef STREAMAGG_UTIL_RANDOM_H_
+#define STREAMAGG_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace streamagg {
+
+/// A small, fast, reproducible PRNG (xoshiro256**). Used everywhere instead
+/// of std::mt19937 so that traces and experiments are deterministic across
+/// standard-library implementations.
+class Random {
+ public:
+  /// Seeds the generator; identical seeds produce identical sequences.
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 expansion of the seed into the four state words.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Returns a uniformly distributed 64-bit value.
+  uint64_t Next64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Returns a uniformly distributed value in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(Next64()) * n;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < n) {
+      uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next64()) * n;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Returns a uniformly distributed double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Returns a geometrically distributed value in {1, 2, ...} with mean
+  /// `mean` (mean must be >= 1). Used for synthetic flow lengths.
+  uint64_t Geometric(double mean) {
+    assert(mean >= 1.0);
+    if (mean <= 1.0) return 1;
+    const double p = 1.0 / mean;
+    uint64_t k = 1;
+    while (!Bernoulli(p)) {
+      ++k;
+      if (k > (1ULL << 32)) break;  // Defensive bound; practically unreachable.
+    }
+    return k;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_UTIL_RANDOM_H_

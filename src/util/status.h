@@ -1,0 +1,140 @@
+#ifndef STREAMAGG_UTIL_STATUS_H_
+#define STREAMAGG_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace streamagg {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of returning a Status instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// A lightweight success-or-error value. All fallible public APIs in
+/// StreamAgg return Status (or Result<T> when they also produce a value).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: empty query set".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error container, analogous to arrow::Result<T>.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value; marks the result as OK.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller; usable in functions returning
+/// Status or Result<T>.
+#define STREAMAGG_RETURN_NOT_OK(expr)             \
+  do {                                            \
+    ::streamagg::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error. `lhs` must be a declaration, e.g.
+/// STREAMAGG_ASSIGN_OR_RETURN(auto cfg, Configuration::Parse(...));
+#define STREAMAGG_ASSIGN_OR_RETURN(lhs, rexpr)                     \
+  STREAMAGG_ASSIGN_OR_RETURN_IMPL(                                 \
+      STREAMAGG_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define STREAMAGG_CONCAT_INNER_(a, b) a##b
+#define STREAMAGG_CONCAT_(a, b) STREAMAGG_CONCAT_INNER_(a, b)
+#define STREAMAGG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value();
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_UTIL_STATUS_H_

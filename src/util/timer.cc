@@ -1,0 +1,4 @@
+#include "util/timer.h"
+
+// Timer is header-only; this translation unit exists so the build target has
+// a stable home for future non-inline timing utilities.

@@ -1,0 +1,33 @@
+#ifndef STREAMAGG_UTIL_TIMER_H_
+#define STREAMAGG_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace streamagg {
+
+/// Monotonic wall-clock stopwatch used to report optimizer running times
+/// (the paper claims sub-millisecond configuration selection, Section 6.3.4).
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time since construction/Restart, in milliseconds.
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_UTIL_TIMER_H_

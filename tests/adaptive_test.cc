@@ -1,0 +1,118 @@
+#include "core/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/trace_stats.h"
+#include "stream/uniform_generator.h"
+
+namespace streamagg {
+namespace {
+
+struct Scenario {
+  Trace trace;
+  RelationCatalog catalog;
+  OptimizedPlan plan;
+};
+
+// Optimizes for a stream with `groups` groups and returns everything needed
+// to run and monitor it.
+Scenario MakeScenario(uint64_t groups, uint64_t seed) {
+  const Schema schema = *Schema::Default(4);
+  auto gen = std::move(UniformGenerator::Make(schema, groups, seed)).value();
+  Trace trace = Trace::Generate(*gen, 120000, 10.0);
+  auto stats = std::make_unique<TraceStats>(&trace);
+  // Materialize counts into a synthetic catalog so the Scenario owns its
+  // statistics (TraceStats would dangle once `trace` moves).
+  std::map<uint32_t, uint64_t> counts;
+  for (uint32_t mask = 1; mask < 16; ++mask) {
+    counts[mask] = stats->GroupCount(AttributeSet(mask));
+  }
+  RelationCatalog catalog = *RelationCatalog::Synthetic(schema, counts);
+  Optimizer optimizer;
+  std::vector<AttributeSet> queries;
+  for (int i = 0; i < 4; ++i) queries.push_back(AttributeSet::Single(i));
+  OptimizedPlan plan = *optimizer.Optimize(catalog, queries, 30000.0);
+  return Scenario{std::move(trace), std::move(catalog), std::move(plan)};
+}
+
+TEST(AdaptiveControllerTest, SteadyTrafficDoesNotTrigger) {
+  Scenario s = MakeScenario(1000, 71);
+  PreciseCollisionModel precise;
+  CostModel cost_model(&s.catalog, &precise, CostParams{1.0, 50.0});
+  AdaptiveController controller(&cost_model, &s.plan);
+
+  auto runtime = ConfigurationRuntime::Make(
+      s.trace.schema(), *s.plan.ToRuntimeSpecs(), 0.0);
+  ASSERT_TRUE(runtime.ok());
+  (*runtime)->ProcessTrace(s.trace);
+  EXPECT_FALSE(controller.ShouldReoptimize(**runtime))
+      << "max deviation " << controller.MaxDeviation(**runtime);
+}
+
+TEST(AdaptiveControllerTest, DistributionShiftTriggers) {
+  // Plan for 600 groups, then run traffic with 6000: collision rates blow
+  // past the planned band.
+  Scenario planned = MakeScenario(600, 73);
+  PreciseCollisionModel precise;
+  CostModel cost_model(&planned.catalog, &precise, CostParams{1.0, 50.0});
+  AdaptiveController controller(&cost_model, &planned.plan);
+
+  const Schema schema = *Schema::Default(4);
+  auto shifted_gen =
+      std::move(UniformGenerator::Make(schema, 6000, 99)).value();
+  const Trace shifted = Trace::Generate(*shifted_gen, 120000, 10.0);
+  auto runtime =
+      ConfigurationRuntime::Make(schema, *planned.plan.ToRuntimeSpecs(), 0.0);
+  ASSERT_TRUE(runtime.ok());
+  (*runtime)->ProcessTrace(shifted);
+  EXPECT_TRUE(controller.ShouldReoptimize(**runtime));
+  EXPECT_GT(controller.MaxDeviation(**runtime), 0.5);
+}
+
+TEST(AdaptiveControllerTest, IgnoresBarelyProbedTables) {
+  Scenario s = MakeScenario(1000, 77);
+  PreciseCollisionModel precise;
+  CostModel cost_model(&s.catalog, &precise, CostParams{1.0, 50.0});
+  AdaptiveController::Options options;
+  options.min_probes_per_table = 1000000;  // Nothing qualifies.
+  AdaptiveController controller(&cost_model, &s.plan, options);
+  auto runtime = ConfigurationRuntime::Make(
+      s.trace.schema(), *s.plan.ToRuntimeSpecs(), 0.0);
+  ASSERT_TRUE(runtime.ok());
+  (*runtime)->ProcessTrace(s.trace);
+  EXPECT_DOUBLE_EQ(controller.MaxDeviation(**runtime), 0.0);
+  EXPECT_FALSE(controller.ShouldReoptimize(**runtime));
+}
+
+TEST(AdaptiveControllerTest, OccupancyRecoversGroupCounts) {
+  Scenario s = MakeScenario(1200, 79);
+  PreciseCollisionModel precise;
+  CostModel cost_model(&s.catalog, &precise, CostParams{1.0, 50.0});
+  AdaptiveController controller(&cost_model, &s.plan);
+  auto runtime = ConfigurationRuntime::Make(
+      s.trace.schema(), *s.plan.ToRuntimeSpecs(), 0.0);
+  ASSERT_TRUE(runtime.ok());
+  // Occupancy is only meaningful mid-epoch (the end-of-epoch flush empties
+  // every table), so feed records without the final flush.
+  for (const Record& r : s.trace.records()) (*runtime)->ProcessRecord(r);
+
+  const auto estimates = controller.EstimateGroupCounts(**runtime);
+  ASSERT_FALSE(estimates.empty());
+  for (const auto& [mask, estimated] : estimates) {
+    const uint64_t actual = s.catalog.GroupCount(AttributeSet(mask));
+    const int node = s.plan.config.FindNode(AttributeSet(mask));
+    ASSERT_GE(node, 0);
+    const double b = s.plan.buckets[node];
+    if (static_cast<double>(actual) > 2.5 * b) {
+      // Saturated table: only a lower bound is recoverable.
+      EXPECT_GE(estimated, static_cast<uint64_t>(2.0 * b));
+    } else {
+      EXPECT_NEAR(static_cast<double>(estimated),
+                  static_cast<double>(actual), 0.25 * actual + 20.0)
+          << AttributeSet(mask).ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamagg

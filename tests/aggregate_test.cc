@@ -1,0 +1,126 @@
+#include "stream/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace streamagg {
+namespace {
+
+Record MakeRecord(std::initializer_list<uint32_t> values) {
+  Record r;
+  int i = 0;
+  for (uint32_t v : values) r.values[i++] = v;
+  return r;
+}
+
+const std::vector<MetricSpec> kSumMinMax = {
+    MetricSpec{AggregateOp::kSum, 2},
+    MetricSpec{AggregateOp::kMin, 2},
+    MetricSpec{AggregateOp::kMax, 2},
+};
+
+TEST(AggregateStateTest, FromRecordCapturesValues) {
+  const Record r = MakeRecord({1, 2, 77});
+  const AggregateState s = AggregateState::FromRecord(r, kSumMinMax);
+  EXPECT_EQ(s.count, 1u);
+  ASSERT_EQ(s.num_metrics, 3);
+  EXPECT_EQ(s.metrics[0], 77u);
+  EXPECT_EQ(s.metrics[1], 77u);
+  EXPECT_EQ(s.metrics[2], 77u);
+}
+
+TEST(AggregateStateTest, FromCountHasNoMetrics) {
+  const AggregateState s = AggregateState::FromCount(9);
+  EXPECT_EQ(s.count, 9u);
+  EXPECT_EQ(s.num_metrics, 0);
+}
+
+TEST(AggregateStateTest, MergeFollowsOps) {
+  AggregateState a =
+      AggregateState::FromRecord(MakeRecord({0, 0, 10}), kSumMinMax);
+  const AggregateState b =
+      AggregateState::FromRecord(MakeRecord({0, 0, 4}), kSumMinMax);
+  a.Merge(b, kSumMinMax);
+  EXPECT_EQ(a.count, 2u);
+  EXPECT_EQ(a.metrics[0], 14u);  // sum
+  EXPECT_EQ(a.metrics[1], 4u);   // min
+  EXPECT_EQ(a.metrics[2], 10u);  // max
+}
+
+TEST(AggregateStateTest, MergeIsAssociative) {
+  // (a + b) + c == a + (b + c) — the property that makes LFTA eviction
+  // cascades correct for these functions.
+  const AggregateState a =
+      AggregateState::FromRecord(MakeRecord({0, 0, 5}), kSumMinMax);
+  const AggregateState b =
+      AggregateState::FromRecord(MakeRecord({0, 0, 11}), kSumMinMax);
+  const AggregateState c =
+      AggregateState::FromRecord(MakeRecord({0, 0, 2}), kSumMinMax);
+  AggregateState left = a;
+  left.Merge(b, kSumMinMax);
+  left.Merge(c, kSumMinMax);
+  AggregateState bc = b;
+  bc.Merge(c, kSumMinMax);
+  AggregateState right = a;
+  right.Merge(bc, kSumMinMax);
+  EXPECT_TRUE(left == right);
+}
+
+TEST(AggregateStateTest, ProjectNarrowsToSublist) {
+  const AggregateState full =
+      AggregateState::FromRecord(MakeRecord({0, 0, 33}), kSumMinMax);
+  const std::vector<MetricSpec> only_min = {MetricSpec{AggregateOp::kMin, 2}};
+  const AggregateState narrowed = full.Project(kSumMinMax, only_min);
+  EXPECT_EQ(narrowed.count, 1u);
+  ASSERT_EQ(narrowed.num_metrics, 1);
+  EXPECT_EQ(narrowed.metrics[0], 33u);
+  // Projecting to the empty list keeps only the count.
+  const AggregateState bare = full.Project(kSumMinMax, {});
+  EXPECT_EQ(bare.count, 1u);
+  EXPECT_EQ(bare.num_metrics, 0);
+}
+
+TEST(UnionMetricsTest, DeduplicatesAndSorts) {
+  const std::vector<MetricSpec> a = {MetricSpec{AggregateOp::kMax, 3},
+                                     MetricSpec{AggregateOp::kSum, 2}};
+  const std::vector<MetricSpec> b = {MetricSpec{AggregateOp::kSum, 2},
+                                     MetricSpec{AggregateOp::kMin, 1}};
+  auto u = UnionMetrics(a, b);
+  ASSERT_TRUE(u.ok());
+  ASSERT_EQ(u->size(), 3u);
+  EXPECT_TRUE(std::is_sorted(u->begin(), u->end()));
+}
+
+TEST(UnionMetricsTest, RejectsOverflow) {
+  std::vector<MetricSpec> a, b;
+  for (int i = 0; i < 3; ++i) a.push_back(MetricSpec{AggregateOp::kSum, uint8_t(i)});
+  for (int i = 3; i < 6; ++i) b.push_back(MetricSpec{AggregateOp::kSum, uint8_t(i)});
+  EXPECT_FALSE(UnionMetrics(a, b).ok());
+}
+
+TEST(MetricsSubsetTest, Works) {
+  const std::vector<MetricSpec> big = kSumMinMax;
+  const std::vector<MetricSpec> small = {MetricSpec{AggregateOp::kMin, 2}};
+  EXPECT_TRUE(MetricsSubset(small, big));
+  EXPECT_TRUE(MetricsSubset({}, big));
+  EXPECT_FALSE(MetricsSubset(big, small));
+  EXPECT_FALSE(
+      MetricsSubset({MetricSpec{AggregateOp::kMin, 3}}, big));
+}
+
+TEST(AggregateOpTest, Names) {
+  EXPECT_STREQ(AggregateOpName(AggregateOp::kSum), "sum");
+  EXPECT_STREQ(AggregateOpName(AggregateOp::kMin), "min");
+  EXPECT_STREQ(AggregateOpName(AggregateOp::kMax), "max");
+}
+
+TEST(AggregateStateTest, ToStringIsReadable) {
+  AggregateState s = AggregateState::FromCount(3);
+  EXPECT_EQ(s.ToString(), "count=3");
+  const AggregateState with =
+      AggregateState::FromRecord(MakeRecord({0, 0, 7}),
+                                 {MetricSpec{AggregateOp::kSum, 2}});
+  EXPECT_EQ(with.ToString(), "count=1,m0=7");
+}
+
+}  // namespace
+}  // namespace streamagg

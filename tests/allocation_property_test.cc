@@ -1,0 +1,137 @@
+// Property tests over randomly generated configurations: the space
+// allocation schemes must uphold their structural invariants (budget
+// respected, at least one bucket each, ES no worse than any heuristic) on
+// arbitrary feeding trees, not just the hand-picked paper shapes.
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/feeding_graph.h"
+#include "core/space_allocation.h"
+#include "util/random.h"
+
+namespace streamagg {
+namespace {
+
+struct RandomSetup {
+  Schema schema;
+  RelationCatalog catalog;
+  std::vector<AttributeSet> queries;
+  Configuration config;
+};
+
+// Draws a random query set over 4-5 attributes, random group counts, and a
+// random subset of the candidate phantoms.
+RandomSetup MakeRandomSetup(uint64_t seed) {
+  Random rng(seed);
+  const int d = 4 + static_cast<int>(rng.Uniform(2));
+  Schema schema = *Schema::Default(d);
+  // Random group counts: singletons in [50, 1000], supersets grow.
+  std::map<uint32_t, uint64_t> counts;
+  for (uint32_t mask = 1; mask < (1u << d); ++mask) {
+    const AttributeSet set(mask);
+    counts[mask] = 50 + rng.Uniform(950) * set.Count();
+  }
+  // Make counts monotone in set inclusion (required of real data).
+  for (uint32_t mask = 1; mask < (1u << d); ++mask) {
+    for (int bit = 0; bit < d; ++bit) {
+      if ((mask >> bit) & 1u) {
+        const uint32_t subset = mask & ~(1u << bit);
+        if (subset != 0) {
+          counts[mask] = std::max(counts[mask], counts[subset]);
+        }
+      }
+    }
+  }
+  RelationCatalog catalog =
+      *RelationCatalog::Synthetic(schema, counts, 1.0 + rng.Uniform(20));
+
+  // 2-4 random distinct queries.
+  std::vector<AttributeSet> queries;
+  const int nq = 2 + static_cast<int>(rng.Uniform(3));
+  while (static_cast<int>(queries.size()) < nq) {
+    const AttributeSet q(1u + static_cast<uint32_t>(
+                                  rng.Uniform((1u << d) - 1)));
+    if (std::find(queries.begin(), queries.end(), q) == queries.end()) {
+      queries.push_back(q);
+    }
+  }
+  FeedingGraph graph = *FeedingGraph::Build(schema, queries);
+  std::vector<AttributeSet> phantoms;
+  for (AttributeSet p : graph.phantoms()) {
+    if (rng.Bernoulli(0.4)) phantoms.push_back(p);
+  }
+  Configuration config = *Configuration::Make(schema, queries, phantoms);
+  return RandomSetup{std::move(schema), std::move(catalog),
+                     std::move(queries), std::move(config)};
+}
+
+class AllocationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AllocationPropertyTest, InvariantsHoldOnRandomConfigurations) {
+  const RandomSetup setup = MakeRandomSetup(GetParam());
+  PreciseCollisionModel precise;
+  CostModel cost_model(&setup.catalog, &precise, CostParams{1.0, 50.0});
+  SpaceAllocator allocator(&cost_model);
+  const double memory = 5000.0 + 7000.0 * (GetParam() % 7);
+
+  double es_cost = 0.0;
+  {
+    auto buckets =
+        allocator.Allocate(setup.config, memory, AllocationScheme::kES);
+    ASSERT_TRUE(buckets.ok()) << buckets.status().ToString();
+    es_cost = cost_model.PerRecordCost(setup.config, *buckets);
+  }
+  for (AllocationScheme scheme :
+       {AllocationScheme::kSL, AllocationScheme::kSR, AllocationScheme::kPL,
+        AllocationScheme::kPR}) {
+    auto buckets = allocator.Allocate(setup.config, memory, scheme);
+    ASSERT_TRUE(buckets.ok())
+        << AllocationSchemeName(scheme) << ": " << buckets.status().ToString();
+    // Every table at least one bucket; budget respected (2% slack for the
+    // min-bucket fixups).
+    double words = 0.0;
+    for (int i = 0; i < setup.config.num_nodes(); ++i) {
+      EXPECT_GE((*buckets)[i], 1.0);
+      words += (*buckets)[i] * (setup.config.node(i).attrs.Count() + 1);
+    }
+    EXPECT_LE(words, memory * 1.02) << AllocationSchemeName(scheme);
+    // ES is a search over the same space: no heuristic may beat it by more
+    // than the grid resolution.
+    const double cost = cost_model.PerRecordCost(setup.config, *buckets);
+    EXPECT_GE(cost, es_cost * 0.98)
+        << AllocationSchemeName(scheme) << " beat ES on "
+        << setup.config.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigurations, AllocationPropertyTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+class CollisionRateMonotonicityTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CollisionRateMonotonicityTest, CostDecreasesWithMemory) {
+  // More LFTA memory can only reduce the modeled per-record cost under any
+  // fixed scheme (allocations scale up, collision rates drop).
+  const RandomSetup setup = MakeRandomSetup(GetParam() + 1000);
+  PreciseCollisionModel precise;
+  CostModel cost_model(&setup.catalog, &precise, CostParams{1.0, 50.0});
+  SpaceAllocator allocator(&cost_model);
+  double previous = 1e100;
+  for (double memory = 10000.0; memory <= 90000.0; memory += 20000.0) {
+    auto cost =
+        allocator.AllocateAndCost(setup.config, memory, AllocationScheme::kSL);
+    ASSERT_TRUE(cost.ok());
+    EXPECT_LE(*cost, previous * 1.001) << "memory " << memory;
+    previous = *cost;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigurations, CollisionRateMonotonicityTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace streamagg

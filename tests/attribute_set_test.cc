@@ -1,0 +1,66 @@
+#include "stream/attribute_set.h"
+
+#include <gtest/gtest.h>
+
+namespace streamagg {
+namespace {
+
+TEST(AttributeSetTest, EmptyByDefault) {
+  AttributeSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_EQ(s.ToString(), "");
+}
+
+TEST(AttributeSetTest, SingleAndOf) {
+  AttributeSet a = AttributeSet::Single(0);
+  EXPECT_EQ(a.Count(), 1);
+  EXPECT_TRUE(a.ContainsIndex(0));
+  EXPECT_FALSE(a.ContainsIndex(1));
+
+  AttributeSet abc = AttributeSet::Of({0, 1, 2});
+  EXPECT_EQ(abc.Count(), 3);
+  EXPECT_EQ(abc.ToString(), "ABC");
+}
+
+TEST(AttributeSetTest, SetAlgebra) {
+  AttributeSet ab = AttributeSet::Of({0, 1});
+  AttributeSet bc = AttributeSet::Of({1, 2});
+  EXPECT_EQ(ab.Union(bc), AttributeSet::Of({0, 1, 2}));
+  EXPECT_EQ(ab.Intersect(bc), AttributeSet::Single(1));
+  EXPECT_EQ(ab.Minus(bc), AttributeSet::Single(0));
+}
+
+TEST(AttributeSetTest, ContainmentRelations) {
+  AttributeSet ab = AttributeSet::Of({0, 1});
+  AttributeSet abc = AttributeSet::Of({0, 1, 2});
+  AttributeSet bc = AttributeSet::Of({1, 2});
+
+  EXPECT_TRUE(ab.IsSubsetOf(abc));
+  EXPECT_TRUE(ab.IsProperSubsetOf(abc));
+  EXPECT_TRUE(abc.Contains(ab));
+  EXPECT_FALSE(ab.IsSubsetOf(bc));
+  EXPECT_TRUE(ab.IsSubsetOf(ab));
+  EXPECT_FALSE(ab.IsProperSubsetOf(ab));
+}
+
+TEST(AttributeSetTest, IndicesAreSorted) {
+  AttributeSet s = AttributeSet::Of({3, 0, 2});
+  const std::vector<int> idx = s.Indices();
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 0);
+  EXPECT_EQ(idx[1], 2);
+  EXPECT_EQ(idx[2], 3);
+}
+
+TEST(AttributeSetTest, OrderingIsByMask) {
+  EXPECT_LT(AttributeSet::Single(0), AttributeSet::Single(1));
+  EXPECT_LT(AttributeSet::Of({0, 1}), AttributeSet::Of({2}));
+}
+
+TEST(AttributeSetTest, ToStringUsesLetters) {
+  EXPECT_EQ(AttributeSet::Of({0, 2, 3}).ToString(), "ACD");
+}
+
+}  // namespace
+}  // namespace streamagg

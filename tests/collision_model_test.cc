@@ -1,0 +1,178 @@
+#include "core/collision_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace streamagg {
+namespace {
+
+TEST(RoughModelTest, MatchesEquation10) {
+  RoughCollisionModel model;
+  EXPECT_DOUBLE_EQ(model.Rate(2000, 1000), 0.5);
+  EXPECT_DOUBLE_EQ(model.Rate(4000, 1000), 0.75);
+  // Clamped at 0 when buckets outnumber groups.
+  EXPECT_DOUBLE_EQ(model.Rate(500, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(model.Rate(1, 1000), 0.0);
+}
+
+TEST(PreciseModelTest, ClosedFormEqualsTruncatedSum) {
+  // The paper computes Equation 13 as a truncated binomial sum (Section
+  // 4.4); our closed form must agree everywhere.
+  PreciseCollisionModel closed;
+  TruncatedSumCollisionModel sum(5.0);
+  for (double b : {100.0, 300.0, 1000.0, 3000.0}) {
+    for (double ratio : {0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+      const double g = ratio * b;
+      if (g < 2) continue;
+      const double xc = closed.Rate(g, b);
+      const double xs = sum.Rate(g, b);
+      EXPECT_NEAR(xc, xs, 0.01 * std::max(xc, 1e-3))
+          << "g=" << g << " b=" << b;
+    }
+  }
+}
+
+TEST(PreciseModelTest, RoughModelConvergesAtLargeRatio) {
+  // Paper Section 4.2: the rough model differs greatly at small g/b but
+  // approaches the precise model as g/b grows.
+  PreciseCollisionModel precise;
+  RoughCollisionModel rough;
+  const double small_gap =
+      std::fabs(precise.Rate(500, 1000) - rough.Rate(500, 1000));
+  const double large_gap =
+      std::fabs(precise.Rate(20000, 1000) - rough.Rate(20000, 1000));
+  EXPECT_GT(small_gap, 0.2);   // Rough says 0; precise is ~0.21.
+  EXPECT_LT(large_gap, 0.01);  // Both ~0.95 at g/b = 20.
+}
+
+TEST(PreciseModelTest, RateIsWithinUnitInterval) {
+  PreciseCollisionModel model;
+  for (double g : {2.0, 10.0, 1e3, 1e6}) {
+    for (double b : {1.0, 10.0, 1e3, 1e6}) {
+      const double x = model.Rate(g, b);
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+}
+
+TEST(TruncatedSumTest, SingleBucketDegenerates) {
+  TruncatedSumCollisionModel model;
+  // All g groups share one bucket: every record collides except when the
+  // previous record had the same group: x = (g-1)/g.
+  EXPECT_NEAR(model.Rate(10, 1), 0.9, 1e-9);
+}
+
+TEST(CollisionComponentTest, Figure6BellShape) {
+  // g = 3000, b = 1000 (paper Figure 6): contributions peak near k = 4 and
+  // vanish beyond k ~ 12.
+  const double g = 3000, b = 1000;
+  double peak_value = 0.0;
+  uint64_t peak_k = 0;
+  for (uint64_t k = 2; k <= 20; ++k) {
+    const double v = CollisionProbabilityComponent(g, b, k);
+    if (v > peak_value) {
+      peak_value = v;
+      peak_k = k;
+    }
+  }
+  EXPECT_EQ(peak_k, 4u);
+  EXPECT_GT(peak_value, 0.1);
+  EXPECT_LT(CollisionProbabilityComponent(g, b, 12), 0.005);
+  EXPECT_EQ(CollisionProbabilityComponent(g, b, 0), 0.0);
+  EXPECT_EQ(CollisionProbabilityComponent(g, b, 1), 0.0);
+}
+
+TEST(CollisionComponentTest, ComponentsSumToPreciseRate) {
+  const double g = 3000, b = 1000;
+  double sum = 0.0;
+  for (uint64_t k = 2; k <= 40; ++k) {
+    sum += CollisionProbabilityComponent(g, b, k);
+  }
+  PreciseCollisionModel model;
+  EXPECT_NEAR(sum, model.Rate(g, b), 1e-6);
+}
+
+TEST(PrecomputedModelTest, TracksPreciseModelWithinFivePercent) {
+  // The paper's regression targets a 5% maximum relative error per interval
+  // (Section 4.4).
+  PrecomputedCollisionModel precomputed;
+  PreciseCollisionModel precise;
+  EXPECT_LT(precomputed.max_fit_error(), 0.05);
+  for (double r = 0.05; r <= 49.0; r += 0.37) {
+    const double b = 1500.0;
+    const double x_pre = precomputed.Rate(r * b, b);
+    const double x_exact = precise.Rate(r * b, b);
+    EXPECT_NEAR(x_pre, x_exact, 0.05 * std::max(x_exact, 0.02)) << "r=" << r;
+  }
+}
+
+TEST(PrecomputedModelTest, SaturatesBeyondTrainedRange) {
+  PrecomputedCollisionModel model;
+  EXPECT_GT(model.Rate(100 * 1000.0, 1000.0), 0.98);
+}
+
+TEST(LinearModelTest, MatchesEquation16) {
+  LinearCollisionModel model;  // Defaults alpha = 0.0267, mu = 0.354.
+  EXPECT_NEAR(model.Rate(1000, 1000), 0.0267 + 0.354, 1e-12);
+  EXPECT_NEAR(model.Rate(500, 1000), 0.0267 + 0.177, 1e-12);
+}
+
+TEST(LinearModelTest, LinearFitApproximatesLowRegion) {
+  // Figure 8: in the low-collision region (x <= 0.4) the linear fit tracks
+  // the precise curve within ~10%.
+  PreciseCollisionModel precise;
+  LinearCollisionModel linear;
+  for (double r = 0.2; r <= 1.0; r += 0.1) {
+    const double b = 2000.0;
+    const double exact = precise.Rate(r * b, b);
+    const double approx = linear.Rate(r * b, b);
+    EXPECT_NEAR(approx, exact, 0.10 * exact + 0.01) << "r=" << r;
+  }
+}
+
+TEST(ClusteredRateTest, DividesByFlowLength) {
+  // Equation 15: clustered collision rate is the random rate over l_a.
+  PreciseCollisionModel model;
+  const double base = model.Rate(3000, 1000);
+  EXPECT_DOUBLE_EQ(model.ClusteredRate(3000, 1000, 1.0), base);
+  EXPECT_DOUBLE_EQ(model.ClusteredRate(3000, 1000, 10.0), base / 10.0);
+  // Flow lengths below 1 are treated as 1.
+  EXPECT_DOUBLE_EQ(model.ClusteredRate(3000, 1000, 0.5), base);
+}
+
+TEST(FactoryTest, ProducesEveryKind) {
+  for (CollisionModelKind kind :
+       {CollisionModelKind::kRough, CollisionModelKind::kPrecise,
+        CollisionModelKind::kTruncatedSum, CollisionModelKind::kPrecomputed,
+        CollisionModelKind::kLinear}) {
+    auto model = MakeCollisionModel(kind);
+    ASSERT_NE(model, nullptr);
+    const double x = model->Rate(2000, 1000);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+class RatioOnlyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RatioOnlyTest, PreciseRateDependsOnRatioOnly) {
+  // Paper Table 1: variation across b at fixed g/b is under 1.5%.
+  const double ratio = GetParam();
+  PreciseCollisionModel model;
+  const double reference = model.Rate(ratio * 3000, 3000);
+  for (double b = 300; b <= 3000; b += 300) {
+    const double x = model.Rate(ratio * b, b);
+    if (reference > 1e-6) {
+      EXPECT_NEAR(x, reference, 0.015 * reference) << "b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTable1Ratios, RatioOnlyTest,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0,
+                                           32.0));
+
+}  // namespace
+}  // namespace streamagg

@@ -1,0 +1,189 @@
+#include "dsms/configuration_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "dsms/reference_aggregator.h"
+#include "stream/flow_generator.h"
+#include "stream/uniform_generator.h"
+
+namespace streamagg {
+namespace {
+
+// Builds specs for a chain/tree described as (attrs, parent, is_query,
+// query_index) tuples.
+RuntimeRelationSpec Spec(AttributeSet attrs, uint64_t buckets, int parent,
+                         int query_index) {
+  RuntimeRelationSpec s;
+  s.attrs = attrs;
+  s.num_buckets = buckets;
+  s.parent = parent;
+  s.query_index = query_index;
+  s.is_query = query_index >= 0;
+  return s;
+}
+
+Trace UniformTrace(int attrs, uint64_t groups, size_t n, double duration,
+                   uint64_t seed) {
+  auto gen = UniformGenerator::Make(*Schema::Default(attrs), groups, seed);
+  return Trace::Generate(**gen, n, duration);
+}
+
+void ExpectCorrectResults(const Trace& trace,
+                          const std::vector<RuntimeRelationSpec>& specs,
+                          const std::vector<AttributeSet>& queries,
+                          double epoch_seconds) {
+  auto runtime = ConfigurationRuntime::Make(trace.schema(), specs,
+                                            epoch_seconds);
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+  (*runtime)->ProcessTrace(trace);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto expected =
+        ComputeReferenceAggregate(trace, queries[qi], epoch_seconds);
+    std::string diagnostic;
+    EXPECT_TRUE(AggregatesEqual(expected, (*runtime)->hfta(),
+                                static_cast<int>(qi), &diagnostic))
+        << "query " << qi << ": " << diagnostic;
+  }
+}
+
+TEST(ConfigurationRuntimeTest, SingleQueryMatchesReference) {
+  const Trace trace = UniformTrace(3, 100, 20000, 10.0, 1);
+  const AttributeSet a = AttributeSet::Single(0);
+  ExpectCorrectResults(trace, {Spec(a, 37, -1, 0)}, {a}, 0.0);
+}
+
+TEST(ConfigurationRuntimeTest, SingleQueryWithEpochs) {
+  const Trace trace = UniformTrace(3, 100, 20000, 10.0, 2);
+  const AttributeSet ab = AttributeSet::Of({0, 1});
+  ExpectCorrectResults(trace, {Spec(ab, 64, -1, 0)}, {ab}, 1.0);
+}
+
+TEST(ConfigurationRuntimeTest, ThreeIndependentQueries) {
+  const Trace trace = UniformTrace(3, 200, 30000, 6.0, 3);
+  const AttributeSet a = AttributeSet::Single(0);
+  const AttributeSet b = AttributeSet::Single(1);
+  const AttributeSet c = AttributeSet::Single(2);
+  ExpectCorrectResults(
+      trace,
+      {Spec(a, 31, -1, 0), Spec(b, 17, -1, 1), Spec(c, 53, -1, 2)},
+      {a, b, c}, 2.0);
+}
+
+TEST(ConfigurationRuntimeTest, PhantomFeedsThreeQueries) {
+  // The paper's Figure 2: phantom ABC feeds A, B, C.
+  const Trace trace = UniformTrace(3, 300, 30000, 6.0, 4);
+  const AttributeSet abc = AttributeSet::Of({0, 1, 2});
+  const AttributeSet a = AttributeSet::Single(0);
+  const AttributeSet b = AttributeSet::Single(1);
+  const AttributeSet c = AttributeSet::Single(2);
+  ExpectCorrectResults(trace,
+                       {Spec(abc, 128, -1, -1), Spec(a, 16, 0, 0),
+                        Spec(b, 16, 0, 1), Spec(c, 16, 0, 2)},
+                       {a, b, c}, 2.0);
+}
+
+TEST(ConfigurationRuntimeTest, DeepTreeFigure3c) {
+  // ABCD(AB BCD(BC BD CD)) — Figure 3(c).
+  const Trace trace = UniformTrace(4, 500, 40000, 8.0, 5);
+  const AttributeSet abcd = AttributeSet::Of({0, 1, 2, 3});
+  const AttributeSet bcd = AttributeSet::Of({1, 2, 3});
+  const AttributeSet ab = AttributeSet::Of({0, 1});
+  const AttributeSet bc = AttributeSet::Of({1, 2});
+  const AttributeSet bd = AttributeSet::Of({1, 3});
+  const AttributeSet cd = AttributeSet::Of({2, 3});
+  ExpectCorrectResults(trace,
+                       {Spec(abcd, 200, -1, -1), Spec(ab, 40, 0, 0),
+                        Spec(bcd, 100, 0, -1), Spec(bc, 30, 2, 1),
+                        Spec(bd, 30, 2, 2), Spec(cd, 30, 2, 3)},
+                       {ab, bc, bd, cd}, 2.0);
+}
+
+TEST(ConfigurationRuntimeTest, TinyTablesStillCorrect) {
+  // Extreme collision pressure (1-2 buckets) must not lose counts.
+  const Trace trace = UniformTrace(3, 300, 10000, 5.0, 6);
+  const AttributeSet abc = AttributeSet::Of({0, 1, 2});
+  const AttributeSet a = AttributeSet::Single(0);
+  const AttributeSet b = AttributeSet::Single(1);
+  ExpectCorrectResults(
+      trace, {Spec(abc, 2, -1, -1), Spec(a, 1, 0, 0), Spec(b, 2, 0, 1)},
+      {a, b}, 1.0);
+}
+
+TEST(ConfigurationRuntimeTest, NonLeafQueryReceivesResultsToo) {
+  // Query AB feeds query A: AB must both deliver to the HFTA and feed A.
+  const Trace trace = UniformTrace(2, 150, 20000, 4.0, 7);
+  const AttributeSet ab = AttributeSet::Of({0, 1});
+  const AttributeSet a = AttributeSet::Single(0);
+  ExpectCorrectResults(trace, {Spec(ab, 64, -1, 0), Spec(a, 16, 0, 1)},
+                       {ab, a}, 1.0);
+}
+
+TEST(ConfigurationRuntimeTest, ClusteredFlowDataMatchesReference) {
+  auto gen = FlowGenerator::MakePaperTrace({});
+  ASSERT_TRUE(gen.ok());
+  const Trace trace = Trace::Generate(**gen, 100000, 62.0);
+  const AttributeSet abcd = AttributeSet::Of({0, 1, 2, 3});
+  const AttributeSet ab = AttributeSet::Of({0, 1});
+  const AttributeSet cd = AttributeSet::Of({2, 3});
+  ExpectCorrectResults(
+      trace,
+      {Spec(abcd, 1024, -1, -1), Spec(ab, 256, 0, 0), Spec(cd, 256, 0, 1)},
+      {ab, cd}, 10.0);
+}
+
+TEST(ConfigurationRuntimeTest, CountersAddUp) {
+  const Trace trace = UniformTrace(3, 100, 5000, 5.0, 8);
+  const AttributeSet abc = AttributeSet::Of({0, 1, 2});
+  const AttributeSet a = AttributeSet::Single(0);
+  auto runtime = ConfigurationRuntime::Make(
+      trace.schema(), {Spec(abc, 64, -1, -1), Spec(a, 16, 0, 0)}, 1.0);
+  ASSERT_TRUE(runtime.ok());
+  (*runtime)->ProcessTrace(trace);
+  const RuntimeCounters& c = (*runtime)->counters();
+  EXPECT_EQ(c.records, trace.size());
+  // Every record probes exactly one raw table; cascades add more.
+  EXPECT_GE(c.intra_probes, trace.size());
+  EXPECT_EQ(c.epochs_flushed, 5u);
+  // All HFTA transfers are accounted in the counters.
+  EXPECT_EQ(c.intra_transfers + c.flush_transfers,
+            (*runtime)->hfta().transfers());
+  // Total counts delivered to the query equal the record count.
+  uint64_t delivered = 0;
+  for (uint64_t epoch : (*runtime)->hfta().Epochs(0)) {
+    delivered += (*runtime)->hfta().TotalCount(0, epoch);
+  }
+  EXPECT_EQ(delivered, trace.size());
+  // Memory accounting: 64*(3+1) + 16*(1+1) words.
+  EXPECT_EQ((*runtime)->TotalMemoryWords(), 64u * 4 + 16u * 2);
+}
+
+TEST(ConfigurationRuntimeTest, ValidatesSpecs) {
+  const Schema schema = *Schema::Default(3);
+  const AttributeSet a = AttributeSet::Single(0);
+  const AttributeSet ab = AttributeSet::Of({0, 1});
+  // Empty specs.
+  EXPECT_FALSE(ConfigurationRuntime::Make(schema, {}, 0.0).ok());
+  // Zero buckets.
+  EXPECT_FALSE(
+      ConfigurationRuntime::Make(schema, {Spec(a, 0, -1, 0)}, 0.0).ok());
+  // Parent after child.
+  EXPECT_FALSE(ConfigurationRuntime::Make(
+                   schema, {Spec(a, 4, 1, 0), Spec(ab, 4, -1, -1)}, 0.0)
+                   .ok());
+  // Child not a subset of parent.
+  const AttributeSet c = AttributeSet::Single(2);
+  EXPECT_FALSE(ConfigurationRuntime::Make(
+                   schema, {Spec(ab, 4, -1, -1), Spec(c, 4, 0, 0)}, 0.0)
+                   .ok());
+  // Phantom with query_index.
+  RuntimeRelationSpec bad = Spec(ab, 4, -1, 0);
+  bad.is_query = false;
+  EXPECT_FALSE(ConfigurationRuntime::Make(schema, {bad}, 0.0).ok());
+  // Duplicate query_index.
+  EXPECT_FALSE(ConfigurationRuntime::Make(
+                   schema, {Spec(ab, 4, -1, 0), Spec(a, 4, 0, 0)}, 0.0)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace streamagg

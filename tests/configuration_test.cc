@@ -1,0 +1,263 @@
+#include "core/configuration.h"
+
+#include <gtest/gtest.h>
+
+namespace streamagg {
+namespace {
+
+Schema FourAttrs() { return *Schema::Default(4); }
+
+AttributeSet Set(const Schema& schema, const std::string& spec) {
+  return *schema.ParseAttributeSet(spec);
+}
+
+TEST(ConfigurationTest, NoPhantomsIsAForest) {
+  const Schema schema = FourAttrs();
+  auto config = Configuration::Make(
+      schema, {Set(schema, "A"), Set(schema, "B"), Set(schema, "C")}, {});
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->num_nodes(), 3);
+  EXPECT_EQ(config->num_queries(), 3);
+  EXPECT_EQ(config->num_phantoms(), 0);
+  EXPECT_EQ(config->RawRelations().size(), 3u);
+  EXPECT_EQ(config->Leaves().size(), 3u);
+  EXPECT_EQ(config->ToString(), "A B C");
+}
+
+TEST(ConfigurationTest, PhantomBecomesParent) {
+  const Schema schema = FourAttrs();
+  auto config = Configuration::Make(
+      schema, {Set(schema, "A"), Set(schema, "B"), Set(schema, "C")},
+      {Set(schema, "ABC")});
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->ToString(), "ABC(A B C)");
+  const auto raw = config->RawRelations();
+  ASSERT_EQ(raw.size(), 1u);
+  EXPECT_EQ(config->node(raw[0]).attrs, Set(schema, "ABC"));
+  EXPECT_FALSE(config->node(raw[0]).is_query);
+}
+
+TEST(ConfigurationTest, MinimalSupersetIsChosenAsParent) {
+  const Schema schema = FourAttrs();
+  // With ABC and ABCD instantiated, AB hangs off ABC (the smaller superset).
+  auto config = Configuration::Make(
+      schema, {Set(schema, "AB"), Set(schema, "CD")},
+      {Set(schema, "ABC"), Set(schema, "ABCD")});
+  ASSERT_TRUE(config.ok());
+  const int ab = config->FindNode(Set(schema, "AB"));
+  const int abc = config->FindNode(Set(schema, "ABC"));
+  const int abcd = config->FindNode(Set(schema, "ABCD"));
+  const int cd = config->FindNode(Set(schema, "CD"));
+  EXPECT_EQ(config->node(ab).parent, abc);
+  EXPECT_EQ(config->node(abc).parent, abcd);
+  EXPECT_EQ(config->node(cd).parent, abcd);
+  EXPECT_EQ(config->node(abcd).parent, -1);
+}
+
+TEST(ConfigurationTest, TieBreakIsDeterministic) {
+  const Schema schema = FourAttrs();
+  // B is a subset of both ABC and BCD (incomparable, same size): the
+  // tie-break picks the smaller mask (ABC = 0b0111 < BCD = 0b1110).
+  auto config = Configuration::Make(schema, {Set(schema, "B")},
+                                    {Set(schema, "ABC"), Set(schema, "BCD")});
+  ASSERT_TRUE(config.ok());
+  const int b = config->FindNode(Set(schema, "B"));
+  EXPECT_EQ(config->node(b).parent, config->FindNode(Set(schema, "ABC")));
+
+  // A query contained in another query is fed by it when that is the
+  // minimal superset: B under AB rather than under ABC.
+  auto nested = Configuration::Make(
+      schema, {Set(schema, "AB"), Set(schema, "B")}, {Set(schema, "ABC")});
+  ASSERT_TRUE(nested.ok());
+  const int b2 = nested->FindNode(Set(schema, "B"));
+  EXPECT_EQ(nested->node(b2).parent, nested->FindNode(Set(schema, "AB")));
+}
+
+TEST(ConfigurationTest, NodesAreParentsBeforeChildren) {
+  const Schema schema = FourAttrs();
+  auto config = Configuration::Make(
+      schema,
+      {Set(schema, "AB"), Set(schema, "BC"), Set(schema, "BD"),
+       Set(schema, "CD")},
+      {Set(schema, "BCD"), Set(schema, "ABCD")});
+  ASSERT_TRUE(config.ok());
+  for (int i = 0; i < config->num_nodes(); ++i) {
+    EXPECT_LT(config->node(i).parent, i);
+  }
+  EXPECT_EQ(config->ToString(), "ABCD(AB BCD(BC BD CD))");
+}
+
+TEST(ConfigurationTest, RejectsDuplicatesAndPhantomEqualToQuery) {
+  const Schema schema = FourAttrs();
+  EXPECT_FALSE(Configuration::Make(
+                   schema, {Set(schema, "A"), Set(schema, "A")}, {})
+                   .ok());
+  EXPECT_FALSE(Configuration::Make(schema, {Set(schema, "A")},
+                                   {Set(schema, "A")})
+                   .ok());
+  EXPECT_FALSE(
+      Configuration::Make(schema, std::vector<AttributeSet>{}, {}).ok());
+}
+
+TEST(ConfigurationTest, MakeFlatIgnoresContainment) {
+  const Schema schema = FourAttrs();
+  // ABC contains AB contains A, yet the flat (naive Section 2.4) evaluation
+  // keeps all three as independent raw tables.
+  auto flat = Configuration::MakeFlat(
+      schema, {Set(schema, "ABC"), Set(schema, "AB"), Set(schema, "A")});
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->RawRelations().size(), 3u);
+  for (int i = 0; i < flat->num_nodes(); ++i) {
+    EXPECT_EQ(flat->node(i).parent, -1);
+    EXPECT_TRUE(flat->node(i).is_query);
+  }
+  // The cascading builder would chain them instead.
+  auto chained = Configuration::Make(
+      schema, {Set(schema, "ABC"), Set(schema, "AB"), Set(schema, "A")}, {});
+  ASSERT_TRUE(chained.ok());
+  EXPECT_EQ(chained->RawRelations().size(), 1u);
+  EXPECT_FALSE(
+      Configuration::MakeFlat(schema, std::vector<AttributeSet>{}).ok());
+  EXPECT_FALSE(
+      Configuration::MakeFlat(schema, {Set(schema, "A"), Set(schema, "A")})
+          .ok());
+}
+
+TEST(ConfigurationTest, ParseSimple) {
+  const Schema schema = FourAttrs();
+  auto config = Configuration::Parse(schema, "AB(A B) CD(C D)");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->num_nodes(), 6);
+  EXPECT_EQ(config->num_queries(), 4);
+  EXPECT_EQ(config->num_phantoms(), 2);
+  EXPECT_EQ(config->ToString(), "AB(A B) CD(C D)");
+}
+
+TEST(ConfigurationTest, ParseAcceptsOuterParens) {
+  const Schema schema = FourAttrs();
+  // The paper writes configurations as "(ABCD(AB BCD(BC BD CD)))".
+  auto config = Configuration::Parse(schema, "(ABCD(AB BCD(BC BD CD)))");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->ToString(), "ABCD(AB BCD(BC BD CD))");
+  EXPECT_EQ(config->num_queries(), 4);
+}
+
+TEST(ConfigurationTest, ParsePaperFigure9a) {
+  const Schema schema = FourAttrs();
+  auto config = Configuration::Parse(schema, "(ABC(AC(A C) B))");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->num_nodes(), 5);
+  EXPECT_EQ(config->num_phantoms(), 2);  // ABC and AC.
+  const int ac = config->FindNode(Set(schema, "AC"));
+  ASSERT_GE(ac, 0);
+  EXPECT_FALSE(config->node(ac).is_query);
+  EXPECT_EQ(config->node(ac).children.size(), 2u);
+}
+
+TEST(ConfigurationTest, ParseRoundTripsThroughToString) {
+  const Schema schema = FourAttrs();
+  for (const char* text :
+       {"A B C D", "ABC(A B C)", "ABCD(AB BCD(BC BD CD))",
+        "AB(A B) CD(C D)", "ABCD(ABC(A BC(B C)) D)"}) {
+    auto config = Configuration::Parse(schema, text);
+    ASSERT_TRUE(config.ok()) << text;
+    EXPECT_EQ(config->ToString(), text);
+    auto again = Configuration::Parse(schema, config->ToString());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->ToString(), config->ToString());
+  }
+}
+
+TEST(ConfigurationTest, ParseWithExplicitQueries) {
+  const Schema schema = FourAttrs();
+  const std::vector<AttributeSet> queries = {Set(schema, "AB"),
+                                             Set(schema, "A")};
+  // AB is an internal query feeding query A.
+  auto config = Configuration::Parse(schema, "AB(A)", queries);
+  ASSERT_TRUE(config.ok());
+  const int ab = config->FindNode(Set(schema, "AB"));
+  EXPECT_TRUE(config->node(ab).is_query);
+  EXPECT_EQ(config->node(ab).query_index, 0);
+  EXPECT_EQ(config->node(ab).children.size(), 1u);
+}
+
+TEST(ConfigurationTest, ParseWithExplicitQueriesRejectsMissingQuery) {
+  const Schema schema = FourAttrs();
+  EXPECT_FALSE(Configuration::Parse(schema, "AB(A B)",
+                                    {Set(schema, "A"), Set(schema, "C")})
+                   .ok());
+}
+
+TEST(ConfigurationTest, ParseRejectsNonQueryLeaf) {
+  const Schema schema = FourAttrs();
+  // Leaf B is not in the query list.
+  EXPECT_FALSE(
+      Configuration::Parse(schema, "AB(A B)", {Set(schema, "A"),
+                                               Set(schema, "AB")})
+          .ok());
+}
+
+TEST(ConfigurationTest, ParseRejectsMalformedText) {
+  const Schema schema = FourAttrs();
+  EXPECT_FALSE(Configuration::Parse(schema, "").ok());
+  EXPECT_FALSE(Configuration::Parse(schema, "AB(A B").ok());
+  EXPECT_FALSE(Configuration::Parse(schema, "AB)A B(").ok());
+  EXPECT_FALSE(Configuration::Parse(schema, "AB(A XY)").ok());
+  EXPECT_FALSE(Configuration::Parse(schema, "AB(A CD)").ok());  // CD ⊄ AB.
+  EXPECT_FALSE(Configuration::Parse(schema, "AB(A B) AB").ok());  // Duplicate.
+}
+
+TEST(ConfigurationTest, QueryAndPhantomSetsRoundTrip) {
+  const Schema schema = FourAttrs();
+  const std::vector<AttributeSet> queries = {
+      Set(schema, "AB"), Set(schema, "BC"), Set(schema, "BD"),
+      Set(schema, "CD")};
+  auto config =
+      Configuration::Make(schema, queries, {Set(schema, "BCD")});
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->QuerySets(), queries);  // Stable query_index order.
+  const auto phantoms = config->PhantomSets();
+  ASSERT_EQ(phantoms.size(), 1u);
+  EXPECT_EQ(phantoms[0], Set(schema, "BCD"));
+}
+
+TEST(ConfigurationTest, WithPhantomAddsRelation) {
+  const Schema schema = FourAttrs();
+  auto config = Configuration::Make(
+      schema, {Set(schema, "A"), Set(schema, "B"), Set(schema, "C")}, {});
+  ASSERT_TRUE(config.ok());
+  auto bigger = config->WithPhantom(Set(schema, "AB"));
+  ASSERT_TRUE(bigger.ok());
+  EXPECT_EQ(bigger->num_phantoms(), 1);
+  EXPECT_EQ(bigger->ToString(), "AB(A B) C");
+  // Adding it again fails (duplicate).
+  EXPECT_FALSE(bigger->WithPhantom(Set(schema, "AB")).ok());
+}
+
+TEST(ConfigurationTest, ToRuntimeSpecsTransfersStructure) {
+  const Schema schema = FourAttrs();
+  auto config = Configuration::Parse(schema, "ABC(A B C)");
+  ASSERT_TRUE(config.ok());
+  auto specs = config->ToRuntimeSpecs({100.7, 10.2, 10.9, 10.0});
+  ASSERT_TRUE(specs.ok());
+  ASSERT_EQ(specs->size(), 4u);
+  EXPECT_EQ((*specs)[0].num_buckets, 100u);  // Floor of 100.7.
+  EXPECT_FALSE((*specs)[0].is_query);
+  EXPECT_EQ((*specs)[0].parent, -1);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_TRUE((*specs)[i].is_query);
+    EXPECT_EQ((*specs)[i].parent, 0);
+  }
+}
+
+TEST(ConfigurationTest, ToRuntimeSpecsValidatesBuckets) {
+  const Schema schema = FourAttrs();
+  auto config = Configuration::Parse(schema, "A B");
+  ASSERT_TRUE(config.ok());
+  EXPECT_FALSE(config->ToRuntimeSpecs({1.0}).ok());          // Wrong size.
+  EXPECT_FALSE(config->ToRuntimeSpecs({1.0, 0.5}).ok());     // < 1 bucket.
+  EXPECT_TRUE(config->ToRuntimeSpecs({1.0, 1.0}).ok());
+}
+
+}  // namespace
+}  // namespace streamagg

@@ -1,0 +1,233 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace streamagg {
+namespace {
+
+// A fixture with a synthetic catalog and a transparent linear collision
+// model (x = mu * g/b, alpha = 0) so expected costs can be written down in
+// closed form.
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest()
+      : schema_(*Schema::Default(4)),
+        catalog_(*RelationCatalog::Synthetic(
+            schema_,
+            {
+                {Set("A").mask(), 100},
+                {Set("B").mask(), 100},
+                {Set("C").mask(), 100},
+                {Set("D").mask(), 100},
+                {Set("AB").mask(), 400},
+                {Set("ABC").mask(), 900},
+                {Set("ABCD").mask(), 1600},
+            })),
+        linear_(/*alpha=*/0.0, /*mu=*/0.354),
+        model_(&catalog_, &linear_, CostParams{1.0, 50.0}) {}
+
+  AttributeSet Set(const std::string& spec) {
+    return *schema_.ParseAttributeSet(spec);
+  }
+
+  double Rate(const std::string& spec, double buckets) {
+    return 0.354 * static_cast<double>(catalog_.GroupCount(Set(spec))) /
+           buckets;
+  }
+
+  Schema schema_;
+  RelationCatalog catalog_;
+  LinearCollisionModel linear_;
+  CostModel model_;
+};
+
+TEST_F(CostModelTest, NoPhantomMatchesEquation1) {
+  // Paper Section 2.5, Equation 1: E1 = 3 n c1 + 3 x1 n c2 (per record:
+  // 3 c1 + 3 x1 c2).
+  auto config =
+      Configuration::Make(schema_, {Set("A"), Set("B"), Set("C")}, {});
+  ASSERT_TRUE(config.ok());
+  const std::vector<double> buckets = {200.0, 200.0, 200.0};
+  const double x1 = Rate("A", 200.0);
+  const double expected = 3.0 * 1.0 + 3.0 * x1 * 50.0;
+  EXPECT_NEAR(model_.PerRecordCost(*config, buckets), expected, 1e-12);
+}
+
+TEST_F(CostModelTest, OnePhantomMatchesEquation2) {
+  // Paper Section 2.5, Equation 2: E2 = c1 + 3 x2 c1 + 3 x1 x2 c2 per
+  // record, where x2 is the phantom's rate and x1 the queries'.
+  auto config = Configuration::Make(
+      schema_, {Set("A"), Set("B"), Set("C")}, {Set("ABC")});
+  ASSERT_TRUE(config.ok());
+  // Node order: ABC first (raw), then A, B, C.
+  const std::vector<double> buckets = {450.0, 50.0, 50.0, 50.0};
+  const double x2 = Rate("ABC", 450.0);
+  const double x1 = Rate("A", 50.0);
+  const double expected = 1.0 + 3.0 * x2 * 1.0 + 3.0 * x1 * x2 * 50.0;
+  EXPECT_NEAR(model_.PerRecordCost(*config, buckets), expected, 1e-12);
+}
+
+TEST_F(CostModelTest, AncestorRatesMultiplyAlongChains) {
+  // ABCD feeds ABC feeds AB feeds A: the probe stream thins by the product
+  // of ancestor collision rates (Equation 7).
+  auto config = Configuration::Make(
+      schema_, {Set("A")}, {Set("AB"), Set("ABC"), Set("ABCD")});
+  ASSERT_TRUE(config.ok());
+  // Node order by construction: ABCD, ABC, AB, A.
+  const std::vector<double> buckets = {3200.0, 1800.0, 800.0, 200.0};
+  const double x_abcd = Rate("ABCD", 3200.0);
+  const double x_abc = Rate("ABC", 1800.0);
+  const double x_ab = Rate("AB", 800.0);
+  const double x_a = Rate("A", 200.0);
+  const double expected_c1 =
+      1.0 + x_abcd + x_abcd * x_abc + x_abcd * x_abc * x_ab;
+  const double expected_c2 = x_abcd * x_abc * x_ab * x_a * 50.0;
+  EXPECT_NEAR(model_.PerRecordCost(*config, buckets),
+              expected_c1 + expected_c2, 1e-12);
+}
+
+TEST_F(CostModelTest, NonLeafQueryPaysEvictionToo) {
+  // Query AB feeding query A: AB's evictions transfer to the HFTA *and*
+  // probe A.
+  auto config = Configuration::Make(schema_, {Set("AB"), Set("A")}, {});
+  ASSERT_TRUE(config.ok());
+  const std::vector<double> buckets = {800.0, 200.0};
+  const double x_ab = Rate("AB", 800.0);
+  const double x_a = Rate("A", 200.0);
+  const double expected =
+      (1.0 + x_ab) * 1.0 + (x_ab + x_ab * x_a) * 50.0;
+  EXPECT_NEAR(model_.PerRecordCost(*config, buckets), expected, 1e-12);
+}
+
+TEST_F(CostModelTest, MorePhantomSpaceLowersCostUntilQueriesStarve) {
+  // Sanity on the tradeoff the paper optimizes: with a beneficial phantom,
+  // the cost is not monotone in how much space the phantom takes.
+  auto config = Configuration::Make(
+      schema_, {Set("A"), Set("B"), Set("C")}, {Set("ABC")});
+  ASSERT_TRUE(config.ok());
+  const double total_words = 10000.0;
+  auto cost_with_phantom_words = [&](double phantom_words) {
+    const double per_query = (total_words - phantom_words) / 3.0;
+    return model_.PerRecordCost(
+        *config, {phantom_words / 4.0, per_query / 2.0, per_query / 2.0,
+                  per_query / 2.0});
+  };
+  const double starving_phantom = cost_with_phantom_words(500.0);
+  const double balanced = cost_with_phantom_words(7000.0);
+  const double starving_queries = cost_with_phantom_words(9900.0);
+  EXPECT_LT(balanced, starving_phantom);
+  EXPECT_LT(balanced, starving_queries);
+}
+
+TEST_F(CostModelTest, EndOfEpochCostForFlatConfiguration) {
+  // No phantoms: E_u = c2 * sum of flushed entries, where a table flushes
+  // its expected occupancy g (1 - x_random) (see DESIGN.md on Equation 8).
+  auto config =
+      Configuration::Make(schema_, {Set("A"), Set("B"), Set("C")}, {});
+  ASSERT_TRUE(config.ok());
+  const std::vector<double> buckets = {100.0, 200.0, 300.0};
+  double expected_entries = 0.0;
+  for (double b : buckets) {
+    expected_entries += 100.0 * (1.0 - RandomHashCollisionRate(100.0, b));
+  }
+  EXPECT_NEAR(model_.EndOfEpochCost(*config, buckets), expected_entries * 50.0,
+              1e-9);
+}
+
+TEST_F(CostModelTest, EndOfEpochCostPropagatesThroughPhantom) {
+  // ABC(A B C): flushing ABC probes each child occ_ABC times (c1); each
+  // child evicts occ_child + occ_ABC * x_child entries (c2).
+  auto config = Configuration::Make(
+      schema_, {Set("A"), Set("B"), Set("C")}, {Set("ABC")});
+  ASSERT_TRUE(config.ok());
+  const std::vector<double> buckets = {450.0, 50.0, 60.0, 70.0};
+  const double occ_abc =
+      900.0 * (1.0 - RandomHashCollisionRate(900.0, 450.0));
+  const double expected_c1 = 3.0 * occ_abc;
+  double expected_c2 = 0.0;
+  for (double b : {50.0, 60.0, 70.0}) {
+    const double occ = 100.0 * (1.0 - RandomHashCollisionRate(100.0, b));
+    expected_c2 += occ + occ_abc * std::min(1.0, Rate("A", b));
+  }
+  EXPECT_NEAR(model_.EndOfEpochCost(*config, buckets),
+              expected_c1 + expected_c2 * 50.0, 1e-9);
+}
+
+TEST_F(CostModelTest, EndOfEpochGrowsWithTableSizes) {
+  auto config = Configuration::Make(
+      schema_, {Set("A"), Set("B"), Set("C")}, {Set("ABC")});
+  ASSERT_TRUE(config.ok());
+  const double small = model_.EndOfEpochCost(*config, {100, 20, 20, 20});
+  const double large = model_.EndOfEpochCost(*config, {1000, 200, 200, 200});
+  EXPECT_GT(large, small);
+}
+
+TEST_F(CostModelTest, Equation3SignAnalysis) {
+  // Paper Section 2.5, Equation 3: E1 - E2 = [(2 - 3 x2) c1 +
+  // 3 (x1 - x1' x2) c2] n. The phantom pays off when its collision rate x2
+  // is small and hurts when x2 is large. We sweep the phantom's table size
+  // (which controls x2) and check the benefit changes sign exactly when
+  // Equation 3 does.
+  auto with_phantom = Configuration::Make(
+      schema_, {Set("A"), Set("B"), Set("C")}, {Set("ABC")});
+  auto without = Configuration::Make(
+      schema_, {Set("A"), Set("B"), Set("C")}, {});
+  ASSERT_TRUE(with_phantom.ok());
+  ASSERT_TRUE(without.ok());
+  const double total_words = 3000.0;
+  for (double phantom_fraction : {0.3, 0.5, 0.7, 0.9}) {
+    // With the phantom: split its fraction, queries share the rest.
+    const double phantom_buckets = total_words * phantom_fraction / 4.0;
+    const double query_buckets_with =
+        total_words * (1.0 - phantom_fraction) / 3.0 / 2.0;
+    const double e2 = model_.PerRecordCost(
+        *with_phantom,
+        {phantom_buckets, query_buckets_with, query_buckets_with,
+         query_buckets_with});
+    // Without: queries share everything.
+    const double query_buckets_without = total_words / 3.0 / 2.0;
+    const double e1 = model_.PerRecordCost(
+        *without, {query_buckets_without, query_buckets_without,
+                   query_buckets_without});
+    // Equation 3 with x1' (queries without phantom) and x1 (with phantom):
+    const double x2 = std::min(1.0, Rate("ABC", phantom_buckets));
+    const double x1_with = std::min(1.0, Rate("A", query_buckets_with));
+    const double x1_without = std::min(1.0, Rate("A", query_buckets_without));
+    const double predicted_gain =
+        (2.0 - 3.0 * x2) * 1.0 + 3.0 * (x1_without - x1_with * x2) * 50.0;
+    EXPECT_NEAR(e1 - e2, predicted_gain, 1e-9)
+        << "phantom fraction " << phantom_fraction;
+  }
+}
+
+TEST_F(CostModelTest, NoPhantomCostHelper) {
+  std::vector<Relation> queries = {catalog_.Get(Set("A")),
+                                   catalog_.Get(Set("B"))};
+  const double x = Rate("A", 100.0);
+  EXPECT_NEAR(model_.NoPhantomCost(queries, {100.0, 100.0}),
+              2.0 * (1.0 + x * 50.0), 1e-12);
+}
+
+TEST_F(CostModelTest, ClusteredDataLowersCost) {
+  auto clustered_catalog = RelationCatalog::Synthetic(
+      schema_,
+      {
+          {Set("A").mask(), 100},
+          {Set("B").mask(), 100},
+          {Set("C").mask(), 100},
+          {Set("D").mask(), 100},
+          {Set("ABC").mask(), 900},
+      },
+      /*flow_length=*/20.0);
+  ASSERT_TRUE(clustered_catalog.ok());
+  CostModel clustered_model(&*clustered_catalog, &linear_, CostParams{1, 50});
+  auto config = Configuration::Make(
+      schema_, {Set("A"), Set("B"), Set("C")}, {Set("ABC")});
+  ASSERT_TRUE(config.ok());
+  const std::vector<double> buckets = {450.0, 50.0, 50.0, 50.0};
+  EXPECT_LT(clustered_model.PerRecordCost(*config, buckets),
+            model_.PerRecordCost(*config, buckets));
+}
+
+}  // namespace
+}  // namespace streamagg

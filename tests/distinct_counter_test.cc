@@ -1,0 +1,83 @@
+#include "stream/distinct_counter.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace streamagg {
+namespace {
+
+GroupKey Key2(uint32_t a, uint32_t b) {
+  GroupKey k;
+  k.size = 2;
+  k.values[0] = a;
+  k.values[1] = b;
+  return k;
+}
+
+TEST(DistinctCounterTest, EmptyEstimatesZero) {
+  DistinctCounter counter(1024);
+  EXPECT_EQ(counter.Estimate(), 0u);
+  EXPECT_EQ(counter.ZeroBits(), counter.bits());
+}
+
+TEST(DistinctCounterTest, RoundsBitmapUp) {
+  DistinctCounter tiny(1);
+  EXPECT_EQ(tiny.bits(), 64u);
+  DistinctCounter odd(100);
+  EXPECT_EQ(odd.bits(), 128u);
+}
+
+TEST(DistinctCounterTest, DuplicatesDoNotInflate) {
+  DistinctCounter counter(4096);
+  for (int i = 0; i < 10000; ++i) counter.Add(Key2(7, 9));
+  EXPECT_EQ(counter.Estimate(), 1u);
+}
+
+class DistinctCounterAccuracy : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DistinctCounterAccuracy, EstimatesWithinFivePercent) {
+  const uint64_t true_count = GetParam();
+  DistinctCounter counter(1 << 15);  // 32768 bits >> true counts tested.
+  Random rng(true_count * 31 + 7);
+  std::unordered_set<uint64_t> used;
+  while (used.size() < true_count) {
+    const uint32_t a = static_cast<uint32_t>(rng.Next64());
+    const uint32_t b = static_cast<uint32_t>(rng.Next64());
+    if (used.insert((static_cast<uint64_t>(a) << 32) | b).second) {
+      counter.Add(Key2(a, b));
+      // Repeats must not matter.
+      counter.Add(Key2(a, b));
+    }
+  }
+  const double estimate = static_cast<double>(counter.Estimate());
+  EXPECT_NEAR(estimate, static_cast<double>(true_count),
+              0.05 * static_cast<double>(true_count) + 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(TrueCounts, DistinctCounterAccuracy,
+                         ::testing::Values(10, 100, 552, 1846, 2837, 8000));
+
+TEST(DistinctCounterTest, SaturationIsReportedNotDiverged) {
+  DistinctCounter counter(64);
+  Random rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    counter.Add(Key2(static_cast<uint32_t>(rng.Next64()),
+                     static_cast<uint32_t>(rng.Next64())));
+  }
+  EXPECT_EQ(counter.ZeroBits(), 0u);
+  EXPECT_EQ(counter.Estimate(), 64u);
+}
+
+TEST(DistinctCounterTest, ResetClears) {
+  DistinctCounter counter(1024);
+  counter.Add(Key2(1, 2));
+  EXPECT_GT(counter.Estimate(), 0u);
+  counter.Reset();
+  EXPECT_EQ(counter.Estimate(), 0u);
+}
+
+}  // namespace
+}  // namespace streamagg

@@ -1,0 +1,262 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "dsms/reference_aggregator.h"
+#include "stream/uniform_generator.h"
+
+namespace streamagg {
+namespace {
+
+StreamAggEngine::Options BaseOptions() {
+  StreamAggEngine::Options options;
+  options.memory_words = 30000.0;
+  options.sample_size = 20000;
+  options.epoch_seconds = 2.0;
+  options.clustered = false;
+  return options;
+}
+
+Trace UniformTrace(uint64_t groups, size_t n, uint64_t seed) {
+  auto gen = std::move(UniformGenerator::Make(*Schema::Default(4), groups,
+                                              seed))
+                 .value();
+  return Trace::Generate(*gen, n, 10.0);
+}
+
+TEST(StreamAggEngineTest, EndToEndResultsAreExact) {
+  const Trace trace = UniformTrace(800, 100000, 5);
+  const Schema& schema = trace.schema();
+  const std::vector<QueryDef> queries = {
+      QueryDef(*schema.ParseAttributeSet("AB")),
+      QueryDef(*schema.ParseAttributeSet("BC")),
+      QueryDef(*schema.ParseAttributeSet("CD")),
+  };
+  auto engine =
+      StreamAggEngine::FromQueryDefs(schema, queries, BaseOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_FALSE((*engine)->planned());
+  for (const Record& r : trace.records()) {
+    ASSERT_TRUE((*engine)->Process(r).ok());
+  }
+  EXPECT_TRUE((*engine)->planned());
+  EXPECT_FALSE((*engine)->ConfigurationText().empty());
+  ASSERT_TRUE((*engine)->Finish().ok());
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto expected =
+        ComputeReferenceAggregate(trace, queries[qi].group_by, 2.0);
+    for (const auto& [epoch, groups] : expected) {
+      const EpochAggregate& actual =
+          (*engine)->EpochResult(static_cast<int>(qi), epoch);
+      ASSERT_EQ(actual.size(), groups.size())
+          << "query " << qi << " epoch " << epoch;
+      for (const auto& [key, state] : groups) {
+        auto it = actual.find(key);
+        ASSERT_NE(it, actual.end());
+        EXPECT_EQ(it->second.count, state.count);
+      }
+    }
+  }
+  // All records accounted for.
+  EXPECT_EQ((*engine)->counters().records, trace.size());
+}
+
+TEST(StreamAggEngineTest, WorksFromQueryTexts) {
+  const Trace trace = UniformTrace(500, 60000, 7);
+  auto engine = StreamAggEngine::FromQueryTexts(
+      trace.schema(),
+      {"select A, count(*) from R group by A, time/2",
+       "select B, count(*) from R group by B, time/2"},
+      BaseOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  for (const Record& r : trace.records()) {
+    ASSERT_TRUE((*engine)->Process(r).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+  ASSERT_EQ((*engine)->parsed_queries().size(), 2u);
+  // Epochs come from the query text (time/2 over a 10-second trace).
+  const std::vector<uint64_t> epochs = (*engine)->Epochs(0);
+  EXPECT_EQ(epochs.size(), 5u);
+  const auto expected = ComputeReferenceAggregate(
+      trace, AttributeSet::Single(0), 2.0);
+  for (uint64_t epoch : epochs) {
+    EXPECT_EQ((*engine)->EpochResult(0, epoch).size(), expected.at(epoch).size());
+  }
+}
+
+TEST(StreamAggEngineTest, ShortStreamPlansAtFinish) {
+  const Trace trace = UniformTrace(300, 5000, 9);  // Below the sample size.
+  const Schema& schema = trace.schema();
+  auto engine = StreamAggEngine::FromQueryDefs(
+      schema, {QueryDef(*schema.ParseAttributeSet("AB"))}, BaseOptions());
+  ASSERT_TRUE(engine.ok());
+  for (const Record& r : trace.records()) {
+    ASSERT_TRUE((*engine)->Process(r).ok());
+  }
+  EXPECT_FALSE((*engine)->planned());  // Still sampling.
+  ASSERT_TRUE((*engine)->Finish().ok());
+  const auto expected =
+      ComputeReferenceAggregate(trace, *schema.ParseAttributeSet("AB"), 2.0);
+  uint64_t total = 0;
+  for (uint64_t epoch : (*engine)->Epochs(0)) {
+    for (const auto& [key, state] : (*engine)->EpochResult(0, epoch)) {
+      total += state.count;
+    }
+  }
+  EXPECT_EQ(total, trace.size());
+  (void)expected;
+}
+
+TEST(StreamAggEngineTest, AdaptiveSwapPreservesResults) {
+  // Calm traffic for 3 epochs, then a 10x group blow-up: with adaptivity on
+  // the engine re-plans mid-stream; every epoch's counts must still be
+  // exact across the runtime swap.
+  const Schema schema = *Schema::Default(4);
+  auto calm = std::move(UniformGenerator::Make(schema, 500, 11)).value();
+  auto shifted = std::move(UniformGenerator::Make(schema, 5000, 13)).value();
+  Trace trace(schema);
+  const size_t kN = 120000;
+  trace.set_duration_seconds(12.0);
+  for (size_t i = 0; i < kN; ++i) {
+    Record r = (i < kN / 2) ? calm->Next() : shifted->Next();
+    r.timestamp = 12.0 * static_cast<double>(i) / kN;
+    trace.Append(r);
+  }
+
+  StreamAggEngine::Options options = BaseOptions();
+  options.adaptive = true;
+  options.sample_size = 10000;
+  const std::vector<QueryDef> queries = {
+      QueryDef(*schema.ParseAttributeSet("AB")),
+      QueryDef(*schema.ParseAttributeSet("CD")),
+  };
+  auto engine = StreamAggEngine::FromQueryDefs(schema, queries, options);
+  ASSERT_TRUE(engine.ok());
+  for (const Record& r : trace.records()) {
+    ASSERT_TRUE((*engine)->Process(r).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+  EXPECT_GE((*engine)->reoptimizations(), 1);
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto expected =
+        ComputeReferenceAggregate(trace, queries[qi].group_by, 2.0);
+    for (const auto& [epoch, groups] : expected) {
+      const EpochAggregate& actual =
+          (*engine)->EpochResult(static_cast<int>(qi), epoch);
+      ASSERT_EQ(actual.size(), groups.size())
+          << "query " << qi << " epoch " << epoch;
+      for (const auto& [key, state] : groups) {
+        auto it = actual.find(key);
+        ASSERT_NE(it, actual.end()) << key.ToString();
+        EXPECT_EQ(it->second.count, state.count) << key.ToString();
+      }
+    }
+  }
+  EXPECT_EQ((*engine)->counters().records, trace.size());
+}
+
+TEST(StreamAggEngineTest, SharedWhereClauseFiltersRecords) {
+  const Trace trace = UniformTrace(400, 60000, 21);
+  const Schema& schema = trace.schema();
+  // Keep only records with D < 4 (the universe draws D from a domain of
+  // ~11 values, so this passes roughly a third of the stream).
+  auto engine = StreamAggEngine::FromQueryTexts(
+      schema,
+      {"select A, count(*) from R where D < 4 group by A, time/2",
+       "select B, count(*) from R where D < 4 group by B, time/2"},
+      BaseOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  for (const Record& r : trace.records()) {
+    ASSERT_TRUE((*engine)->Process(r).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+
+  // Reference: aggregate only the passing records.
+  Trace filtered(schema);
+  for (const Record& r : trace.records()) {
+    if (r.values[3] < 4) filtered.Append(r);
+  }
+  ASSERT_GT(filtered.size(), 0u);
+  ASSERT_LT(filtered.size(), trace.size());
+  const auto expected =
+      ComputeReferenceAggregate(filtered, AttributeSet::Single(0), 2.0);
+  uint64_t total = 0;
+  for (uint64_t epoch : (*engine)->Epochs(0)) {
+    const EpochAggregate& actual = (*engine)->EpochResult(0, epoch);
+    ASSERT_EQ(actual.size(), expected.at(epoch).size()) << "epoch " << epoch;
+    for (const auto& [key, state] : actual) total += state.count;
+  }
+  EXPECT_EQ(total, filtered.size());
+  EXPECT_EQ((*engine)->counters().records, filtered.size());
+}
+
+TEST(StreamAggEngineTest, PinnedPlanSkipsSampling) {
+  const Trace trace = UniformTrace(500, 50000, 31);
+  const Schema& schema = trace.schema();
+  const std::vector<QueryDef> queries = {
+      QueryDef(*schema.ParseAttributeSet("AB")),
+      QueryDef(*schema.ParseAttributeSet("CD"))};
+  // Build a plan offline...
+  TraceStats stats(&trace);
+  const RelationCatalog catalog =
+      RelationCatalog::FromTrace(&stats, /*clustered=*/false);
+  Optimizer optimizer;
+  OptimizedPlan plan = *optimizer.Optimize(catalog, queries, 30000.0);
+  const std::string config_text = plan.config.ToString();
+
+  // ...and pin it: the engine is live from the first record.
+  auto engine = StreamAggEngine::FromPinnedPlan(schema, std::move(plan), {},
+                                                BaseOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_TRUE((*engine)->planned());
+  EXPECT_EQ((*engine)->ConfigurationText(), config_text);
+  for (const Record& r : trace.records()) {
+    ASSERT_TRUE((*engine)->Process(r).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+  const auto expected =
+      ComputeReferenceAggregate(trace, queries[0].group_by, 2.0);
+  for (const auto& [epoch, groups] : expected) {
+    EXPECT_EQ((*engine)->EpochResult(0, epoch).size(), groups.size());
+  }
+  EXPECT_EQ((*engine)->counters().records, trace.size());
+}
+
+TEST(StreamAggEngineTest, AdaptivePinnedPlanNeedsCounts) {
+  const Schema schema = *Schema::Default(4);
+  auto catalog = RelationCatalog::Synthetic(
+      schema, {{AttributeSet::Single(0).mask(), 100},
+               {AttributeSet::Single(1).mask(), 100},
+               {AttributeSet::Single(2).mask(), 100},
+               {AttributeSet::Single(3).mask(), 100}});
+  Optimizer optimizer;
+  OptimizedPlan plan = *optimizer.Optimize(
+      *catalog,
+      std::vector<QueryDef>{QueryDef(*schema.ParseAttributeSet("AB"))},
+      20000.0);
+  StreamAggEngine::Options options = BaseOptions();
+  options.adaptive = true;
+  EXPECT_FALSE(
+      StreamAggEngine::FromPinnedPlan(schema, std::move(plan), {}, options)
+          .ok());
+}
+
+TEST(StreamAggEngineTest, RejectsBadConstruction) {
+  const Schema schema = *Schema::Default(3);
+  EXPECT_FALSE(
+      StreamAggEngine::FromQueryDefs(schema, {}, BaseOptions()).ok());
+  EXPECT_FALSE(StreamAggEngine::FromQueryTexts(schema, {"select nope"},
+                                               BaseOptions())
+                   .ok());
+  EXPECT_FALSE(StreamAggEngine::FromQueryTexts(
+                   schema,
+                   {"select A, count(*) from R group by A, time/60",
+                    "select B, count(*) from R group by B, time/30"},
+                   BaseOptions())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace streamagg

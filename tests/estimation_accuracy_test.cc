@@ -1,0 +1,200 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/optimizer.h"
+#include "dsms/configuration_runtime.h"
+#include "stream/flow_generator.h"
+#include "stream/trace_stats.h"
+#include "stream/uniform_generator.h"
+
+namespace streamagg {
+namespace {
+
+// Integration checks of the paper's central claim: the analytic cost and
+// collision models predict what the running system actually does (Sections
+// 4.2 and 6.3.2).
+
+// A uniform generator over a universe with wide per-attribute domains, so
+// every projection has enough groups for the expectation-based model to have
+// low realization variance (tiny projections make single runs swing wildly:
+// the realized rate is 1 - occupied/g).
+std::unique_ptr<UniformGenerator> WideUniform(uint64_t num_groups,
+                                              uint64_t seed) {
+  auto universe = GroupUniverse::Uniform(
+      *Schema::Default(4), num_groups,
+      {static_cast<uint32_t>(num_groups / 3),
+       static_cast<uint32_t>(num_groups / 3),
+       static_cast<uint32_t>(num_groups / 3),
+       static_cast<uint32_t>(num_groups / 3)},
+      seed);
+  EXPECT_TRUE(universe.ok());
+  return std::make_unique<UniformGenerator>(std::move(*universe), seed + 1);
+}
+
+struct RunOutcome {
+  double measured_per_record_cost = 0.0;
+  double estimated_per_record_cost = 0.0;
+  std::vector<double> measured_rates;
+  std::vector<double> estimated_rates;
+};
+
+RunOutcome RunAndCompare(const Trace& trace, const Configuration& config,
+                         const std::vector<double>& buckets,
+                         const CostModel& cost_model) {
+  RunOutcome outcome;
+  outcome.estimated_per_record_cost = cost_model.PerRecordCost(config, buckets);
+  outcome.estimated_rates = cost_model.CollisionRates(config, buckets);
+
+  auto specs = config.ToRuntimeSpecs(buckets);
+  EXPECT_TRUE(specs.ok());
+  // No epochs: the intra-epoch cost model is what we are validating.
+  auto runtime = ConfigurationRuntime::Make(trace.schema(), *specs, 0.0);
+  EXPECT_TRUE(runtime.ok());
+  (*runtime)->ProcessTrace(trace);
+  const RuntimeCounters& counters = (*runtime)->counters();
+  outcome.measured_per_record_cost =
+      counters.IntraCost(cost_model.params().c1, cost_model.params().c2) /
+      static_cast<double>(trace.size());
+  for (int i = 0; i < config.num_nodes(); ++i) {
+    outcome.measured_rates.push_back((*runtime)->table(i).CollisionRate());
+  }
+  return outcome;
+}
+
+TEST(EstimationAccuracyTest, FlatConfigurationCostMatchesRuntime) {
+  auto gen = WideUniform(2000, 51);
+  const Trace trace = Trace::Generate(*gen, 200000, 10.0);
+  TraceStats stats(&trace);
+  const RelationCatalog catalog =
+      RelationCatalog::FromTrace(&stats, /*clustered=*/false);
+  PreciseCollisionModel precise;
+  CostModel cost_model(&catalog, &precise, CostParams{1.0, 50.0});
+
+  auto config = Configuration::Parse(trace.schema(), "A B C D");
+  ASSERT_TRUE(config.ok());
+  const std::vector<double> buckets = {400, 700, 600, 500};
+  const RunOutcome outcome = RunAndCompare(trace, *config, buckets, cost_model);
+  EXPECT_NEAR(outcome.measured_per_record_cost,
+              outcome.estimated_per_record_cost,
+              0.15 * outcome.estimated_per_record_cost);
+}
+
+TEST(EstimationAccuracyTest, PhantomConfigurationCostMatchesRuntime) {
+  auto gen = WideUniform(2500, 53);
+  const Trace trace = Trace::Generate(*gen, 300000, 10.0);
+  TraceStats stats(&trace);
+  const RelationCatalog catalog =
+      RelationCatalog::FromTrace(&stats, /*clustered=*/false);
+  PreciseCollisionModel precise;
+  CostModel cost_model(&catalog, &precise, CostParams{1.0, 50.0});
+
+  auto config =
+      Configuration::Parse(trace.schema(), "ABCD(AB BCD(BC BD CD))");
+  ASSERT_TRUE(config.ok());
+  const std::vector<double> buckets = {3000, 900, 1500, 700, 700, 700};
+  const RunOutcome outcome = RunAndCompare(trace, *config, buckets, cost_model);
+  // The model overestimates deep configurations: eviction streams feeding
+  // lower tables are themselves clustered (a parent group always projects
+  // to the same child group), which the uniform-arrival assumption misses.
+  // The paper reports the same effect (Section 6.3.2). Direction and
+  // magnitude must still be close.
+  EXPECT_NEAR(outcome.measured_per_record_cost,
+              outcome.estimated_per_record_cost,
+              0.35 * outcome.estimated_per_record_cost);
+}
+
+TEST(EstimationAccuracyTest, PerTableCollisionRatesMatchModel) {
+  auto gen = WideUniform(2500, 57);
+  const Trace trace = Trace::Generate(*gen, 300000, 10.0);
+  TraceStats stats(&trace);
+  const RelationCatalog catalog =
+      RelationCatalog::FromTrace(&stats, /*clustered=*/false);
+  PreciseCollisionModel precise;
+  CostModel cost_model(&catalog, &precise, CostParams{1.0, 50.0});
+
+  auto config = Configuration::Parse(trace.schema(), "ABC(A B C) D");
+  ASSERT_TRUE(config.ok());
+  const std::vector<double> buckets = {2000, 300, 300, 300, 400};
+  const RunOutcome outcome = RunAndCompare(trace, *config, buckets, cost_model);
+  for (size_t i = 0; i < outcome.estimated_rates.size(); ++i) {
+    // Raw-table rates are tight; fed tables see fewer, phantom-filtered
+    // probes, so allow wider slack plus realization variance.
+    EXPECT_NEAR(outcome.measured_rates[i], outcome.estimated_rates[i],
+                0.25 * outcome.estimated_rates[i] + 0.03)
+        << "node " << i;
+  }
+}
+
+TEST(EstimationAccuracyTest, ClusteredCostIsOverestimatedAtMostMildly) {
+  // On clustered (netflow-like) data the model divides rates by the flow
+  // length; prediction quality is looser but must stay in the right decade.
+  auto gen = FlowGenerator::MakePaperTrace({});
+  ASSERT_TRUE(gen.ok());
+  const Trace trace = Trace::Generate(**gen, 300000, 62.0);
+  TraceStats stats(&trace);
+  RelationCatalog catalog = RelationCatalog::FromTrace(&stats);
+  PreciseCollisionModel precise;
+  CostModel cost_model(&catalog, &precise, CostParams{1.0, 50.0});
+
+  auto config = Configuration::Parse(trace.schema(), "ABCD(AB BC BD CD)");
+  ASSERT_TRUE(config.ok());
+  // The clustered model (Equation 15) assumes a flow's packets traverse a
+  // bucket without interference, which holds when tables are much larger
+  // than the number of concurrently active flows (1024 here). Large tables:
+  // prediction lands in the right range.
+  const std::vector<double> large = {8000, 4000, 4000, 4000, 4000};
+  const RunOutcome roomy = RunAndCompare(trace, *config, large, cost_model);
+  const double roomy_ratio =
+      roomy.measured_per_record_cost / roomy.estimated_per_record_cost;
+  EXPECT_GT(roomy_ratio, 0.3);
+  EXPECT_LT(roomy_ratio, 3.0);
+
+  // Tables smaller than the concurrency lose the clustering benefit (two
+  // live flows sharing a bucket ping-pong it), so the model underestimates
+  // there — the measured cost must come out higher, never lower.
+  const std::vector<double> cramped = {3000, 800, 800, 800, 800};
+  const RunOutcome tight = RunAndCompare(trace, *config, cramped, cost_model);
+  EXPECT_GT(tight.measured_per_record_cost,
+            tight.estimated_per_record_cost);
+}
+
+TEST(EstimationAccuracyTest, ModelRanksConfigurationsLikeReality) {
+  // What the optimizer really needs: if the model says configuration X is
+  // much cheaper than Y, the measured costs must agree on the direction.
+  auto gen = WideUniform(2500, 61);
+  const Trace trace = Trace::Generate(*gen, 200000, 10.0);
+  TraceStats stats(&trace);
+  const RelationCatalog catalog =
+      RelationCatalog::FromTrace(&stats, /*clustered=*/false);
+  PreciseCollisionModel precise;
+  CostModel cost_model(&catalog, &precise, CostParams{1.0, 50.0});
+  SpaceAllocator allocator(&cost_model);
+
+  const double memory = 40000.0;
+  std::vector<std::pair<double, double>> est_meas;
+  for (const char* text :
+       {"A B C D", "ABCD(A B C D)", "AB(A B) CD(C D)"}) {
+    auto config = Configuration::Parse(trace.schema(), text);
+    ASSERT_TRUE(config.ok());
+    auto buckets = allocator.Allocate(*config, memory, AllocationScheme::kSL);
+    ASSERT_TRUE(buckets.ok());
+    const RunOutcome outcome =
+        RunAndCompare(trace, *config, *buckets, cost_model);
+    est_meas.emplace_back(outcome.estimated_per_record_cost,
+                          outcome.measured_per_record_cost);
+  }
+  for (size_t i = 0; i < est_meas.size(); ++i) {
+    for (size_t j = 0; j < est_meas.size(); ++j) {
+      if (est_meas[i].first < est_meas[j].first * 0.8) {
+        EXPECT_LT(est_meas[i].second, est_meas[j].second)
+            << "model ordering disagrees with measurement (" << i << " vs "
+            << j << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamagg

@@ -1,0 +1,105 @@
+#include "core/feeding_graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace streamagg {
+namespace {
+
+Schema FourAttrs() { return *Schema::Default(4); }
+
+AttributeSet Set(const Schema& schema, const std::string& spec) {
+  return *schema.ParseAttributeSet(spec);
+}
+
+TEST(FeedingGraphTest, PaperFigure4) {
+  // Queries {AB, BC, BD, CD} yield phantoms ABC, ABD, BCD, ABCD (Figure 4).
+  const Schema schema = FourAttrs();
+  auto graph = FeedingGraph::Build(
+      schema, {Set(schema, "AB"), Set(schema, "BC"), Set(schema, "BD"),
+               Set(schema, "CD")});
+  ASSERT_TRUE(graph.ok());
+  const auto& phantoms = graph->phantoms();
+  std::vector<std::string> names;
+  for (AttributeSet p : phantoms) names.push_back(schema.FormatAttributeSet(p));
+  std::sort(names.begin(), names.end());
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "ABC");
+  EXPECT_EQ(names[1], "ABCD");
+  EXPECT_EQ(names[2], "ABD");
+  EXPECT_EQ(names[3], "BCD");
+}
+
+TEST(FeedingGraphTest, SingletonQueriesYieldAllCombinations) {
+  // Queries {A, B, C, D}: phantoms are all 2+-attribute subsets — 11 total.
+  const Schema schema = FourAttrs();
+  auto graph = FeedingGraph::Build(
+      schema, {Set(schema, "A"), Set(schema, "B"), Set(schema, "C"),
+               Set(schema, "D")});
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->phantoms().size(), 11u);
+}
+
+TEST(FeedingGraphTest, PhantomsExcludeQueries) {
+  const Schema schema = FourAttrs();
+  auto graph = FeedingGraph::Build(
+      schema, {Set(schema, "A"), Set(schema, "B"), Set(schema, "AB")});
+  ASSERT_TRUE(graph.ok());
+  // A ∪ B = AB is a query, so it is not a phantom.
+  for (AttributeSet p : graph->phantoms()) {
+    EXPECT_NE(p, Set(schema, "AB"));
+  }
+}
+
+TEST(FeedingGraphTest, PhantomsAreSortedBySizeThenMask) {
+  const Schema schema = FourAttrs();
+  auto graph = FeedingGraph::Build(
+      schema, {Set(schema, "A"), Set(schema, "B"), Set(schema, "C"),
+               Set(schema, "D")});
+  ASSERT_TRUE(graph.ok());
+  const auto& phantoms = graph->phantoms();
+  for (size_t i = 1; i < phantoms.size(); ++i) {
+    const bool ordered =
+        phantoms[i - 1].Count() < phantoms[i].Count() ||
+        (phantoms[i - 1].Count() == phantoms[i].Count() &&
+         phantoms[i - 1].mask() < phantoms[i].mask());
+    EXPECT_TRUE(ordered) << "at index " << i;
+  }
+}
+
+TEST(FeedingGraphTest, FeedsIsStrictContainment) {
+  const Schema schema = FourAttrs();
+  EXPECT_TRUE(
+      FeedingGraph::Feeds(Set(schema, "ABC"), Set(schema, "AB")));
+  EXPECT_FALSE(
+      FeedingGraph::Feeds(Set(schema, "AB"), Set(schema, "AB")));
+  EXPECT_FALSE(
+      FeedingGraph::Feeds(Set(schema, "AB"), Set(schema, "ABC")));
+  EXPECT_FALSE(FeedingGraph::Feeds(Set(schema, "AB"), Set(schema, "CD")));
+}
+
+TEST(FeedingGraphTest, AllRelationsConcatenatesQueriesAndPhantoms) {
+  const Schema schema = FourAttrs();
+  auto graph =
+      FeedingGraph::Build(schema, {Set(schema, "A"), Set(schema, "B")});
+  ASSERT_TRUE(graph.ok());
+  const auto all = graph->AllRelations();
+  ASSERT_EQ(all.size(), 3u);  // A, B, AB.
+  EXPECT_EQ(all[0], Set(schema, "A"));
+  EXPECT_EQ(all[1], Set(schema, "B"));
+  EXPECT_EQ(all[2], Set(schema, "AB"));
+}
+
+TEST(FeedingGraphTest, RejectsInvalidQuerySets) {
+  const Schema schema = FourAttrs();
+  EXPECT_FALSE(FeedingGraph::Build(schema, {}).ok());
+  EXPECT_FALSE(
+      FeedingGraph::Build(schema, {Set(schema, "A"), Set(schema, "A")}).ok());
+  EXPECT_FALSE(FeedingGraph::Build(schema, {AttributeSet()}).ok());
+  EXPECT_FALSE(
+      FeedingGraph::Build(schema, {AttributeSet::Of({0, 7})}).ok());
+}
+
+}  // namespace
+}  // namespace streamagg

@@ -1,0 +1,186 @@
+#include "stream/generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "stream/flow_generator.h"
+#include "stream/record.h"
+#include "stream/uniform_generator.h"
+#include "stream/zipf_generator.h"
+
+namespace streamagg {
+namespace {
+
+Schema FourAttrs() { return *Schema::Default(4); }
+
+uint64_t DistinctProjected(const std::vector<Record>& records,
+                           AttributeSet set) {
+  std::unordered_set<GroupKey, GroupKeyHash> seen;
+  for (const Record& r : records) seen.insert(GroupKey::Project(r, set));
+  return seen.size();
+}
+
+TEST(GroupUniverseTest, UniformHasExactSize) {
+  auto u = GroupUniverse::Uniform(FourAttrs(), 500, {100, 100, 100, 100}, 1);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 500u);
+  std::vector<Record> tuples;
+  for (size_t i = 0; i < u->size(); ++i) tuples.push_back(u->tuple(i));
+  EXPECT_EQ(DistinctProjected(tuples, AttributeSet::Of({0, 1, 2, 3})), 500u);
+}
+
+TEST(GroupUniverseTest, UniformRespectsCardinalities) {
+  auto u = GroupUniverse::Uniform(FourAttrs(), 500, {7, 100, 100, 100}, 2);
+  ASSERT_TRUE(u.ok());
+  std::vector<Record> tuples;
+  for (size_t i = 0; i < u->size(); ++i) tuples.push_back(u->tuple(i));
+  EXPECT_LE(DistinctProjected(tuples, AttributeSet::Single(0)), 7u);
+}
+
+TEST(GroupUniverseTest, UniformRejectsTinyDomains) {
+  EXPECT_FALSE(GroupUniverse::Uniform(FourAttrs(), 500, {2, 2, 2, 2}, 1).ok());
+  EXPECT_FALSE(GroupUniverse::Uniform(FourAttrs(), 500, {0, 9, 9, 9}, 1).ok());
+  EXPECT_FALSE(GroupUniverse::Uniform(FourAttrs(), 500, {100, 100}, 1).ok());
+}
+
+TEST(GroupUniverseTest, HierarchicalMatchesPrefixCounts) {
+  // The paper's projection counts (Section 6.1).
+  auto u =
+      GroupUniverse::Hierarchical(FourAttrs(), {552, 1846, 2117, 2837}, 3);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 2837u);
+  std::vector<Record> tuples;
+  for (size_t i = 0; i < u->size(); ++i) tuples.push_back(u->tuple(i));
+  EXPECT_EQ(DistinctProjected(tuples, AttributeSet::Of({0})), 552u);
+  EXPECT_EQ(DistinctProjected(tuples, AttributeSet::Of({0, 1})), 1846u);
+  EXPECT_EQ(DistinctProjected(tuples, AttributeSet::Of({0, 1, 2})), 2117u);
+  EXPECT_EQ(DistinctProjected(tuples, AttributeSet::Of({0, 1, 2, 3})), 2837u);
+}
+
+TEST(GroupUniverseTest, HierarchicalValidatesLevelSizes) {
+  EXPECT_FALSE(
+      GroupUniverse::Hierarchical(FourAttrs(), {100, 50, 200, 300}, 1).ok());
+  EXPECT_FALSE(GroupUniverse::Hierarchical(FourAttrs(), {0, 1, 2, 3}, 1).ok());
+  EXPECT_FALSE(GroupUniverse::Hierarchical(FourAttrs(), {1, 2}, 1).ok());
+}
+
+TEST(UniformGeneratorTest, DeterministicAndResettable) {
+  auto gen = UniformGenerator::Make(FourAttrs(), 100, 11);
+  ASSERT_TRUE(gen.ok());
+  std::vector<Record> first;
+  for (int i = 0; i < 50; ++i) first.push_back((*gen)->Next());
+  (*gen)->Reset();
+  for (int i = 0; i < 50; ++i) {
+    const Record r = (*gen)->Next();
+    EXPECT_EQ(r.values, first[i].values) << "position " << i;
+  }
+}
+
+TEST(UniformGeneratorTest, CoversUniverseRoughlyEvenly) {
+  auto gen = UniformGenerator::Make(FourAttrs(), 50, 12);
+  ASSERT_TRUE(gen.ok());
+  std::unordered_set<GroupKey, GroupKeyHash> seen;
+  const AttributeSet all = AttributeSet::Of({0, 1, 2, 3});
+  for (int i = 0; i < 5000; ++i) {
+    seen.insert(GroupKey::Project((*gen)->Next(), all));
+  }
+  EXPECT_EQ(seen.size(), 50u);  // With 100x oversampling all groups appear.
+}
+
+TEST(UniformGeneratorTest, NoFlowStructure) {
+  auto gen = UniformGenerator::Make(FourAttrs(), 50, 13);
+  ASSERT_TRUE(gen.ok());
+  (*gen)->Next();
+  EXPECT_EQ((*gen)->last_flow_id(), 0u);
+}
+
+TEST(ZipfGeneratorTest, ZeroThetaIsRoughlyUniform) {
+  auto universe = GroupUniverse::Uniform(FourAttrs(), 10, {50, 50, 50, 50}, 4);
+  ASSERT_TRUE(universe.ok());
+  auto gen = ZipfGenerator::Make(std::move(*universe), 0.0, 5);
+  ASSERT_TRUE(gen.ok());
+  std::unordered_map<GroupKey, int, GroupKeyHash> counts;
+  const AttributeSet all = AttributeSet::Of({0, 1, 2, 3});
+  for (int i = 0; i < 20000; ++i) {
+    counts[GroupKey::Project((*gen)->Next(), all)] += 1;
+  }
+  ASSERT_EQ(counts.size(), 10u);
+  for (const auto& [key, count] : counts) {
+    EXPECT_NEAR(count, 2000, 2000 * 0.25);
+  }
+}
+
+TEST(ZipfGeneratorTest, SkewConcentratesMass) {
+  auto universe =
+      GroupUniverse::Uniform(FourAttrs(), 100, {500, 500, 500, 500}, 6);
+  ASSERT_TRUE(universe.ok());
+  auto gen = ZipfGenerator::Make(std::move(*universe), 1.2, 7);
+  ASSERT_TRUE(gen.ok());
+  std::unordered_map<GroupKey, int, GroupKeyHash> counts;
+  const AttributeSet all = AttributeSet::Of({0, 1, 2, 3});
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[GroupKey::Project((*gen)->Next(), all)] += 1;
+  }
+  int max_count = 0;
+  for (const auto& [key, count] : counts) max_count = std::max(max_count, count);
+  // Under Zipf(1.2) over 100 groups the top group receives ~19% of mass;
+  // uniform would give 1%.
+  EXPECT_GT(max_count, kDraws / 20);
+}
+
+TEST(ZipfGeneratorTest, RejectsBadArguments) {
+  auto universe = GroupUniverse::Uniform(FourAttrs(), 10, {50, 50, 50, 50}, 4);
+  ASSERT_TRUE(universe.ok());
+  EXPECT_FALSE(ZipfGenerator::Make(std::move(*universe), -0.5, 1).ok());
+}
+
+TEST(FlowGeneratorTest, PacketsOfAFlowShareAllAttributes) {
+  auto gen = FlowGenerator::MakePaperTrace({});
+  ASSERT_TRUE(gen.ok());
+  std::unordered_map<uint32_t, GroupKey> flow_to_key;
+  const AttributeSet all = AttributeSet::Of({0, 1, 2, 3});
+  for (int i = 0; i < 20000; ++i) {
+    const Record r = (*gen)->Next();
+    const uint32_t flow = (*gen)->last_flow_id();
+    ASSERT_NE(flow, 0u);
+    const GroupKey key = GroupKey::Project(r, all);
+    auto [it, inserted] = flow_to_key.emplace(flow, key);
+    if (!inserted) {
+      EXPECT_TRUE(it->second == key) << "flow " << flow << " changed group";
+    }
+  }
+}
+
+TEST(FlowGeneratorTest, MeanFlowLengthIsRespected) {
+  FlowGeneratorOptions options;
+  options.mean_flow_length = 20.0;
+  options.seed = 9;
+  auto gen = FlowGenerator::MakePaperTrace(options);
+  ASSERT_TRUE(gen.ok());
+  std::unordered_set<uint32_t> flows;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    (*gen)->Next();
+    flows.insert((*gen)->last_flow_id());
+  }
+  const double observed_mean = static_cast<double>(kDraws) / flows.size();
+  EXPECT_NEAR(observed_mean, 20.0, 2.0);
+}
+
+TEST(FlowGeneratorTest, ResetReproducesStream) {
+  auto gen = FlowGenerator::MakePaperTrace({});
+  ASSERT_TRUE(gen.ok());
+  std::vector<Record> first;
+  for (int i = 0; i < 100; ++i) first.push_back((*gen)->Next());
+  (*gen)->Reset();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ((*gen)->Next().values, first[i].values);
+  }
+}
+
+}  // namespace
+}  // namespace streamagg

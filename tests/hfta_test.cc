@@ -1,0 +1,88 @@
+#include "dsms/hfta.h"
+
+#include <gtest/gtest.h>
+
+namespace streamagg {
+namespace {
+
+GroupKey Key1(uint32_t v) {
+  GroupKey k;
+  k.size = 1;
+  k.values[0] = v;
+  return k;
+}
+
+TEST(HftaTest, CombinesPartialCountsForSameGroup) {
+  Hfta hfta(1);
+  // Multiple tuples for the same group in the same epoch arrive because of
+  // evictions; the HFTA combines them (paper Section 2.2).
+  hfta.Add(0, 3, Key1(7), AggregateState::FromCount(2));
+  hfta.Add(0, 3, Key1(7), AggregateState::FromCount(5));
+  hfta.Add(0, 3, Key1(8), AggregateState::FromCount(1));
+  const EpochAggregate& result = hfta.Result(0, 3);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result.at(Key1(7)).count, 7u);
+  EXPECT_EQ(result.at(Key1(8)).count, 1u);
+  EXPECT_EQ(hfta.TotalCount(0, 3), 8u);
+}
+
+TEST(HftaTest, SeparatesEpochs) {
+  Hfta hfta(1);
+  hfta.Add(0, 0, Key1(1), AggregateState::FromCount(1));
+  hfta.Add(0, 1, Key1(1), AggregateState::FromCount(4));
+  EXPECT_EQ(hfta.Result(0, 0).at(Key1(1)).count, 1u);
+  EXPECT_EQ(hfta.Result(0, 1).at(Key1(1)).count, 4u);
+  const std::vector<uint64_t> epochs = hfta.Epochs(0);
+  ASSERT_EQ(epochs.size(), 2u);
+  EXPECT_EQ(epochs[0], 0u);
+  EXPECT_EQ(epochs[1], 1u);
+}
+
+TEST(HftaTest, SeparatesQueries) {
+  Hfta hfta(2);
+  hfta.Add(0, 0, Key1(1), AggregateState::FromCount(1));
+  hfta.Add(1, 0, Key1(1), AggregateState::FromCount(9));
+  EXPECT_EQ(hfta.Result(0, 0).at(Key1(1)).count, 1u);
+  EXPECT_EQ(hfta.Result(1, 0).at(Key1(1)).count, 9u);
+}
+
+TEST(HftaTest, CountsTransfers) {
+  Hfta hfta(1);
+  EXPECT_EQ(hfta.transfers(), 0u);
+  hfta.Add(0, 0, Key1(1), AggregateState::FromCount(1));
+  hfta.Add(0, 0, Key1(1), AggregateState::FromCount(1));
+  hfta.Add(0, 1, Key1(2), AggregateState::FromCount(1));
+  EXPECT_EQ(hfta.transfers(), 3u);
+}
+
+TEST(HftaTest, MissingEpochIsEmpty) {
+  Hfta hfta(1);
+  EXPECT_TRUE(hfta.Result(0, 42).empty());
+  EXPECT_EQ(hfta.TotalCount(0, 42), 0u);
+}
+
+TEST(HftaTest, MergesMetricStates) {
+  // One query with sum(attr 2) and min(attr 2): partial states merge per
+  // op — sums add, mins fold.
+  const std::vector<MetricSpec> metrics = {
+      MetricSpec{AggregateOp::kSum, 2}, MetricSpec{AggregateOp::kMin, 2}};
+  Hfta hfta(std::vector<std::vector<MetricSpec>>{metrics});
+  AggregateState a = AggregateState::FromCount(3);
+  a.num_metrics = 2;
+  a.metrics[0] = 100;  // partial sum
+  a.metrics[1] = 40;   // partial min
+  AggregateState b = AggregateState::FromCount(2);
+  b.num_metrics = 2;
+  b.metrics[0] = 50;
+  b.metrics[1] = 7;
+  hfta.Add(0, 0, Key1(5), a);
+  hfta.Add(0, 0, Key1(5), b);
+  const AggregateState& merged = hfta.Result(0, 0).at(Key1(5));
+  EXPECT_EQ(merged.count, 5u);
+  EXPECT_EQ(merged.metrics[0], 150u);  // sum
+  EXPECT_EQ(merged.metrics[1], 7u);    // min
+  EXPECT_EQ(hfta.query_metrics(0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace streamagg

@@ -1,0 +1,139 @@
+#include "dsms/load_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "stream/trace_stats.h"
+#include "stream/uniform_generator.h"
+
+namespace streamagg {
+namespace {
+
+Trace UniformTrace(uint64_t groups, size_t n, uint64_t seed) {
+  auto gen = std::move(UniformGenerator::Make(*Schema::Default(4), groups,
+                                              seed))
+                 .value();
+  return Trace::Generate(*gen, n, 10.0);
+}
+
+// Wide per-attribute domains so singleton projections have many groups and
+// collision pressure is real (Make's default domains are tiny).
+Trace WideUniformTrace(uint64_t groups, size_t n, uint64_t seed) {
+  const Schema schema = *Schema::Default(4);
+  const uint32_t card = static_cast<uint32_t>(groups / 3);
+  auto universe =
+      GroupUniverse::Uniform(schema, groups, {card, card, card, card}, seed);
+  UniformGenerator gen(std::move(*universe), seed + 1);
+  return Trace::Generate(gen, n, 10.0);
+}
+
+std::vector<RuntimeRelationSpec> FlatSpecs(const Schema& schema,
+                                           uint64_t buckets) {
+  std::vector<RuntimeRelationSpec> specs(2);
+  specs[0].attrs = *schema.ParseAttributeSet("AB");
+  specs[0].num_buckets = buckets;
+  specs[0].is_query = true;
+  specs[0].query_index = 0;
+  specs[1].attrs = *schema.ParseAttributeSet("CD");
+  specs[1].num_buckets = buckets;
+  specs[1].is_query = true;
+  specs[1].query_index = 1;
+  return specs;
+}
+
+TEST(LoadSimulatorTest, AbundantCapacityDropsNothing) {
+  const Trace trace = UniformTrace(300, 20000, 1);
+  LoadSimulationOptions options;
+  options.service_rate = 1e12;  // Effectively infinite.
+  auto result =
+      SimulateLftaLoad(trace, FlatSpecs(trace.schema(), 256), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dropped, 0u);
+  EXPECT_EQ(result->processed, trace.size());
+  EXPECT_LT(result->utilization, 0.01);
+}
+
+TEST(LoadSimulatorTest, StarvedServerShedsMostRecords) {
+  const Trace trace = UniformTrace(300, 20000, 2);
+  LoadSimulationOptions options;
+  options.service_rate = 10.0;  // ~2 cost units per record vs 10/s offered.
+  options.queue_capacity = 8;
+  auto result =
+      SimulateLftaLoad(trace, FlatSpecs(trace.schema(), 256), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->drop_rate, 0.9);
+  EXPECT_EQ(result->processed + result->dropped, result->offered);
+}
+
+TEST(LoadSimulatorTest, DropRateFallsWithServiceRate) {
+  const Trace trace = UniformTrace(500, 30000, 3);
+  double previous = 1.1;
+  for (double rate : {2000.0, 8000.0, 32000.0, 1e6}) {
+    LoadSimulationOptions options;
+    options.service_rate = rate;
+    options.queue_capacity = 64;
+    auto result =
+        SimulateLftaLoad(trace, FlatSpecs(trace.schema(), 256), options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->drop_rate, previous + 1e-9) << "rate " << rate;
+    previous = result->drop_rate;
+  }
+}
+
+TEST(LoadSimulatorTest, CheaperConfigurationDropsFewerRecords) {
+  // The paper's core operational claim (Section 3.3): at the same stream
+  // and service rates, the configuration with lower per-record cost loses
+  // fewer records. Compare the optimizer's phantom plan against the naive
+  // flat evaluation of four queries at a rate that stresses the naive one.
+  const Trace trace = WideUniformTrace(2000, 60000, 4);
+  TraceStats stats(&trace);
+  const RelationCatalog catalog =
+      RelationCatalog::FromTrace(&stats, /*clustered=*/false);
+  const Schema& schema = trace.schema();
+  const std::vector<AttributeSet> queries = {
+      *schema.ParseAttributeSet("A"), *schema.ParseAttributeSet("B"),
+      *schema.ParseAttributeSet("C"), *schema.ParseAttributeSet("D")};
+
+  const double kMemory = 40000.0;
+  Optimizer phantom_optimizer;
+  auto phantom_plan = phantom_optimizer.Optimize(catalog, queries, kMemory);
+  ASSERT_TRUE(phantom_plan.ok());
+  OptimizerOptions flat_options;
+  flat_options.strategy = OptimizeStrategy::kNoPhantoms;
+  Optimizer flat_optimizer(flat_options);
+  auto flat_plan = flat_optimizer.Optimize(catalog, queries, kMemory);
+  ASSERT_TRUE(flat_plan.ok());
+
+  ASSERT_GE(phantom_plan->config.num_phantoms(), 1);
+  LoadSimulationOptions options;
+  // 60000 records / 10 s = 6000 records/s. The flat plan pays 4 probes per
+  // record (~25k units/s); the phantom plan absorbs the stream in one probe
+  // plus cascade traffic (~15k units/s). A budget between the two starves
+  // only the naive evaluation.
+  options.service_rate = 21000.0;
+  options.queue_capacity = 64;
+  auto phantom_result =
+      SimulateLftaLoad(trace, *phantom_plan->ToRuntimeSpecs(), options);
+  auto flat_result =
+      SimulateLftaLoad(trace, *flat_plan->ToRuntimeSpecs(), options);
+  ASSERT_TRUE(phantom_result.ok());
+  ASSERT_TRUE(flat_result.ok());
+  EXPECT_LT(phantom_result->drop_rate, flat_result->drop_rate);
+  EXPECT_GT(flat_result->drop_rate, 0.05);  // The naive plan is in trouble.
+  EXPECT_LT(phantom_result->utilization, flat_result->utilization);
+}
+
+TEST(LoadSimulatorTest, ValidatesOptions) {
+  const Trace trace = UniformTrace(100, 100, 5);
+  LoadSimulationOptions bad_rate;
+  bad_rate.service_rate = 0.0;
+  EXPECT_FALSE(
+      SimulateLftaLoad(trace, FlatSpecs(trace.schema(), 16), bad_rate).ok());
+  LoadSimulationOptions bad_queue;
+  bad_queue.queue_capacity = 0;
+  EXPECT_FALSE(
+      SimulateLftaLoad(trace, FlatSpecs(trace.schema(), 16), bad_queue).ok());
+}
+
+}  // namespace
+}  // namespace streamagg

@@ -1,0 +1,150 @@
+#include "util/math.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace streamagg {
+namespace {
+
+TEST(BinomialPmfTest, SmallCasesMatchDirectComputation) {
+  // Binomial(4, 0.5): 1/16, 4/16, 6/16, 4/16, 1/16.
+  EXPECT_NEAR(BinomialPmf(4, 0.5, 0), 1.0 / 16, 1e-12);
+  EXPECT_NEAR(BinomialPmf(4, 0.5, 1), 4.0 / 16, 1e-12);
+  EXPECT_NEAR(BinomialPmf(4, 0.5, 2), 6.0 / 16, 1e-12);
+  EXPECT_NEAR(BinomialPmf(4, 0.5, 3), 4.0 / 16, 1e-12);
+  EXPECT_NEAR(BinomialPmf(4, 0.5, 4), 1.0 / 16, 1e-12);
+}
+
+TEST(BinomialPmfTest, DegenerateProbabilities) {
+  EXPECT_EQ(BinomialPmf(10, 0.0, 0), 1.0);
+  EXPECT_EQ(BinomialPmf(10, 0.0, 1), 0.0);
+  EXPECT_EQ(BinomialPmf(10, 1.0, 10), 1.0);
+  EXPECT_EQ(BinomialPmf(10, 1.0, 9), 0.0);
+  EXPECT_EQ(BinomialPmf(10, 0.5, 11), 0.0);  // k > n.
+}
+
+TEST(BinomialPmfTest, SumsToOne) {
+  for (double p : {0.001, 0.3, 0.9}) {
+    double sum = 0.0;
+    for (uint64_t k = 0; k <= 50; ++k) sum += BinomialPmf(50, p, k);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(BinomialPmfTest, StableForLargeN) {
+  // Mean of Binomial(10^6, 10^-3) is 1000; pmf at the mean is ~0.0126.
+  const double pmf = BinomialPmf(1000000, 1e-3, 1000);
+  EXPECT_GT(pmf, 0.012);
+  EXPECT_LT(pmf, 0.013);
+}
+
+TEST(RandomHashCollisionRateTest, NoCollisionsWithOneGroup) {
+  EXPECT_EQ(RandomHashCollisionRate(1.0, 100.0), 0.0);
+  EXPECT_EQ(RandomHashCollisionRate(0.0, 100.0), 0.0);
+}
+
+TEST(RandomHashCollisionRateTest, ApproachesOneWhenOverloaded) {
+  EXPECT_GT(RandomHashCollisionRate(1e6, 10.0), 0.99);
+}
+
+TEST(RandomHashCollisionRateTest, MonotoneInGroupsAndBuckets) {
+  double prev = 0.0;
+  for (double g = 100; g <= 5000; g += 100) {
+    const double x = RandomHashCollisionRate(g, 1000);
+    EXPECT_GE(x, prev) << "g=" << g;
+    prev = x;
+  }
+  prev = 1.0;
+  for (double b = 100; b <= 5000; b += 100) {
+    const double x = RandomHashCollisionRate(1000, b);
+    EXPECT_LE(x, prev) << "b=" << b;
+    prev = x;
+  }
+}
+
+TEST(RandomHashCollisionRateTest, DependsOnRatioOnly) {
+  // Paper Table 1: at fixed g/b the rate varies < 1.5% across b.
+  for (double ratio : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    const double at_300 = RandomHashCollisionRate(ratio * 300, 300);
+    const double at_3000 = RandomHashCollisionRate(ratio * 3000, 3000);
+    EXPECT_NEAR(at_300, at_3000, 0.015 * std::max(at_300, 1e-6))
+        << "ratio=" << ratio;
+  }
+}
+
+TEST(SummarizeTest, EmptyInput) {
+  SummaryStats s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(SummarizeTest, BasicStatistics) {
+  SummaryStats s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(SolveLinearSystemTest, SolvesTwoByTwo) {
+  // 2x + y = 5; x - y = 1 -> x = 2, y = 1.
+  auto r = SolveLinearSystem({2, 1, 1, -1}, {5, 1});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR((*r)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*r)[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, RejectsSingular) {
+  auto r = SolveLinearSystem({1, 2, 2, 4}, {3, 6});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SolveLinearSystemTest, RejectsSizeMismatch) {
+  auto r = SolveLinearSystem({1, 2, 3}, {1, 2});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(FitPolynomialTest, RecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.0 * i);
+  }
+  auto fit = FitPolynomial(xs, ys, 1);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->coefficients[0], 3.0, 1e-9);
+  EXPECT_NEAR(fit->coefficients[1], 2.0, 1e-9);
+  EXPECT_LT(fit->max_relative_error, 1e-9);
+}
+
+TEST(FitPolynomialTest, RecoversExactQuadratic) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 20; ++i) {
+    const double x = 0.1 * i;
+    xs.push_back(x);
+    ys.push_back(1.0 - 0.5 * x + 0.25 * x * x);
+  }
+  auto fit = FitPolynomial(xs, ys, 2);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->coefficients[0], 1.0, 1e-8);
+  EXPECT_NEAR(fit->coefficients[1], -0.5, 1e-8);
+  EXPECT_NEAR(fit->coefficients[2], 0.25, 1e-8);
+}
+
+TEST(FitPolynomialTest, RejectsUnderdeterminedInput) {
+  EXPECT_FALSE(FitPolynomial({1.0}, {2.0}, 1).ok());
+  EXPECT_FALSE(FitPolynomial({1.0, 2.0}, {2.0}, 1).ok());
+  EXPECT_FALSE(FitPolynomial({1.0, 2.0}, {2.0, 3.0}, -1).ok());
+}
+
+TEST(FitPolynomialTest, EvaluateUsesHorner) {
+  PolynomialFit fit;
+  fit.coefficients = {1.0, -2.0, 3.0};  // 1 - 2x + 3x^2
+  EXPECT_DOUBLE_EQ(fit.Evaluate(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fit.Evaluate(2.0), 1.0 - 4.0 + 12.0);
+}
+
+}  // namespace
+}  // namespace streamagg

@@ -1,0 +1,200 @@
+// End-to-end tests of metric aggregation (sum/min/max beyond count) through
+// the full phantom cascade: the paper's "report the average packet length"
+// style queries must come out exactly right no matter how partial states
+// are evicted, propagated and merged.
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "dsms/reference_aggregator.h"
+#include "stream/trace_stats.h"
+#include "stream/uniform_generator.h"
+#include "util/random.h"
+
+namespace streamagg {
+namespace {
+
+// A 5-attribute stream: A..D are grouping attributes (small domains), E is
+// a per-record value (e.g. packet length) that metrics aggregate over.
+Trace ValueTrace(size_t n, uint64_t seed) {
+  const Schema schema = *Schema::Default(5);
+  auto gen = std::move(UniformGenerator::Make(*Schema::Default(4), 400, seed))
+                 .value();
+  Random value_rng(seed ^ 0xabcdef);
+  Trace trace(schema);
+  trace.Reserve(n);
+  trace.set_duration_seconds(10.0);
+  for (size_t i = 0; i < n; ++i) {
+    const Record base = gen->Next();
+    Record r = base;
+    r.values[4] = 40 + static_cast<uint32_t>(value_rng.Uniform(1460));
+    r.timestamp = 10.0 * static_cast<double>(i) / static_cast<double>(n);
+    trace.Append(r);
+  }
+  return trace;
+}
+
+MetricSpec Sum(int attr) { return MetricSpec{AggregateOp::kSum, uint8_t(attr)}; }
+MetricSpec Min(int attr) { return MetricSpec{AggregateOp::kMin, uint8_t(attr)}; }
+MetricSpec Max(int attr) { return MetricSpec{AggregateOp::kMax, uint8_t(attr)}; }
+
+TEST(MetricRuntimeTest, MetricsFlowThroughPhantomCascade) {
+  const Trace trace = ValueTrace(60000, 1);
+  const Schema& schema = trace.schema();
+  // Queries: avg(E) per AB (sum+count), min/max E per CD.
+  const std::vector<QueryDef> queries = {
+      QueryDef(*schema.ParseAttributeSet("AB"), {Sum(4)}),
+      QueryDef(*schema.ParseAttributeSet("CD"), {Min(4), Max(4)}),
+  };
+  // Phantom ABCD feeds both; it must maintain sum, min and max.
+  auto config = Configuration::Make(schema, queries,
+                                    {*schema.ParseAttributeSet("ABCD")});
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  const int abcd = config->FindNode(*schema.ParseAttributeSet("ABCD"));
+  EXPECT_EQ(config->node(abcd).metrics.size(), 3u);
+  // Entry sizes account for the metric words: ABCD has 4 attrs + count +
+  // 3 metrics * 2 words = 11.
+  EXPECT_EQ(config->EntryWords(abcd), 4 + 1 + 3 * kMetricWords);
+
+  auto specs = config->ToRuntimeSpecs({512.0, 128.0, 128.0});
+  ASSERT_TRUE(specs.ok());
+  auto runtime = ConfigurationRuntime::Make(schema, *specs, /*epoch=*/2.0);
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+  (*runtime)->ProcessTrace(trace);
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto expected = ComputeReferenceAggregate(
+        trace, queries[qi].group_by, 2.0, queries[qi].metrics);
+    std::string diagnostic;
+    EXPECT_TRUE(AggregatesEqual(expected, (*runtime)->hfta(),
+                                static_cast<int>(qi), &diagnostic))
+        << "query " << qi << ": " << diagnostic;
+  }
+}
+
+TEST(MetricRuntimeTest, InternalQueryNarrowsStateForHfta) {
+  const Trace trace = ValueTrace(40000, 2);
+  const Schema& schema = trace.schema();
+  // Query AB wants sum(E); query A (fed by AB) wants max(E). AB's table
+  // must maintain both, but the HFTA must receive exactly what each query
+  // declared.
+  const std::vector<QueryDef> queries = {
+      QueryDef(*schema.ParseAttributeSet("AB"), {Sum(4)}),
+      QueryDef(*schema.ParseAttributeSet("A"), {Max(4)}),
+  };
+  auto config = Configuration::Make(schema, queries, {});
+  ASSERT_TRUE(config.ok());
+  const int ab = config->FindNode(*schema.ParseAttributeSet("AB"));
+  EXPECT_EQ(config->node(ab).metrics.size(), 2u);      // Maintains both.
+  EXPECT_EQ(config->node(ab).query_metrics.size(), 1u);  // Reports sum only.
+
+  auto specs = config->ToRuntimeSpecs({256.0, 64.0});
+  ASSERT_TRUE(specs.ok());
+  auto runtime = ConfigurationRuntime::Make(schema, *specs, 0.0);
+  ASSERT_TRUE(runtime.ok());
+  (*runtime)->ProcessTrace(trace);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto expected = ComputeReferenceAggregate(
+        trace, queries[qi].group_by, 0.0, queries[qi].metrics);
+    std::string diagnostic;
+    EXPECT_TRUE(AggregatesEqual(expected, (*runtime)->hfta(),
+                                static_cast<int>(qi), &diagnostic))
+        << "query " << qi << ": " << diagnostic;
+  }
+}
+
+TEST(MetricRuntimeTest, OptimizerCarriesMetricsIntoThePlan) {
+  const Trace trace = ValueTrace(80000, 3);
+  TraceStats stats(&trace);
+  const RelationCatalog catalog =
+      RelationCatalog::FromTrace(&stats, /*clustered=*/false);
+  const Schema& schema = trace.schema();
+  const std::vector<QueryDef> queries = {
+      QueryDef(*schema.ParseAttributeSet("AB"), {Sum(4)}),
+      QueryDef(*schema.ParseAttributeSet("BC"), {Sum(4)}),
+      QueryDef(*schema.ParseAttributeSet("CD"), {Min(4)}),
+  };
+  Optimizer optimizer;
+  auto plan = optimizer.Optimize(catalog, queries, 40000.0);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Whatever configuration was chosen, executing it yields exact results.
+  auto specs = plan->ToRuntimeSpecs();
+  ASSERT_TRUE(specs.ok());
+  auto runtime = ConfigurationRuntime::Make(schema, *specs, 2.0);
+  ASSERT_TRUE(runtime.ok());
+  (*runtime)->ProcessTrace(trace);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto expected = ComputeReferenceAggregate(
+        trace, queries[qi].group_by, 2.0, queries[qi].metrics);
+    std::string diagnostic;
+    EXPECT_TRUE(AggregatesEqual(expected, (*runtime)->hfta(),
+                                static_cast<int>(qi), &diagnostic))
+        << "query " << qi << ": " << diagnostic;
+  }
+  // The memory budget accounts for the wider metric-carrying buckets.
+  EXPECT_LE((*runtime)->TotalMemoryWords(), 40000u + 200u);
+}
+
+TEST(MetricRuntimeTest, RuntimeValidatesMetricSubsets) {
+  const Schema schema = *Schema::Default(5);
+  const AttributeSet ab = *schema.ParseAttributeSet("AB");
+  const AttributeSet a = *schema.ParseAttributeSet("A");
+  RuntimeRelationSpec parent;
+  parent.attrs = ab;
+  parent.num_buckets = 16;
+  parent.metrics = {};  // Maintains nothing extra.
+  RuntimeRelationSpec child;
+  child.attrs = a;
+  child.num_buckets = 8;
+  child.parent = 0;
+  child.is_query = true;
+  child.query_index = 0;
+  child.metrics = {Sum(4)};  // Needs sum the parent cannot deliver.
+  child.query_metrics = child.metrics;
+  EXPECT_FALSE(ConfigurationRuntime::Make(schema, {parent, child}, 0.0).ok());
+
+  // A query may not report metrics its own table does not maintain.
+  RuntimeRelationSpec lone;
+  lone.attrs = a;
+  lone.num_buckets = 8;
+  lone.is_query = true;
+  lone.query_index = 0;
+  lone.metrics = {};
+  lone.query_metrics = {Sum(4)};
+  EXPECT_FALSE(ConfigurationRuntime::Make(schema, {lone}, 0.0).ok());
+}
+
+TEST(MetricRuntimeTest, MemoryAccountingIncludesMetricWords) {
+  LftaHashTable plain(100, 2, 1);
+  EXPECT_EQ(plain.memory_words(), 100u * 3);
+  LftaHashTable with_metrics(
+      100, 2, {MetricSpec{AggregateOp::kSum, 4}, MetricSpec{AggregateOp::kMax, 4}},
+      1);
+  EXPECT_EQ(with_metrics.memory_words(), 100u * (2 + 1 + 2 * kMetricWords));
+}
+
+TEST(MetricRuntimeTest, SumsSurvive32BitOverflow) {
+  // Sums are carried in 64 bits (two words): 3M records of value ~1500
+  // exceed 2^32.
+  const Schema schema = *Schema::Default(2);
+  LftaHashTable table(4, 1, {Sum(1)}, 7);
+  GroupKey key;
+  key.size = 1;
+  key.values[0] = 42;
+  Record r;
+  r.values[0] = 42;
+  r.values[1] = 1500;
+  const std::vector<MetricSpec> specs = {Sum(1)};
+  for (int i = 0; i < 3000000; ++i) {
+    table.ProbeState(key, AggregateState::FromRecord(r, specs), nullptr,
+                     nullptr);
+  }
+  uint64_t sum = 0;
+  table.FlushState([&](const GroupKey&, const AggregateState& s) {
+    sum = s.metrics[0];
+  });
+  EXPECT_EQ(sum, 1500ull * 3000000ull);
+}
+
+}  // namespace
+}  // namespace streamagg

@@ -1,0 +1,112 @@
+// Robustness sweeps for the two text parsers (configuration notation and
+// the query language): random garbage and mutated valid inputs must never
+// crash — every input either parses or returns a clean Status.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/configuration.h"
+#include "core/query_language.h"
+#include "util/random.h"
+
+namespace streamagg {
+namespace {
+
+std::string RandomGarbage(Random* rng, size_t max_len) {
+  static constexpr char kAlphabet[] =
+      "ABCD abcd(),*/_0123456789 selct form group by time";
+  const size_t len = rng->Uniform(max_len);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng->Uniform(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+// Randomly perturbs a valid input: delete, duplicate or swap characters.
+std::string Mutate(const std::string& base, Random* rng) {
+  std::string out = base;
+  const int edits = 1 + static_cast<int>(rng->Uniform(4));
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    const size_t pos = rng->Uniform(out.size());
+    switch (rng->Uniform(3)) {
+      case 0:
+        out.erase(pos, 1);
+        break;
+      case 1:
+        out.insert(pos, 1, out[pos]);
+        break;
+      default:
+        if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+        break;
+    }
+  }
+  return out;
+}
+
+class ParserRobustnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserRobustnessTest, ConfigurationParserNeverCrashes) {
+  const Schema schema = *Schema::Default(4);
+  Random rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::string garbage = RandomGarbage(&rng, 60);
+    auto result = Configuration::Parse(schema, garbage);
+    if (result.ok()) {
+      // Whatever parsed must round-trip.
+      auto again = Configuration::Parse(schema, result->ToString());
+      ASSERT_TRUE(again.ok()) << garbage;
+      EXPECT_EQ(again->ToString(), result->ToString());
+    }
+  }
+  for (int i = 0; i < 200; ++i) {
+    const std::string mutated =
+        Mutate("ABCD(AB BCD(BC BD CD))", &rng);
+    auto result = Configuration::Parse(schema, mutated);
+    if (result.ok()) {
+      EXPECT_GT(result->num_nodes(), 0);
+    }
+  }
+}
+
+TEST_P(ParserRobustnessTest, QueryParserNeverCrashes) {
+  const Schema schema = *Schema::Default(4);
+  Random rng(GetParam() ^ 0x51515151);
+  for (int i = 0; i < 200; ++i) {
+    const std::string garbage = RandomGarbage(&rng, 80);
+    auto result = ParseQuery(schema, garbage);
+    if (result.ok()) {
+      EXPECT_FALSE(result->outputs.empty());
+      EXPECT_FALSE(result->def.group_by.empty());
+    }
+  }
+  const std::string valid =
+      "select A, B, count(*) as cnt, sum(C) from R group by A, B, time/60";
+  for (int i = 0; i < 200; ++i) {
+    auto result = ParseQuery(schema, Mutate(valid, &rng));
+    if (result.ok()) {
+      EXPECT_FALSE(result->def.group_by.empty());
+    }
+  }
+}
+
+TEST_P(ParserRobustnessTest, AttributeSetParserNeverCrashes) {
+  const Schema schema = *Schema::Default(4);
+  Random rng(GetParam() + 17);
+  for (int i = 0; i < 300; ++i) {
+    const std::string garbage = RandomGarbage(&rng, 12);
+    auto result = schema.ParseAttributeSet(garbage);
+    if (result.ok()) {
+      EXPECT_FALSE(result->empty());
+      EXPECT_TRUE(result->IsSubsetOf(schema.AllAttributes()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustnessTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace streamagg

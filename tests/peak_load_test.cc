@@ -1,0 +1,164 @@
+#include "core/peak_load.h"
+
+#include <gtest/gtest.h>
+
+#include "core/space_allocation.h"
+
+namespace streamagg {
+namespace {
+
+class PeakLoadTest : public ::testing::Test {
+ protected:
+  PeakLoadTest()
+      : schema_(*Schema::Default(4)),
+        catalog_(*RelationCatalog::Synthetic(
+            schema_,
+            {
+                {Set("A").mask(), 552},
+                {Set("B").mask(), 600},
+                {Set("C").mask(), 700},
+                {Set("D").mask(), 800},
+                {Set("AB").mask(), 1846},
+                {Set("BC").mask(), 1800},
+                {Set("BD").mask(), 1900},
+                {Set("CD").mask(), 2000},
+                {Set("BCD").mask(), 2300},
+                {Set("ABCD").mask(), 2837},
+            },
+            // Clustered netflow-like regime (the paper's Section 6.3.4
+            // setting): low collision rates make shifting space from
+            // queries to phantoms effective.
+            /*flow_length=*/30.0)),
+        precise_(),
+        cost_model_(&catalog_, &precise_, CostParams{1.0, 50.0}),
+        allocator_(&cost_model_) {}
+
+  AttributeSet Set(const std::string& spec) {
+    return *schema_.ParseAttributeSet(spec);
+  }
+
+  Schema schema_;
+  RelationCatalog catalog_;
+  PreciseCollisionModel precise_;
+  CostModel cost_model_;
+  SpaceAllocator allocator_;
+};
+
+TEST_F(PeakLoadTest, NoAdjustmentWhenConstraintAlreadyHolds) {
+  auto config = Configuration::Parse(schema_, "ABCD(AB BCD(BC BD CD))");
+  ASSERT_TRUE(config.ok());
+  auto buckets = allocator_.Allocate(*config, 40000.0, AllocationScheme::kSL);
+  ASSERT_TRUE(buckets.ok());
+  const double eu = cost_model_.EndOfEpochCost(*config, *buckets);
+  const PeakLoadResult result = EnforcePeakLoad(
+      cost_model_, *config, *buckets, eu * 1.01, PeakLoadMethod::kShrink);
+  EXPECT_TRUE(result.satisfied);
+  EXPECT_EQ(result.buckets, *buckets);
+}
+
+TEST_F(PeakLoadTest, ShrinkMeetsTightenedConstraint) {
+  auto config = Configuration::Parse(schema_, "ABCD(AB BCD(BC BD CD))");
+  ASSERT_TRUE(config.ok());
+  auto buckets = allocator_.Allocate(*config, 40000.0, AllocationScheme::kSL);
+  ASSERT_TRUE(buckets.ok());
+  const double eu = cost_model_.EndOfEpochCost(*config, *buckets);
+  for (double fraction : {0.95, 0.9, 0.85}) {
+    const PeakLoadResult result =
+        EnforcePeakLoad(cost_model_, *config, *buckets, eu * fraction,
+                        PeakLoadMethod::kShrink);
+    EXPECT_TRUE(result.satisfied) << fraction;
+    EXPECT_LE(result.end_of_epoch_cost, eu * fraction * (1.0 + 1e-6));
+    // Shrinking should not waste headroom: E_u lands near the limit.
+    EXPECT_GT(result.end_of_epoch_cost, eu * fraction * 0.98);
+  }
+}
+
+TEST_F(PeakLoadTest, ShiftMeetsTightenedConstraint) {
+  auto config = Configuration::Parse(schema_, "ABCD(AB BCD(BC BD CD))");
+  ASSERT_TRUE(config.ok());
+  auto buckets = allocator_.Allocate(*config, 40000.0, AllocationScheme::kSL);
+  ASSERT_TRUE(buckets.ok());
+  const double eu = cost_model_.EndOfEpochCost(*config, *buckets);
+  const PeakLoadResult result = EnforcePeakLoad(
+      cost_model_, *config, *buckets, eu * 0.9, PeakLoadMethod::kShift);
+  EXPECT_TRUE(result.satisfied);
+  EXPECT_LE(result.end_of_epoch_cost, eu * 0.9 * (1.0 + 1e-6));
+}
+
+TEST_F(PeakLoadTest, ShiftPreservesTotalMemory) {
+  auto config = Configuration::Parse(schema_, "ABCD(AB BCD(BC BD CD))");
+  ASSERT_TRUE(config.ok());
+  auto buckets = allocator_.Allocate(*config, 40000.0, AllocationScheme::kSL);
+  ASSERT_TRUE(buckets.ok());
+  const double eu = cost_model_.EndOfEpochCost(*config, *buckets);
+  const PeakLoadResult result = EnforcePeakLoad(
+      cost_model_, *config, *buckets, eu * 0.9, PeakLoadMethod::kShift);
+  auto words = [&](const std::vector<double>& b) {
+    double total = 0.0;
+    for (int i = 0; i < config->num_nodes(); ++i) {
+      total += b[i] * (config->node(i).attrs.Count() + 1);
+    }
+    return total;
+  };
+  EXPECT_NEAR(words(result.buckets), words(*buckets), words(*buckets) * 0.01);
+}
+
+TEST_F(PeakLoadTest, ShrinkReducesTotalMemory) {
+  auto config = Configuration::Parse(schema_, "ABCD(AB BCD(BC BD CD))");
+  ASSERT_TRUE(config.ok());
+  auto buckets = allocator_.Allocate(*config, 40000.0, AllocationScheme::kSL);
+  ASSERT_TRUE(buckets.ok());
+  const double eu = cost_model_.EndOfEpochCost(*config, *buckets);
+  const PeakLoadResult result = EnforcePeakLoad(
+      cost_model_, *config, *buckets, eu * 0.8, PeakLoadMethod::kShrink);
+  double before = 0.0, after = 0.0;
+  for (int i = 0; i < config->num_nodes(); ++i) {
+    const double h = config->node(i).attrs.Count() + 1;
+    before += (*buckets)[i] * h;
+    after += result.buckets[i] * h;
+  }
+  EXPECT_LT(after, before);
+}
+
+TEST_F(PeakLoadTest, ShiftWithoutPhantomsFallsBackToShrink) {
+  auto config = Configuration::Parse(schema_, "AB BC BD CD");
+  ASSERT_TRUE(config.ok());
+  auto buckets = allocator_.Allocate(*config, 40000.0, AllocationScheme::kSL);
+  ASSERT_TRUE(buckets.ok());
+  const double eu = cost_model_.EndOfEpochCost(*config, *buckets);
+  const PeakLoadResult result = EnforcePeakLoad(
+      cost_model_, *config, *buckets, eu * 0.9, PeakLoadMethod::kShift);
+  EXPECT_TRUE(result.satisfied);
+}
+
+TEST_F(PeakLoadTest, ImpossibleConstraintReportsUnsatisfied) {
+  auto config = Configuration::Parse(schema_, "ABCD(AB BCD(BC BD CD))");
+  ASSERT_TRUE(config.ok());
+  auto buckets = allocator_.Allocate(*config, 40000.0, AllocationScheme::kSL);
+  ASSERT_TRUE(buckets.ok());
+  const PeakLoadResult result = EnforcePeakLoad(
+      cost_model_, *config, *buckets, /*peak_limit=*/1.0,
+      PeakLoadMethod::kShrink);
+  EXPECT_FALSE(result.satisfied);
+}
+
+TEST_F(PeakLoadTest, MildShiftCheaperThanMildShrink) {
+  // Paper Figure 15: when E_p is close to E_u, shifting a little space from
+  // queries to phantoms preserves a better allocation than shrinking all
+  // tables.
+  auto config = Configuration::Parse(schema_, "ABCD(AB BCD(BC BD CD))");
+  ASSERT_TRUE(config.ok());
+  auto buckets = allocator_.Allocate(*config, 40000.0, AllocationScheme::kSL);
+  ASSERT_TRUE(buckets.ok());
+  const double eu = cost_model_.EndOfEpochCost(*config, *buckets);
+  const PeakLoadResult shift = EnforcePeakLoad(
+      cost_model_, *config, *buckets, eu * 0.96, PeakLoadMethod::kShift);
+  const PeakLoadResult shrink = EnforcePeakLoad(
+      cost_model_, *config, *buckets, eu * 0.96, PeakLoadMethod::kShrink);
+  ASSERT_TRUE(shift.satisfied);
+  ASSERT_TRUE(shrink.satisfied);
+  EXPECT_LE(shift.per_record_cost, shrink.per_record_cost * 1.02);
+}
+
+}  // namespace
+}  // namespace streamagg

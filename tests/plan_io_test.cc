@@ -1,0 +1,130 @@
+#include "core/plan_io.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "dsms/reference_aggregator.h"
+#include "stream/trace_stats.h"
+#include "stream/uniform_generator.h"
+
+namespace streamagg {
+namespace {
+
+OptimizedPlan MakePlan(const Schema& schema,
+                       const std::vector<QueryDef>& queries) {
+  auto catalog = RelationCatalog::Synthetic(
+      schema, [&] {
+        std::map<uint32_t, uint64_t> counts;
+        for (int i = 0; i < schema.num_attributes(); ++i) {
+          counts[AttributeSet::Single(i).mask()] = 100 + 50 * i;
+        }
+        return counts;
+      }());
+  Optimizer optimizer;
+  return *optimizer.Optimize(*catalog, queries, 30000.0);
+}
+
+TEST(PlanIoTest, RoundTripsCountOnlyPlan) {
+  const Schema schema = *Schema::Default(4);
+  const std::vector<QueryDef> queries = {
+      QueryDef(*schema.ParseAttributeSet("AB")),
+      QueryDef(*schema.ParseAttributeSet("BC")),
+      QueryDef(*schema.ParseAttributeSet("CD"))};
+  const OptimizedPlan plan = MakePlan(schema, queries);
+  const std::string text = SerializePlan(schema, plan);
+  auto loaded = DeserializePlan(schema, text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString() << "\n" << text;
+  EXPECT_EQ(loaded->config.ToString(), plan.config.ToString());
+  ASSERT_EQ(loaded->buckets.size(), plan.buckets.size());
+  for (size_t i = 0; i < plan.buckets.size(); ++i) {
+    EXPECT_NEAR(loaded->buckets[i], plan.buckets[i],
+                plan.buckets[i] * 1e-5 + 1e-6);
+  }
+  // Serializing the loaded plan reproduces the text (stable format).
+  EXPECT_EQ(SerializePlan(schema, *loaded), text);
+}
+
+TEST(PlanIoTest, RoundTripsMetricsAndNamedSchema) {
+  const Schema schema =
+      *Schema::Make({"srcIP", "srcPort", "dstIP", "dstPort", "len"});
+  const std::vector<QueryDef> queries = {
+      QueryDef(*schema.ParseAttributeSet("dstIP,dstPort"),
+               {MetricSpec{AggregateOp::kSum, 4}}),
+      QueryDef(*schema.ParseAttributeSet("srcIP,dstIP"),
+               {MetricSpec{AggregateOp::kMin, 4},
+                MetricSpec{AggregateOp::kMax, 4}})};
+  const OptimizedPlan plan = MakePlan(schema, queries);
+  const std::string text = SerializePlan(schema, plan);
+  auto loaded = DeserializePlan(schema, text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString() << "\n" << text;
+  const std::vector<QueryDef> round = loaded->config.QueryDefs();
+  ASSERT_EQ(round.size(), 2u);
+  EXPECT_EQ(round[0].metrics.size(), 1u);
+  EXPECT_EQ(round[1].metrics.size(), 2u);
+  EXPECT_EQ(round[0].metrics[0].op, AggregateOp::kSum);
+  EXPECT_EQ(round[0].metrics[0].attr, 4);
+}
+
+TEST(PlanIoTest, LoadedPlanExecutesCorrectly) {
+  const Schema schema = *Schema::Default(4);
+  auto gen = std::move(UniformGenerator::Make(schema, 600, 33)).value();
+  const Trace trace = Trace::Generate(*gen, 60000, 6.0);
+  TraceStats stats(&trace);
+  const RelationCatalog catalog =
+      RelationCatalog::FromTrace(&stats, /*clustered=*/false);
+  const std::vector<QueryDef> queries = {
+      QueryDef(*schema.ParseAttributeSet("AB")),
+      QueryDef(*schema.ParseAttributeSet("BC"))};
+  Optimizer optimizer;
+  const OptimizedPlan plan = *optimizer.Optimize(catalog, queries, 30000.0);
+
+  auto loaded = DeserializePlan(schema, SerializePlan(schema, plan));
+  ASSERT_TRUE(loaded.ok());
+  auto runtime = ConfigurationRuntime::Make(
+      schema, *loaded->ToRuntimeSpecs(), /*epoch=*/2.0);
+  ASSERT_TRUE(runtime.ok());
+  (*runtime)->ProcessTrace(trace);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto expected =
+        ComputeReferenceAggregate(trace, queries[qi].group_by, 2.0);
+    std::string diagnostic;
+    EXPECT_TRUE(AggregatesEqual(expected, (*runtime)->hfta(),
+                                static_cast<int>(qi), &diagnostic))
+        << diagnostic;
+  }
+}
+
+TEST(PlanIoTest, RejectsCorruptDocuments) {
+  const Schema schema = *Schema::Default(3);
+  const std::vector<QueryDef> queries = {
+      QueryDef(*schema.ParseAttributeSet("AB"))};
+  const OptimizedPlan plan = MakePlan(schema, queries);
+  const std::string good = SerializePlan(schema, plan);
+
+  EXPECT_FALSE(DeserializePlan(schema, "").ok());
+  EXPECT_FALSE(DeserializePlan(schema, "nonsense\n").ok());
+  // Wrong schema.
+  const Schema other = *Schema::Make({"x", "y", "z"});
+  EXPECT_FALSE(DeserializePlan(other, good).ok());
+  // Truncated (no buckets).
+  const std::string no_buckets = good.substr(0, good.find("buckets"));
+  EXPECT_FALSE(DeserializePlan(schema, no_buckets).ok());
+  // Bucket count mismatch (the AB-only plan has exactly one node).
+  std::string wrong_buckets = no_buckets + "buckets 5 5 5\n";
+  EXPECT_FALSE(DeserializePlan(schema, wrong_buckets).ok());
+  // Sub-minimum bucket count.
+  std::string tiny_buckets = no_buckets + "buckets 0.5\n";
+  EXPECT_FALSE(DeserializePlan(schema, tiny_buckets).ok());
+  // Unknown line.
+  EXPECT_FALSE(DeserializePlan(schema, good + "wat\n").ok());
+  // Bad metric token.
+  std::string bad_metric = good;
+  const size_t pos = bad_metric.find("query AB -");
+  ASSERT_NE(pos, std::string::npos);
+  bad_metric.replace(pos, 10, "query AB frob:A");
+  EXPECT_FALSE(DeserializePlan(schema, bad_metric).ok());
+}
+
+}  // namespace
+}  // namespace streamagg

@@ -1,0 +1,283 @@
+#include "core/query_language.h"
+
+#include <gtest/gtest.h>
+
+namespace streamagg {
+namespace {
+
+Schema NetSchema() {
+  return *Schema::Make({"srcIP", "srcPort", "dstIP", "dstPort", "len"});
+}
+
+TEST(QueryLanguageTest, ParsesPaperQ0) {
+  // Paper Section 2.2, Q0 (schema attribute A stands in for srcIP).
+  const Schema schema = *Schema::Default(4);
+  auto q = ParseQuery(schema,
+                      "select A, tb, count(*) as cnt\n"
+                      "from R\n"
+                      "group by A, time/60 as tb");
+  // "tb" is the epoch alias, not a schema attribute: selecting it is not
+  // supported (epochs address results), so expect a clear error.
+  EXPECT_FALSE(q.ok());
+
+  auto q2 = ParseQuery(schema,
+                       "select A, count(*) as cnt from R group by A, "
+                       "time/60 as tb");
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  EXPECT_EQ(q2->def.group_by, AttributeSet::Single(0));
+  EXPECT_DOUBLE_EQ(q2->epoch_seconds, 60.0);
+  EXPECT_TRUE(q2->def.metrics.empty());
+  EXPECT_EQ(q2->relation, "R");
+  ASSERT_EQ(q2->outputs.size(), 2u);
+  EXPECT_EQ(q2->outputs[1].name, "cnt");
+}
+
+TEST(QueryLanguageTest, ParsesPaperQ1Q2Q3) {
+  const Schema schema = *Schema::Default(4);
+  for (const char* attr : {"A", "B", "C"}) {
+    const std::string text = std::string("select ") + attr +
+                             ", count(*) from R group by " + attr;
+    auto q = ParseQuery(schema, text);
+    ASSERT_TRUE(q.ok()) << text;
+    EXPECT_EQ(q->def.group_by, *schema.ParseAttributeSet(attr));
+    EXPECT_DOUBLE_EQ(q->epoch_seconds, 0.0);
+  }
+}
+
+TEST(QueryLanguageTest, ParsesAveragePacketLengthQuery) {
+  // The paper's motivating query: "for every destination IP, destination
+  // port and 5 minute interval, report the average packet length".
+  const Schema schema = NetSchema();
+  auto q = ParseQuery(schema,
+                      "select dstIP, dstPort, avg(len) from packets "
+                      "group by dstIP, dstPort, time/300");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->def.group_by, *schema.ParseAttributeSet("dstIP,dstPort"));
+  EXPECT_DOUBLE_EQ(q->epoch_seconds, 300.0);
+  // avg is rewritten to a sum metric; count is implicit.
+  ASSERT_EQ(q->def.metrics.size(), 1u);
+  EXPECT_EQ(q->def.metrics[0].op, AggregateOp::kSum);
+  EXPECT_EQ(q->def.metrics[0].attr, 4);
+}
+
+TEST(QueryLanguageTest, MultipleAggregatesShareMetrics) {
+  const Schema schema = NetSchema();
+  auto q = ParseQuery(schema,
+                      "select srcIP, sum(len), avg(len), min(len), max(len) "
+                      "from packets group by srcIP");
+  ASSERT_TRUE(q.ok());
+  // sum and avg share one sum metric; min and max add one each.
+  EXPECT_EQ(q->def.metrics.size(), 3u);
+  EXPECT_EQ(q->outputs.size(), 5u);
+}
+
+TEST(QueryLanguageTest, OutputValueComputesColumns) {
+  const Schema schema = NetSchema();
+  auto q = ParseQuery(schema,
+                      "select dstIP, count(*), avg(len), max(len) "
+                      "from packets group by dstIP");
+  ASSERT_TRUE(q.ok());
+  GroupKey key;
+  key.size = 1;
+  key.values[0] = 99;
+  AggregateState state = AggregateState::FromCount(4);
+  state.num_metrics = static_cast<uint8_t>(q->def.metrics.size());
+  // Metric list is sorted (sum < min < max by op order: kSum=0,kMin=1,kMax=2).
+  ASSERT_EQ(q->def.metrics.size(), 2u);
+  state.metrics[0] = 400;  // sum(len)
+  state.metrics[1] = 150;  // max(len)
+  EXPECT_DOUBLE_EQ(q->OutputValue(0, key, state), 99.0);
+  EXPECT_DOUBLE_EQ(q->OutputValue(1, key, state), 4.0);
+  EXPECT_DOUBLE_EQ(q->OutputValue(2, key, state), 100.0);  // 400 / 4.
+  EXPECT_DOUBLE_EQ(q->OutputValue(3, key, state), 150.0);
+}
+
+TEST(QueryLanguageTest, KeywordsAreCaseInsensitive) {
+  const Schema schema = *Schema::Default(3);
+  auto q = ParseQuery(schema, "SELECT A, COUNT(*) FROM R GROUP BY A");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->def.group_by, AttributeSet::Single(0));
+}
+
+TEST(QueryLanguageTest, RejectsMalformedQueries) {
+  const Schema schema = *Schema::Default(3);
+  // Missing pieces.
+  EXPECT_FALSE(ParseQuery(schema, "").ok());
+  EXPECT_FALSE(ParseQuery(schema, "select A from R").ok());
+  EXPECT_FALSE(ParseQuery(schema, "select from R group by A").ok());
+  EXPECT_FALSE(ParseQuery(schema, "select A group by A").ok());
+  // Unknown attributes.
+  EXPECT_FALSE(ParseQuery(schema, "select Z from R group by Z").ok());
+  EXPECT_FALSE(
+      ParseQuery(schema, "select A, sum(Z) from R group by A").ok());
+  // Select item outside the grouping.
+  EXPECT_FALSE(ParseQuery(schema, "select A, B from R group by A").ok());
+  // Bad aggregates.
+  EXPECT_FALSE(ParseQuery(schema, "select count(A) from R group by A").ok());
+  EXPECT_FALSE(ParseQuery(schema, "select sum(*) from R group by A").ok());
+  // Duplicate grouping attribute.
+  EXPECT_FALSE(
+      ParseQuery(schema, "select A from R group by A, A").ok());
+  // Bad epoch.
+  EXPECT_FALSE(
+      ParseQuery(schema, "select A from R group by A, time/0").ok());
+  EXPECT_FALSE(
+      ParseQuery(schema, "select A from R group by A, time/").ok());
+  // Trailing garbage.
+  EXPECT_FALSE(
+      ParseQuery(schema, "select A from R group by A having x").ok());
+}
+
+TEST(QueryLanguageTest, QuerySetValidatesConsistency) {
+  const Schema schema = *Schema::Default(4);
+  auto ok = ParseQuerySet(
+      schema, {"select A, count(*) from R group by A, time/60",
+               "select B, count(*) from R group by B, time/60"});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 2u);
+
+  // Different epochs.
+  EXPECT_FALSE(ParseQuerySet(
+                   schema, {"select A, count(*) from R group by A, time/60",
+                            "select B, count(*) from R group by B, time/30"})
+                   .ok());
+  // Different relations.
+  EXPECT_FALSE(ParseQuerySet(
+                   schema, {"select A, count(*) from R group by A",
+                            "select B, count(*) from S group by B"})
+                   .ok());
+  EXPECT_FALSE(ParseQuerySet(schema, {}).ok());
+}
+
+TEST(QueryLanguageTest, ParsesWhereClause) {
+  const Schema schema = NetSchema();
+  auto q = ParseQuery(schema,
+                      "select srcIP, count(*) from packets "
+                      "where len > 100 and srcPort = 443 "
+                      "group by srcIP");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->filters.size(), 2u);
+  EXPECT_EQ(q->filters[0].attr, 4);
+  EXPECT_EQ(q->filters[0].op, CompareOp::kGt);
+  EXPECT_EQ(q->filters[0].value, 100u);
+  EXPECT_EQ(q->filters[1].attr, 1);
+  EXPECT_EQ(q->filters[1].op, CompareOp::kEq);
+
+  Record r;
+  r.values[1] = 443;
+  r.values[4] = 200;
+  EXPECT_TRUE(q->RecordPasses(r));
+  r.values[4] = 100;  // Not strictly greater.
+  EXPECT_FALSE(q->RecordPasses(r));
+  r.values[4] = 200;
+  r.values[1] = 80;
+  EXPECT_FALSE(q->RecordPasses(r));
+}
+
+TEST(QueryLanguageTest, WhereSupportsAllComparators) {
+  const Schema schema = *Schema::Default(2);
+  struct Case {
+    const char* op;
+    uint32_t value;
+    bool expect;
+  };
+  // Record A = 5 against each comparator with constant 5 or 6.
+  const Case cases[] = {
+      {"=", 5, true},   {"!=", 5, false}, {"<", 6, true},
+      {"<=", 5, true},  {">", 5, false},  {">=", 5, true},
+  };
+  Record r;
+  r.values[0] = 5;
+  for (const Case& c : cases) {
+    const std::string text = std::string("select B, count(*) from R where A ") +
+                             c.op + " " + std::to_string(c.value) +
+                             " group by B";
+    auto q = ParseQuery(schema, text);
+    ASSERT_TRUE(q.ok()) << text;
+    EXPECT_EQ(q->RecordPasses(r), c.expect) << text;
+  }
+}
+
+TEST(QueryLanguageTest, ParsesHavingClause) {
+  // The paper's motivating query: "...report the total number of packets,
+  // provided this number of packets is more than 100".
+  const Schema schema = NetSchema();
+  auto q = ParseQuery(schema,
+                      "select srcIP, count(*) from packets "
+                      "group by srcIP, time/300 having count(*) > 100");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q->having.has_value());
+  GroupKey key;
+  key.size = 1;
+  EXPECT_FALSE(q->HavingSatisfied(key, AggregateState::FromCount(100)));
+  EXPECT_TRUE(q->HavingSatisfied(key, AggregateState::FromCount(101)));
+}
+
+TEST(QueryLanguageTest, HavingOnAvgRegistersSumMetric) {
+  const Schema schema = NetSchema();
+  auto q = ParseQuery(schema,
+                      "select dstIP, count(*) from packets "
+                      "group by dstIP having avg(len) >= 1000");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  // The having clause forces a sum(len) metric even though no select item
+  // needs it.
+  ASSERT_EQ(q->def.metrics.size(), 1u);
+  EXPECT_EQ(q->def.metrics[0].op, AggregateOp::kSum);
+  EXPECT_EQ(q->def.metrics[0].attr, 4);
+  GroupKey key;
+  key.size = 1;
+  AggregateState state = AggregateState::FromCount(4);
+  state.num_metrics = 1;
+  state.metrics[0] = 4000;  // avg 1000.
+  EXPECT_TRUE(q->HavingSatisfied(key, state));
+  state.metrics[0] = 3999;
+  EXPECT_FALSE(q->HavingSatisfied(key, state));
+}
+
+TEST(QueryLanguageTest, RejectsMalformedWhereAndHaving) {
+  const Schema schema = *Schema::Default(3);
+  EXPECT_FALSE(
+      ParseQuery(schema, "select A from R where group by A").ok());
+  EXPECT_FALSE(
+      ParseQuery(schema, "select A from R where Z > 1 group by A").ok());
+  EXPECT_FALSE(
+      ParseQuery(schema, "select A from R where A >> 1 group by A").ok());
+  EXPECT_FALSE(
+      ParseQuery(schema, "select A from R where A > group by A").ok());
+  EXPECT_FALSE(
+      ParseQuery(schema, "select A from R group by A having").ok());
+  EXPECT_FALSE(
+      ParseQuery(schema, "select A from R group by A having B > 1").ok());
+  EXPECT_FALSE(
+      ParseQuery(schema, "select A from R group by A having count(A) > 1")
+          .ok());
+}
+
+TEST(QueryLanguageTest, QuerySetRequiresSharedWhereClause) {
+  const Schema schema = *Schema::Default(4);
+  // Same filter: OK.
+  EXPECT_TRUE(ParseQuerySet(
+                  schema, {"select A, count(*) from R where D > 5 group by A",
+                           "select B, count(*) from R where D > 5 group by B"})
+                  .ok());
+  // Different filters: phantom sharing impossible.
+  EXPECT_FALSE(
+      ParseQuerySet(schema,
+                    {"select A, count(*) from R where D > 5 group by A",
+                     "select B, count(*) from R where D > 6 group by B"})
+          .ok());
+}
+
+TEST(QueryLanguageTest, DerivedOutputNames) {
+  const Schema schema = NetSchema();
+  auto q = ParseQuery(schema,
+                      "select srcIP, count(*), sum(len) from packets "
+                      "group by srcIP");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->outputs[0].name, "srcIP");
+  EXPECT_EQ(q->outputs[1].name, "count");
+  EXPECT_EQ(q->outputs[2].name, "sum_len");
+}
+
+}  // namespace
+}  // namespace streamagg

@@ -1,0 +1,82 @@
+#include "util/random.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace streamagg {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next64() != b.Next64()) ++differing;
+  }
+  EXPECT_GT(differing, 30);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Uniform(1), 0u);
+  }
+}
+
+TEST(RandomTest, UniformIsRoughlyBalanced) {
+  Random rng(99);
+  std::vector<int> histogram(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.Uniform(10)];
+  for (int bucket = 0; bucket < 10; ++bucket) {
+    EXPECT_NEAR(histogram[bucket], kDraws / 10, kDraws / 10 * 0.1)
+        << "bucket " << bucket;
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RandomTest, GeometricHasRequestedMean) {
+  Random rng(11);
+  for (double mean : {1.0, 2.0, 10.0, 50.0}) {
+    double sum = 0.0;
+    const int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i) {
+      const uint64_t v = rng.Geometric(mean);
+      ASSERT_GE(v, 1u);
+      sum += static_cast<double>(v);
+    }
+    EXPECT_NEAR(sum / kDraws, mean, mean * 0.06) << "mean=" << mean;
+  }
+}
+
+TEST(RandomTest, BernoulliMatchesProbability) {
+  Random rng(13);
+  int hits = 0;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace streamagg

@@ -1,0 +1,84 @@
+#include "stream/record.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace streamagg {
+namespace {
+
+Record MakeRecord(std::initializer_list<uint32_t> values) {
+  Record r;
+  int i = 0;
+  for (uint32_t v : values) r.values[i++] = v;
+  return r;
+}
+
+TEST(GroupKeyTest, ProjectPicksAttributesInOrder) {
+  const Record r = MakeRecord({10, 20, 30, 40});
+  const GroupKey key = GroupKey::Project(r, AttributeSet::Of({0, 2}));
+  ASSERT_EQ(key.size, 2);
+  EXPECT_EQ(key.values[0], 10u);
+  EXPECT_EQ(key.values[1], 30u);
+}
+
+TEST(GroupKeyTest, ProjectFullSet) {
+  const Record r = MakeRecord({1, 2, 3});
+  const GroupKey key = GroupKey::Project(r, AttributeSet::Of({0, 1, 2}));
+  ASSERT_EQ(key.size, 3);
+  EXPECT_EQ(key.ToString(), "(1,2,3)");
+}
+
+TEST(GroupKeyTest, ProjectKeyOntoSubset) {
+  const Record r = MakeRecord({10, 20, 30, 40});
+  const AttributeSet abc = AttributeSet::Of({0, 1, 2});
+  const GroupKey abc_key = GroupKey::Project(r, abc);
+  const GroupKey b_key =
+      GroupKey::ProjectKey(abc_key, abc, AttributeSet::Single(1));
+  ASSERT_EQ(b_key.size, 1);
+  EXPECT_EQ(b_key.values[0], 20u);
+
+  const GroupKey ac_key =
+      GroupKey::ProjectKey(abc_key, abc, AttributeSet::Of({0, 2}));
+  ASSERT_EQ(ac_key.size, 2);
+  EXPECT_EQ(ac_key.values[0], 10u);
+  EXPECT_EQ(ac_key.values[1], 30u);
+}
+
+TEST(GroupKeyTest, ProjectKeyEqualsDirectProjection) {
+  const Record r = MakeRecord({7, 8, 9, 10});
+  const AttributeSet from = AttributeSet::Of({1, 2, 3});
+  const AttributeSet to = AttributeSet::Of({1, 3});
+  const GroupKey direct = GroupKey::Project(r, to);
+  const GroupKey via = GroupKey::ProjectKey(GroupKey::Project(r, from), from, to);
+  EXPECT_TRUE(direct == via);
+}
+
+TEST(GroupKeyTest, EqualityIncludesSize) {
+  GroupKey a;
+  a.size = 2;
+  a.values[0] = 1;
+  a.values[1] = 2;
+  GroupKey b = a;
+  EXPECT_TRUE(a == b);
+  b.size = 1;
+  EXPECT_FALSE(a == b);
+  b = a;
+  b.values[1] = 3;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(GroupKeyTest, HashDistinguishesKeys) {
+  std::unordered_set<GroupKey, GroupKeyHash> set;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    GroupKey k;
+    k.size = 2;
+    k.values[0] = i;
+    k.values[1] = i * 31;
+    set.insert(k);
+  }
+  EXPECT_EQ(set.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace streamagg

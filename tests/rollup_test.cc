@@ -1,0 +1,94 @@
+#include "dsms/rollup.h"
+
+#include <gtest/gtest.h>
+
+#include "dsms/reference_aggregator.h"
+#include "stream/uniform_generator.h"
+
+namespace streamagg {
+namespace {
+
+GroupKey Key2(uint32_t a, uint32_t b) {
+  GroupKey k;
+  k.size = 2;
+  k.values[0] = a;
+  k.values[1] = b;
+  return k;
+}
+
+TEST(RollupTest, FoldsCountsPerCoarseGroup) {
+  EpochAggregate fine;
+  fine[Key2(1, 10)] = AggregateState::FromCount(3);
+  fine[Key2(1, 20)] = AggregateState::FromCount(4);
+  fine[Key2(2, 10)] = AggregateState::FromCount(5);
+  const AttributeSet ab = AttributeSet::Of({0, 1});
+  auto coarse = Rollup(fine, ab, AttributeSet::Single(0), {});
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_EQ(coarse->size(), 2u);
+  GroupKey a1;
+  a1.size = 1;
+  a1.values[0] = 1;
+  GroupKey a2;
+  a2.size = 1;
+  a2.values[0] = 2;
+  EXPECT_EQ(coarse->at(a1).count, 7u);
+  EXPECT_EQ(coarse->at(a2).count, 5u);
+}
+
+TEST(RollupTest, MergesMetricStates) {
+  const std::vector<MetricSpec> metrics = {
+      MetricSpec{AggregateOp::kSum, 3}, MetricSpec{AggregateOp::kMax, 3}};
+  EpochAggregate fine;
+  AggregateState s1 = AggregateState::FromCount(2);
+  s1.num_metrics = 2;
+  s1.metrics[0] = 100;
+  s1.metrics[1] = 60;
+  AggregateState s2 = AggregateState::FromCount(1);
+  s2.num_metrics = 2;
+  s2.metrics[0] = 40;
+  s2.metrics[1] = 90;
+  fine[Key2(1, 10)] = s1;
+  fine[Key2(1, 20)] = s2;
+  const AttributeSet ab = AttributeSet::Of({0, 1});
+  auto coarse = Rollup(fine, ab, AttributeSet::Single(0), metrics);
+  ASSERT_TRUE(coarse.ok());
+  GroupKey a1;
+  a1.size = 1;
+  a1.values[0] = 1;
+  const AggregateState& merged = coarse->at(a1);
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_EQ(merged.metrics[0], 140u);
+  EXPECT_EQ(merged.metrics[1], 90u);
+}
+
+TEST(RollupTest, ValidatesArguments) {
+  EpochAggregate fine;
+  const AttributeSet ab = AttributeSet::Of({0, 1});
+  const AttributeSet cd = AttributeSet::Of({2, 3});
+  EXPECT_FALSE(Rollup(fine, ab, cd, {}).ok());
+  EXPECT_FALSE(Rollup(fine, ab, AttributeSet(), {}).ok());
+  EXPECT_TRUE(Rollup(fine, ab, ab, {}).ok());  // Identity rollup.
+}
+
+TEST(RollupTest, MatchesDirectCoarseAggregation) {
+  // Rolling up a fine aggregate equals aggregating the stream directly at
+  // the coarse granularity — the algebraic fact phantoms rely on.
+  auto gen = UniformGenerator::Make(*Schema::Default(3), 200, 41);
+  ASSERT_TRUE(gen.ok());
+  const Trace trace = Trace::Generate(**gen, 20000, 4.0);
+  const AttributeSet abc = trace.schema().AllAttributes();
+  const AttributeSet ac = AttributeSet::Of({0, 2});
+  const auto fine = ComputeReferenceAggregate(trace, abc, 0.0);
+  const auto direct = ComputeReferenceAggregate(trace, ac, 0.0);
+  auto rolled = Rollup(fine.at(0), abc, ac, {});
+  ASSERT_TRUE(rolled.ok());
+  ASSERT_EQ(rolled->size(), direct.at(0).size());
+  for (const auto& [key, state] : direct.at(0)) {
+    auto it = rolled->find(key);
+    ASSERT_NE(it, rolled->end());
+    EXPECT_EQ(it->second.count, state.count);
+  }
+}
+
+}  // namespace
+}  // namespace streamagg

@@ -1,0 +1,134 @@
+// Parameterized end-to-end correctness matrix: every configuration shape x
+// workload x epoch length must produce exactly the same per-epoch group
+// counts as a direct aggregation. This is the library's core invariant —
+// phantoms and allocations change cost, never answers.
+
+#include <gtest/gtest.h>
+
+#include "core/space_allocation.h"
+#include "dsms/reference_aggregator.h"
+#include "stream/flow_generator.h"
+#include "stream/trace_stats.h"
+#include "stream/uniform_generator.h"
+#include "stream/zipf_generator.h"
+
+namespace streamagg {
+namespace {
+
+struct MatrixCase {
+  const char* config_text;
+  const char* workload;  // "uniform", "zipf", "flow"
+  double epoch_seconds;  // 0 = single epoch
+  double memory_words;
+  bool with_metrics;  // Attach a sum(A) metric to every query.
+};
+
+std::string CaseName(const ::testing::TestParamInfo<MatrixCase>& info) {
+  std::string name = std::string(info.param.workload) + "_m" +
+                     std::to_string(static_cast<int>(info.param.memory_words)) +
+                     "_e" +
+                     std::to_string(static_cast<int>(
+                         info.param.epoch_seconds * 10)) +
+                     (info.param.with_metrics ? "_metrics" : "") + "_" +
+                     std::to_string(info.index);
+  return name;
+}
+
+class RuntimeMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+Trace BuildTrace(const std::string& workload, uint64_t seed) {
+  const Schema schema = *Schema::Default(4);
+  if (workload == "uniform") {
+    auto gen = std::move(UniformGenerator::Make(schema, 800, seed)).value();
+    return Trace::Generate(*gen, 60000, 12.0);
+  }
+  if (workload == "zipf") {
+    auto universe =
+        GroupUniverse::Uniform(schema, 800, {60, 60, 60, 60}, seed);
+    auto gen =
+        std::move(ZipfGenerator::Make(std::move(*universe), 1.0, seed + 1))
+            .value();
+    return Trace::Generate(*gen, 60000, 12.0);
+  }
+  FlowGeneratorOptions options;
+  options.seed = seed;
+  auto gen = std::move(FlowGenerator::MakePaperTrace(options)).value();
+  return Trace::Generate(*gen, 60000, 12.0);
+}
+
+TEST_P(RuntimeMatrixTest, ResultsEqualDirectAggregation) {
+  const MatrixCase& param = GetParam();
+  const Trace trace = BuildTrace(param.workload, 0xabc + param.memory_words);
+  auto config = Configuration::Parse(trace.schema(), param.config_text);
+  ASSERT_TRUE(config.ok()) << param.config_text;
+  std::vector<QueryDef> defs = config->QueryDefs();
+  if (param.with_metrics) {
+    // Every query also maintains sum(A); phantoms must carry the state.
+    for (QueryDef& def : defs) {
+      def.metrics = {MetricSpec{AggregateOp::kSum, 0}};
+    }
+    auto rebuilt = Configuration::Make(trace.schema(), defs,
+                                       config->PhantomSets());
+    ASSERT_TRUE(rebuilt.ok()) << param.config_text;
+    config = std::move(rebuilt);
+  }
+
+  // Allocate real space with SL so bucket counts are realistic.
+  TraceStats stats(&trace);
+  RelationCatalog catalog = RelationCatalog::FromTrace(&stats);
+  PreciseCollisionModel precise;
+  CostModel cost_model(&catalog, &precise, CostParams{1.0, 50.0});
+  SpaceAllocator allocator(&cost_model);
+  auto buckets =
+      allocator.Allocate(*config, param.memory_words, AllocationScheme::kSL);
+  ASSERT_TRUE(buckets.ok()) << buckets.status().ToString();
+
+  auto specs = config->ToRuntimeSpecs(*buckets);
+  ASSERT_TRUE(specs.ok());
+  auto runtime = ConfigurationRuntime::Make(trace.schema(), *specs,
+                                            param.epoch_seconds);
+  ASSERT_TRUE(runtime.ok());
+  (*runtime)->ProcessTrace(trace);
+
+  const std::vector<QueryDef> queries = config->QueryDefs();
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto expected = ComputeReferenceAggregate(
+        trace, queries[qi].group_by, param.epoch_seconds,
+        queries[qi].metrics);
+    std::string diagnostic;
+    EXPECT_TRUE(AggregatesEqual(expected, (*runtime)->hfta(),
+                                static_cast<int>(qi), &diagnostic))
+        << param.config_text << " query " << qi << ": " << diagnostic;
+  }
+}
+
+constexpr const char* kShapes[] = {
+    "A B C D",
+    "ABCD(A B C D)",
+    "AB(A B) CD(C D)",
+    "ABC(AB(A B) C) D",
+    "ABCD(AB BCD(BC BD CD))",
+    "ABCD(ABC(A BC(B C)) D)",
+};
+
+std::vector<MatrixCase> BuildCases() {
+  std::vector<MatrixCase> cases;
+  for (const char* shape : kShapes) {
+    for (const char* workload : {"uniform", "zipf", "flow"}) {
+      for (double epoch : {0.0, 3.0}) {
+        for (double memory : {2000.0, 30000.0}) {
+          cases.push_back(MatrixCase{shape, workload, epoch, memory, false});
+        }
+        // One metric-bearing case per (shape, workload, epoch).
+        cases.push_back(MatrixCase{shape, workload, epoch, 20000.0, true});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapesAndWorkloads, RuntimeMatrixTest,
+                         ::testing::ValuesIn(BuildCases()), CaseName);
+
+}  // namespace
+}  // namespace streamagg

@@ -1,0 +1,86 @@
+#include "stream/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace streamagg {
+namespace {
+
+TEST(SchemaTest, DefaultNamesAreLetters) {
+  auto schema = Schema::Default(4);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_attributes(), 4);
+  EXPECT_EQ(schema->name(0), "A");
+  EXPECT_EQ(schema->name(3), "D");
+  EXPECT_TRUE(schema->HasSingleLetterNames());
+}
+
+TEST(SchemaTest, DefaultRejectsBadArity) {
+  EXPECT_FALSE(Schema::Default(0).ok());
+  EXPECT_FALSE(Schema::Default(kMaxAttributes + 1).ok());
+}
+
+TEST(SchemaTest, MakeValidatesNames) {
+  EXPECT_FALSE(Schema::Make({}).ok());
+  EXPECT_FALSE(Schema::Make({"a", ""}).ok());
+  EXPECT_FALSE(Schema::Make({"x", "x"}).ok());
+  EXPECT_TRUE(Schema::Make({"srcIP", "dstIP"}).ok());
+}
+
+TEST(SchemaTest, AllAttributesCoversEverything) {
+  auto schema = Schema::Default(3);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->AllAttributes(), AttributeSet::Of({0, 1, 2}));
+}
+
+TEST(SchemaTest, IndexOf) {
+  auto schema = Schema::Make({"srcIP", "dstIP", "srcPort"});
+  ASSERT_TRUE(schema.ok());
+  auto idx = schema->IndexOf("dstIP");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1);
+  EXPECT_FALSE(schema->IndexOf("nope").ok());
+}
+
+TEST(SchemaTest, ParseLetterSpec) {
+  auto schema = Schema::Default(4);
+  ASSERT_TRUE(schema.ok());
+  auto set = schema->ParseAttributeSet("ACD");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(*set, AttributeSet::Of({0, 2, 3}));
+}
+
+TEST(SchemaTest, ParseCommaSpec) {
+  auto schema = Schema::Make({"srcIP", "dstIP", "srcPort"});
+  ASSERT_TRUE(schema.ok());
+  auto set = schema->ParseAttributeSet("srcIP,srcPort");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(*set, AttributeSet::Of({0, 2}));
+}
+
+TEST(SchemaTest, ParseRejectsDuplicatesAndUnknowns) {
+  auto schema = Schema::Default(4);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_FALSE(schema->ParseAttributeSet("AA").ok());
+  EXPECT_FALSE(schema->ParseAttributeSet("AZ").ok());
+  EXPECT_FALSE(schema->ParseAttributeSet("").ok());
+}
+
+TEST(SchemaTest, FormatRoundTrips) {
+  auto letters = Schema::Default(4);
+  ASSERT_TRUE(letters.ok());
+  const AttributeSet abd = AttributeSet::Of({0, 1, 3});
+  EXPECT_EQ(letters->FormatAttributeSet(abd), "ABD");
+  auto parsed = letters->ParseAttributeSet("ABD");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, abd);
+
+  auto named = Schema::Make({"srcIP", "dstIP", "srcPort", "dstPort"});
+  ASSERT_TRUE(named.ok());
+  EXPECT_EQ(named->FormatAttributeSet(abd), "srcIP,dstIP,dstPort");
+  auto parsed2 = named->ParseAttributeSet("srcIP,dstIP,dstPort");
+  ASSERT_TRUE(parsed2.ok());
+  EXPECT_EQ(*parsed2, abd);
+}
+
+}  // namespace
+}  // namespace streamagg

@@ -1,0 +1,134 @@
+#include "dsms/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+#include "dsms/configuration_runtime.h"
+#include "dsms/reference_aggregator.h"
+#include "stream/uniform_generator.h"
+
+namespace streamagg {
+namespace {
+
+GroupKey Key1(uint32_t v) {
+  GroupKey k;
+  k.size = 1;
+  k.values[0] = v;
+  return k;
+}
+
+TEST(SlidingWindowTest, ValidatesArguments) {
+  Hfta hfta(1);
+  EXPECT_FALSE(SlidingWindowView::Make(nullptr, 0, 2).ok());
+  EXPECT_FALSE(SlidingWindowView::Make(&hfta, 1, 2).ok());
+  EXPECT_FALSE(SlidingWindowView::Make(&hfta, -1, 2).ok());
+  EXPECT_FALSE(SlidingWindowView::Make(&hfta, 0, 0).ok());
+  EXPECT_TRUE(SlidingWindowView::Make(&hfta, 0, 1).ok());
+}
+
+TEST(SlidingWindowTest, MergesPanesPerGroup) {
+  Hfta hfta(1);
+  hfta.Add(0, 0, Key1(7), AggregateState::FromCount(3));
+  hfta.Add(0, 1, Key1(7), AggregateState::FromCount(4));
+  hfta.Add(0, 1, Key1(8), AggregateState::FromCount(1));
+  hfta.Add(0, 2, Key1(7), AggregateState::FromCount(5));
+
+  auto view = SlidingWindowView::Make(&hfta, 0, 2);
+  ASSERT_TRUE(view.ok());
+  // Window ending at pane 1 covers panes 0-1.
+  EpochAggregate w1 = view->WindowEndingAt(1);
+  EXPECT_EQ(w1.at(Key1(7)).count, 7u);
+  EXPECT_EQ(w1.at(Key1(8)).count, 1u);
+  // Window ending at pane 2 covers panes 1-2: group 8 still visible, pane-0
+  // contribution of group 7 expired.
+  EpochAggregate w2 = view->WindowEndingAt(2);
+  EXPECT_EQ(w2.at(Key1(7)).count, 9u);
+  EXPECT_EQ(w2.at(Key1(8)).count, 1u);
+  EXPECT_EQ(view->WindowTotalCount(2), 10u);
+}
+
+TEST(SlidingWindowTest, WindowOfOnePaneIsTheTumblingResult) {
+  Hfta hfta(1);
+  hfta.Add(0, 4, Key1(1), AggregateState::FromCount(2));
+  auto view = SlidingWindowView::Make(&hfta, 0, 1);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->WindowEndingAt(4).at(Key1(1)).count, 2u);
+  EXPECT_TRUE(view->WindowEndingAt(3).empty());
+}
+
+TEST(SlidingWindowTest, EarlyWindowsClampAtPaneZero) {
+  Hfta hfta(1);
+  hfta.Add(0, 0, Key1(5), AggregateState::FromCount(6));
+  auto view = SlidingWindowView::Make(&hfta, 0, 4);
+  ASSERT_TRUE(view.ok());
+  // Window ending at pane 1 covers [0, 1] (no underflow).
+  EXPECT_EQ(view->WindowEndingAt(1).at(Key1(5)).count, 6u);
+}
+
+TEST(SlidingWindowTest, MetricsMergeAcrossPanes) {
+  const std::vector<MetricSpec> metrics = {
+      MetricSpec{AggregateOp::kSum, 1}, MetricSpec{AggregateOp::kMax, 1}};
+  Hfta hfta(std::vector<std::vector<MetricSpec>>{metrics});
+  AggregateState a = AggregateState::FromCount(2);
+  a.num_metrics = 2;
+  a.metrics[0] = 100;  // sum
+  a.metrics[1] = 70;   // max
+  AggregateState b = AggregateState::FromCount(1);
+  b.num_metrics = 2;
+  b.metrics[0] = 30;
+  b.metrics[1] = 90;
+  hfta.Add(0, 0, Key1(3), a);
+  hfta.Add(0, 1, Key1(3), b);
+  auto view = SlidingWindowView::Make(&hfta, 0, 2);
+  ASSERT_TRUE(view.ok());
+  const AggregateState merged = view->WindowEndingAt(1).at(Key1(3));
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_EQ(merged.metrics[0], 130u);  // Sum across panes.
+  EXPECT_EQ(merged.metrics[1], 90u);   // Max across panes.
+}
+
+TEST(SlidingWindowTest, EndToEndMatchesDirectWindowAggregation) {
+  // Run a stream through a phantom configuration with 1-second panes and
+  // check 3-pane sliding windows against direct aggregation of the window's
+  // record range.
+  auto gen = UniformGenerator::Make(*Schema::Default(3), 200, 17);
+  ASSERT_TRUE(gen.ok());
+  const Trace trace = Trace::Generate(**gen, 40000, 8.0);
+  const AttributeSet abc = *trace.schema().ParseAttributeSet("ABC");
+  const AttributeSet a = *trace.schema().ParseAttributeSet("A");
+  std::vector<RuntimeRelationSpec> specs(2);
+  specs[0].attrs = abc;
+  specs[0].num_buckets = 256;
+  specs[1].attrs = a;
+  specs[1].num_buckets = 64;
+  specs[1].parent = 0;
+  specs[1].is_query = true;
+  specs[1].query_index = 0;
+  auto runtime =
+      ConfigurationRuntime::Make(trace.schema(), specs, /*pane=*/1.0);
+  ASSERT_TRUE(runtime.ok());
+  (*runtime)->ProcessTrace(trace);
+
+  auto view = SlidingWindowView::Make(&(*runtime)->hfta(), 0, 3);
+  ASSERT_TRUE(view.ok());
+  for (uint64_t end : {2ull, 4ull, 7ull}) {
+    // Direct aggregation over records in [end-2, end] seconds.
+    EpochAggregate expected;
+    for (const Record& r : trace.records()) {
+      const uint64_t pane = static_cast<uint64_t>(r.timestamp);
+      if (pane + 2 < end || pane > end) continue;
+      auto [it, inserted] = expected.try_emplace(GroupKey::Project(r, a),
+                                                 AggregateState::FromCount(1));
+      if (!inserted) it->second.count += 1;
+    }
+    const EpochAggregate actual = view->WindowEndingAt(end);
+    ASSERT_EQ(actual.size(), expected.size()) << "window end " << end;
+    for (const auto& [key, state] : expected) {
+      auto it = actual.find(key);
+      ASSERT_NE(it, actual.end());
+      EXPECT_EQ(it->second.count, state.count) << key.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamagg

@@ -1,0 +1,254 @@
+#include "core/space_allocation.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace streamagg {
+namespace {
+
+class SpaceAllocationTest : public ::testing::Test {
+ protected:
+  SpaceAllocationTest()
+      : schema_(*Schema::Default(4)),
+        catalog_(*RelationCatalog::Synthetic(
+            schema_,
+            {
+                {Set("A").mask(), 552},
+                {Set("B").mask(), 600},
+                {Set("C").mask(), 700},
+                {Set("D").mask(), 800},
+                {Set("AB").mask(), 1846},
+                {Set("AC").mask(), 1700},
+                {Set("BC").mask(), 1800},
+                {Set("BD").mask(), 1900},
+                {Set("CD").mask(), 2000},
+                {Set("ABC").mask(), 2117},
+                {Set("BCD").mask(), 2300},
+                {Set("ABCD").mask(), 2837},
+            })),
+        precise_(),
+        cost_model_(&catalog_, &precise_, CostParams{1.0, 50.0}),
+        allocator_(&cost_model_) {}
+
+  AttributeSet Set(const std::string& spec) {
+    return *schema_.ParseAttributeSet(spec);
+  }
+
+  Configuration Config(const std::string& text) {
+    return *Configuration::Parse(schema_, text);
+  }
+
+  double MemoryWordsUsed(const Configuration& config,
+                         const std::vector<double>& buckets) {
+    double words = 0.0;
+    for (int i = 0; i < config.num_nodes(); ++i) {
+      words += buckets[i] * (config.node(i).attrs.Count() + 1);
+    }
+    return words;
+  }
+
+  Schema schema_;
+  RelationCatalog catalog_;
+  PreciseCollisionModel precise_;
+  CostModel cost_model_;
+  SpaceAllocator allocator_;
+};
+
+TEST_F(SpaceAllocationTest, EverySchemeUsesTheBudgetExactly) {
+  const Configuration config = Config("ABCD(AB BCD(BC BD CD))");
+  for (AllocationScheme scheme :
+       {AllocationScheme::kSL, AllocationScheme::kSR, AllocationScheme::kPL,
+        AllocationScheme::kPR, AllocationScheme::kES}) {
+    auto buckets = allocator_.Allocate(config, 40000.0, scheme);
+    ASSERT_TRUE(buckets.ok()) << AllocationSchemeName(scheme);
+    for (double b : *buckets) EXPECT_GE(b, 1.0);
+    EXPECT_NEAR(MemoryWordsUsed(config, *buckets), 40000.0, 40000.0 * 0.02)
+        << AllocationSchemeName(scheme);
+  }
+}
+
+TEST_F(SpaceAllocationTest, NoPhantomOptimumIsSqrtProportional) {
+  // Section 5.1: with no phantoms the optimal words are proportional to
+  // sqrt(g * h); ES must agree with the analytic optimum within ~1%
+  // (paper Section 6.2.1).
+  const Configuration config = Config("A B C D");
+  auto es = allocator_.Allocate(config, 20000.0, AllocationScheme::kES);
+  ASSERT_TRUE(es.ok());
+  const double es_cost = cost_model_.PerRecordCost(config, *es);
+
+  std::vector<double> weights;
+  for (int i = 0; i < config.num_nodes(); ++i) {
+    weights.push_back(catalog_.Get(config.node(i).attrs).EffectiveWeight());
+  }
+  const std::vector<double> words =
+      SpaceAllocator::SqrtProportionalWords(weights, 20000.0);
+  std::vector<double> buckets(words.size());
+  for (size_t i = 0; i < words.size(); ++i) {
+    buckets[i] = words[i] / (config.node(i).attrs.Count() + 1);
+  }
+  const double analytic_cost = cost_model_.PerRecordCost(config, buckets);
+  EXPECT_NEAR(analytic_cost, es_cost, 0.02 * es_cost);
+}
+
+TEST_F(SpaceAllocationTest, TwoLevelOptimalBeatsOrMatchesES) {
+  // One phantom feeding all queries (Equations 20/21): SL reproduces the
+  // analytic optimum, and ES lands within ~2%.
+  const Configuration config = Config("ABC(A B C)");
+  auto sl = allocator_.Allocate(config, 20000.0, AllocationScheme::kSL);
+  auto es = allocator_.Allocate(config, 20000.0, AllocationScheme::kES);
+  ASSERT_TRUE(sl.ok());
+  ASSERT_TRUE(es.ok());
+  const double sl_cost = cost_model_.PerRecordCost(config, *sl);
+  const double es_cost = cost_model_.PerRecordCost(config, *es);
+  EXPECT_NEAR(sl_cost, es_cost, 0.03 * es_cost);
+}
+
+TEST_F(SpaceAllocationTest, TwoLevelSplitGivesPhantomMoreThanHalf) {
+  // Paper Section 5.1: b0 always takes more than half the available space.
+  const std::vector<double> child_weights = {1846.0 * 3, 1800.0 * 3,
+                                             2000.0 * 3};
+  const std::vector<double> split =
+      allocator_.TwoLevelOptimalWords(child_weights, 50000.0);
+  ASSERT_EQ(split.size(), 4u);
+  EXPECT_GT(split[0], 25000.0);
+  double total = 0.0;
+  for (double w : split) {
+    EXPECT_GT(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 50000.0, 1e-6);
+}
+
+TEST_F(SpaceAllocationTest, TwoLevelSplitIsALocalOptimum) {
+  // Equations 20/21 solve the first-order conditions of the linearized
+  // (x = mu g/b) cost. Verify numerically: perturbing any child's share by
+  // +-2% (compensated by the phantom) must not reduce the linearized cost.
+  const std::vector<double> child_weights = {1846.0 * 3, 1800.0 * 3,
+                                             2000.0 * 3, 1900.0 * 3};
+  const double memory = 40000.0;
+  const std::vector<double> split =
+      allocator_.TwoLevelOptimalWords(child_weights, memory);
+  const double mu = 0.354;
+  const double c1 = 1.0, c2 = 50.0;
+  auto linear_cost = [&](const std::vector<double>& words) {
+    // e = c1 + f x0 c1 + x0 sum_i x_i c2 with x = mu * G / words.
+    const double f = static_cast<double>(child_weights.size());
+    const double x0 = mu * (2837.0 * 5) / words[0];
+    double sum = 0.0;
+    for (size_t i = 0; i < child_weights.size(); ++i) {
+      sum += mu * child_weights[i] / words[i + 1];
+    }
+    return c1 + f * x0 * c1 + x0 * sum * c2;
+  };
+  const double base = linear_cost(split);
+  for (size_t child = 1; child < split.size(); ++child) {
+    for (double delta : {-0.02, 0.02}) {
+      std::vector<double> perturbed = split;
+      const double moved = split[child] * delta;
+      perturbed[child] += moved;
+      perturbed[0] -= moved;
+      EXPECT_GE(linear_cost(perturbed), base - 1e-9)
+          << "child " << child << " delta " << delta;
+    }
+  }
+}
+
+TEST_F(SpaceAllocationTest, TwoLevelSplitChildrenScaleWithSqrtWeight) {
+  const std::vector<double> split =
+      allocator_.TwoLevelOptimalWords({400.0, 1600.0}, 30000.0);
+  // Children words proportional to sqrt weights: sqrt(1600)/sqrt(400) = 2.
+  EXPECT_NEAR(split[2] / split[1], 2.0, 1e-9);
+}
+
+TEST_F(SpaceAllocationTest, SupernodeHeuristicsBeatNaiveOnDeepConfigs) {
+  // The paper's headline finding (Figures 9/10, Table 2): SL and SR track
+  // ES much better than PL/PR on multi-level configurations.
+  for (const char* text : {"(ABCD(ABC(A BC(B C)) D))",
+                           "(ABCD(AB BCD(BC BD CD)))", "(ABC(AC(A C) B))"}) {
+    const Configuration config = *Configuration::Parse(schema_, text);
+    double cost[5];
+    const AllocationScheme schemes[] = {
+        AllocationScheme::kSL, AllocationScheme::kSR, AllocationScheme::kPL,
+        AllocationScheme::kPR, AllocationScheme::kES};
+    for (int s = 0; s < 5; ++s) {
+      auto buckets = allocator_.Allocate(config, 40000.0, schemes[s]);
+      ASSERT_TRUE(buckets.ok()) << text;
+      cost[s] = cost_model_.PerRecordCost(config, *buckets);
+    }
+    const double es = cost[4];
+    EXPECT_LE(es, cost[0] * (1.0 + 1e-9)) << text;  // ES is the oracle.
+    EXPECT_LT(cost[0], es * 1.15) << text;          // SL within 15% of ES.
+    EXPECT_LT(cost[0], cost[2] + 1e-12) << text;    // SL no worse than PL.
+  }
+}
+
+TEST_F(SpaceAllocationTest, AllocationFailsWhenMemoryTooSmall) {
+  const Configuration config = Config("ABCD(AB BCD(BC BD CD))");
+  // 7 relations need at least sum(h) words; 10 words cannot host them.
+  auto result = allocator_.Allocate(config, 10.0, AllocationScheme::kSL);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(SpaceAllocationTest, RejectsDegenerateArguments) {
+  const Configuration config = Config("A B");
+  EXPECT_FALSE(allocator_.Allocate(config, 0.0, AllocationScheme::kSL).ok());
+  EXPECT_FALSE(allocator_.Allocate(config, -5.0, AllocationScheme::kPL).ok());
+}
+
+TEST_F(SpaceAllocationTest, SingleRelationGetsEverything) {
+  const Configuration config = Config("A");
+  for (AllocationScheme scheme :
+       {AllocationScheme::kSL, AllocationScheme::kPL, AllocationScheme::kES}) {
+    auto buckets = allocator_.Allocate(config, 1000.0, scheme);
+    ASSERT_TRUE(buckets.ok());
+    EXPECT_NEAR((*buckets)[0], 500.0, 5.0);  // 1000 words / h=2.
+  }
+}
+
+TEST_F(SpaceAllocationTest, PLEqualizesBucketPerGroupRatios) {
+  const Configuration config = Config("A B C D");
+  auto buckets = allocator_.Allocate(config, 20000.0, AllocationScheme::kPL);
+  ASSERT_TRUE(buckets.ok());
+  // Words proportional to g: word share of A = g_A / sum(g).
+  const double total_g = 552 + 600 + 700 + 800;
+  const double expected_words_a = 20000.0 * 552 / total_g;
+  EXPECT_NEAR((*buckets)[0] * 2.0, expected_words_a, 1.0);
+}
+
+TEST_F(SpaceAllocationTest, PRUsesSquareRoots) {
+  const Configuration config = Config("A B C D");
+  auto buckets = allocator_.Allocate(config, 20000.0, AllocationScheme::kPR);
+  ASSERT_TRUE(buckets.ok());
+  const double total = std::sqrt(552.0) + std::sqrt(600.0) +
+                       std::sqrt(700.0) + std::sqrt(800.0);
+  const double expected_words_a = 20000.0 * std::sqrt(552.0) / total;
+  EXPECT_NEAR((*buckets)[0] * 2.0, expected_words_a, 1.0);
+}
+
+class AllocationBudgetSweep
+    : public SpaceAllocationTest,
+      public ::testing::WithParamInterface<double> {};
+
+TEST_P(AllocationBudgetSweep, SLStaysCloseToESAcrossBudgets) {
+  // Paper Table 2: SL's average error vs ES stays in the low single digits
+  // across M = 20k..100k.
+  const double memory = GetParam();
+  const Configuration config = Config("(ABCD(AB BCD(BC BD CD)))");
+  auto sl = allocator_.Allocate(config, memory, AllocationScheme::kSL);
+  auto es = allocator_.Allocate(config, memory, AllocationScheme::kES);
+  ASSERT_TRUE(sl.ok());
+  ASSERT_TRUE(es.ok());
+  const double sl_cost = cost_model_.PerRecordCost(config, *sl);
+  const double es_cost = cost_model_.PerRecordCost(config, *es);
+  EXPECT_LT(sl_cost, es_cost * 1.20);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperMemorySizes, AllocationBudgetSweep,
+                         ::testing::Values(20000.0, 40000.0, 60000.0, 80000.0,
+                                           100000.0));
+
+}  // namespace
+}  // namespace streamagg

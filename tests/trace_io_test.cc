@@ -1,0 +1,115 @@
+#include "stream/trace_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "stream/flow_generator.h"
+#include "stream/uniform_generator.h"
+
+namespace streamagg {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(content.c_str(), f);
+  std::fclose(f);
+}
+
+TEST(TraceIoTest, RoundTripsPlainTrace) {
+  auto gen = UniformGenerator::Make(*Schema::Default(3), 50, 1);
+  ASSERT_TRUE(gen.ok());
+  const Trace original = Trace::Generate(**gen, 500, 5.0);
+  const std::string path = TempPath("plain_trace.csv");
+  ASSERT_TRUE(SaveTraceCsv(original, path).ok());
+
+  auto loaded = LoadTraceCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->schema().names(), original.schema().names());
+  EXPECT_FALSE(loaded->has_flow_ids());
+  for (size_t i = 0; i < original.size(); ++i) {
+    for (int a = 0; a < 3; ++a) {
+      ASSERT_EQ(loaded->record(i).values[a], original.record(i).values[a])
+          << "record " << i;
+    }
+    ASSERT_NEAR(loaded->record(i).timestamp, original.record(i).timestamp,
+                1e-6);
+  }
+}
+
+TEST(TraceIoTest, RoundTripsFlowTrace) {
+  auto gen = FlowGenerator::MakePaperTrace({});
+  ASSERT_TRUE(gen.ok());
+  const Trace original = Trace::Generate(**gen, 2000, 10.0);
+  const std::string path = TempPath("flow_trace.csv");
+  ASSERT_TRUE(SaveTraceCsv(original, path).ok());
+
+  auto loaded = LoadTraceCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->has_flow_ids());
+  EXPECT_EQ(loaded->flow_ids(), original.flow_ids());
+}
+
+TEST(TraceIoTest, PreservesNamedSchemas) {
+  const Schema schema = *Schema::Make({"srcIP", "dstIP"});
+  Trace trace(schema);
+  Record r;
+  r.values[0] = 10;
+  r.values[1] = 20;
+  r.timestamp = 1.5;
+  trace.Append(r);
+  const std::string path = TempPath("named_trace.csv");
+  ASSERT_TRUE(SaveTraceCsv(trace, path).ok());
+  auto loaded = LoadTraceCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->schema().name(0), "srcIP");
+  EXPECT_EQ(loaded->schema().name(1), "dstIP");
+}
+
+TEST(TraceIoTest, RejectsMissingFile) {
+  auto result = LoadTraceCsv(TempPath("does_not_exist.csv"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TraceIoTest, RejectsBadHeader) {
+  const std::string path = TempPath("bad_header.csv");
+  WriteFile(path, "time,flow,A\n0.0,0,1\n");
+  EXPECT_FALSE(LoadTraceCsv(path).ok());
+}
+
+TEST(TraceIoTest, RejectsWrongFieldCount) {
+  const std::string path = TempPath("bad_fields.csv");
+  WriteFile(path, "timestamp,flow_id,A,B\n0.0,0,1\n");
+  EXPECT_FALSE(LoadTraceCsv(path).ok());
+}
+
+TEST(TraceIoTest, RejectsNonNumericValues) {
+  const std::string path = TempPath("bad_value.csv");
+  WriteFile(path, "timestamp,flow_id,A\n0.0,0,xyz\n");
+  EXPECT_FALSE(LoadTraceCsv(path).ok());
+}
+
+TEST(TraceIoTest, RejectsMixedFlowAndNonFlowRecords) {
+  const std::string path = TempPath("mixed_flow.csv");
+  WriteFile(path, "timestamp,flow_id,A\n0.0,1,5\n0.1,0,6\n");
+  EXPECT_FALSE(LoadTraceCsv(path).ok());
+  const std::string path2 = TempPath("mixed_flow2.csv");
+  WriteFile(path2, "timestamp,flow_id,A\n0.0,0,5\n0.1,2,6\n");
+  EXPECT_FALSE(LoadTraceCsv(path2).ok());
+}
+
+TEST(TraceIoTest, EmptyFileIsRejected) {
+  const std::string path = TempPath("empty.csv");
+  WriteFile(path, "");
+  EXPECT_FALSE(LoadTraceCsv(path).ok());
+}
+
+}  // namespace
+}  // namespace streamagg

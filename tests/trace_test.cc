@@ -1,0 +1,84 @@
+#include "stream/trace.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "stream/flow_generator.h"
+#include "stream/uniform_generator.h"
+
+namespace streamagg {
+namespace {
+
+TEST(TraceTest, GenerateAssignsMonotoneTimestamps) {
+  auto gen = UniformGenerator::Make(*Schema::Default(3), 50, 1);
+  ASSERT_TRUE(gen.ok());
+  const Trace trace = Trace::Generate(**gen, 1000, 62.0);
+  EXPECT_EQ(trace.size(), 1000u);
+  EXPECT_DOUBLE_EQ(trace.duration_seconds(), 62.0);
+  EXPECT_FALSE(trace.has_flow_ids());
+  double prev = -1.0;
+  for (const Record& r : trace.records()) {
+    EXPECT_GE(r.timestamp, prev);
+    EXPECT_LT(r.timestamp, 62.0);
+    prev = r.timestamp;
+  }
+}
+
+TEST(TraceTest, GenerateRecordsFlowIds) {
+  auto gen = FlowGenerator::MakePaperTrace({});
+  ASSERT_TRUE(gen.ok());
+  const Trace trace = Trace::Generate(**gen, 5000, 62.0);
+  ASSERT_TRUE(trace.has_flow_ids());
+  EXPECT_EQ(trace.flow_ids().size(), trace.size());
+}
+
+TEST(TraceTest, OneRecordPerFlowDeclusters) {
+  auto gen = FlowGenerator::MakePaperTrace({});
+  ASSERT_TRUE(gen.ok());
+  const Trace trace = Trace::Generate(**gen, 50000, 62.0);
+  auto declustered = trace.OneRecordPerFlow();
+  ASSERT_TRUE(declustered.ok());
+  std::unordered_set<uint32_t> flows(trace.flow_ids().begin(),
+                                     trace.flow_ids().end());
+  EXPECT_EQ(declustered->size(), flows.size());
+  // Each flow id appears exactly once in the declustered trace.
+  std::unordered_set<uint32_t> seen;
+  for (uint32_t f : declustered->flow_ids()) {
+    EXPECT_TRUE(seen.insert(f).second);
+  }
+}
+
+TEST(TraceTest, OneRecordPerFlowRequiresFlowIds) {
+  auto gen = UniformGenerator::Make(*Schema::Default(3), 50, 1);
+  ASSERT_TRUE(gen.ok());
+  const Trace trace = Trace::Generate(**gen, 100, 1.0);
+  EXPECT_FALSE(trace.OneRecordPerFlow().ok());
+}
+
+TEST(TraceTest, ProjectPrefixNarrowsSchema) {
+  auto gen = UniformGenerator::Make(*Schema::Default(4), 50, 2);
+  ASSERT_TRUE(gen.ok());
+  const Trace trace = Trace::Generate(**gen, 500, 10.0);
+  auto narrow = trace.ProjectPrefix(2);
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_EQ(narrow->schema().num_attributes(), 2);
+  EXPECT_EQ(narrow->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(narrow->record(i).values[0], trace.record(i).values[0]);
+    EXPECT_EQ(narrow->record(i).values[1], trace.record(i).values[1]);
+    EXPECT_DOUBLE_EQ(narrow->record(i).timestamp, trace.record(i).timestamp);
+  }
+}
+
+TEST(TraceTest, ProjectPrefixValidatesWidth) {
+  auto gen = UniformGenerator::Make(*Schema::Default(4), 50, 2);
+  ASSERT_TRUE(gen.ok());
+  const Trace trace = Trace::Generate(**gen, 10, 1.0);
+  EXPECT_FALSE(trace.ProjectPrefix(0).ok());
+  EXPECT_FALSE(trace.ProjectPrefix(5).ok());
+  EXPECT_TRUE(trace.ProjectPrefix(4).ok());
+}
+
+}  // namespace
+}  // namespace streamagg
