@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_load_shedding.dir/bench_ablation_load_shedding.cc.o"
+  "CMakeFiles/bench_ablation_load_shedding.dir/bench_ablation_load_shedding.cc.o.d"
+  "CMakeFiles/bench_ablation_load_shedding.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_load_shedding.dir/bench_common.cc.o.d"
+  "bench_ablation_load_shedding"
+  "bench_ablation_load_shedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_load_shedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

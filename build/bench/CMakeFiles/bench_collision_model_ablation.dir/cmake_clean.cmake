@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collision_model_ablation.dir/bench_collision_model_ablation.cc.o"
+  "CMakeFiles/bench_collision_model_ablation.dir/bench_collision_model_ablation.cc.o.d"
+  "CMakeFiles/bench_collision_model_ablation.dir/bench_common.cc.o"
+  "CMakeFiles/bench_collision_model_ablation.dir/bench_common.cc.o.d"
+  "bench_collision_model_ablation"
+  "bench_collision_model_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collision_model_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

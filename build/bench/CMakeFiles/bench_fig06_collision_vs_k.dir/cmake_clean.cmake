@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_collision_vs_k.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig06_collision_vs_k.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig06_collision_vs_k.dir/bench_fig06_collision_vs_k.cc.o"
+  "CMakeFiles/bench_fig06_collision_vs_k.dir/bench_fig06_collision_vs_k.cc.o.d"
+  "bench_fig06_collision_vs_k"
+  "bench_fig06_collision_vs_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_collision_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

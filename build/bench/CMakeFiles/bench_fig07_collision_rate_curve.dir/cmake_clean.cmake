@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_collision_rate_curve.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig07_collision_rate_curve.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig07_collision_rate_curve.dir/bench_fig07_collision_rate_curve.cc.o"
+  "CMakeFiles/bench_fig07_collision_rate_curve.dir/bench_fig07_collision_rate_curve.cc.o.d"
+  "bench_fig07_collision_rate_curve"
+  "bench_fig07_collision_rate_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_collision_rate_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_linear_fit.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig08_linear_fit.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig08_linear_fit.dir/bench_fig08_linear_fit.cc.o"
+  "CMakeFiles/bench_fig08_linear_fit.dir/bench_fig08_linear_fit.cc.o.d"
+  "bench_fig08_linear_fit"
+  "bench_fig08_linear_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_linear_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

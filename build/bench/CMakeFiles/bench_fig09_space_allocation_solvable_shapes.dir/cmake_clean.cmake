@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_space_allocation_solvable_shapes.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig09_space_allocation_solvable_shapes.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig09_space_allocation_solvable_shapes.dir/bench_fig09_space_allocation_solvable_shapes.cc.o"
+  "CMakeFiles/bench_fig09_space_allocation_solvable_shapes.dir/bench_fig09_space_allocation_solvable_shapes.cc.o.d"
+  "bench_fig09_space_allocation_solvable_shapes"
+  "bench_fig09_space_allocation_solvable_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_space_allocation_solvable_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_space_allocation_deep_shapes.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig10_space_allocation_deep_shapes.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig10_space_allocation_deep_shapes.dir/bench_fig10_space_allocation_deep_shapes.cc.o"
+  "CMakeFiles/bench_fig10_space_allocation_deep_shapes.dir/bench_fig10_space_allocation_deep_shapes.cc.o.d"
+  "bench_fig10_space_allocation_deep_shapes"
+  "bench_fig10_space_allocation_deep_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_space_allocation_deep_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_phantom_choosing_process.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig12_phantom_choosing_process.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig12_phantom_choosing_process.dir/bench_fig12_phantom_choosing_process.cc.o"
+  "CMakeFiles/bench_fig12_phantom_choosing_process.dir/bench_fig12_phantom_choosing_process.cc.o.d"
+  "bench_fig12_phantom_choosing_process"
+  "bench_fig12_phantom_choosing_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_phantom_choosing_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

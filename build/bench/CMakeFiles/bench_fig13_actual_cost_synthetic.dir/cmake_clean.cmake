@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_actual_cost_synthetic.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig13_actual_cost_synthetic.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig13_actual_cost_synthetic.dir/bench_fig13_actual_cost_synthetic.cc.o"
+  "CMakeFiles/bench_fig13_actual_cost_synthetic.dir/bench_fig13_actual_cost_synthetic.cc.o.d"
+  "bench_fig13_actual_cost_synthetic"
+  "bench_fig13_actual_cost_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_actual_cost_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

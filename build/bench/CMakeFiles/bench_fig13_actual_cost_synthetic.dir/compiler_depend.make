@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig13_actual_cost_synthetic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_actual_cost_real.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig14_actual_cost_real.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig14_actual_cost_real.dir/bench_fig14_actual_cost_real.cc.o"
+  "CMakeFiles/bench_fig14_actual_cost_real.dir/bench_fig14_actual_cost_real.cc.o.d"
+  "bench_fig14_actual_cost_real"
+  "bench_fig14_actual_cost_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_actual_cost_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

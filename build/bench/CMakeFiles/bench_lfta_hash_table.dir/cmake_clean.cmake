@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lfta_hash_table.dir/bench_lfta_hash_table.cc.o"
+  "CMakeFiles/bench_lfta_hash_table.dir/bench_lfta_hash_table.cc.o.d"
+  "bench_lfta_hash_table"
+  "bench_lfta_hash_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lfta_hash_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

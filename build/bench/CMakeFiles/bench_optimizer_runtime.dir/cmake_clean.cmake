@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_runtime.dir/bench_optimizer_runtime.cc.o"
+  "CMakeFiles/bench_optimizer_runtime.dir/bench_optimizer_runtime.cc.o.d"
+  "bench_optimizer_runtime"
+  "bench_optimizer_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

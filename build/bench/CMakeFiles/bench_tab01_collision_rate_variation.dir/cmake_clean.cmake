@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab01_collision_rate_variation.dir/bench_common.cc.o"
+  "CMakeFiles/bench_tab01_collision_rate_variation.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_tab01_collision_rate_variation.dir/bench_tab01_collision_rate_variation.cc.o"
+  "CMakeFiles/bench_tab01_collision_rate_variation.dir/bench_tab01_collision_rate_variation.cc.o.d"
+  "bench_tab01_collision_rate_variation"
+  "bench_tab01_collision_rate_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_collision_rate_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

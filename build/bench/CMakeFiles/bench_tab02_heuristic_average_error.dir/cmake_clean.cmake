@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_heuristic_average_error.dir/bench_common.cc.o"
+  "CMakeFiles/bench_tab02_heuristic_average_error.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_tab02_heuristic_average_error.dir/bench_tab02_heuristic_average_error.cc.o"
+  "CMakeFiles/bench_tab02_heuristic_average_error.dir/bench_tab02_heuristic_average_error.cc.o.d"
+  "bench_tab02_heuristic_average_error"
+  "bench_tab02_heuristic_average_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_heuristic_average_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab02_heuristic_average_error.
+# This may be replaced when dependencies are built.

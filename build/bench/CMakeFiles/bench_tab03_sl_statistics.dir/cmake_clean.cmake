@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_sl_statistics.dir/bench_common.cc.o"
+  "CMakeFiles/bench_tab03_sl_statistics.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_tab03_sl_statistics.dir/bench_tab03_sl_statistics.cc.o"
+  "CMakeFiles/bench_tab03_sl_statistics.dir/bench_tab03_sl_statistics.cc.o.d"
+  "bench_tab03_sl_statistics"
+  "bench_tab03_sl_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_sl_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

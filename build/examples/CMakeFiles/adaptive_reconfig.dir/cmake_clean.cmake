@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_reconfig.dir/adaptive_reconfig.cpp.o"
+  "CMakeFiles/adaptive_reconfig.dir/adaptive_reconfig.cpp.o.d"
+  "adaptive_reconfig"
+  "adaptive_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_monitor.dir/engine_monitor.cpp.o"
+  "CMakeFiles/engine_monitor.dir/engine_monitor.cpp.o.d"
+  "engine_monitor"
+  "engine_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_monitoring.dir/ip_monitoring.cpp.o"
+  "CMakeFiles/ip_monitoring.dir/ip_monitoring.cpp.o.d"
+  "ip_monitoring"
+  "ip_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

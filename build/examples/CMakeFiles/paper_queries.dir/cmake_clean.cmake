@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_queries.dir/paper_queries.cpp.o"
+  "CMakeFiles/paper_queries.dir/paper_queries.cpp.o.d"
+  "paper_queries"
+  "paper_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamagg_cli.dir/streamagg_cli.cpp.o"
+  "CMakeFiles/streamagg_cli.dir/streamagg_cli.cpp.o.d"
+  "streamagg_cli"
+  "streamagg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamagg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

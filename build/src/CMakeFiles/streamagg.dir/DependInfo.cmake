@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cc" "src/CMakeFiles/streamagg.dir/core/adaptive.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/core/adaptive.cc.o.d"
+  "/root/repo/src/core/collision_model.cc" "src/CMakeFiles/streamagg.dir/core/collision_model.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/core/collision_model.cc.o.d"
+  "/root/repo/src/core/configuration.cc" "src/CMakeFiles/streamagg.dir/core/configuration.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/core/configuration.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/streamagg.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/streamagg.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/feeding_graph.cc" "src/CMakeFiles/streamagg.dir/core/feeding_graph.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/core/feeding_graph.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/streamagg.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/core/peak_load.cc" "src/CMakeFiles/streamagg.dir/core/peak_load.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/core/peak_load.cc.o.d"
+  "/root/repo/src/core/phantom_chooser.cc" "src/CMakeFiles/streamagg.dir/core/phantom_chooser.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/core/phantom_chooser.cc.o.d"
+  "/root/repo/src/core/plan_io.cc" "src/CMakeFiles/streamagg.dir/core/plan_io.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/core/plan_io.cc.o.d"
+  "/root/repo/src/core/query_language.cc" "src/CMakeFiles/streamagg.dir/core/query_language.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/core/query_language.cc.o.d"
+  "/root/repo/src/core/relation.cc" "src/CMakeFiles/streamagg.dir/core/relation.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/core/relation.cc.o.d"
+  "/root/repo/src/core/relation_catalog.cc" "src/CMakeFiles/streamagg.dir/core/relation_catalog.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/core/relation_catalog.cc.o.d"
+  "/root/repo/src/core/space_allocation.cc" "src/CMakeFiles/streamagg.dir/core/space_allocation.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/core/space_allocation.cc.o.d"
+  "/root/repo/src/dsms/configuration_runtime.cc" "src/CMakeFiles/streamagg.dir/dsms/configuration_runtime.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/dsms/configuration_runtime.cc.o.d"
+  "/root/repo/src/dsms/hfta.cc" "src/CMakeFiles/streamagg.dir/dsms/hfta.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/dsms/hfta.cc.o.d"
+  "/root/repo/src/dsms/lfta_hash_table.cc" "src/CMakeFiles/streamagg.dir/dsms/lfta_hash_table.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/dsms/lfta_hash_table.cc.o.d"
+  "/root/repo/src/dsms/load_simulator.cc" "src/CMakeFiles/streamagg.dir/dsms/load_simulator.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/dsms/load_simulator.cc.o.d"
+  "/root/repo/src/dsms/reference_aggregator.cc" "src/CMakeFiles/streamagg.dir/dsms/reference_aggregator.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/dsms/reference_aggregator.cc.o.d"
+  "/root/repo/src/dsms/rollup.cc" "src/CMakeFiles/streamagg.dir/dsms/rollup.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/dsms/rollup.cc.o.d"
+  "/root/repo/src/dsms/sliding_window.cc" "src/CMakeFiles/streamagg.dir/dsms/sliding_window.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/dsms/sliding_window.cc.o.d"
+  "/root/repo/src/stream/aggregate.cc" "src/CMakeFiles/streamagg.dir/stream/aggregate.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/stream/aggregate.cc.o.d"
+  "/root/repo/src/stream/attribute_set.cc" "src/CMakeFiles/streamagg.dir/stream/attribute_set.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/stream/attribute_set.cc.o.d"
+  "/root/repo/src/stream/distinct_counter.cc" "src/CMakeFiles/streamagg.dir/stream/distinct_counter.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/stream/distinct_counter.cc.o.d"
+  "/root/repo/src/stream/flow_generator.cc" "src/CMakeFiles/streamagg.dir/stream/flow_generator.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/stream/flow_generator.cc.o.d"
+  "/root/repo/src/stream/generator.cc" "src/CMakeFiles/streamagg.dir/stream/generator.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/stream/generator.cc.o.d"
+  "/root/repo/src/stream/record.cc" "src/CMakeFiles/streamagg.dir/stream/record.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/stream/record.cc.o.d"
+  "/root/repo/src/stream/schema.cc" "src/CMakeFiles/streamagg.dir/stream/schema.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/stream/schema.cc.o.d"
+  "/root/repo/src/stream/trace.cc" "src/CMakeFiles/streamagg.dir/stream/trace.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/stream/trace.cc.o.d"
+  "/root/repo/src/stream/trace_io.cc" "src/CMakeFiles/streamagg.dir/stream/trace_io.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/stream/trace_io.cc.o.d"
+  "/root/repo/src/stream/trace_stats.cc" "src/CMakeFiles/streamagg.dir/stream/trace_stats.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/stream/trace_stats.cc.o.d"
+  "/root/repo/src/stream/uniform_generator.cc" "src/CMakeFiles/streamagg.dir/stream/uniform_generator.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/stream/uniform_generator.cc.o.d"
+  "/root/repo/src/stream/zipf_generator.cc" "src/CMakeFiles/streamagg.dir/stream/zipf_generator.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/stream/zipf_generator.cc.o.d"
+  "/root/repo/src/util/math.cc" "src/CMakeFiles/streamagg.dir/util/math.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/util/math.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/streamagg.dir/util/status.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/util/status.cc.o.d"
+  "/root/repo/src/util/timer.cc" "src/CMakeFiles/streamagg.dir/util/timer.cc.o" "gcc" "src/CMakeFiles/streamagg.dir/util/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

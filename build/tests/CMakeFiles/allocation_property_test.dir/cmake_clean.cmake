@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocation_property_test.dir/allocation_property_test.cc.o"
+  "CMakeFiles/allocation_property_test.dir/allocation_property_test.cc.o.d"
+  "allocation_property_test"
+  "allocation_property_test.pdb"
+  "allocation_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocation_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configuration_runtime_test.dir/configuration_runtime_test.cc.o"
+  "CMakeFiles/configuration_runtime_test.dir/configuration_runtime_test.cc.o.d"
+  "configuration_runtime_test"
+  "configuration_runtime_test.pdb"
+  "configuration_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configuration_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

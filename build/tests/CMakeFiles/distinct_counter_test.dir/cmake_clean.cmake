@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_counter_test.dir/distinct_counter_test.cc.o"
+  "CMakeFiles/distinct_counter_test.dir/distinct_counter_test.cc.o.d"
+  "distinct_counter_test"
+  "distinct_counter_test.pdb"
+  "distinct_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

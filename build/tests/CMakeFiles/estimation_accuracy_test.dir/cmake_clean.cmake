@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimation_accuracy_test.dir/estimation_accuracy_test.cc.o"
+  "CMakeFiles/estimation_accuracy_test.dir/estimation_accuracy_test.cc.o.d"
+  "estimation_accuracy_test"
+  "estimation_accuracy_test.pdb"
+  "estimation_accuracy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimation_accuracy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

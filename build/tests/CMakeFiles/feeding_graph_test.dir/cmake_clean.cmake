@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feeding_graph_test.dir/feeding_graph_test.cc.o"
+  "CMakeFiles/feeding_graph_test.dir/feeding_graph_test.cc.o.d"
+  "feeding_graph_test"
+  "feeding_graph_test.pdb"
+  "feeding_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feeding_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

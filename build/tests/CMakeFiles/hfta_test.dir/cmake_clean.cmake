@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfta_test.dir/hfta_test.cc.o"
+  "CMakeFiles/hfta_test.dir/hfta_test.cc.o.d"
+  "hfta_test"
+  "hfta_test.pdb"
+  "hfta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfta_hash_table_test.dir/lfta_hash_table_test.cc.o"
+  "CMakeFiles/lfta_hash_table_test.dir/lfta_hash_table_test.cc.o.d"
+  "lfta_hash_table_test"
+  "lfta_hash_table_test.pdb"
+  "lfta_hash_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfta_hash_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_simulator_test.dir/load_simulator_test.cc.o"
+  "CMakeFiles/load_simulator_test.dir/load_simulator_test.cc.o.d"
+  "load_simulator_test"
+  "load_simulator_test.pdb"
+  "load_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

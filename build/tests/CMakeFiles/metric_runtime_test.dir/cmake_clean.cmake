@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metric_runtime_test.dir/metric_runtime_test.cc.o"
+  "CMakeFiles/metric_runtime_test.dir/metric_runtime_test.cc.o.d"
+  "metric_runtime_test"
+  "metric_runtime_test.pdb"
+  "metric_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metric_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

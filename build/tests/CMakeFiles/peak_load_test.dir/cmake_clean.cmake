@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peak_load_test.dir/peak_load_test.cc.o"
+  "CMakeFiles/peak_load_test.dir/peak_load_test.cc.o.d"
+  "peak_load_test"
+  "peak_load_test.pdb"
+  "peak_load_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peak_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_chooser_test.dir/phantom_chooser_test.cc.o"
+  "CMakeFiles/phantom_chooser_test.dir/phantom_chooser_test.cc.o.d"
+  "phantom_chooser_test"
+  "phantom_chooser_test.pdb"
+  "phantom_chooser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_chooser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

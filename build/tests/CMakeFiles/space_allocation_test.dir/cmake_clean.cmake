@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_allocation_test.dir/space_allocation_test.cc.o"
+  "CMakeFiles/space_allocation_test.dir/space_allocation_test.cc.o.d"
+  "space_allocation_test"
+  "space_allocation_test.pdb"
+  "space_allocation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_allocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
