@@ -42,12 +42,15 @@ Row Evaluate(const char* name, const CollisionModel& model,
   // Latency.
   const int kCalls = 200000;
   double sink = 0.0;
-  Timer timer;
-  for (int i = 0; i < kCalls; ++i) {
-    const double r = 0.1 + (i % 500) * 0.1;
-    sink += model.Rate(r * 1000.0, 1000.0);
+  double elapsed_millis = 0.0;
+  {
+    ScopedTimer timer(&elapsed_millis);
+    for (int i = 0; i < kCalls; ++i) {
+      const double r = 0.1 + (i % 500) * 0.1;
+      sink += model.Rate(r * 1000.0, 1000.0);
+    }
   }
-  row.nanos_per_call = timer.ElapsedMicros() * 1000.0 / kCalls;
+  row.nanos_per_call = elapsed_millis * 1e6 / kCalls;
   if (sink < 0) std::printf("%f", sink);  // Defeat dead-code elimination.
   return row;
 }

@@ -1,12 +1,16 @@
 // Micro-benchmark (google-benchmark): end-to-end StreamAggEngine record
 // rate — the number the deployment cares about: how many packets per second
 // the whole pipeline (epoch tracking + phantom cascade + HFTA) sustains
-// after planning.
+// after planning — plus the shard-count sweep for the parallel ingest path
+// (dsms/sharded_runtime.h; see docs/runtime.md).
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/engine.h"
 #include "stream/uniform_generator.h"
+#include "util/timer.h"
 
 using namespace streamagg;
 
@@ -80,5 +84,81 @@ void BM_EngineAdaptiveOverhead(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EngineAdaptiveOverhead);
+
+// Shard-count sweep: the same engine with the parallel LFTA ingest path at
+// 1/2/4/8 shards. Reports records/sec plus scaling vs the serial (1-shard)
+// run and per-shard efficiency; run on a machine with >= as many cores as
+// shards for meaningful scaling numbers. Timing is manual (ScopedTimer over
+// each record batch) so per-iteration engine state never pollutes the rate.
+void BM_EngineShardScaling(benchmark::State& state) {
+  const int num_shards = static_cast<int>(state.range(0));
+  const Schema schema = *Schema::Default(4);
+  auto gen = std::move(UniformGenerator::Make(schema, 2837, 11)).value();
+  std::vector<QueryDef> queries = {
+      QueryDef(*schema.ParseAttributeSet("AB")),
+      QueryDef(*schema.ParseAttributeSet("BC")),
+      QueryDef(*schema.ParseAttributeSet("BD")),
+      QueryDef(*schema.ParseAttributeSet("CD"))};
+  StreamAggEngine::Options options;
+  options.memory_words = 40000;
+  options.sample_size = 20000;
+  options.epoch_seconds = 1.0;
+  options.clustered = false;
+  options.num_shards = num_shards;
+  // A modest queue bounds the producer/consumer skew, so the measured rate
+  // is end-to-end processing, not enqueue speed (residual skew <= 1024
+  // records per shard out of each 256k batch).
+  options.shard_queue_capacity = 1024;
+  auto engine =
+      std::move(StreamAggEngine::FromQueryDefs(schema, queries, options))
+          .value();
+  // Drive past the sampling phase so the loop measures steady state.
+  double t = 0.0;
+  for (size_t i = 0; i <= options.sample_size; ++i) {
+    Record r = gen->Next();
+    r.timestamp = t;
+    (void)engine->Process(r);
+  }
+  // Pre-drawn batch so generator cost stays out of the timed region;
+  // timestamps advance per replay (~100k records per epoch).
+  std::vector<Record> batch(1 << 18);
+  for (Record& r : batch) r = gen->Next();
+  double total_millis = 0.0;
+  for (auto _ : state) {
+    double millis = 0.0;
+    {
+      ScopedTimer timer(&millis);
+      for (Record r : batch) {
+        t += 1e-5;
+        r.timestamp = t;
+        benchmark::DoNotOptimize(engine->Process(r));
+      }
+    }
+    state.SetIterationTime(millis / 1000.0);
+    total_millis += millis;
+  }
+  const double processed =
+      static_cast<double>(state.iterations()) *
+      static_cast<double>(batch.size());
+  state.SetItemsProcessed(static_cast<int64_t>(processed));
+  const double rate = processed / (total_millis / 1000.0);
+  // The sweep runs in registration order, so the 1-shard run seeds the
+  // baseline for the scaling/efficiency counters of the later runs.
+  static double serial_rate = 0.0;
+  if (num_shards == 1) serial_rate = rate;
+  state.counters["records_per_sec"] = rate;
+  if (serial_rate > 0.0) {
+    state.counters["scaling_x"] = rate / serial_rate;
+    state.counters["efficiency"] = rate / (serial_rate * num_shards);
+  }
+}
+BENCHMARK(BM_EngineShardScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgNames({"shards"})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -10,9 +10,21 @@
 
 namespace streamagg {
 
+Status StreamAggEngine::ValidateOptions(const Options& options) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options.num_shards > 1 && options.adaptive) {
+    return Status::InvalidArgument(
+        "adaptive re-planning requires num_shards == 1");
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<StreamAggEngine>> StreamAggEngine::FromQueryTexts(
     const Schema& schema, const std::vector<std::string>& queries,
     Options options) {
+  STREAMAGG_RETURN_NOT_OK(ValidateOptions(options));
   STREAMAGG_ASSIGN_OR_RETURN(std::vector<ParsedQuery> parsed,
                              ParseQuerySet(schema, queries));
   std::vector<QueryDef> defs;
@@ -27,6 +39,7 @@ Result<std::unique_ptr<StreamAggEngine>> StreamAggEngine::FromQueryTexts(
 
 Result<std::unique_ptr<StreamAggEngine>> StreamAggEngine::FromQueryDefs(
     const Schema& schema, std::vector<QueryDef> queries, Options options) {
+  STREAMAGG_RETURN_NOT_OK(ValidateOptions(options));
   if (queries.empty()) return Status::InvalidArgument("no queries");
   for (const QueryDef& q : queries) {
     if (q.group_by.empty() || !q.group_by.IsSubsetOf(schema.AllAttributes())) {
@@ -95,18 +108,29 @@ Status StreamAggEngine::PlanFromSample() {
       RelationCatalog::FromTrace(sample_stats_.get(), options_.clustered));
   STREAMAGG_ASSIGN_OR_RETURN(
       OptimizedPlan plan,
-      optimizer_.Optimize(*catalog_, queries_, options_.memory_words));
+      optimizer_.Optimize(*catalog_, queries_, PlanningBudget()));
   last_optimize_millis_ = plan.optimize_millis;
   plan_ = std::make_unique<OptimizedPlan>(std::move(plan));
   STREAMAGG_RETURN_NOT_OK(InstallRuntime());
   // Replay the buffered sample — its records were never processed.
-  for (const Record& r : sample_->records()) runtime_->ProcessRecord(r);
+  for (const Record& r : sample_->records()) RuntimeProcess(r);
   return Status::OK();
 }
 
 Status StreamAggEngine::InstallRuntime() {
   STREAMAGG_ASSIGN_OR_RETURN(std::vector<RuntimeRelationSpec> specs,
                              plan_->ToRuntimeSpecs());
+  if (options_.num_shards > 1) {
+    ShardedRuntime::Options sharded_options;
+    sharded_options.num_shards = options_.num_shards;
+    sharded_options.queue_capacity = options_.shard_queue_capacity;
+    STREAMAGG_ASSIGN_OR_RETURN(
+        std::unique_ptr<ShardedRuntime> sharded,
+        ShardedRuntime::Make(schema_, std::move(specs), options_.epoch_seconds,
+                             sharded_options));
+    sharded_runtime_ = std::move(sharded);
+    return Status::OK();
+  }
   STREAMAGG_ASSIGN_OR_RETURN(
       std::unique_ptr<ConfigurationRuntime> runtime,
       ConfigurationRuntime::Make(schema_, std::move(specs),
@@ -115,15 +139,20 @@ Status StreamAggEngine::InstallRuntime() {
   return Status::OK();
 }
 
+void StreamAggEngine::RuntimeProcess(const Record& record) {
+  if (sharded_runtime_ != nullptr) {
+    sharded_runtime_->ProcessRecord(record);
+  } else {
+    runtime_->ProcessRecord(record);
+  }
+}
+
 void StreamAggEngine::AccumulateCounters() {
-  if (runtime_ == nullptr) return;
-  const RuntimeCounters& c = runtime_->counters();
-  total_counters_.records += c.records;
-  total_counters_.intra_probes += c.intra_probes;
-  total_counters_.intra_transfers += c.intra_transfers;
-  total_counters_.flush_probes += c.flush_probes;
-  total_counters_.flush_transfers += c.flush_transfers;
-  total_counters_.epochs_flushed += c.epochs_flushed;
+  if (runtime_ != nullptr) {
+    total_counters_.Add(runtime_->counters());
+  } else if (sharded_runtime_ != nullptr) {
+    total_counters_.Add(sharded_runtime_->counters());
+  }
 }
 
 Status StreamAggEngine::HandleEpochBoundary(uint64_t next_epoch) {
@@ -167,7 +196,7 @@ Status StreamAggEngine::HandleEpochBoundary(uint64_t next_epoch) {
   catalog_ = std::make_unique<RelationCatalog>(std::move(next_catalog));
   STREAMAGG_ASSIGN_OR_RETURN(
       OptimizedPlan plan,
-      optimizer_.Optimize(*catalog_, queries_, options_.memory_words));
+      optimizer_.Optimize(*catalog_, queries_, PlanningBudget()));
   last_optimize_millis_ = plan.optimize_millis;
   ++reoptimizations_;
   plan_ = std::make_unique<OptimizedPlan>(std::move(plan));
@@ -183,7 +212,7 @@ Status StreamAggEngine::Process(const Record& record) {
   if (!parsed_.empty() && !parsed_.front().RecordPasses(record)) {
     return Status::OK();
   }
-  if (runtime_ == nullptr) {
+  if (!planned()) {
     sample_->Append(record);
     if (sample_->size() >= options_.sample_size) {
       STREAMAGG_RETURN_NOT_OK(PlanFromSample());
@@ -210,13 +239,14 @@ Status StreamAggEngine::Process(const Record& record) {
   }
   saw_record_ = true;
   // The runtime flushes its own epoch when it sees the boundary timestamp
-  // (unless the adaptive path already swapped it above).
-  runtime_->ProcessRecord(record);
+  // (unless the adaptive path already swapped it above). Sharded runtimes
+  // flush per shard the same way.
+  RuntimeProcess(record);
   return Status::OK();
 }
 
 Status StreamAggEngine::Finish() {
-  if (runtime_ == nullptr && sample_ != nullptr && sample_->size() > 0) {
+  if (!planned() && sample_ != nullptr && sample_->size() > 0) {
     // Short stream: plan from whatever was collected.
     STREAMAGG_RETURN_NOT_OK(PlanFromSample());
   }
@@ -225,6 +255,13 @@ Status StreamAggEngine::Finish() {
     accumulated_hfta_->MergeFrom(runtime_->hfta());
     AccumulateCounters();
     runtime_.reset();
+  } else if (sharded_runtime_ != nullptr) {
+    // Epoch barrier: drains every shard queue, flushes every shard and
+    // merges their HFTAs into one result set.
+    sharded_runtime_->FlushEpoch();
+    accumulated_hfta_->MergeFrom(sharded_runtime_->hfta());
+    AccumulateCounters();
+    sharded_runtime_.reset();
   }
   return Status::OK();
 }
@@ -239,6 +276,13 @@ const EpochAggregate& StreamAggEngine::EpochResult(int query_index,
     const EpochAggregate& live = runtime_->hfta().Result(query_index, epoch);
     if (!live.empty()) return live;
   }
+  if (sharded_runtime_ != nullptr) {
+    // The merged snapshot from the last epoch barrier; mid-stream results
+    // become visible at Finish() (see docs/runtime.md).
+    const EpochAggregate& live =
+        sharded_runtime_->hfta().Result(query_index, epoch);
+    if (!live.empty()) return live;
+  }
   return accumulated_hfta_->Result(query_index, epoch);
 }
 
@@ -247,6 +291,11 @@ std::vector<uint64_t> StreamAggEngine::Epochs(int query_index) const {
   if (runtime_ != nullptr) {
     for (uint64_t e : runtime_->hfta().Epochs(query_index)) epochs.insert(e);
   }
+  if (sharded_runtime_ != nullptr) {
+    for (uint64_t e : sharded_runtime_->hfta().Epochs(query_index)) {
+      epochs.insert(e);
+    }
+  }
   for (uint64_t e : accumulated_hfta_->Epochs(query_index)) epochs.insert(e);
   return std::vector<uint64_t>(epochs.begin(), epochs.end());
 }
@@ -254,13 +303,10 @@ std::vector<uint64_t> StreamAggEngine::Epochs(int query_index) const {
 RuntimeCounters StreamAggEngine::counters() const {
   RuntimeCounters total = total_counters_;
   if (runtime_ != nullptr) {
-    const RuntimeCounters& c = runtime_->counters();
-    total.records += c.records;
-    total.intra_probes += c.intra_probes;
-    total.intra_transfers += c.intra_transfers;
-    total.flush_probes += c.flush_probes;
-    total.flush_transfers += c.flush_transfers;
-    total.epochs_flushed += c.epochs_flushed;
+    total.Add(runtime_->counters());
+  } else if (sharded_runtime_ != nullptr) {
+    // Barrier snapshot: race-free, but only as fresh as the last flush.
+    total.Add(sharded_runtime_->counters());
   }
   return total;
 }

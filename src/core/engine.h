@@ -9,6 +9,7 @@
 #include "core/adaptive.h"
 #include "core/optimizer.h"
 #include "core/query_language.h"
+#include "dsms/sharded_runtime.h"
 #include "stream/trace_stats.h"
 
 namespace streamagg {
@@ -42,6 +43,16 @@ class StreamAggEngine {
     /// Treat the stream as clustered (estimate flow lengths) during the
     /// sampling pass.
     bool clustered = true;
+    /// Parallel LFTA ingest shards (dsms/sharded_runtime.h). 1 (default)
+    /// runs the original single-threaded path unchanged. N > 1 partitions
+    /// records across N runtime replicas driven by worker threads and
+    /// merges their HFTA outputs at the Finish() epoch barrier; the LFTA
+    /// memory budget is split N ways so the total footprint (and the cost
+    /// model's per-table sizing) stays honest. Incompatible with
+    /// `adaptive` for now — drift re-planning assumes one serial runtime.
+    int num_shards = 1;
+    /// Per-shard record queue capacity when num_shards > 1.
+    size_t shard_queue_capacity = 4096;
   };
 
   /// Builds an engine from queries in the paper's query language. The
@@ -73,7 +84,9 @@ class StreamAggEngine {
   Status Finish();
 
   /// True once the sampling phase is over and a plan is live.
-  bool planned() const { return runtime_ != nullptr; }
+  bool planned() const {
+    return runtime_ != nullptr || sharded_runtime_ != nullptr;
+  }
   /// The live configuration ("" while still sampling).
   std::string ConfigurationText() const;
   /// The live plan (nullptr while still sampling); serialize it with
@@ -106,6 +119,20 @@ class StreamAggEngine {
   /// Builds (or rebuilds) the runtime for `plan_`, carrying the HFTA over.
   Status InstallRuntime();
 
+  /// Rejects option combinations the engine cannot honor (num_shards < 1,
+  /// adaptive + sharded).
+  static Status ValidateOptions(const Options& options);
+
+  /// LFTA memory the optimizer may plan for: the budget split across
+  /// shards, so instantiating the plan once per shard lands on the user's
+  /// total budget.
+  double PlanningBudget() const {
+    return options_.memory_words / static_cast<double>(options_.num_shards);
+  }
+
+  /// Routes a record into whichever runtime is live.
+  void RuntimeProcess(const Record& record);
+
   void AccumulateCounters();
 
   Schema schema_;
@@ -123,7 +150,8 @@ class StreamAggEngine {
   // Live state.
   std::unique_ptr<RelationCatalog> catalog_;  // Snapshot behind plan_.
   std::unique_ptr<OptimizedPlan> plan_;
-  std::unique_ptr<ConfigurationRuntime> runtime_;
+  std::unique_ptr<ConfigurationRuntime> runtime_;  // num_shards == 1.
+  std::unique_ptr<ShardedRuntime> sharded_runtime_;  // num_shards > 1.
   std::unique_ptr<Hfta> accumulated_hfta_;  // Results across runtime swaps.
   uint64_t current_epoch_ = 0;
   bool saw_record_ = false;

@@ -48,6 +48,18 @@ struct RuntimeCounters {
   uint64_t total_probes() const { return intra_probes + flush_probes; }
   uint64_t total_transfers() const { return intra_transfers + flush_transfers; }
 
+  /// Accumulates another runtime's counters into this one. Used when
+  /// aggregating across adaptive runtime swaps (core/engine.h) and across
+  /// shard replicas (dsms/sharded_runtime.h).
+  void Add(const RuntimeCounters& other) {
+    records += other.records;
+    intra_probes += other.intra_probes;
+    intra_transfers += other.intra_transfers;
+    flush_probes += other.flush_probes;
+    flush_transfers += other.flush_transfers;
+    epochs_flushed += other.epochs_flushed;
+  }
+
   /// Weighted intra-epoch (maintenance) cost, paper Equation 4/7 measured.
   double IntraCost(double c1, double c2) const {
     return static_cast<double>(intra_probes) * c1 +

@@ -1,0 +1,184 @@
+#include "dsms/sharded_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/hash.h"
+
+namespace streamagg {
+
+namespace {
+
+/// Seed of the record-to-shard hash. Distinct from every table seed so the
+/// partitioning is independent of bucket placement (a correlated hash would
+/// skew per-shard collision rates).
+constexpr uint64_t kShardHashSeed = 0x5eedf00dcafe17ULL;
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Make(
+    const Schema& schema, std::vector<RuntimeRelationSpec> specs,
+    double epoch_seconds, Options options, uint64_t seed) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options.queue_capacity < 2) {
+    return Status::InvalidArgument("queue_capacity must be >= 2");
+  }
+  std::vector<std::unique_ptr<ConfigurationRuntime>> shards;
+  shards.reserve(static_cast<size_t>(options.num_shards));
+  for (int s = 0; s < options.num_shards; ++s) {
+    // Every replica validates the same specs; the first failure reports.
+    STREAMAGG_ASSIGN_OR_RETURN(
+        std::unique_ptr<ConfigurationRuntime> shard,
+        ConfigurationRuntime::Make(schema, specs, epoch_seconds, seed));
+    shards.push_back(std::move(shard));
+  }
+  AttributeSet partition_attrs;
+  int num_queries = 0;
+  for (const RuntimeRelationSpec& spec : specs) {
+    if (spec.parent < 0) partition_attrs = partition_attrs.Union(spec.attrs);
+    if (spec.is_query) num_queries = std::max(num_queries, spec.query_index + 1);
+  }
+  std::vector<std::vector<MetricSpec>> per_query_metrics(
+      static_cast<size_t>(num_queries));
+  for (const RuntimeRelationSpec& spec : specs) {
+    if (spec.is_query) per_query_metrics[spec.query_index] = spec.query_metrics;
+  }
+  return std::unique_ptr<ShardedRuntime>(new ShardedRuntime(
+      schema, std::move(shards), partition_attrs, std::move(per_query_metrics),
+      options.queue_capacity));
+}
+
+ShardedRuntime::ShardedRuntime(
+    const Schema& schema,
+    std::vector<std::unique_ptr<ConfigurationRuntime>> shards,
+    AttributeSet partition_attrs,
+    std::vector<std::vector<MetricSpec>> per_query_metrics,
+    size_t queue_capacity)
+    : schema_(schema),
+      shards_(std::move(shards)),
+      partition_attrs_(partition_attrs),
+      per_query_metrics_(std::move(per_query_metrics)),
+      merged_hfta_(std::make_unique<Hfta>(per_query_metrics_)) {
+  queues_.reserve(shards_.size());
+  workers_.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    queues_.push_back(std::make_unique<SpscQueue<Envelope>>(queue_capacity));
+  }
+  // Queues must all exist before any worker starts.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    workers_.emplace_back(
+        [this, s] { WorkerLoop(static_cast<int>(s)); });
+  }
+}
+
+ShardedRuntime::~ShardedRuntime() {
+  Envelope stop;
+  stop.kind = Envelope::Kind::kStop;
+  for (size_t s = 0; s < workers_.size(); ++s) {
+    PushBlocking(static_cast<int>(s), stop);
+  }
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ShardedRuntime::ShardOf(const Record& record) const {
+  if (shards_.size() == 1) return 0;
+  const GroupKey key = GroupKey::Project(record, partition_attrs_);
+  const uint64_t h = HashWords(key.values.data(), key.size, kShardHashSeed);
+  return static_cast<int>(h % shards_.size());
+}
+
+void ShardedRuntime::PushBlocking(int shard, const Envelope& envelope) {
+  SpscQueue<Envelope>& queue = *queues_[shard];
+  int spins = 0;
+  while (!queue.TryPush(envelope)) {
+    // Backpressure: the shard is behind. Yield, then briefly sleep so a
+    // stalled consumer does not peg the producer core.
+    if (++spins < 1024) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+void ShardedRuntime::WorkerLoop(int shard) {
+  SpscQueue<Envelope>& queue = *queues_[shard];
+  ConfigurationRuntime& runtime = *shards_[shard];
+  Envelope envelope;
+  int idle = 0;
+  for (;;) {
+    if (!queue.TryPop(&envelope)) {
+      // Idle backoff mirrors PushBlocking: cheap yields first, then short
+      // sleeps once the stream has clearly paused.
+      if (++idle < 1024) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      continue;
+    }
+    idle = 0;
+    switch (envelope.kind) {
+      case Envelope::Kind::kRecord:
+        runtime.ProcessRecord(envelope.record);
+        break;
+      case Envelope::Kind::kFlush: {
+        runtime.FlushEpoch();
+        std::lock_guard<std::mutex> lock(barrier_mutex_);
+        if (--barrier_pending_ == 0) barrier_cv_.notify_one();
+        break;
+      }
+      case Envelope::Kind::kStop:
+        return;
+    }
+  }
+}
+
+void ShardedRuntime::ProcessRecord(const Record& record) {
+  Envelope envelope;
+  envelope.record = record;
+  PushBlocking(ShardOf(record), envelope);
+}
+
+void ShardedRuntime::FlushEpoch() {
+  {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    barrier_pending_ = num_shards();
+  }
+  Envelope flush;
+  flush.kind = Envelope::Kind::kFlush;
+  for (int s = 0; s < num_shards(); ++s) PushBlocking(s, flush);
+  {
+    std::unique_lock<std::mutex> lock(barrier_mutex_);
+    barrier_cv_.wait(lock, [this] { return barrier_pending_ == 0; });
+  }
+  // All shards have drained up to the flush marker and acknowledged under
+  // the barrier mutex, so reading their state here is race-free: nothing
+  // else is in their queues (this thread is the only producer).
+  RebuildMergedSnapshot();
+}
+
+void ShardedRuntime::RebuildMergedSnapshot() {
+  merged_hfta_ = std::make_unique<Hfta>(per_query_metrics_);
+  merged_counters_ = RuntimeCounters{};
+  for (const auto& shard : shards_) {
+    merged_hfta_->MergeFrom(shard->hfta());
+    merged_counters_.Add(shard->counters());
+  }
+}
+
+void ShardedRuntime::ProcessTrace(const Trace& trace) {
+  for (const Record& record : trace.records()) ProcessRecord(record);
+  FlushEpoch();
+}
+
+uint64_t ShardedRuntime::TotalMemoryWords() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->TotalMemoryWords();
+  return total;
+}
+
+}  // namespace streamagg

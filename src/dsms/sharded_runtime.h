@@ -1,0 +1,134 @@
+#ifndef STREAMAGG_DSMS_SHARDED_RUNTIME_H_
+#define STREAMAGG_DSMS_SHARDED_RUNTIME_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dsms/configuration_runtime.h"
+#include "util/spsc_queue.h"
+
+namespace streamagg {
+
+/// Parallel LFTA ingest: N ConfigurationRuntime replicas, each owned by one
+/// worker thread and fed through a bounded SPSC record queue. Records are
+/// partitioned by a hash of their projection onto the configuration's root
+/// (raw-relation) attributes, so a root group always lands on the same
+/// shard and every shard preserves the serial per-table collision/eviction
+/// semantics on its slice of the stream. Per-shard HFTA outputs are merged
+/// at an epoch barrier (FlushEpoch) into the same final aggregates the
+/// serial runtime produces — shard merge is order-insensitive because all
+/// supported aggregates are commutative. See docs/runtime.md for the full
+/// concurrency model.
+///
+/// Threading contract (single external driver thread):
+///  * ProcessRecord / ProcessTrace / FlushEpoch must be called from one
+///    thread (the producer). Records must arrive in non-decreasing
+///    timestamp order, exactly as for ConfigurationRuntime.
+///  * hfta() and counters() return the snapshot merged at the last
+///    FlushEpoch barrier; they are stable (race-free) between barriers.
+///  * shard(i) exposes a shard's runtime for inspection and is only safe
+///    to read between FlushEpoch (or construction) and the next
+///    ProcessRecord, while the workers are quiescent.
+class ShardedRuntime {
+ public:
+  struct Options {
+    /// Number of shard replicas / worker threads. 1 is valid (one worker
+    /// behind one queue) and produces the serial runtime's exact results.
+    int num_shards = 1;
+    /// Per-shard record queue capacity; rounded up to a power of two. The
+    /// producer blocks (spins) when a shard's queue is full, so this bounds
+    /// both memory and the producer/consumer skew.
+    size_t queue_capacity = 4096;
+  };
+
+  /// Validates the specs once via ConfigurationRuntime::Make semantics and
+  /// instantiates one replica per shard (all replicas share `seed`, i.e.
+  /// identical hash functions over identically sized tables). The memory
+  /// budget question is the caller's: replicas multiply the footprint by
+  /// num_shards, so planners should size specs with budget/num_shards
+  /// (StreamAggEngine does; see core/engine.h).
+  static Result<std::unique_ptr<ShardedRuntime>> Make(
+      const Schema& schema, std::vector<RuntimeRelationSpec> specs,
+      double epoch_seconds, Options options, uint64_t seed = 0x1f7a);
+
+  /// Stops and joins the workers; any queued records are processed first.
+  ~ShardedRuntime();
+
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  /// Routes one record to its shard's queue (blocking when full).
+  void ProcessRecord(const Record& record);
+
+  /// Feeds a whole trace, then runs the final epoch barrier.
+  void ProcessTrace(const Trace& trace);
+
+  /// Epoch barrier: drains every shard queue, flushes every shard's current
+  /// epoch, and rebuilds the merged HFTA/counters snapshot. Blocks the
+  /// caller until all shards have acknowledged.
+  void FlushEpoch();
+
+  /// Merged results across shards, as of the last FlushEpoch barrier.
+  const Hfta& hfta() const { return *merged_hfta_; }
+  /// Aggregated counters across shards, as of the last FlushEpoch barrier.
+  const RuntimeCounters& counters() const { return merged_counters_; }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// A shard's replica; see the threading contract above.
+  const ConfigurationRuntime& shard(int i) const { return *shards_[i]; }
+  /// The attribute set records are partitioned by (the union of the
+  /// configuration's raw-relation attributes).
+  AttributeSet partition_attrs() const { return partition_attrs_; }
+
+  /// Total LFTA memory across all shard replicas, in 4-byte words.
+  uint64_t TotalMemoryWords() const;
+
+ private:
+  /// One queue entry: a record, or a control command for the worker.
+  struct Envelope {
+    enum class Kind : uint8_t {
+      kRecord,  ///< Process `record`.
+      kFlush,   ///< Flush the shard's epoch and acknowledge the barrier.
+      kStop,    ///< Exit the worker loop (destructor only).
+    };
+    Kind kind = Kind::kRecord;
+    Record record;
+  };
+
+  ShardedRuntime(const Schema& schema,
+                 std::vector<std::unique_ptr<ConfigurationRuntime>> shards,
+                 AttributeSet partition_attrs,
+                 std::vector<std::vector<MetricSpec>> per_query_metrics,
+                 size_t queue_capacity);
+
+  int ShardOf(const Record& record) const;
+  void PushBlocking(int shard, const Envelope& envelope);
+  void WorkerLoop(int shard);
+  /// Rebuilds merged_hfta_/merged_counters_ from the quiescent shards.
+  void RebuildMergedSnapshot();
+
+  Schema schema_;
+  std::vector<std::unique_ptr<ConfigurationRuntime>> shards_;
+  AttributeSet partition_attrs_;
+  std::vector<std::vector<MetricSpec>> per_query_metrics_;
+
+  std::vector<std::unique_ptr<SpscQueue<Envelope>>> queues_;
+  std::vector<std::thread> workers_;
+
+  /// Barrier handshake: FlushEpoch sets pending = num_shards, each worker
+  /// decrements after flushing; the mutex also orders the producer's
+  /// subsequent reads of shard state after the workers' writes.
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_pending_ = 0;
+
+  std::unique_ptr<Hfta> merged_hfta_;
+  RuntimeCounters merged_counters_;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_DSMS_SHARDED_RUNTIME_H_

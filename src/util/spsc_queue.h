@@ -1,0 +1,80 @@
+#ifndef STREAMAGG_UTIL_SPSC_QUEUE_H_
+#define STREAMAGG_UTIL_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace streamagg {
+
+/// Bounded single-producer/single-consumer ring buffer. The sharded ingest
+/// path (dsms/sharded_runtime.h) runs one of these per shard: the caller
+/// thread is the producer, the shard's worker thread the consumer, so a
+/// lock-free ring with acquire/release indices is sufficient and keeps the
+/// per-record hand-off to a couple of uncontended atomic operations.
+///
+/// Both endpoints cache the opposing index (the Rigtorp SPSC design) so the
+/// common case touches only the cache line it owns; the shared indices are
+/// re-read only when the cached view says full/empty.
+///
+/// T must be copy-assignable and default-constructible. Capacity is rounded
+/// up to a power of two; one slot is never wasted (full = capacity elements).
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t min_capacity) {
+    size_t capacity = 1;
+    while (capacity < min_capacity) capacity <<= 1;
+    slots_.resize(capacity);
+    mask_ = capacity - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false when the ring is full.
+  bool TryPush(const T& item) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = item;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    *out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Safe from either thread (a racy but conservative snapshot).
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  /// Consumer-owned index, producer-cached copy, and vice versa; separate
+  /// cache lines so the two threads do not false-share.
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) size_t cached_tail_ = 0;  // Owned by the consumer.
+  alignas(64) std::atomic<size_t> tail_{0};
+  alignas(64) size_t cached_head_ = 0;  // Owned by the producer.
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_UTIL_SPSC_QUEUE_H_

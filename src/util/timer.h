@@ -6,7 +6,10 @@
 namespace streamagg {
 
 /// Monotonic wall-clock stopwatch used to report optimizer running times
-/// (the paper claims sub-millisecond configuration selection, Section 6.3.4).
+/// (the paper claims sub-millisecond configuration selection, Section 6.3.4)
+/// and bench throughput. Guaranteed monotonic: the clock is checked at
+/// compile time, so NTP steps or wall-clock changes can never produce
+/// negative or warped intervals.
 class Timer {
  public:
   Timer() { Restart(); }
@@ -25,7 +28,26 @@ class Timer {
 
  private:
   using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "Timer requires a monotonic (steady) clock; timing "
+                "measurements must not move backwards");
   Clock::time_point start_;
+};
+
+/// RAII stopwatch: on destruction *adds* the elapsed milliseconds to
+/// `*sink_millis`. Accumulating (`+=`) so one sink can total several timed
+/// sections — the bench sweeps time each batch of work with a ScopedTimer
+/// and report the running total (see bench_engine_throughput.cc).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink_millis) : sink_millis_(sink_millis) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { *sink_millis_ += timer_.ElapsedMillis(); }
+
+ private:
+  double* sink_millis_;
+  Timer timer_;
 };
 
 }  // namespace streamagg

@@ -1,0 +1,281 @@
+// Sharded-ingest correctness: any shard count must produce exactly the
+// per-epoch aggregates of the serial runtime (and therefore of a direct
+// group-by). Sharding changes collision patterns and cost, never answers —
+// the same invariant the runtime matrix enforces for configurations.
+
+#include "dsms/sharded_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "core/configuration.h"
+#include "core/engine.h"
+#include "dsms/reference_aggregator.h"
+#include "stream/flow_generator.h"
+#include "stream/uniform_generator.h"
+#include "stream/zipf_generator.h"
+
+namespace streamagg {
+namespace {
+
+Trace ZipfTrace(uint64_t seed) {
+  const Schema schema = *Schema::Default(4);
+  auto universe = GroupUniverse::Uniform(schema, 800, {60, 60, 60, 60}, seed);
+  auto gen =
+      std::move(ZipfGenerator::Make(std::move(*universe), 1.0, seed + 1))
+          .value();
+  return Trace::Generate(*gen, 60000, 12.0);
+}
+
+Trace FlowTrace(uint64_t seed) {
+  FlowGeneratorOptions options;
+  options.seed = seed;
+  auto gen = std::move(FlowGenerator::MakePaperTrace(options)).value();
+  return Trace::Generate(*gen, 60000, 12.0);
+}
+
+/// Builds runtime specs for a configuration text with uniform small tables
+/// (small enough that collisions and the phantom cascade are exercised).
+std::vector<RuntimeRelationSpec> SpecsFor(const Schema& schema,
+                                          const std::string& config_text,
+                                          double buckets_per_table = 128.0) {
+  auto config = Configuration::Parse(schema, config_text);
+  EXPECT_TRUE(config.ok()) << config_text;
+  auto specs = config->ToRuntimeSpecs(
+      std::vector<double>(config->num_nodes(), buckets_per_table));
+  EXPECT_TRUE(specs.ok());
+  return *specs;
+}
+
+/// Runs the sharded runtime over `trace` and checks every query against the
+/// direct reference aggregation.
+void ExpectShardedMatchesReference(const Trace& trace,
+                                   const std::string& config_text,
+                                   double epoch_seconds, int num_shards) {
+  const std::vector<RuntimeRelationSpec> specs =
+      SpecsFor(trace.schema(), config_text);
+  ShardedRuntime::Options options;
+  options.num_shards = num_shards;
+  auto sharded = ShardedRuntime::Make(trace.schema(), specs, epoch_seconds,
+                                      options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  (*sharded)->ProcessTrace(trace);
+
+  auto config = Configuration::Parse(trace.schema(), config_text);
+  const std::vector<QueryDef> queries = config->QueryDefs();
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto expected = ComputeReferenceAggregate(
+        trace, queries[qi].group_by, epoch_seconds, queries[qi].metrics);
+    std::string diagnostic;
+    EXPECT_TRUE(AggregatesEqual(expected, (*sharded)->hfta(),
+                                static_cast<int>(qi), &diagnostic))
+        << config_text << " shards=" << num_shards << " query " << qi << ": "
+        << diagnostic;
+  }
+}
+
+TEST(ShardedRuntimeTest, ZipfTraceIdenticalAcrossShardCounts) {
+  const Trace trace = ZipfTrace(0x5a1);
+  for (int shards : {1, 2, 4, 7}) {
+    ExpectShardedMatchesReference(trace, "ABCD(AB BCD(BC BD CD))", 3.0,
+                                  shards);
+  }
+}
+
+TEST(ShardedRuntimeTest, FlowTraceIdenticalAcrossShardCounts) {
+  const Trace trace = FlowTrace(0xf10);
+  for (int shards : {1, 2, 4, 7}) {
+    ExpectShardedMatchesReference(trace, "ABCD(AB BCD(BC BD CD))", 3.0,
+                                  shards);
+  }
+}
+
+TEST(ShardedRuntimeTest, FlatForestSingleEpoch) {
+  // Multiple raw relations: the partition attrs are the union ABCD.
+  const Trace trace = ZipfTrace(0x77);
+  for (int shards : {1, 4}) {
+    ExpectShardedMatchesReference(trace, "A B C D", 0.0, shards);
+  }
+}
+
+TEST(ShardedRuntimeTest, MetricsSurviveShardMerge) {
+  const Trace trace = FlowTrace(0x3c);
+  const Schema& schema = trace.schema();
+  auto base = Configuration::Parse(schema, "ABC(AB(A B) C) D");
+  ASSERT_TRUE(base.ok());
+  std::vector<QueryDef> defs = base->QueryDefs();
+  for (QueryDef& def : defs) {
+    def.metrics = {MetricSpec{AggregateOp::kSum, 0},
+                   MetricSpec{AggregateOp::kMax, 3}};
+  }
+  auto config = Configuration::Make(schema, defs, base->PhantomSets());
+  ASSERT_TRUE(config.ok());
+  auto specs = config->ToRuntimeSpecs(
+      std::vector<double>(config->num_nodes(), 128.0));
+  ASSERT_TRUE(specs.ok());
+
+  ShardedRuntime::Options options;
+  options.num_shards = 4;
+  auto sharded = ShardedRuntime::Make(schema, *specs, 3.0, options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  (*sharded)->ProcessTrace(trace);
+  const std::vector<QueryDef> queries = config->QueryDefs();
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto expected = ComputeReferenceAggregate(
+        trace, queries[qi].group_by, 3.0, queries[qi].metrics);
+    std::string diagnostic;
+    EXPECT_TRUE(AggregatesEqual(expected, (*sharded)->hfta(),
+                                static_cast<int>(qi), &diagnostic))
+        << "query " << qi << ": " << diagnostic;
+  }
+}
+
+TEST(ShardedRuntimeTest, SingleShardMatchesSerialRuntimeExactly) {
+  // One shard behind a queue must be bit-identical to the serial runtime:
+  // same tables, same seed, same record order.
+  const Trace trace = ZipfTrace(0x91);
+  const std::vector<RuntimeRelationSpec> specs =
+      SpecsFor(trace.schema(), "ABCD(AB BCD(BC BD CD))");
+
+  auto serial = ConfigurationRuntime::Make(trace.schema(), specs, 3.0);
+  ASSERT_TRUE(serial.ok());
+  (*serial)->ProcessTrace(trace);
+
+  ShardedRuntime::Options options;
+  options.num_shards = 1;
+  auto sharded = ShardedRuntime::Make(trace.schema(), specs, 3.0, options);
+  ASSERT_TRUE(sharded.ok());
+  (*sharded)->ProcessTrace(trace);
+
+  for (int qi = 0; qi < (*serial)->hfta().num_queries(); ++qi) {
+    const std::vector<uint64_t> epochs = (*serial)->hfta().Epochs(qi);
+    EXPECT_EQ(epochs, (*sharded)->hfta().Epochs(qi));
+    for (uint64_t epoch : epochs) {
+      EXPECT_TRUE((*serial)->hfta().Result(qi, epoch) ==
+                  (*sharded)->hfta().Result(qi, epoch))
+          << "query " << qi << " epoch " << epoch;
+    }
+  }
+  // Identical record order through identical tables: identical counters.
+  const RuntimeCounters& a = (*serial)->counters();
+  const RuntimeCounters& b = (*sharded)->counters();
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.total_probes(), b.total_probes());
+  EXPECT_EQ(a.total_transfers(), b.total_transfers());
+}
+
+TEST(ShardedRuntimeTest, CountersAggregateAcrossShards) {
+  const Trace trace = ZipfTrace(0xc0);
+  const std::vector<RuntimeRelationSpec> specs =
+      SpecsFor(trace.schema(), "ABCD(AB BCD(BC BD CD))");
+  ShardedRuntime::Options options;
+  options.num_shards = 4;
+  auto sharded = ShardedRuntime::Make(trace.schema(), specs, 3.0, options);
+  ASSERT_TRUE(sharded.ok());
+  (*sharded)->ProcessTrace(trace);
+
+  // The merged snapshot equals the field-wise sum over shard replicas.
+  RuntimeCounters sum;
+  for (int s = 0; s < (*sharded)->num_shards(); ++s) {
+    sum.Add((*sharded)->shard(s).counters());
+  }
+  const RuntimeCounters& merged = (*sharded)->counters();
+  EXPECT_EQ(merged.records, sum.records);
+  EXPECT_EQ(merged.intra_probes, sum.intra_probes);
+  EXPECT_EQ(merged.intra_transfers, sum.intra_transfers);
+  EXPECT_EQ(merged.flush_probes, sum.flush_probes);
+  EXPECT_EQ(merged.flush_transfers, sum.flush_transfers);
+  EXPECT_EQ(merged.epochs_flushed, sum.epochs_flushed);
+
+  // No record is lost or duplicated by the partitioning.
+  EXPECT_EQ(merged.records, trace.size());
+  // Every raw-relation probe happened on some shard.
+  EXPECT_GE(merged.total_probes(), merged.records);
+}
+
+TEST(ShardedRuntimeTest, RuntimeCountersAddIsFieldWise) {
+  RuntimeCounters a;
+  a.records = 10;
+  a.intra_probes = 20;
+  a.intra_transfers = 3;
+  a.flush_probes = 7;
+  a.flush_transfers = 2;
+  a.epochs_flushed = 1;
+  RuntimeCounters b = a;
+  b.records = 5;
+  a.Add(b);
+  EXPECT_EQ(a.records, 15u);
+  EXPECT_EQ(a.intra_probes, 40u);
+  EXPECT_EQ(a.intra_transfers, 6u);
+  EXPECT_EQ(a.flush_probes, 14u);
+  EXPECT_EQ(a.flush_transfers, 4u);
+  EXPECT_EQ(a.epochs_flushed, 2u);
+  EXPECT_EQ(a.total_probes(), 54u);
+  EXPECT_EQ(a.total_transfers(), 10u);
+}
+
+TEST(ShardedRuntimeTest, RejectsInvalidOptions) {
+  const Schema schema = *Schema::Default(4);
+  const std::vector<RuntimeRelationSpec> specs =
+      SpecsFor(schema, "AB(A B)");
+  ShardedRuntime::Options options;
+  options.num_shards = 0;
+  EXPECT_FALSE(ShardedRuntime::Make(schema, specs, 0.0, options).ok());
+  options.num_shards = 2;
+  options.queue_capacity = 1;
+  EXPECT_FALSE(ShardedRuntime::Make(schema, specs, 0.0, options).ok());
+}
+
+TEST(ShardedRuntimeTest, EngineShardedMatchesSerialEngine) {
+  const Schema schema = *Schema::Default(4);
+  const Trace trace = ZipfTrace(0xe7);
+
+  auto run = [&](int num_shards) {
+    std::vector<QueryDef> queries = {
+        QueryDef(*schema.ParseAttributeSet("AB")),
+        QueryDef(*schema.ParseAttributeSet("BC")),
+        QueryDef(*schema.ParseAttributeSet("CD"))};
+    StreamAggEngine::Options options;
+    options.memory_words = 8000;
+    options.sample_size = 10000;
+    options.epoch_seconds = 3.0;
+    options.clustered = false;
+    options.num_shards = num_shards;
+    auto engine =
+        std::move(StreamAggEngine::FromQueryDefs(schema, queries, options))
+            .value();
+    for (const Record& r : trace.records()) {
+      EXPECT_TRUE(engine->Process(r).ok());
+    }
+    EXPECT_TRUE(engine->Finish().ok());
+    return engine;
+  };
+
+  auto serial = run(1);
+  auto sharded = run(4);
+  for (int qi = 0; qi < serial->num_queries(); ++qi) {
+    const std::vector<uint64_t> epochs = serial->Epochs(qi);
+    EXPECT_EQ(epochs, sharded->Epochs(qi)) << "query " << qi;
+    for (uint64_t epoch : epochs) {
+      EXPECT_TRUE(serial->EpochResult(qi, epoch) ==
+                  sharded->EpochResult(qi, epoch))
+          << "query " << qi << " epoch " << epoch;
+    }
+  }
+  // Both pipelines processed every record exactly once.
+  EXPECT_EQ(serial->counters().records, sharded->counters().records);
+}
+
+TEST(ShardedRuntimeTest, EngineRejectsAdaptiveSharding) {
+  const Schema schema = *Schema::Default(4);
+  std::vector<QueryDef> queries = {QueryDef(*schema.ParseAttributeSet("AB"))};
+  StreamAggEngine::Options options;
+  options.num_shards = 4;
+  options.adaptive = true;
+  EXPECT_FALSE(StreamAggEngine::FromQueryDefs(schema, queries, options).ok());
+  options.adaptive = false;
+  options.num_shards = 0;
+  EXPECT_FALSE(StreamAggEngine::FromQueryDefs(schema, queries, options).ok());
+}
+
+}  // namespace
+}  // namespace streamagg
