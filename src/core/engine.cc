@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <map>
 #include <set>
@@ -147,6 +148,22 @@ void StreamAggEngine::RuntimeProcess(const Record& record) {
   }
 }
 
+void StreamAggEngine::RuntimeProcessBatch(std::span<const Record> records) {
+  if (records.empty()) return;
+  // Non-adaptive epoch bookkeeping only needs the latest epoch; the runtime
+  // performs its own boundary flushes at timestamp changes inside the batch.
+  if (options_.epoch_seconds > 0.0) {
+    current_epoch_ = static_cast<uint64_t>(
+        std::floor(records.back().timestamp / options_.epoch_seconds));
+  }
+  saw_record_ = true;
+  if (sharded_runtime_ != nullptr) {
+    sharded_runtime_->ProcessBatch(records);
+  } else {
+    runtime_->ProcessBatch(records);
+  }
+}
+
 void StreamAggEngine::AccumulateCounters() {
   if (runtime_ != nullptr) {
     total_counters_.Add(runtime_->counters());
@@ -242,6 +259,36 @@ Status StreamAggEngine::Process(const Record& record) {
   // (unless the adaptive path already swapped it above). Sharded runtimes
   // flush per shard the same way.
   RuntimeProcess(record);
+  return Status::OK();
+}
+
+Status StreamAggEngine::ProcessBatch(std::span<const Record> records) {
+  size_t i = 0;
+  // Sampling (buffer fill, possible mid-batch planning) and adaptive
+  // epoch-boundary checks keep the per-record logic.
+  while (i < records.size() && (!planned() || options_.adaptive)) {
+    STREAMAGG_RETURN_NOT_OK(Process(records[i]));
+    ++i;
+  }
+  if (i == records.size()) return Status::OK();
+  const std::span<const Record> rest = records.subspan(i);
+  if (parsed_.empty() || parsed_.front().filters.empty()) {
+    RuntimeProcessBatch(rest);
+    return Status::OK();
+  }
+  // Shared where clause: filter chunk-wise through a stack buffer so the
+  // batched path below stays allocation-free.
+  std::array<Record, 256> buffer;
+  size_t n = 0;
+  for (const Record& record : rest) {
+    if (!parsed_.front().RecordPasses(record)) continue;
+    buffer[n++] = record;
+    if (n == buffer.size()) {
+      RuntimeProcessBatch(std::span<const Record>(buffer.data(), n));
+      n = 0;
+    }
+  }
+  if (n > 0) RuntimeProcessBatch(std::span<const Record>(buffer.data(), n));
   return Status::OK();
 }
 

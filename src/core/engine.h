@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,15 @@ class StreamAggEngine {
   /// memory budget cannot host the query tables).
   Status Process(const Record& record);
 
+  /// Feeds a batch of records (non-decreasing timestamps). Produces results
+  /// and counters bit-identical to feeding the records one Process call at
+  /// a time, but runs the allocation-free batched runtime path
+  /// (ConfigurationRuntime::ProcessBatch / ShardedRuntime::ProcessBatch)
+  /// once planning is done. Sampling and adaptive epoch-boundary logic fall
+  /// back to the per-record path, so any mix of Process and ProcessBatch
+  /// calls is valid.
+  Status ProcessBatch(std::span<const Record> records);
+
   /// Completes the current epoch (call at end of stream).
   Status Finish();
 
@@ -132,6 +142,10 @@ class StreamAggEngine {
 
   /// Routes a record into whichever runtime is live.
   void RuntimeProcess(const Record& record);
+
+  /// Routes a planned, filtered batch into whichever runtime is live,
+  /// updating the engine's epoch bookkeeping from the batch's last record.
+  void RuntimeProcessBatch(std::span<const Record> records);
 
   void AccumulateCounters();
 

@@ -1,5 +1,6 @@
 #include "dsms/configuration_runtime.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -98,12 +99,26 @@ ConfigurationRuntime::ConfigurationRuntime(
     }
   }
   hfta_ = std::make_unique<Hfta>(std::move(query_metrics));
+  // Projection plans for the batched hot path: one per raw relation
+  // (record -> key) and one per feeding edge (parent key -> child key).
+  raw_plans_.reserve(raw_relations_.size());
+  for (int raw : raw_relations_) {
+    raw_plans_.push_back(ProjectionPlan::ForRecord(specs_[raw].attrs));
+  }
+  child_plans_.resize(specs_.size());
+  for (size_t rel = 0; rel < specs_.size(); ++rel) {
+    child_plans_[rel].reserve(children_[rel].size());
+    for (int child : children_[rel]) {
+      child_plans_[rel].push_back(
+          ProjectionPlan::ForKey(specs_[rel].attrs, specs_[child].attrs));
+    }
+  }
 }
 
+template <bool kFlushing>
 void ConfigurationRuntime::ProbeRelation(int rel, const GroupKey& key,
-                                         const AggregateState& state,
-                                         bool flushing) {
-  if (flushing) {
+                                         const AggregateState& state) {
+  if constexpr (kFlushing) {
     ++counters_.flush_probes;
   } else {
     ++counters_.intra_probes;
@@ -113,49 +128,109 @@ void ConfigurationRuntime::ProbeRelation(int rel, const GroupKey& key,
   const ProbeOutcome outcome =
       tables_[rel]->ProbeState(key, state, &evicted_key, &evicted_state);
   if (outcome == ProbeOutcome::kCollision) {
-    PropagateEviction(rel, evicted_key, evicted_state, flushing);
+    PropagateEviction<kFlushing>(rel, evicted_key, evicted_state);
   }
 }
 
+template <bool kFlushing>
 void ConfigurationRuntime::PropagateEviction(int rel, const GroupKey& key,
-                                             const AggregateState& state,
-                                             bool flushing) {
+                                             const AggregateState& state) {
   const RuntimeRelationSpec& spec = specs_[rel];
   if (spec.is_query) {
     hfta_->Add(spec.query_index, current_epoch_, key,
                state.Project(spec.metrics, spec.query_metrics));
-    if (flushing) {
+    if constexpr (kFlushing) {
       ++counters_.flush_transfers;
     } else {
       ++counters_.intra_transfers;
     }
   }
-  for (int child : children_[rel]) {
-    const GroupKey child_key =
-        GroupKey::ProjectKey(key, spec.attrs, specs_[child].attrs);
-    ProbeRelation(child, child_key,
-                  state.Project(spec.metrics, specs_[child].metrics),
-                  flushing);
+  const std::vector<int>& children = children_[rel];
+  for (size_t c = 0; c < children.size(); ++c) {
+    const int child = children[c];
+    ProbeRelation<kFlushing>(
+        child, child_plans_[rel][c].Apply(key),
+        state.Project(spec.metrics, specs_[child].metrics));
   }
 }
 
-void ConfigurationRuntime::ProcessRecord(const Record& record) {
-  if (epoch_seconds_ > 0.0) {
-    const uint64_t epoch =
-        static_cast<uint64_t>(std::floor(record.timestamp / epoch_seconds_));
-    if (saw_record_ && epoch != current_epoch_) {
-      FlushEpoch();
-      current_epoch_ = epoch;
-    } else if (!saw_record_) {
-      current_epoch_ = epoch;
+void ConfigurationRuntime::ProcessEpochRun(std::span<const Record> records) {
+  counters_.records += records.size();
+  // Probe relation-major: per raw relation, sweep the run in chunks of
+  // kChunk records — project + hash + prefetch the whole chunk, then probe
+  // it. By the time a probe touches its bucket the prefetch issued up to
+  // kChunk-1 probes earlier has (ideally) pulled the slot line into cache.
+  // Relation-major order is bit-identical to record-major: the feeding
+  // forest's trees are disjoint, so each table sees the same probe sequence
+  // either way, and all cross-tree state (HFTA, counters) merges
+  // commutatively.
+  GroupKey* const keys = scratch_keys_.data();
+  uint64_t* const buckets = scratch_buckets_.data();
+  // Eviction outputs live in object scratch: GroupKey/AggregateState
+  // zero-initialize tens of bytes on construction, a real per-call cost at
+  // these rates. They are only read after a kCollision writes them, so
+  // reuse across calls is safe.
+  GroupKey& evicted_key = scratch_evicted_key_;
+  AggregateState& evicted_state = scratch_evicted_state_;
+  const AggregateState& count_one = count_one_;
+  for (size_t ri = 0; ri < raw_relations_.size(); ++ri) {
+    const int rel = raw_relations_[ri];
+    LftaHashTable& table = *tables_[rel];
+    const ProjectionPlan& plan = raw_plans_[ri];
+    const std::vector<MetricSpec>& metrics = specs_[rel].metrics;
+    const bool count_only = metrics.empty();
+    for (size_t base = 0; base < records.size(); base += kChunk) {
+      const size_t n = std::min(kChunk, records.size() - base);
+      for (size_t j = 0; j < n; ++j) {
+        keys[j] = plan.Apply(records[base + j]);
+        buckets[j] = table.BucketOf(keys[j]);
+        table.Prefetch(buckets[j]);
+      }
+      counters_.intra_probes += n;
+      for (size_t j = 0; j < n; ++j) {
+        const ProbeOutcome outcome =
+            count_only
+                ? table.ProbeStateAt(buckets[j], keys[j], count_one,
+                                     &evicted_key, &evicted_state)
+                : table.ProbeStateAt(
+                      buckets[j], keys[j],
+                      AggregateState::FromRecord(records[base + j], metrics),
+                      &evicted_key, &evicted_state);
+        if (outcome == ProbeOutcome::kCollision) {
+          PropagateEviction</*kFlushing=*/false>(rel, evicted_key,
+                                                 evicted_state);
+        }
+      }
     }
   }
-  saw_record_ = true;
-  ++counters_.records;
-  for (int raw : raw_relations_) {
-    ProbeRelation(raw, GroupKey::Project(record, specs_[raw].attrs),
-                  AggregateState::FromRecord(record, specs_[raw].metrics),
-                  /*flushing=*/false);
+}
+
+void ConfigurationRuntime::ProcessBatch(std::span<const Record> records) {
+  const auto epoch_of = [this](double timestamp) {
+    return static_cast<uint64_t>(std::floor(timestamp / epoch_seconds_));
+  };
+  size_t i = 0;
+  while (i < records.size()) {
+    size_t end = records.size();
+    if (epoch_seconds_ > 0.0) {
+      const uint64_t epoch = epoch_of(records[i].timestamp);
+      if (saw_record_ && epoch != current_epoch_) FlushEpoch();
+      current_epoch_ = epoch;
+      // Timestamps are non-decreasing and floor is monotone, so if the last
+      // record shares the first's epoch the whole tail is one run — the
+      // common case, dispatched with two divisions instead of one per
+      // record. Otherwise scan for the boundary.
+      if (epoch_of(records[end - 1].timestamp) != epoch) {
+        end = i + 1;
+        while (end < records.size() &&
+               epoch_of(records[end].timestamp) == epoch) {
+          ++end;
+        }
+      }
+    }
+    saw_record_ = true;
+    ProcessEpochRun(records.subspan(i, end - i));
+    i = end;
   }
 }
 
@@ -166,14 +241,14 @@ void ConfigurationRuntime::FlushEpoch() {
   for (size_t rel = 0; rel < specs_.size(); ++rel) {
     tables_[rel]->FlushState([&](const GroupKey& key,
                                  const AggregateState& state) {
-      PropagateEviction(static_cast<int>(rel), key, state, /*flushing=*/true);
+      PropagateEviction</*kFlushing=*/true>(static_cast<int>(rel), key, state);
     });
   }
   ++counters_.epochs_flushed;
 }
 
 void ConfigurationRuntime::ProcessTrace(const Trace& trace) {
-  for (const Record& r : trace.records()) ProcessRecord(r);
+  ProcessBatch(trace.records());
   if (saw_record_) FlushEpoch();
 }
 

@@ -1,7 +1,9 @@
 #ifndef STREAMAGG_DSMS_CONFIGURATION_RUNTIME_H_
 #define STREAMAGG_DSMS_CONFIGURATION_RUNTIME_H_
 
+#include <array>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "dsms/hfta.h"
@@ -89,8 +91,20 @@ class ConfigurationRuntime {
       double epoch_seconds, uint64_t seed = 0x1f7a);
 
   /// Feeds one record (timestamp drives epoch switching; records must arrive
-  /// in non-decreasing timestamp order).
-  void ProcessRecord(const Record& record);
+  /// in non-decreasing timestamp order). A batch of one: semantics are those
+  /// of ProcessBatch, bit-identically.
+  void ProcessRecord(const Record& record) {
+    ProcessBatch(std::span<const Record>(&record, 1));
+  }
+
+  /// Feeds a batch of records (non-decreasing timestamps, continuing the
+  /// stream so far). The steady-state path is allocation-free: per-relation
+  /// projection plans precomputed at construction, fast-range bucket
+  /// mapping, and software prefetch of each chunk's bucket slots ahead of
+  /// the probe loop. Results and counters are bit-identical to feeding the
+  /// same records one ProcessRecord at a time, for any batch split — epoch
+  /// switching happens inside the batch at timestamp boundaries.
+  void ProcessBatch(std::span<const Record> records);
 
   /// Feeds a whole trace and flushes the final epoch.
   void ProcessTrace(const Trace& trace);
@@ -114,19 +128,47 @@ class ConfigurationRuntime {
                        double epoch_seconds, uint64_t seed, int num_queries);
 
   /// Probes relation `rel` with `key`/`state`; on collision propagates the
-  /// evicted entry to the HFTA (if a query) and to all children.
-  void ProbeRelation(int rel, const GroupKey& key, const AggregateState& state,
-                     bool flushing);
+  /// evicted entry to the HFTA (if a query) and to all children. Templated
+  /// on the flush flag so the intra-epoch hot path carries no per-probe
+  /// branch deciding which counter to bump.
+  template <bool kFlushing>
+  void ProbeRelation(int rel, const GroupKey& key, const AggregateState& state);
 
   /// Delivers an evicted entry of relation `rel` downstream.
+  template <bool kFlushing>
   void PropagateEviction(int rel, const GroupKey& key,
-                         const AggregateState& state, bool flushing);
+                         const AggregateState& state);
+
+  /// Probes every raw relation with every record of `records`, all of which
+  /// belong to the current epoch. The batched inner loop.
+  void ProcessEpochRun(std::span<const Record> records);
 
   Schema schema_;
   std::vector<RuntimeRelationSpec> specs_;
   std::vector<std::unique_ptr<LftaHashTable>> tables_;
   std::vector<std::vector<int>> children_;
   std::vector<int> raw_relations_;
+  /// Projection plans precomputed at construction: record -> raw-relation
+  /// key (parallel to raw_relations_) and parent key -> child key (parallel
+  /// to children_[rel]). They keep the per-record path free of
+  /// AttributeSet::Indices() allocations and per-record bit scans.
+  std::vector<ProjectionPlan> raw_plans_;
+  std::vector<std::vector<ProjectionPlan>> child_plans_;
+  /// Chunk size of the batched probe pipeline: ProcessEpochRun projects,
+  /// hashes and prefetches kChunk records ahead of probing them.
+  static constexpr size_t kChunk = 32;
+  /// Scratch for ProcessEpochRun, hoisted into the object so the per-call
+  /// path does not re-run the members' zero-initialization (GroupKey and
+  /// AggregateState value-initialize their inline arrays). The runtime is
+  /// single-threaded and ProcessEpochRun is not reentrant, so sharing is
+  /// safe.
+  std::array<GroupKey, kChunk> scratch_keys_;
+  std::array<uint64_t, kChunk> scratch_buckets_;
+  GroupKey scratch_evicted_key_;
+  AggregateState scratch_evicted_state_;
+  /// The one-record count-only contribution, shared by every metric-free
+  /// probe.
+  const AggregateState count_one_ = AggregateState::FromCount(1);
   std::unique_ptr<Hfta> hfta_;
   double epoch_seconds_;
   uint64_t current_epoch_ = 0;

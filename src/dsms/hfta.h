@@ -32,12 +32,48 @@ class Hfta {
       : metrics_(std::move(per_query_metrics)),
         per_query_(metrics_.size()) {}
 
+  // The Add cache points into per_query_; copies and moves must not carry
+  // it over (a copied cache would alias the source's maps).
+  Hfta(const Hfta& o)
+      : metrics_(o.metrics_),
+        per_query_(o.per_query_),
+        transfers_(o.transfers_) {}
+  Hfta& operator=(const Hfta& o) {
+    metrics_ = o.metrics_;
+    per_query_ = o.per_query_;
+    transfers_ = o.transfers_;
+    cached_agg_ = nullptr;
+    return *this;
+  }
+  Hfta(Hfta&& o) noexcept
+      : metrics_(std::move(o.metrics_)),
+        per_query_(std::move(o.per_query_)),
+        transfers_(o.transfers_) {}
+  Hfta& operator=(Hfta&& o) noexcept {
+    metrics_ = std::move(o.metrics_);
+    per_query_ = std::move(o.per_query_);
+    transfers_ = o.transfers_;
+    cached_agg_ = nullptr;
+    return *this;
+  }
+
   /// Accepts one evicted entry for `query_index` in `epoch`, merging it
   /// with any partial state already held for the group. Each call models
-  /// one LFTA-to-HFTA transfer (cost c2 in the paper's model).
+  /// one LFTA-to-HFTA transfer (cost c2 in the paper's model). Consecutive
+  /// transfers overwhelmingly target the same (query, epoch) — evictions
+  /// arrive from one runtime epoch at a time — so the per-(query, epoch)
+  /// aggregate is cached and the std::map lookup skipped while the target
+  /// stays the same. Safe because nothing ever erases from per_query_ and
+  /// std::map mapped references are stable under insertion.
   void Add(int query_index, uint64_t epoch, const GroupKey& key,
            const AggregateState& state) {
-    auto [it, inserted] = per_query_[query_index][epoch].try_emplace(key, state);
+    if (cached_agg_ == nullptr || query_index != cached_query_ ||
+        epoch != cached_epoch_) {
+      cached_agg_ = &per_query_[query_index][epoch];
+      cached_query_ = query_index;
+      cached_epoch_ = epoch;
+    }
+    auto [it, inserted] = cached_agg_->try_emplace(key, state);
     if (!inserted) it->second.Merge(state, metrics_[query_index]);
     ++transfers_;
   }
@@ -70,6 +106,10 @@ class Hfta {
   std::vector<std::vector<MetricSpec>> metrics_;
   std::vector<std::map<uint64_t, EpochAggregate>> per_query_;
   uint64_t transfers_ = 0;
+  /// Last Add target; see Add. Never copied/moved between instances.
+  EpochAggregate* cached_agg_ = nullptr;
+  int cached_query_ = -1;
+  uint64_t cached_epoch_ = 0;
   EpochAggregate empty_;
 };
 

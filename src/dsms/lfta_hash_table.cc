@@ -3,7 +3,7 @@
 #include <cassert>
 #include <limits>
 
-#include "util/hash.h"
+#include "util/dcheck.h"
 
 namespace streamagg {
 
@@ -21,87 +21,11 @@ LftaHashTable::LftaHashTable(uint64_t num_buckets, int key_width,
   slots_.assign(num_buckets_ * static_cast<uint64_t>(slot_words_), 0u);
 }
 
-void LftaHashTable::LoadEntry(const uint32_t* slot, GroupKey* key,
-                              AggregateState* state) const {
-  key->size = static_cast<uint8_t>(key_width_);
-  for (int i = 0; i < key_width_; ++i) key->values[i] = slot[i];
-  state->count = slot[key_width_];
-  state->num_metrics = static_cast<uint8_t>(metrics_.size());
-  for (size_t m = 0; m < metrics_.size(); ++m) {
-    const uint32_t lo = slot[key_width_ + 1 + 2 * m];
-    const uint32_t hi = slot[key_width_ + 2 + 2 * m];
-    state->metrics[m] = (static_cast<uint64_t>(hi) << 32) | lo;
-  }
-}
-
-void LftaHashTable::StoreEntry(uint32_t* slot, const GroupKey& key,
-                               const AggregateState& state) {
-  for (int i = 0; i < key_width_; ++i) slot[i] = key.values[i];
-  // The count word doubles as the occupancy marker: clamp into
-  // [1, UINT32_MAX] (counts are bounded by the trace length in practice).
-  uint64_t count = state.count;
-  if (count == 0) count = 1;
-  if (count > std::numeric_limits<uint32_t>::max()) {
-    count = std::numeric_limits<uint32_t>::max();
-  }
-  slot[key_width_] = static_cast<uint32_t>(count);
-  for (size_t m = 0; m < metrics_.size(); ++m) {
-    slot[key_width_ + 1 + 2 * m] = static_cast<uint32_t>(state.metrics[m]);
-    slot[key_width_ + 2 + 2 * m] =
-        static_cast<uint32_t>(state.metrics[m] >> 32);
-  }
-}
-
-ProbeOutcome LftaHashTable::ProbeState(const GroupKey& key,
-                                       const AggregateState& add,
-                                       GroupKey* evicted_key,
-                                       AggregateState* evicted_state) {
-  assert(key.size == key_width_);
-  assert(add.count >= 1);
-  assert(add.num_metrics == metrics_.size());
-  ++probes_;
-  const uint64_t bucket =
-      HashWords(key.values.data(), static_cast<size_t>(key_width_), seed_) %
-      num_buckets_;
-  uint32_t* slot = SlotAt(bucket);
-  if (slot[key_width_] == 0) {
-    StoreEntry(slot, key, add);
-    ++occupied_;
-    return ProbeOutcome::kInserted;
-  }
-  bool same = true;
-  for (int i = 0; i < key_width_; ++i) {
-    if (slot[i] != key.values[i]) {
-      same = false;
-      break;
-    }
-  }
-  if (same) {
-    GroupKey resident_key;
-    AggregateState resident;
-    LoadEntry(slot, &resident_key, &resident);
-    resident.Merge(add, metrics_);
-    StoreEntry(slot, key, resident);
-    ++updates_;
-    return ProbeOutcome::kUpdated;
-  }
-  ++collisions_;
-  if (evicted_key != nullptr || evicted_state != nullptr) {
-    GroupKey rk;
-    AggregateState rs;
-    LoadEntry(slot, &rk, &rs);
-    if (evicted_key != nullptr) *evicted_key = rk;
-    if (evicted_state != nullptr) *evicted_state = rs;
-  }
-  StoreEntry(slot, key, add);
-  return ProbeOutcome::kCollision;
-}
-
 ProbeOutcome LftaHashTable::Probe(const GroupKey& key, uint64_t add_count,
                                   GroupKey* evicted_key,
                                   uint64_t* evicted_count) {
-  assert(metrics_.empty() &&
-         "count-only Probe on a table with metrics; use ProbeState");
+  STREAMAGG_DCHECK(metrics_.empty() &&
+                   "count-only Probe on a table with metrics; use ProbeState");
   AggregateState evicted;
   const ProbeOutcome outcome = ProbeState(
       key, AggregateState::FromCount(add_count), evicted_key,

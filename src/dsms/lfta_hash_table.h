@@ -6,6 +6,8 @@
 
 #include "stream/aggregate.h"
 #include "stream/record.h"
+#include "util/dcheck.h"
+#include "util/hash.h"
 #include "util/status.h"
 
 namespace streamagg {
@@ -53,11 +55,40 @@ class LftaHashTable {
   /// the new group is installed. `add.num_metrics` must match the table's
   /// metric count.
   ProbeOutcome ProbeState(const GroupKey& key, const AggregateState& add,
-                          GroupKey* evicted_key, AggregateState* evicted_state);
+                          GroupKey* evicted_key, AggregateState* evicted_state) {
+    return ProbeStateAt(BucketOf(key), key, add, evicted_key, evicted_state);
+  }
 
   /// Count-only convenience for tables without metrics.
   ProbeOutcome Probe(const GroupKey& key, uint64_t add_count,
                      GroupKey* evicted_key, uint64_t* evicted_count);
+
+  /// The bucket `key` maps to. Uses Lemire fast-range over the 64-bit hash
+  /// (bucket = hash * num_buckets >> 64) instead of a `%` division: same
+  /// uniformity for a well-mixed hash, a multiply instead of a 64-bit
+  /// divide on the per-probe path.
+  uint64_t BucketOf(const GroupKey& key) const {
+    const uint64_t h = HashWords(key.values.data(),
+                                 static_cast<size_t>(key.size), seed_);
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(h) * num_buckets_) >> 64);
+  }
+
+  /// Hints the prefetcher at `bucket`'s slot. Batched ingest computes each
+  /// chunk's buckets up front, prefetches them, then probes — by the time a
+  /// probe touches its slot the line is (ideally) already in cache.
+  void Prefetch(uint64_t bucket) const {
+    __builtin_prefetch(SlotAt(bucket), /*rw=*/1, /*locality=*/3);
+  }
+
+  /// ProbeState with a precomputed bucket (must equal BucketOf(key)); lets
+  /// batch loops hash/prefetch ahead without hashing twice. Defined inline
+  /// below so the batched chunk loop can inline the whole probe and hoist
+  /// the table-constant loads (key_width_, slot base, metric specs) out of
+  /// its per-record iteration.
+  ProbeOutcome ProbeStateAt(uint64_t bucket, const GroupKey& key,
+                            const AggregateState& add, GroupKey* evicted_key,
+                            AggregateState* evicted_state);
 
   /// Invokes fn(key, state) for every occupied bucket, then empties the
   /// table. Used for end-of-epoch processing (paper Section 3.2.2).
@@ -129,6 +160,10 @@ class LftaHashTable {
                  AggregateState* state) const;
   void StoreEntry(uint32_t* slot, const GroupKey& key,
                   const AggregateState& state);
+  /// Folds `add` directly into an occupied slot's count/metric words — the
+  /// kUpdated fast path, skipping the LoadEntry/Merge/StoreEntry round trip
+  /// (no GroupKey copy, no rewrite of the key words).
+  void MergeSlot(uint32_t* slot, const AggregateState& add);
 
   uint64_t num_buckets_;
   int key_width_;
@@ -145,6 +180,104 @@ class LftaHashTable {
   uint64_t collisions_ = 0;
   uint64_t updates_ = 0;
 };
+
+inline void LftaHashTable::LoadEntry(const uint32_t* slot, GroupKey* key,
+                                     AggregateState* state) const {
+  key->size = static_cast<uint8_t>(key_width_);
+  for (int i = 0; i < key_width_; ++i) key->values[i] = slot[i];
+  state->count = slot[key_width_];
+  state->num_metrics = static_cast<uint8_t>(metrics_.size());
+  for (size_t m = 0; m < metrics_.size(); ++m) {
+    const uint32_t lo = slot[key_width_ + 1 + 2 * m];
+    const uint32_t hi = slot[key_width_ + 2 + 2 * m];
+    state->metrics[m] = (static_cast<uint64_t>(hi) << 32) | lo;
+  }
+}
+
+inline void LftaHashTable::StoreEntry(uint32_t* slot, const GroupKey& key,
+                                      const AggregateState& state) {
+  for (int i = 0; i < key_width_; ++i) slot[i] = key.values[i];
+  // The count word doubles as the occupancy marker: clamp into
+  // [1, UINT32_MAX] (counts are bounded by the trace length in practice).
+  uint64_t count = state.count;
+  if (count == 0) count = 1;
+  if (count > 0xffffffffull) count = 0xffffffffull;
+  slot[key_width_] = static_cast<uint32_t>(count);
+  for (size_t m = 0; m < metrics_.size(); ++m) {
+    slot[key_width_ + 1 + 2 * m] = static_cast<uint32_t>(state.metrics[m]);
+    slot[key_width_ + 2 + 2 * m] =
+        static_cast<uint32_t>(state.metrics[m] >> 32);
+  }
+}
+
+inline void LftaHashTable::MergeSlot(uint32_t* slot,
+                                     const AggregateState& add) {
+  // Count word: 64-bit accumulate, clamped to the 32-bit slot word exactly
+  // as StoreEntry would (the word doubles as the occupancy marker, and the
+  // resident count is >= 1 so the sum never clamps to 0).
+  uint64_t count = static_cast<uint64_t>(slot[key_width_]) + add.count;
+  if (count > 0xffffffffull) count = 0xffffffffull;
+  slot[key_width_] = static_cast<uint32_t>(count);
+  for (size_t m = 0; m < metrics_.size(); ++m) {
+    uint32_t* lo = &slot[key_width_ + 1 + 2 * m];
+    uint32_t* hi = &slot[key_width_ + 2 + 2 * m];
+    const uint64_t resident = (static_cast<uint64_t>(*hi) << 32) | *lo;
+    uint64_t merged = resident;
+    switch (metrics_[m].op) {
+      case AggregateOp::kSum:
+        merged = resident + add.metrics[m];
+        break;
+      case AggregateOp::kMin:
+        merged = resident < add.metrics[m] ? resident : add.metrics[m];
+        break;
+      case AggregateOp::kMax:
+        merged = resident > add.metrics[m] ? resident : add.metrics[m];
+        break;
+    }
+    *lo = static_cast<uint32_t>(merged);
+    *hi = static_cast<uint32_t>(merged >> 32);
+  }
+}
+
+inline ProbeOutcome LftaHashTable::ProbeStateAt(uint64_t bucket,
+                                                const GroupKey& key,
+                                                const AggregateState& add,
+                                                GroupKey* evicted_key,
+                                                AggregateState* evicted_state) {
+  STREAMAGG_DCHECK(key.size == key_width_);
+  STREAMAGG_DCHECK(add.count >= 1);
+  STREAMAGG_DCHECK(add.num_metrics == metrics_.size());
+  STREAMAGG_DCHECK(bucket == BucketOf(key));
+  ++probes_;
+  uint32_t* slot = SlotAt(bucket);
+  if (slot[key_width_] == 0) {
+    StoreEntry(slot, key, add);
+    ++occupied_;
+    return ProbeOutcome::kInserted;
+  }
+  bool same = true;
+  for (int i = 0; i < key_width_; ++i) {
+    if (slot[i] != key.values[i]) {
+      same = false;
+      break;
+    }
+  }
+  if (same) {
+    MergeSlot(slot, add);
+    ++updates_;
+    return ProbeOutcome::kUpdated;
+  }
+  ++collisions_;
+  if (evicted_key != nullptr || evicted_state != nullptr) {
+    GroupKey rk;
+    AggregateState rs;
+    LoadEntry(slot, &rk, &rs);
+    if (evicted_key != nullptr) *evicted_key = rk;
+    if (evicted_state != nullptr) *evicted_state = rs;
+  }
+  StoreEntry(slot, key, add);
+  return ProbeOutcome::kCollision;
+}
 
 }  // namespace streamagg
 

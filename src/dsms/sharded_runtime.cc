@@ -63,6 +63,7 @@ ShardedRuntime::ShardedRuntime(
       per_query_metrics_(std::move(per_query_metrics)),
       merged_hfta_(std::make_unique<Hfta>(per_query_metrics_)) {
   queues_.reserve(shards_.size());
+  staging_.resize(shards_.size());
   workers_.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     queues_.push_back(std::make_unique<SpscQueue<Envelope>>(queue_capacity));
@@ -75,6 +76,8 @@ ShardedRuntime::ShardedRuntime(
 }
 
 ShardedRuntime::~ShardedRuntime() {
+  // Deliver any staged records first: queued work is processed, not dropped.
+  FlushStaging();
   Envelope stop;
   stop.kind = Envelope::Kind::kStop;
   for (size_t s = 0; s < workers_.size(); ++s) {
@@ -122,8 +125,9 @@ void ShardedRuntime::WorkerLoop(int shard) {
     }
     idle = 0;
     switch (envelope.kind) {
-      case Envelope::Kind::kRecord:
-        runtime.ProcessRecord(envelope.record);
+      case Envelope::Kind::kBatch:
+        runtime.ProcessBatch(std::span<const Record>(
+            envelope.records.data(), envelope.count));
         break;
       case Envelope::Kind::kFlush: {
         runtime.FlushEpoch();
@@ -137,13 +141,35 @@ void ShardedRuntime::WorkerLoop(int shard) {
   }
 }
 
+void ShardedRuntime::Stage(int shard, const Record& record) {
+  Envelope& staging = staging_[shard];
+  staging.records[staging.count++] = record;
+  if (staging.count == kEnvelopeBatch) {
+    PushBlocking(shard, staging);
+    staging.count = 0;
+  }
+}
+
+void ShardedRuntime::FlushStaging() {
+  for (size_t s = 0; s < staging_.size(); ++s) {
+    if (staging_[s].count == 0) continue;
+    PushBlocking(static_cast<int>(s), staging_[s]);
+    staging_[s].count = 0;
+  }
+}
+
 void ShardedRuntime::ProcessRecord(const Record& record) {
-  Envelope envelope;
-  envelope.record = record;
-  PushBlocking(ShardOf(record), envelope);
+  Stage(ShardOf(record), record);
+}
+
+void ShardedRuntime::ProcessBatch(std::span<const Record> records) {
+  for (const Record& record : records) Stage(ShardOf(record), record);
 }
 
 void ShardedRuntime::FlushEpoch() {
+  // Staged records belong to the epoch being flushed; deliver them first so
+  // the flush markers land behind every record.
+  FlushStaging();
   {
     std::lock_guard<std::mutex> lock(barrier_mutex_);
     barrier_pending_ = num_shards();
@@ -171,7 +197,7 @@ void ShardedRuntime::RebuildMergedSnapshot() {
 }
 
 void ShardedRuntime::ProcessTrace(const Trace& trace) {
-  for (const Record& record : trace.records()) ProcessRecord(record);
+  ProcessBatch(trace.records());
   FlushEpoch();
 }
 

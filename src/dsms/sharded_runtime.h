@@ -1,9 +1,11 @@
 #ifndef STREAMAGG_DSMS_SHARDED_RUNTIME_H_
 #define STREAMAGG_DSMS_SHARDED_RUNTIME_H_
 
+#include <array>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -38,11 +40,18 @@ class ShardedRuntime {
     /// Number of shard replicas / worker threads. 1 is valid (one worker
     /// behind one queue) and produces the serial runtime's exact results.
     int num_shards = 1;
-    /// Per-shard record queue capacity; rounded up to a power of two. The
-    /// producer blocks (spins) when a shard's queue is full, so this bounds
-    /// both memory and the producer/consumer skew.
+    /// Per-shard queue capacity in *envelopes* (each envelope carries up to
+    /// kEnvelopeBatch records); rounded up to a power of two. The producer
+    /// blocks (spins) when a shard's queue is full, so this bounds both
+    /// memory and the producer/consumer skew.
     size_t queue_capacity = 4096;
   };
+
+  /// Records per queue envelope: the hand-off granularity. Batching
+  /// amortizes the per-push atomics and full-queue spin checks across
+  /// kEnvelopeBatch records while keeping an envelope within a few cache
+  /// lines.
+  static constexpr size_t kEnvelopeBatch = 8;
 
   /// Validates the specs once via ConfigurationRuntime::Make semantics and
   /// instantiates one replica per shard (all replicas share `seed`, i.e.
@@ -60,8 +69,17 @@ class ShardedRuntime {
   ShardedRuntime(const ShardedRuntime&) = delete;
   ShardedRuntime& operator=(const ShardedRuntime&) = delete;
 
-  /// Routes one record to its shard's queue (blocking when full).
+  /// Routes one record to its shard's staging envelope; the envelope is
+  /// pushed to the shard's queue (blocking when full) once it holds
+  /// kEnvelopeBatch records. Partially filled envelopes are delivered by
+  /// the next FlushEpoch barrier, which is also when results become
+  /// visible — the staging delay is unobservable through this class's API.
   void ProcessRecord(const Record& record);
+
+  /// Routes a batch of records (non-decreasing timestamps). Equivalent to
+  /// calling ProcessRecord per record: partitioning is per-record, so batch
+  /// boundaries never affect results.
+  void ProcessBatch(std::span<const Record> records);
 
   /// Feeds a whole trace, then runs the final epoch barrier.
   void ProcessTrace(const Trace& trace);
@@ -87,15 +105,17 @@ class ShardedRuntime {
   uint64_t TotalMemoryWords() const;
 
  private:
-  /// One queue entry: a record, or a control command for the worker.
+  /// One queue entry: a batch of up to kEnvelopeBatch records, or a control
+  /// command for the worker.
   struct Envelope {
     enum class Kind : uint8_t {
-      kRecord,  ///< Process `record`.
-      kFlush,   ///< Flush the shard's epoch and acknowledge the barrier.
-      kStop,    ///< Exit the worker loop (destructor only).
+      kBatch,  ///< Process records[0..count).
+      kFlush,  ///< Flush the shard's epoch and acknowledge the barrier.
+      kStop,   ///< Exit the worker loop (destructor only).
     };
-    Kind kind = Kind::kRecord;
-    Record record;
+    Kind kind = Kind::kBatch;
+    uint16_t count = 0;
+    std::array<Record, kEnvelopeBatch> records;
   };
 
   ShardedRuntime(const Schema& schema,
@@ -106,6 +126,10 @@ class ShardedRuntime {
 
   int ShardOf(const Record& record) const;
   void PushBlocking(int shard, const Envelope& envelope);
+  /// Appends `record` to the shard's staging envelope, pushing it when full.
+  void Stage(int shard, const Record& record);
+  /// Pushes every non-empty staging envelope (FlushEpoch and destructor).
+  void FlushStaging();
   void WorkerLoop(int shard);
   /// Rebuilds merged_hfta_/merged_counters_ from the quiescent shards.
   void RebuildMergedSnapshot();
@@ -116,6 +140,8 @@ class ShardedRuntime {
   std::vector<std::vector<MetricSpec>> per_query_metrics_;
 
   std::vector<std::unique_ptr<SpscQueue<Envelope>>> queues_;
+  /// Producer-owned per-shard staging envelopes (batch accumulation).
+  std::vector<Envelope> staging_;
   std::vector<std::thread> workers_;
 
   /// Barrier handshake: FlushEpoch sets pending = num_shards, each worker

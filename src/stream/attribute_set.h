@@ -55,8 +55,19 @@ class AttributeSet {
     return AttributeSet(mask_ & ~other.mask_);
   }
 
-  /// Indices of member attributes in increasing order.
+  /// Indices of member attributes in increasing order. Allocates; hot paths
+  /// should use ForEachIndex (or a precomputed ProjectionPlan, see
+  /// stream/record.h) instead.
   std::vector<int> Indices() const;
+
+  /// Invokes fn(index) for every member attribute in increasing order
+  /// without allocating: iterates the mask with count-trailing-zeros.
+  template <typename Fn>
+  void ForEachIndex(Fn&& fn) const {
+    for (uint32_t m = mask_; m != 0; m &= m - 1) {
+      fn(__builtin_ctz(m));
+    }
+  }
 
   /// Renders as concatenated upper-case letters ("ABC") for schemas whose
   /// attributes are single letters; falls back to "{name1,name2}" style for

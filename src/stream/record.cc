@@ -9,12 +9,12 @@ GroupKey GroupKey::ProjectKey(const GroupKey& key, AttributeSet from,
   assert(to.IsSubsetOf(from));
   GroupKey out;
   uint8_t src = 0;
-  for (int i : from.Indices()) {
+  from.ForEachIndex([&](int i) {
     if (to.ContainsIndex(i)) {
       out.values[out.size++] = key.values[src];
     }
     ++src;
-  }
+  });
   return out;
 }
 

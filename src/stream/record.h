@@ -6,6 +6,7 @@
 #include <string>
 
 #include "stream/attribute_set.h"
+#include "util/dcheck.h"
 #include "util/hash.h"
 
 namespace streamagg {
@@ -27,12 +28,13 @@ struct GroupKey {
   std::array<uint32_t, kMaxAttributes> values{};
   uint8_t size = 0;
 
-  /// Projects `record` onto `set`.
+  /// Projects `record` onto `set`. Allocation-free (iterates the mask);
+  /// per-relation hot loops should precompute a ProjectionPlan instead so
+  /// the bit scan is hoisted out of the per-record path.
   static GroupKey Project(const Record& record, AttributeSet set) {
     GroupKey key;
-    for (int i : set.Indices()) {
-      key.values[key.size++] = record.values[i];
-    }
+    set.ForEachIndex(
+        [&](int i) { key.values[key.size++] = record.values[i]; });
     return key;
   }
 
@@ -51,6 +53,53 @@ struct GroupKey {
 
   /// Debug rendering, e.g. "(3,17)".
   std::string ToString() const;
+};
+
+/// A precomputed projection: which source positions feed each output key
+/// word, fixed-size and branch-free so batched ingest loops carry no
+/// allocation and no per-record bit scanning. Two flavours share the
+/// representation: ForRecord plans read record attribute positions,
+/// ForKey plans read positions within a wider parent key
+/// (ConfigurationRuntime builds one per raw relation and one per
+/// parent->child feeding edge at construction).
+struct ProjectionPlan {
+  std::array<uint8_t, kMaxAttributes> src{};
+  uint8_t size = 0;
+
+  /// Plan projecting a Record onto `set` (source positions are schema
+  /// attribute indices).
+  static ProjectionPlan ForRecord(AttributeSet set) {
+    ProjectionPlan plan;
+    set.ForEachIndex([&](int i) {
+      plan.src[plan.size++] = static_cast<uint8_t>(i);
+    });
+    return plan;
+  }
+
+  /// Plan narrowing a key laid out per `from` onto the subset `to`
+  /// (source positions are positions within the `from` key). Requires
+  /// to ⊆ from.
+  static ProjectionPlan ForKey(AttributeSet from, AttributeSet to) {
+    STREAMAGG_DCHECK(to.IsSubsetOf(from));
+    ProjectionPlan plan;
+    uint8_t pos = 0;
+    from.ForEachIndex([&](int i) {
+      if (to.ContainsIndex(i)) plan.src[plan.size++] = pos;
+      ++pos;
+    });
+    return plan;
+  }
+
+  GroupKey Apply(const uint32_t* values) const {
+    GroupKey key;
+    key.size = size;
+    for (uint8_t i = 0; i < size; ++i) key.values[i] = values[src[i]];
+    return key;
+  }
+  GroupKey Apply(const Record& record) const {
+    return Apply(record.values.data());
+  }
+  GroupKey Apply(const GroupKey& key) const { return Apply(key.values.data()); }
 };
 
 /// Hash functor for GroupKey, for use with std::unordered_map.

@@ -1,0 +1,25 @@
+#ifndef STREAMAGG_UTIL_DCHECK_H_
+#define STREAMAGG_UTIL_DCHECK_H_
+
+#include <cassert>
+
+/// Debug-only invariant check for hot loops. Expands to assert() in Debug
+/// builds (and therefore fires under the TSan/ASan CI jobs, which build
+/// Debug); compiles to nothing in Release builds so per-probe checks carry
+/// no cost in the steady-state ingest path. Unlike a bare assert, the
+/// condition is never evaluated in Release, and the macro reads as a
+/// statement of intent: "this holds by construction; verify when cheap".
+///
+/// Use for per-record/per-probe preconditions (key widths, metric counts).
+/// Construction-time validation that guards user input must stay a real
+/// branch returning Status — DCHECK is for internal invariants only.
+#ifndef NDEBUG
+#define STREAMAGG_DCHECK(condition) assert(condition)
+#else
+// sizeof keeps the condition syntactically alive (no unused-variable
+// warnings) without ever evaluating it.
+#define STREAMAGG_DCHECK(condition) \
+  static_cast<void>(sizeof((condition) ? 1 : 0))
+#endif
+
+#endif  // STREAMAGG_UTIL_DCHECK_H_
