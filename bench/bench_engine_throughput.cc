@@ -236,4 +236,77 @@ BENCHMARK(BM_EngineBatchedIngest)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
+// Telemetry tier sweep at batch 64 (the acceptance gate for the obs layer:
+// kFull vs kOff must stay within 2%). Same replay as BM_EngineBatchedIngest;
+// only Options::telemetry_level varies — 0=kOff, 1=kCounters, 2=kFull.
+// Note this A/Bs the *runtime* toggle inside a full-telemetry binary;
+// compiling with -DSTREAMAGG_TELEMETRY_LEVEL=0 strips the remaining relaxed
+// loads too.
+void BM_EngineTelemetryOverhead(benchmark::State& state) {
+  const size_t batch_size = 64;
+  const auto level = static_cast<TelemetryLevel>(state.range(0));
+  const Schema schema = *Schema::Default(4);
+  auto gen = std::move(UniformGenerator::Make(schema, 2837, 7)).value();
+  std::vector<QueryDef> queries = {
+      QueryDef(*schema.ParseAttributeSet("AB")),
+      QueryDef(*schema.ParseAttributeSet("BC")),
+      QueryDef(*schema.ParseAttributeSet("BD")),
+      QueryDef(*schema.ParseAttributeSet("CD"))};
+  StreamAggEngine::Options options;
+  options.memory_words = 40000;
+  options.sample_size = 20000;
+  options.epoch_seconds = 1.0;
+  options.clustered = false;
+  options.telemetry_level = level;
+  auto engine =
+      std::move(StreamAggEngine::FromQueryDefs(schema, queries, options))
+          .value();
+  // Drive past the sampling phase so the loop measures steady state.
+  double t = 0.0;
+  for (size_t i = 0; i <= options.sample_size; ++i) {
+    Record r = gen->Next();
+    r.timestamp = t;
+    (void)engine->Process(r);
+  }
+  std::vector<Record> replay(1 << 16);
+  for (Record& r : replay) {
+    r = gen->Next();
+    t += 1e-7;
+    r.timestamp = t;
+  }
+  double total_millis = 0.0;
+  for (auto _ : state) {
+    double millis = 0.0;
+    {
+      ScopedTimer timer(&millis);
+      for (size_t base = 0; base < replay.size(); base += batch_size) {
+        const size_t n = std::min(batch_size, replay.size() - base);
+        (void)engine->ProcessBatch(
+            std::span<const Record>(replay.data() + base, n));
+      }
+    }
+    state.SetIterationTime(millis / 1000.0);
+    total_millis += millis;
+  }
+  const double processed = static_cast<double>(state.iterations()) *
+                           static_cast<double>(replay.size());
+  state.SetItemsProcessed(static_cast<int64_t>(processed));
+  const double rate = processed / (total_millis / 1000.0);
+  // Sweep runs in registration order; the kOff run seeds the baseline for
+  // the overhead counter of the kCounters/kFull runs.
+  static double off_rate = 0.0;
+  if (level == TelemetryLevel::kOff) off_rate = rate;
+  state.counters["records_per_sec"] = rate;
+  if (off_rate > 0.0) {
+    state.counters["overhead_pct"] = 100.0 * (off_rate - rate) / off_rate;
+  }
+}
+BENCHMARK(BM_EngineTelemetryOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgNames({"telemetry"})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace

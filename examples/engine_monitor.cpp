@@ -8,6 +8,7 @@
 // halfway through, an address scan multiplies the number of active groups.
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 #include "core/engine.h"
@@ -53,6 +54,8 @@ int main() {
   options.memory_words = 40000;
   options.sample_size = 50000;
   options.adaptive = true;
+  // Record a telemetry snapshot per completed epoch for the dashboard below.
+  options.telemetry_epoch_snapshots = true;
   auto engine = StreamAggEngine::FromQueryTexts(
       schema,
       {
@@ -80,6 +83,35 @@ int main() {
     }
   }
   (void)(*engine)->Finish();
+
+  // Per-epoch dashboard: one line per completed epoch from the telemetry
+  // history — cumulative records, the worst model-vs-actual collision-rate
+  // drift across tables, and queue/HFTA pressure gauges.
+  std::printf("\nper-epoch telemetry dashboard:\n");
+  std::printf("%7s %12s %10s %14s %-14s %10s\n", "epoch", "records",
+              "tables", "worst drift", "(table)", "hfta rows");
+  for (const TelemetrySnapshot& snap : (*engine)->telemetry_history()) {
+    double worst_drift = 0.0;
+    const TableTelemetry* worst = nullptr;
+    for (const TableTelemetry& t : snap.tables) {
+      if (!t.has_prediction()) continue;
+      if (worst == nullptr || std::abs(t.drift()) > std::abs(worst_drift)) {
+        worst_drift = t.drift();
+        worst = &t;
+      }
+    }
+    uint64_t hfta_rows = 0;
+    for (uint64_t g : snap.hfta_groups) hfta_rows += g;
+    std::printf("%7" PRIu64 " %12" PRIu64 " %10zu %+14.4f %-14s %10" PRIu64
+                "\n",
+                snap.epoch, snap.counters.records, snap.tables.size(),
+                worst_drift,
+                worst != nullptr ? worst->relation.c_str() : "-", hfta_rows);
+  }
+
+  // Final state, rendered the same way `streamagg_cli --stats` does.
+  std::printf("\nfinal telemetry snapshot:\n%s",
+              (*engine)->telemetry().ToTable().c_str());
 
   std::printf("\nre-optimizations: %d\n", (*engine)->reoptimizations());
   const RuntimeCounters counters = (*engine)->counters();

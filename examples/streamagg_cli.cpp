@@ -16,6 +16,11 @@
 //   --adaptive          enable drift-triggered re-planning
 //   --top N             rows printed per query and epoch (default 3)
 //   --save-plan FILE    write the chosen plan (pin it for later runs)
+//   --stats             print the final telemetry snapshot as a table
+//                       (per-table occupancy, observed vs predicted
+//                       collision rates, latency histograms)
+//   --stats-json FILE   write the snapshot as one JSON line ("-" = stdout);
+//                       schema in docs/observability.md
 //   --make-demo-trace FILE   write a demo trace and exit
 
 #include <algorithm>
@@ -66,6 +71,7 @@ void PrintUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --trace FILE --query SQL [--query SQL ...]\n"
                "          [--memory WORDS] [--adaptive] [--top N]\n"
+               "          [--stats] [--stats-json FILE]\n"
                "       %s --make-demo-trace FILE\n",
                argv0, argv0);
 }
@@ -79,6 +85,8 @@ int main(int argc, char** argv) {
   bool adaptive = false;
   size_t top = 3;
   std::string save_plan_path;
+  bool print_stats = false;
+  std::string stats_json_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -102,6 +110,10 @@ int main(int argc, char** argv) {
       top = static_cast<size_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--save-plan") {
       save_plan_path = next();
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else if (arg == "--stats-json") {
+      stats_json_path = next();
     } else {
       PrintUsage(argv[0]);
       return 2;
@@ -153,6 +165,29 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "warning: could not open %s\n",
                    save_plan_path.c_str());
+    }
+  }
+  // The final snapshot survives Finish(): tables, drift and histograms as
+  // the stream left them.
+  if (print_stats) {
+    std::printf("\n%s\n", (*engine)->telemetry().ToTable().c_str());
+  }
+  if (!stats_json_path.empty()) {
+    const std::string line = (*engine)->telemetry().ToJsonLine();
+    if (stats_json_path == "-") {
+      std::printf("%s\n", line.c_str());
+    } else {
+      std::FILE* f = std::fopen(stats_json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "error: could not open %s\n",
+                     stats_json_path.c_str());
+        return 1;
+      }
+      std::fwrite(line.data(), 1, line.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("telemetry snapshot written to %s\n",
+                  stats_json_path.c_str());
     }
   }
   const RuntimeCounters counters = (*engine)->counters();

@@ -121,6 +121,19 @@ Status StreamAggEngine::PlanFromSample() {
 Status StreamAggEngine::InstallRuntime() {
   STREAMAGG_ASSIGN_OR_RETURN(std::vector<RuntimeRelationSpec> specs,
                              plan_->ToRuntimeSpecs());
+  // Model predictions for the incoming runtime's tables: the cost model's
+  // collision rate per configuration node, under the same statistics the
+  // plan was optimized for. ToRuntimeSpecs preserves node order, so
+  // planned_rates_[i] lines up with the runtime's table(i).
+  planned_rates_.clear();
+  if (catalog_ != nullptr) {
+    CostModel cost_model(catalog_.get(), collision_model_.get(),
+                         options_.optimizer.cost);
+    planned_rates_ = cost_model.CollisionRates(plan_->config, plan_->buckets);
+  }
+  // The incoming runtime's counters start at zero; reset the accumulation
+  // baseline with them (see AccumulateCounters).
+  live_counter_baseline_ = RuntimeCounters{};
   if (options_.num_shards > 1) {
     ShardedRuntime::Options sharded_options;
     sharded_options.num_shards = options_.num_shards;
@@ -130,6 +143,7 @@ Status StreamAggEngine::InstallRuntime() {
         ShardedRuntime::Make(schema_, std::move(specs), options_.epoch_seconds,
                              sharded_options));
     sharded_runtime_ = std::move(sharded);
+    sharded_runtime_->set_telemetry_level(options_.telemetry_level);
     return Status::OK();
   }
   STREAMAGG_ASSIGN_OR_RETURN(
@@ -137,6 +151,7 @@ Status StreamAggEngine::InstallRuntime() {
       ConfigurationRuntime::Make(schema_, std::move(specs),
                                  options_.epoch_seconds));
   runtime_ = std::move(runtime);
+  runtime_->set_telemetry_level(options_.telemetry_level);
   return Status::OK();
 }
 
@@ -153,8 +168,14 @@ void StreamAggEngine::RuntimeProcessBatch(std::span<const Record> records) {
   // Non-adaptive epoch bookkeeping only needs the latest epoch; the runtime
   // performs its own boundary flushes at timestamp changes inside the batch.
   if (options_.epoch_seconds > 0.0) {
-    current_epoch_ = static_cast<uint64_t>(
+    const uint64_t epoch = static_cast<uint64_t>(
         std::floor(records.back().timestamp / options_.epoch_seconds));
+    if (saw_record_ && epoch != current_epoch_) {
+      // The epoch history sees the completed epoch's pre-flush tables; the
+      // boundary-straddling batch itself lands in the next snapshot.
+      CaptureEpochSnapshot(current_epoch_);
+    }
+    current_epoch_ = epoch;
   }
   saw_record_ = true;
   if (sharded_runtime_ != nullptr) {
@@ -165,11 +186,19 @@ void StreamAggEngine::RuntimeProcessBatch(std::span<const Record> records) {
 }
 
 void StreamAggEngine::AccumulateCounters() {
+  // Fold in only the growth since the last call: repeated calls (or calls
+  // at unexpected points, e.g. a failed re-plan mid-swap) can never
+  // double-count. InstallRuntime zeroes the baseline alongside the fresh
+  // runtime's counters.
+  const RuntimeCounters* live = nullptr;
   if (runtime_ != nullptr) {
-    total_counters_.Add(runtime_->counters());
+    live = &runtime_->counters();
   } else if (sharded_runtime_ != nullptr) {
-    total_counters_.Add(sharded_runtime_->counters());
+    live = &sharded_runtime_->counters();
   }
+  if (live == nullptr) return;
+  total_counters_.Add(live->Since(live_counter_baseline_));
+  live_counter_baseline_ = *live;
 }
 
 Status StreamAggEngine::HandleEpochBoundary(uint64_t next_epoch) {
@@ -246,6 +275,9 @@ Status StreamAggEngine::Process(const Record& record) {
     const uint64_t epoch = static_cast<uint64_t>(
         std::floor(record.timestamp / options_.epoch_seconds));
     if (saw_record_ && epoch != current_epoch_) {
+      // Capture before any adaptive swap/flush: the history entry shows the
+      // completed epoch's tables as the stream left them.
+      CaptureEpochSnapshot(current_epoch_);
       if (options_.adaptive) {
         STREAMAGG_RETURN_NOT_OK(HandleEpochBoundary(epoch));
       }
@@ -301,6 +333,9 @@ Status StreamAggEngine::Finish() {
     runtime_->FlushEpoch();
     accumulated_hfta_->MergeFrom(runtime_->hfta());
     AccumulateCounters();
+    // Preserve the final state before teardown so telemetry() keeps
+    // answering after the stream ends (streamagg_cli --stats).
+    final_snapshot_ = std::make_unique<TelemetrySnapshot>(telemetry());
     runtime_.reset();
   } else if (sharded_runtime_ != nullptr) {
     // Epoch barrier: drains every shard queue, flushes every shard and
@@ -308,6 +343,8 @@ Status StreamAggEngine::Finish() {
     sharded_runtime_->FlushEpoch();
     accumulated_hfta_->MergeFrom(sharded_runtime_->hfta());
     AccumulateCounters();
+    // Post-barrier, the shards are quiescent: snapshotting them is safe.
+    final_snapshot_ = std::make_unique<TelemetrySnapshot>(telemetry());
     sharded_runtime_.reset();
   }
   return Status::OK();
@@ -348,14 +385,53 @@ std::vector<uint64_t> StreamAggEngine::Epochs(int query_index) const {
 }
 
 RuntimeCounters StreamAggEngine::counters() const {
+  // total_counters_ may already include part of the live runtime's history
+  // (any AccumulateCounters since its install); add only the remainder.
   RuntimeCounters total = total_counters_;
   if (runtime_ != nullptr) {
-    total.Add(runtime_->counters());
+    total.Add(runtime_->counters().Since(live_counter_baseline_));
   } else if (sharded_runtime_ != nullptr) {
     // Barrier snapshot: race-free, but only as fresh as the last flush.
-    total.Add(sharded_runtime_->counters());
+    total.Add(sharded_runtime_->counters().Since(live_counter_baseline_));
   }
   return total;
+}
+
+TelemetrySnapshot StreamAggEngine::telemetry() const {
+  TelemetrySnapshot snapshot;
+  if (runtime_ != nullptr) {
+    snapshot = BuildTelemetrySnapshot(*runtime_, schema_);
+  } else if (sharded_runtime_ != nullptr) {
+    snapshot = BuildTelemetrySnapshot(*sharded_runtime_, schema_);
+  } else if (final_snapshot_ != nullptr) {
+    return *final_snapshot_;
+  } else {
+    return snapshot;  // Still sampling: nothing to report yet.
+  }
+  AnnotateSnapshot(&snapshot);
+  return snapshot;
+}
+
+void StreamAggEngine::AnnotateSnapshot(TelemetrySnapshot* snapshot) const {
+  snapshot->counters = counters();
+  snapshot->reoptimizations = reoptimizations_;
+  snapshot->epoch = current_epoch_;
+  for (size_t i = 0;
+       i < snapshot->tables.size() && i < planned_rates_.size(); ++i) {
+    snapshot->tables[i].predicted_collision_rate = planned_rates_[i];
+  }
+}
+
+void StreamAggEngine::CaptureEpochSnapshot(uint64_t completed_epoch) {
+  // Serial runtimes only: a sharded snapshot mid-stream would race the
+  // workers (see ShardedRuntime's threading contract).
+  if (!options_.telemetry_epoch_snapshots || runtime_ == nullptr) return;
+  TelemetrySnapshot snapshot = telemetry();
+  snapshot.epoch = completed_epoch;
+  telemetry_history_.push_back(std::move(snapshot));
+  if (telemetry_history_.size() > options_.telemetry_history_limit) {
+    telemetry_history_.erase(telemetry_history_.begin());
+  }
 }
 
 }  // namespace streamagg

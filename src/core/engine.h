@@ -11,6 +11,7 @@
 #include "core/optimizer.h"
 #include "core/query_language.h"
 #include "dsms/sharded_runtime.h"
+#include "obs/telemetry.h"
 #include "stream/trace_stats.h"
 
 namespace streamagg {
@@ -54,6 +55,20 @@ class StreamAggEngine {
     int num_shards = 1;
     /// Per-shard record queue capacity when num_shards > 1.
     size_t shard_queue_capacity = 4096;
+    /// Runtime telemetry tier (obs/metrics.h), within whatever the binary
+    /// compiled in via STREAMAGG_TELEMETRY_LEVEL. kFull adds per-batch and
+    /// per-flush wall-clock histograms; kCounters keeps only integer
+    /// tallies; kOff disables everything beyond the load-bearing
+    /// probe/collision counters.
+    TelemetryLevel telemetry_level = TelemetryLevel::kFull;
+    /// Record a TelemetrySnapshot each time the engine's epoch advances
+    /// (telemetry_history()). Off by default: capture allocates, so it is
+    /// opt-in for dashboards (examples/engine_monitor.cpp), never on the
+    /// zero-allocation path. Serial (num_shards == 1) engines only —
+    /// sharded snapshots are safe only at epoch barriers.
+    bool telemetry_epoch_snapshots = false;
+    /// Bound on telemetry_history(): oldest snapshots are dropped first.
+    size_t telemetry_history_limit = 64;
   };
 
   /// Builds an engine from queries in the paper's query language. The
@@ -111,6 +126,19 @@ class StreamAggEngine {
 
   /// Aggregated operation counters across all runtimes so far.
   RuntimeCounters counters() const;
+
+  /// Point-in-time telemetry: per-table occupancy/collision stats paired
+  /// with the cost model's predicted collision rates for the live plan
+  /// (the paper's model-vs-actual comparison), engine-total counters, and
+  /// latency histograms. While sampling, returns an empty snapshot; after
+  /// Finish(), returns the final pre-teardown snapshot. For sharded
+  /// engines call it only while the shards are quiescent (after Finish()).
+  TelemetrySnapshot telemetry() const;
+  /// Per-epoch snapshots captured when Options::telemetry_epoch_snapshots
+  /// is set; each is labeled with the epoch it completed.
+  const std::vector<TelemetrySnapshot>& telemetry_history() const {
+    return telemetry_history_;
+  }
   int reoptimizations() const { return reoptimizations_; }
   double last_optimize_millis() const { return last_optimize_millis_; }
   const std::vector<ParsedQuery>& parsed_queries() const { return parsed_; }
@@ -147,7 +175,19 @@ class StreamAggEngine {
   /// updating the engine's epoch bookkeeping from the batch's last record.
   void RuntimeProcessBatch(std::span<const Record> records);
 
+  /// Folds the live runtime's counter growth since the last call into
+  /// total_counters_. Idempotent: calling it any number of times, at any
+  /// point, never double-counts (it tracks a baseline and adds deltas).
   void AccumulateCounters();
+
+  /// Attaches engine-level context to a runtime-built snapshot: total
+  /// counters across swaps, the plan's predicted collision rates, and the
+  /// re-optimization count.
+  void AnnotateSnapshot(TelemetrySnapshot* snapshot) const;
+
+  /// Appends the current snapshot to telemetry_history() (when enabled),
+  /// labeled with the epoch that just completed.
+  void CaptureEpochSnapshot(uint64_t completed_epoch);
 
   Schema schema_;
   std::vector<QueryDef> queries_;
@@ -170,6 +210,16 @@ class StreamAggEngine {
   uint64_t current_epoch_ = 0;
   bool saw_record_ = false;
   RuntimeCounters total_counters_;
+  /// Live runtime's counters as of the last AccumulateCounters (reset at
+  /// every InstallRuntime); makes accumulation idempotent by construction.
+  RuntimeCounters live_counter_baseline_;
+  /// Cost-model collision-rate predictions for the live plan, indexed like
+  /// the runtime's tables (Configuration::ToRuntimeSpecs preserves node
+  /// order). Empty when no catalog is available.
+  std::vector<double> planned_rates_;
+  std::vector<TelemetrySnapshot> telemetry_history_;
+  /// Snapshot taken inside Finish() before the runtime is torn down.
+  std::unique_ptr<TelemetrySnapshot> final_snapshot_;
   int reoptimizations_ = 0;
   double last_optimize_millis_ = 0.0;
 };

@@ -99,6 +99,7 @@ ConfigurationRuntime::ConfigurationRuntime(
     }
   }
   hfta_ = std::make_unique<Hfta>(std::move(query_metrics));
+  telemetry_.relations.resize(specs_.size());
   // Projection plans for the batched hot path: one per raw relation
   // (record -> key) and one per feeding edge (parent key -> child key).
   raw_plans_.reserve(raw_relations_.size());
@@ -136,6 +137,20 @@ template <bool kFlushing>
 void ConfigurationRuntime::PropagateEviction(int rel, const GroupKey& key,
                                              const AggregateState& state) {
   const RuntimeRelationSpec& spec = specs_[rel];
+#if STREAMAGG_TELEMETRY_LEVEL >= 1
+  // Eviction-reason tallies ride the (already expensive) collision path:
+  // one relaxed load and a couple of adds per propagated entry.
+  if (telemetry_level_.load(std::memory_order_relaxed) !=
+      TelemetryLevel::kOff) {
+    RelationTelemetry& rt = telemetry_.relations[static_cast<size_t>(rel)];
+    if constexpr (kFlushing) {
+      ++rt.flush_evictions;
+    } else {
+      ++rt.intra_evictions;
+    }
+    if (spec.is_query) ++rt.hfta_transfers;
+  }
+#endif
   if (spec.is_query) {
     hfta_->Add(spec.query_index, current_epoch_, key,
                state.Project(spec.metrics, spec.query_metrics));
@@ -206,6 +221,15 @@ void ConfigurationRuntime::ProcessEpochRun(std::span<const Record> records) {
 }
 
 void ConfigurationRuntime::ProcessBatch(std::span<const Record> records) {
+#if STREAMAGG_TELEMETRY_LEVEL >= 2
+  // One steady_clock read pair per *batch* — at batch 64 that is well under
+  // 1ns/record, which is what keeps the telemetry-on overhead <2%
+  // (bench_engine_throughput's sweep).
+  const bool timed = !records.empty() &&
+                     telemetry_level_.load(std::memory_order_relaxed) ==
+                         TelemetryLevel::kFull;
+  const uint64_t batch_start = timed ? TelemetryNowNanos() : 0;
+#endif
   const auto epoch_of = [this](double timestamp) {
     return static_cast<uint64_t>(std::floor(timestamp / epoch_seconds_));
   };
@@ -232,19 +256,48 @@ void ConfigurationRuntime::ProcessBatch(std::span<const Record> records) {
     ProcessEpochRun(records.subspan(i, end - i));
     i = end;
   }
+#if STREAMAGG_TELEMETRY_LEVEL >= 2
+  if (timed) {
+    telemetry_.batch_records.Record(records.size());
+    telemetry_.batch_ns.Record(TelemetryNowNanos() - batch_start);
+  }
+#endif
 }
 
 void ConfigurationRuntime::FlushEpoch() {
+#if STREAMAGG_TELEMETRY_LEVEL >= 2
+  const bool timed = telemetry_level_.load(std::memory_order_relaxed) ==
+                     TelemetryLevel::kFull;
+  uint64_t flush_start = 0;
+  if (timed) {
+    flush_start = TelemetryNowNanos();
+    if (last_flush_nanos_ != 0) {
+      telemetry_.epoch_gap_ns.Record(flush_start - last_flush_nanos_);
+    }
+    last_flush_nanos_ = flush_start;
+  }
+#endif
   // Top-down: specs are ordered parents before children, so by the time a
   // relation is flushed it already holds everything its ancestors pushed
   // down during this flush (paper Section 3.2.2).
   for (size_t rel = 0; rel < specs_.size(); ++rel) {
+#if STREAMAGG_TELEMETRY_LEVEL >= 2
+    // Sampled when the flush *reaches* this relation, so cascaded entries
+    // pushed down by already-flushed ancestors are included.
+    if (timed) {
+      telemetry_.relations[rel].flush_occupancy.Record(
+          tables_[rel]->occupied_buckets());
+    }
+#endif
     tables_[rel]->FlushState([&](const GroupKey& key,
                                  const AggregateState& state) {
       PropagateEviction</*kFlushing=*/true>(static_cast<int>(rel), key, state);
     });
   }
   ++counters_.epochs_flushed;
+#if STREAMAGG_TELEMETRY_LEVEL >= 2
+  if (timed) telemetry_.flush_ns.Record(TelemetryNowNanos() - flush_start);
+#endif
 }
 
 void ConfigurationRuntime::ProcessTrace(const Trace& trace) {

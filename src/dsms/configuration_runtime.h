@@ -2,12 +2,14 @@
 #define STREAMAGG_DSMS_CONFIGURATION_RUNTIME_H_
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "dsms/hfta.h"
 #include "dsms/lfta_hash_table.h"
+#include "obs/metrics.h"
 #include "stream/schema.h"
 #include "stream/trace.h"
 #include "util/status.h"
@@ -62,6 +64,23 @@ struct RuntimeCounters {
     epochs_flushed += other.epochs_flushed;
   }
 
+  /// Per-field difference against an earlier snapshot of the same
+  /// (monotonically growing) counter set: the delta a runtime accumulated
+  /// since `baseline` was captured. The idempotence backbone of
+  /// StreamAggEngine::AccumulateCounters.
+  RuntimeCounters Since(const RuntimeCounters& baseline) const {
+    RuntimeCounters d;
+    d.records = records - baseline.records;
+    d.intra_probes = intra_probes - baseline.intra_probes;
+    d.intra_transfers = intra_transfers - baseline.intra_transfers;
+    d.flush_probes = flush_probes - baseline.flush_probes;
+    d.flush_transfers = flush_transfers - baseline.flush_transfers;
+    d.epochs_flushed = epochs_flushed - baseline.epochs_flushed;
+    return d;
+  }
+
+  bool operator==(const RuntimeCounters&) const = default;
+
   /// Weighted intra-epoch (maintenance) cost, paper Equation 4/7 measured.
   double IntraCost(double c1, double c2) const {
     return static_cast<double>(intra_probes) * c1 +
@@ -74,6 +93,54 @@ struct RuntimeCounters {
   }
   double TotalCost(double c1, double c2) const {
     return IntraCost(c1, c2) + FlushCost(c1, c2);
+  }
+};
+
+/// Telemetry tallies of one relation beyond what its LftaHashTable already
+/// tracks: eviction reasons and HFTA hand-offs, attributed to the relation
+/// the entry was evicted *from* (docs/observability.md).
+struct RelationTelemetry {
+  /// Entries this relation propagated downstream mid-epoch (collision
+  /// evictions, paper Section 2.3).
+  uint64_t intra_evictions = 0;
+  /// Entries propagated during epoch flushes (both the flush drain itself
+  /// and collision evictions caused by cascading flushed parents).
+  uint64_t flush_evictions = 0;
+  /// Evicted entries handed to the HFTA (query relations only).
+  uint64_t hfta_transfers = 0;
+  /// Occupied buckets at the moment each epoch flush reached this relation
+  /// (kFull only) — the distribution behind the paper's E[f] flush term.
+  LogHistogram flush_occupancy;
+
+  void Merge(const RelationTelemetry& other) {
+    intra_evictions += other.intra_evictions;
+    flush_evictions += other.flush_evictions;
+    hfta_transfers += other.hfta_transfers;
+    flush_occupancy.Merge(other.flush_occupancy);
+  }
+};
+
+/// Telemetry of one ConfigurationRuntime: per-relation tallies plus the
+/// batch/flush latency histograms (kFull only; one steady_clock read pair
+/// per ProcessBatch or FlushEpoch call, never per record).
+struct RuntimeTelemetry {
+  LogHistogram batch_records;  ///< Records per ProcessBatch call.
+  LogHistogram batch_ns;       ///< Wall nanoseconds per ProcessBatch call.
+  LogHistogram flush_ns;       ///< Wall nanoseconds per FlushEpoch call.
+  LogHistogram epoch_gap_ns;   ///< Wall nanoseconds between epoch flushes.
+  std::vector<RelationTelemetry> relations;
+
+  void Merge(const RuntimeTelemetry& other) {
+    batch_records.Merge(other.batch_records);
+    batch_ns.Merge(other.batch_ns);
+    flush_ns.Merge(other.flush_ns);
+    epoch_gap_ns.Merge(other.epoch_gap_ns);
+    if (relations.size() < other.relations.size()) {
+      relations.resize(other.relations.size());
+    }
+    for (size_t i = 0; i < other.relations.size(); ++i) {
+      relations[i].Merge(other.relations[i]);
+    }
   }
 };
 
@@ -118,6 +185,21 @@ class ConfigurationRuntime {
   int num_relations() const { return static_cast<int>(specs_.size()); }
   const RuntimeRelationSpec& spec(int i) const { return specs_[i]; }
   const LftaHashTable& table(int i) const { return *tables_[i]; }
+  /// The epoch the runtime is currently accumulating into.
+  uint64_t current_epoch() const { return current_epoch_; }
+
+  /// Runtime telemetry tier within what the binary compiled in (see
+  /// obs/metrics.h). The setter is an atomic store, safe to call from the
+  /// producer thread while a sharded worker owns this runtime.
+  void set_telemetry_level(TelemetryLevel level) {
+    telemetry_level_.store(level, std::memory_order_relaxed);
+  }
+  TelemetryLevel telemetry_level() const {
+    return telemetry_level_.load(std::memory_order_relaxed);
+  }
+  /// Accumulated telemetry; read it when the runtime is quiescent (same
+  /// contract as counters()).
+  const RuntimeTelemetry& telemetry() const { return telemetry_; }
 
   /// Total LFTA memory used by all tables, in 4-byte words.
   uint64_t TotalMemoryWords() const;
@@ -174,6 +256,13 @@ class ConfigurationRuntime {
   uint64_t current_epoch_ = 0;
   bool saw_record_ = false;
   RuntimeCounters counters_;
+  RuntimeTelemetry telemetry_;
+  /// Relaxed atomic so the engine can toggle levels while a sharded worker
+  /// runs; one relaxed load per batch/flush/eviction, never per record.
+  std::atomic<TelemetryLevel> telemetry_level_{TelemetryLevel::kFull};
+  /// steady_clock stamp of the last FlushEpoch (0 = none yet); feeds the
+  /// epoch_gap_ns histogram.
+  uint64_t last_flush_nanos_ = 0;
 };
 
 }  // namespace streamagg

@@ -86,6 +86,20 @@ class Hfta {
   /// Total number of LFTA-to-HFTA transfers observed (c2 operations).
   uint64_t transfers() const { return transfers_; }
 
+  /// Telemetry gauge: distinct (group, epoch) result rows currently held
+  /// for `query_index` — the HFTA's memory pressure for that query.
+  uint64_t TotalGroups(int query_index) const {
+    uint64_t total = 0;
+    for (const auto& [epoch, agg] : per_query_[query_index]) {
+      total += agg.size();
+    }
+    return total;
+  }
+  /// Telemetry gauge: epochs with any data held for `query_index`.
+  uint64_t EpochsHeld(int query_index) const {
+    return per_query_[query_index].size();
+  }
+
   /// Epochs for which `query_index` received any data, in increasing order.
   std::vector<uint64_t> Epochs(int query_index) const;
 

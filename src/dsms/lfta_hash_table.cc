@@ -40,6 +40,9 @@ void LftaHashTable::ResetStats() {
   probes_ = 0;
   collisions_ = 0;
   updates_ = 0;
+  occupied_hwm_ = occupied_;
+  flushed_entries_ = 0;
+  flushes_ = 0;
 }
 
 }  // namespace streamagg

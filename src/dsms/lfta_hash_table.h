@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "stream/aggregate.h"
 #include "stream/record.h"
 #include "util/dcheck.h"
@@ -94,6 +95,7 @@ class LftaHashTable {
   /// table. Used for end-of-epoch processing (paper Section 3.2.2).
   template <typename Fn>
   void FlushState(Fn&& fn) {
+    STREAMAGG_TELEMETRY_COUNTERS(flushed_entries_ += occupied_; ++flushes_;);
     for (uint64_t bucket = 0; bucket < num_buckets_; ++bucket) {
       uint32_t* slot = SlotAt(bucket);
       if (slot[key_width_] == 0) continue;
@@ -141,6 +143,16 @@ class LftaHashTable {
   uint64_t probes() const { return probes_; }
   uint64_t collisions() const { return collisions_; }
   uint64_t updates() const { return updates_; }
+  /// Inserts into empty buckets = probes - updates - collisions.
+  uint64_t inserts() const { return probes_ - updates_ - collisions_; }
+  // Telemetry tallies (docs/observability.md); frozen at their last value
+  // when compiled out with STREAMAGG_TELEMETRY_LEVEL=0.
+  /// Highest simultaneous occupancy ever reached.
+  uint64_t occupied_hwm() const { return occupied_hwm_; }
+  /// Total entries drained by FlushState/Flush calls.
+  uint64_t flushed_entries() const { return flushed_entries_; }
+  /// Number of FlushState/Flush calls.
+  uint64_t flushes() const { return flushes_; }
   /// Empirical collision rate = collisions / probes (0 when unprobed).
   double CollisionRate() const {
     return probes_ == 0
@@ -176,9 +188,15 @@ class LftaHashTable {
   std::vector<uint32_t> slots_;
   uint64_t occupied_ = 0;
 
+  // probes_/collisions_/updates_ are load-bearing (CollisionRate feeds the
+  // adaptive controller), so they stay unconditional; the tallies below are
+  // telemetry-only and compile out at STREAMAGG_TELEMETRY_LEVEL=0.
   uint64_t probes_ = 0;
   uint64_t collisions_ = 0;
   uint64_t updates_ = 0;
+  uint64_t occupied_hwm_ = 0;
+  uint64_t flushed_entries_ = 0;
+  uint64_t flushes_ = 0;
 };
 
 inline void LftaHashTable::LoadEntry(const uint32_t* slot, GroupKey* key,
@@ -253,6 +271,8 @@ inline ProbeOutcome LftaHashTable::ProbeStateAt(uint64_t bucket,
   if (slot[key_width_] == 0) {
     StoreEntry(slot, key, add);
     ++occupied_;
+    STREAMAGG_TELEMETRY_COUNTERS(
+        if (occupied_ > occupied_hwm_) occupied_hwm_ = occupied_;);
     return ProbeOutcome::kInserted;
   }
   bool same = true;

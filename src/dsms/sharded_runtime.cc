@@ -64,6 +64,7 @@ ShardedRuntime::ShardedRuntime(
       merged_hfta_(std::make_unique<Hfta>(per_query_metrics_)) {
   queues_.reserve(shards_.size());
   staging_.resize(shards_.size());
+  shard_stats_.resize(shards_.size());
   workers_.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     queues_.push_back(std::make_unique<SpscQueue<Envelope>>(queue_capacity));
@@ -105,6 +106,15 @@ void ShardedRuntime::PushBlocking(int shard, const Envelope& envelope) {
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
   }
+#if STREAMAGG_TELEMETRY_LEVEL >= 1
+  // Depth sampled right after the push: one acquire load per envelope
+  // (kEnvelopeBatch records), amortized to a fraction of a load per record.
+  if (telemetry_level_ != TelemetryLevel::kOff) {
+    const uint64_t depth = queue.SizeApprox();
+    ShardIngestStats& stats = shard_stats_[static_cast<size_t>(shard)];
+    if (depth > stats.queue_depth_hwm) stats.queue_depth_hwm = depth;
+  }
+#endif
 }
 
 void ShardedRuntime::WorkerLoop(int shard) {
@@ -142,6 +152,9 @@ void ShardedRuntime::WorkerLoop(int shard) {
 }
 
 void ShardedRuntime::Stage(int shard, const Record& record) {
+  STREAMAGG_TELEMETRY_COUNTERS(
+      if (telemetry_level_ != TelemetryLevel::kOff)
+          ++shard_stats_[static_cast<size_t>(shard)].records;);
   Envelope& staging = staging_[shard];
   staging.records[staging.count++] = record;
   if (staging.count == kEnvelopeBatch) {

@@ -10,9 +10,19 @@
 #include <vector>
 
 #include "dsms/configuration_runtime.h"
+#include "obs/metrics.h"
 #include "util/spsc_queue.h"
 
 namespace streamagg {
+
+/// Producer-side ingest telemetry of one shard: how many records were
+/// routed to it (the skew signal — a hot root group shows up as one shard's
+/// count running away from the others) and the deepest its queue ever got,
+/// in envelopes (the backpressure signal; at capacity the producer blocks).
+struct ShardIngestStats {
+  uint64_t records = 0;
+  uint64_t queue_depth_hwm = 0;
+};
 
 /// Parallel LFTA ingest: N ConfigurationRuntime replicas, each owned by one
 /// worker thread and fed through a bounded SPSC record queue. Records are
@@ -97,6 +107,17 @@ class ShardedRuntime {
   int num_shards() const { return static_cast<int>(shards_.size()); }
   /// A shard's replica; see the threading contract above.
   const ConfigurationRuntime& shard(int i) const { return *shards_[i]; }
+  /// Producer-side ingest stats for shard `i` (owned by the producer
+  /// thread, so safe whenever the caller honors the producer contract).
+  const ShardIngestStats& shard_stats(int i) const {
+    return shard_stats_[static_cast<size_t>(i)];
+  }
+  /// Sets the runtime telemetry tier on the producer-side gauges and every
+  /// shard replica (an atomic store per shard; workers may be running).
+  void set_telemetry_level(TelemetryLevel level) {
+    telemetry_level_ = level;
+    for (auto& shard : shards_) shard->set_telemetry_level(level);
+  }
   /// The attribute set records are partitioned by (the union of the
   /// configuration's raw-relation attributes).
   AttributeSet partition_attrs() const { return partition_attrs_; }
@@ -142,6 +163,11 @@ class ShardedRuntime {
   std::vector<std::unique_ptr<SpscQueue<Envelope>>> queues_;
   /// Producer-owned per-shard staging envelopes (batch accumulation).
   std::vector<Envelope> staging_;
+  /// Producer-owned ingest telemetry, parallel to shards_.
+  std::vector<ShardIngestStats> shard_stats_;
+  /// Producer-side copy of the telemetry tier (gates the gauges above; the
+  /// shard replicas hold their own atomic copy).
+  TelemetryLevel telemetry_level_ = TelemetryLevel::kFull;
   std::vector<std::thread> workers_;
 
   /// Barrier handshake: FlushEpoch sets pending = num_shards, each worker

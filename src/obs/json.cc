@@ -1,0 +1,413 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace streamagg {
+
+namespace {
+
+const JsonValue& NullValue() {
+  static const JsonValue kNull;
+  return kNull;
+}
+
+/// Formats a double so that Parse(Dump(x)) == x: %.17g is lossless for
+/// IEEE-754 binary64.
+std::string FormatDouble(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+}  // namespace
+
+JsonValue JsonValue::Null() { return JsonValue(); }
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(uint64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  v.number_ = buffer;
+  return v;
+}
+
+JsonValue JsonValue::Number(int64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+  v.number_ = buffer;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = FormatDouble(value);
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+uint64_t JsonValue::AsUint64() const {
+  if (kind_ != Kind::kNumber) return 0;
+  return std::strtoull(number_.c_str(), nullptr, 10);
+}
+
+int64_t JsonValue::AsInt64() const {
+  if (kind_ != Kind::kNumber) return 0;
+  return std::strtoll(number_.c_str(), nullptr, 10);
+}
+
+double JsonValue::AsDouble() const {
+  if (kind_ != Kind::kNumber) return 0.0;
+  return std::strtod(number_.c_str(), nullptr);
+}
+
+const JsonValue& JsonValue::Get(const std::string& key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  return NullValue();
+}
+
+bool JsonValue::Has(const std::string& key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue value) {
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return v;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+  return object_.back().second;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  array_.push_back(std::move(value));
+  return array_.back();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonValue::Dump() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kNumber:
+      return number_;
+    case Kind::kString:
+      return JsonEscape(string_);
+    case Kind::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += array_[i].Dump();
+      }
+      out.push_back(']');
+      return out;
+    }
+    case Kind::kObject: {
+      std::string out = "{";
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += JsonEscape(object_[i].first);
+        out.push_back(':');
+        out += object_[i].second.Dump();
+      }
+      out.push_back('}');
+      return out;
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+/// Recursive-descent parser over a string view; depth-limited so malformed
+/// deeply nested input cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Run() {
+    SkipSpace();
+    JsonValue value;
+    STREAMAGG_RETURN_NOT_OK(ParseValue(&value, 0));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("json: trailing characters at offset " +
+                                     std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Fail(const std::string& what) {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') {
+      std::string s;
+      STREAMAGG_RETURN_NOT_OK(ParseString(&s));
+      *out = JsonValue::Str(std::move(s));
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = JsonValue::Bool(true);
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = JsonValue::Bool(false);
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      *out = JsonValue::Null();
+      return Status::OK();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    *out = JsonValue::Object();
+    SkipSpace();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      STREAMAGG_RETURN_NOT_OK(ParseString(&key));
+      SkipSpace();
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      STREAMAGG_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->Set(key, std::move(value));
+      SkipSpace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    *out = JsonValue::Array();
+    SkipSpace();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      JsonValue value;
+      STREAMAGG_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->Append(std::move(value));
+      SkipSpace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("dangling escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            const long code = std::strtol(hex.c_str(), nullptr, 16);
+            // Telemetry strings are ASCII; decode BMP code points naively
+            // (sufficient for round-tripping our own output).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else {
+              out->push_back('?');
+            }
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool any = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == 'e' || c == 'E' || c == '-' || c == '+') {
+        ++pos_;
+        any = true;
+      } else {
+        break;
+      }
+    }
+    if (!any) return Fail("expected a value");
+    const std::string literal = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    std::strtod(literal.c_str(), &end);
+    if (end == literal.c_str() || *end != '\0') {
+      return Fail("malformed number '" + literal + "'");
+    }
+    // Integral literals re-enter through the exact integer factories so
+    // 64-bit counters never pass through a double; everything else is a
+    // value-preserving double round trip.
+    if (literal.find_first_of(".eE") == std::string::npos) {
+      if (literal[0] == '-') {
+        *out = JsonValue::Number(
+            static_cast<int64_t>(std::strtoll(literal.c_str(), nullptr, 10)));
+      } else {
+        *out = JsonValue::Number(static_cast<uint64_t>(
+            std::strtoull(literal.c_str(), nullptr, 10)));
+      }
+    } else {
+      *out = JsonValue::Number(std::strtod(literal.c_str(), nullptr));
+    }
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  Parser parser(text);
+  return parser.Run();
+}
+
+}  // namespace streamagg

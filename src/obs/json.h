@@ -1,0 +1,83 @@
+#ifndef STREAMAGG_OBS_JSON_H_
+#define STREAMAGG_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace streamagg {
+
+/// Minimal JSON document model for telemetry snapshots: enough of RFC 8259
+/// to serialize and re-read obs/telemetry.h:TelemetrySnapshot (objects,
+/// arrays, strings, numbers, booleans, null). Not a general-purpose JSON
+/// library — no \uXXXX escapes beyond pass-through, no streaming — and kept
+/// deliberately tiny so the engine has zero external dependencies.
+///
+/// Numbers are stored as their literal text and converted on demand:
+/// AsUint64 round-trips 64-bit counters bit-exactly (a double-typed model
+/// would corrupt counts above 2^53), AsDouble serves the rates.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  static JsonValue Null();
+  static JsonValue Bool(bool b);
+  static JsonValue Number(uint64_t v);
+  static JsonValue Number(int64_t v);
+  static JsonValue Number(double v);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool AsBool() const { return bool_; }
+  /// Parses the stored literal; 0 on non-numbers.
+  uint64_t AsUint64() const;
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const { return string_; }
+
+  /// Object access: null-kind reference when the key is absent.
+  const JsonValue& Get(const std::string& key) const;
+  bool Has(const std::string& key) const;
+  JsonValue& Set(const std::string& key, JsonValue value);
+
+  /// Array access.
+  size_t size() const { return array_.size(); }
+  const JsonValue& at(size_t i) const { return array_[i]; }
+  JsonValue& Append(JsonValue value);
+
+  /// Compact single-line rendering (keys in insertion order — stable output
+  /// for JSON-lines logs and tests).
+  std::string Dump() const;
+
+  /// Parses one JSON document; trailing non-whitespace is an error.
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string number_;  ///< Literal text, kNumber only.
+  std::string string_;  ///< kString only.
+  std::vector<JsonValue> array_;
+  /// Insertion-ordered object storage (pairs, linear lookup): telemetry
+  /// objects have a handful of keys, and stable ordering matters more than
+  /// lookup speed.
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Escapes `s` as a JSON string literal (with quotes).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_OBS_JSON_H_

@@ -1,0 +1,206 @@
+#ifndef STREAMAGG_OBS_METRICS_H_
+#define STREAMAGG_OBS_METRICS_H_
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+/// Allocation-free telemetry primitives for the runtime's hot paths
+/// (docs/observability.md). Everything here is a fixed-size value type:
+/// recording is a handful of integer adds on pre-allocated storage, never a
+/// heap touch, so the zero-allocation ingest proof
+/// (tests/batched_ingest_test.cc) holds with telemetry enabled.
+///
+/// Compile-time tiers, mirroring STREAMAGG_DCHECK (util/dcheck.h):
+/// STREAMAGG_TELEMETRY_LEVEL selects how much instrumentation is compiled
+/// in at all — 0 strips every telemetry statement from the binary, 1 keeps
+/// the plain-integer tallies, 2 (default) also keeps the histogram/timing
+/// paths. Within a level-2 binary, ConfigurationRuntime additionally honors
+/// a *runtime* TelemetryLevel toggle so one binary can A/B the overhead
+/// (bench_engine_throughput's telemetry sweep).
+#ifndef STREAMAGG_TELEMETRY_LEVEL
+#define STREAMAGG_TELEMETRY_LEVEL 2
+#endif
+
+#if STREAMAGG_TELEMETRY_LEVEL >= 1
+#define STREAMAGG_TELEMETRY_COUNTERS(...) __VA_ARGS__
+#else
+#define STREAMAGG_TELEMETRY_COUNTERS(...) \
+  do {                                    \
+  } while (false)
+#endif
+
+#if STREAMAGG_TELEMETRY_LEVEL >= 2
+#define STREAMAGG_TELEMETRY_FULL(...) __VA_ARGS__
+#else
+#define STREAMAGG_TELEMETRY_FULL(...) \
+  do {                                \
+  } while (false)
+#endif
+
+namespace streamagg {
+
+/// Runtime telemetry tier, clamped by the compile-time
+/// STREAMAGG_TELEMETRY_LEVEL: a level the binary did not compile in cannot
+/// be enabled at runtime.
+///  * kOff      — no telemetry work beyond the pre-existing lifetime
+///                probe/collision counters (which CollisionRate and the
+///                adaptive controller depend on).
+///  * kCounters — plain-integer tallies: per-relation eviction/transfer
+///                counts, shard record counts, table high-water marks.
+///  * kFull     — kCounters plus log-scale histograms and wall-clock
+///                timings (one steady_clock read pair per batch/flush, never
+///                per record).
+enum class TelemetryLevel : uint8_t { kOff = 0, kCounters = 1, kFull = 2 };
+
+/// Monotonic nanoseconds for latency histograms. Same steady clock as
+/// util/timer.h:Timer (compile-time checked there).
+inline uint64_t TelemetryNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// A monotonically increasing tally. Plain (non-atomic) because every hot
+/// structure in the runtime is single-writer: the serial runtime runs on one
+/// thread, and each shard replica is owned by exactly one worker
+/// (docs/runtime.md §3); cross-shard aggregation happens at the quiescent
+/// epoch barrier via Merge.
+struct TelemetryCounter {
+  uint64_t value = 0;
+
+  void Add(uint64_t delta = 1) { value += delta; }
+  void Merge(const TelemetryCounter& other) { value += other.value; }
+  bool operator==(const TelemetryCounter&) const = default;
+};
+
+/// A high-water-mark gauge: tracks the largest value ever observed. Merge
+/// takes the max, so shard-merged gauges report the worst shard — the right
+/// semantics for queue depth and table occupancy pressure.
+struct MaxGauge {
+  uint64_t value = 0;
+
+  void Observe(uint64_t v) {
+    if (v > value) value = v;
+  }
+  void Merge(const MaxGauge& other) { Observe(other.value); }
+  bool operator==(const MaxGauge&) const = default;
+};
+
+/// Fixed-bucket base-2 log-scale histogram: value v lands in bucket
+/// bit_width(v), i.e. bucket 0 holds exactly {0} and bucket i >= 1 holds
+/// [2^(i-1), 2^i - 1]. 65 buckets cover the whole uint64 range, recording
+/// is a count-leading-zeros plus three adds and two compares, and the
+/// storage is one inline array — no allocation, ever.
+///
+/// Merge is element-wise and therefore exactly associative and commutative
+/// (property-tested in tests/telemetry_test.cc), which is what makes
+/// shard-merged and swap-accumulated histograms well defined.
+class LogHistogram {
+ public:
+  static constexpr int kNumBuckets = 65;
+
+  void Record(uint64_t value) {
+    ++counts_[BucketFor(value)];
+    ++count_;
+    sum_ += value;
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  /// The bucket `value` lands in: bit_width(value) in [0, 64].
+  static int BucketFor(uint64_t value) { return std::bit_width(value); }
+
+  /// Inclusive value range of bucket i (see class comment).
+  static uint64_t BucketLowerBound(int bucket) {
+    return bucket == 0 ? 0 : uint64_t{1} << (bucket - 1);
+  }
+  static uint64_t BucketUpperBound(int bucket) {
+    if (bucket == 0) return 0;
+    if (bucket == 64) return std::numeric_limits<uint64_t>::max();
+    return (uint64_t{1} << bucket) - 1;
+  }
+
+  uint64_t bucket_count(int bucket) const {
+    return counts_[static_cast<size_t>(bucket)];
+  }
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  /// 0 when empty (min/max are undefined on an empty histogram).
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const {
+    return count_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Upper bound of the bucket containing the q-quantile (q in [0, 1]),
+  /// clamped to the observed max — a log-scale estimate, exact to within
+  /// one power of two. 0 when empty.
+  uint64_t PercentileUpperBound(double q) const {
+    if (count_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // ceil(q * count), at least 1: the rank of the quantile element.
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+    if (rank < q * static_cast<double>(count_) || rank == 0) ++rank;
+    uint64_t seen = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      seen += counts_[static_cast<size_t>(b)];
+      if (seen >= rank) return std::min(BucketUpperBound(b), max());
+    }
+    return max();
+  }
+
+  /// Element-wise accumulation; exactly associative and commutative.
+  void Merge(const LogHistogram& other) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      counts_[static_cast<size_t>(b)] += other.counts_[static_cast<size_t>(b)];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ > 0) {
+      if (other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+  }
+
+  bool operator==(const LogHistogram& other) const {
+    // min_/max_ carry sentinel values while empty; compare observable state.
+    return counts_ == other.counts_ && count_ == other.count_ &&
+           sum_ == other.sum_ && min() == other.min() && max() == other.max();
+  }
+
+  /// Reconstructs a histogram from serialized parts (the JSON round trip in
+  /// obs/telemetry.cc). `min`/`max` are the observable accessor values; they
+  /// are ignored when `count` is 0.
+  static LogHistogram FromRaw(const std::array<uint64_t, kNumBuckets>& counts,
+                              uint64_t count, uint64_t sum, uint64_t min,
+                              uint64_t max) {
+    LogHistogram h;
+    h.counts_ = counts;
+    h.count_ = count;
+    h.sum_ = sum;
+    if (count > 0) {
+      h.min_ = min;
+      h.max_ = max;
+    }
+    return h;
+  }
+
+ private:
+  std::array<uint64_t, kNumBuckets> counts_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = std::numeric_limits<uint64_t>::max();
+  uint64_t max_ = 0;
+};
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_OBS_METRICS_H_

@@ -1,0 +1,132 @@
+#ifndef STREAMAGG_OBS_TELEMETRY_H_
+#define STREAMAGG_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsms/configuration_runtime.h"
+#include "dsms/sharded_runtime.h"
+#include "obs/metrics.h"
+#include "stream/schema.h"
+#include "util/status.h"
+
+namespace streamagg {
+
+/// One LFTA table's view in a snapshot: sizing, occupancy, probe outcome
+/// breakdown, eviction reasons, and — the paper's Figure 5/6 comparison,
+/// live — the *observed* collision rate next to the cost model's
+/// *prediction* for the planned statistics. Full metric catalog:
+/// docs/observability.md.
+struct TableTelemetry {
+  /// No model prediction available (pinned plans without catalog counts,
+  /// raw runtime snapshots before the engine annotates them).
+  static constexpr double kNoPrediction = -1.0;
+
+  std::string relation;  ///< Schema-formatted attribute set, e.g. "ABD".
+  bool is_query = false;
+  int query_index = -1;  ///< -1 for phantoms.
+  int parent = -1;       ///< Feeding parent table index; -1 for raw.
+  uint64_t num_buckets = 0;
+  uint64_t occupied = 0;      ///< Occupied buckets right now.
+  uint64_t occupied_hwm = 0;  ///< Highest occupancy ever reached.
+  // Probe outcome breakdown (lifetime; probes = inserts+updates+collisions).
+  uint64_t probes = 0;
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t collisions = 0;
+  // Eviction reasons, attributed to the evicting relation.
+  uint64_t intra_evictions = 0;
+  uint64_t flush_evictions = 0;
+  uint64_t hfta_transfers = 0;
+  uint64_t flushed_entries = 0;  ///< Entries drained by epoch flushes.
+  /// Occupied buckets at each epoch flush (kFull tier only).
+  LogHistogram flush_occupancy;
+  /// collisions / probes — the paper's empirical x.
+  double observed_collision_rate = 0.0;
+  /// The collision model's x for the planned statistics; kNoPrediction when
+  /// no model was consulted.
+  double predicted_collision_rate = kNoPrediction;
+
+  bool has_prediction() const { return predicted_collision_rate >= 0.0; }
+  /// observed - predicted (0 without a prediction): positive means the live
+  /// stream collides more than planned — the drift signal.
+  double drift() const {
+    return has_prediction()
+               ? observed_collision_rate - predicted_collision_rate
+               : 0.0;
+  }
+
+  /// Folds another shard replica's view of the *same* table into this one:
+  /// tallies and bucket counts sum (each replica holds its own
+  /// budget/num_shards-sized copy), the observed rate is recomputed from
+  /// the summed tallies. Identity fields must already match.
+  void MergeFrom(const TableTelemetry& other);
+
+  bool operator==(const TableTelemetry&) const = default;
+};
+
+/// Producer-side ingest stats of one shard (mirrors ShardIngestStats, in
+/// serializable form).
+struct ShardTelemetry {
+  uint64_t records = 0;          ///< Records routed to this shard.
+  uint64_t queue_depth_hwm = 0;  ///< Deepest queue backlog, in envelopes.
+
+  bool operator==(const ShardTelemetry&) const = default;
+};
+
+/// Point-in-time state of a whole engine/runtime: counters, per-table
+/// stats, per-shard ingest stats, HFTA gauges and latency histograms.
+/// Serializable to one JSON line (ToJsonLine/FromJsonLine round-trip
+/// bit-exactly for every integer field) and to a human-readable table.
+///
+/// Threading: building a snapshot reads runtime internals, so it follows
+/// the source's quiescence contract — serial runtimes any time on the
+/// driver thread, sharded runtimes only between FlushEpoch barriers.
+struct TelemetrySnapshot {
+  uint64_t epoch = 0;  ///< Epoch the source was accumulating into.
+  int num_shards = 1;
+  int reoptimizations = 0;  ///< Adaptive re-plans so far (engine-level).
+  RuntimeCounters counters;
+  std::vector<TableTelemetry> tables;
+  std::vector<ShardTelemetry> shards;  ///< Empty for serial runtimes.
+  /// Result rows held in the HFTA, per query (Hfta::TotalGroups).
+  std::vector<uint64_t> hfta_groups;
+  // Latency histograms (kFull tier; empty otherwise).
+  LogHistogram batch_records;
+  LogHistogram batch_ns;
+  LogHistogram flush_ns;
+  LogHistogram epoch_gap_ns;
+
+  /// Folds another snapshot into this one: counters/tallies sum, per-index
+  /// tables merge (TableTelemetry::MergeFrom), histograms merge, shard
+  /// lists concatenate, epoch takes the max. Used to aggregate shard
+  /// replicas; associative and commutative in every integer field.
+  void MergeFrom(const TelemetrySnapshot& other);
+
+  /// One compact JSON object (no newline); schema in docs/observability.md.
+  std::string ToJsonLine() const;
+  static Result<TelemetrySnapshot> FromJsonLine(const std::string& line);
+
+  /// Multi-line human-readable rendering (streamagg_cli --stats).
+  std::string ToTable() const;
+
+  bool operator==(const TelemetrySnapshot&) const = default;
+};
+
+/// Snapshots a serial runtime. Predictions are left at kNoPrediction — the
+/// engine layer annotates them from its plan (core/engine.h).
+TelemetrySnapshot BuildTelemetrySnapshot(const ConfigurationRuntime& runtime,
+                                         const Schema& schema);
+
+/// Snapshots a sharded runtime by merging every replica's snapshot plus the
+/// producer-side ingest stats. Caller must hold the quiescence contract
+/// (between FlushEpoch barriers). The merged counters are bit-identical to
+/// the serial run's totals: each is an exact uint64 sum over the same
+/// probe/transfer events, just partitioned by shard.
+TelemetrySnapshot BuildTelemetrySnapshot(const ShardedRuntime& runtime,
+                                         const Schema& schema);
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_OBS_TELEMETRY_H_

@@ -62,6 +62,14 @@ class SpscQueue {
            tail_.load(std::memory_order_acquire);
   }
 
+  /// Producer-side occupancy snapshot: exact at the call (the producer owns
+  /// tail_), but may immediately shrink as the consumer pops. Telemetry's
+  /// queue-depth gauge (dsms/sharded_runtime.h).
+  size_t SizeApprox() const {
+    return tail_.load(std::memory_order_relaxed) -
+           head_.load(std::memory_order_acquire);
+  }
+
   size_t capacity() const { return mask_ + 1; }
 
  private:

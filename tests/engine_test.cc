@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+
 #include "dsms/reference_aggregator.h"
 #include "stream/uniform_generator.h"
 
@@ -256,6 +259,157 @@ TEST(StreamAggEngineTest, RejectsBadConstruction) {
                     "select B, count(*) from R group by B, time/30"},
                    BaseOptions())
                    .ok());
+}
+
+TEST(StreamAggEngineTest, CountersIdempotentAcrossSwapsAndBatches) {
+  // Regression: counters() and the internal accumulation across adaptive
+  // runtime swaps must never double-count, no matter how often or when the
+  // totals are read, and no matter how Process/ProcessBatch are mixed.
+  const Schema schema = *Schema::Default(4);
+  auto calm = std::move(UniformGenerator::Make(schema, 500, 21)).value();
+  auto shifted = std::move(UniformGenerator::Make(schema, 5000, 23)).value();
+  Trace trace(schema);
+  const size_t kN = 120000;
+  trace.set_duration_seconds(12.0);
+  for (size_t i = 0; i < kN; ++i) {
+    Record r = (i < kN / 2) ? calm->Next() : shifted->Next();
+    r.timestamp = 12.0 * static_cast<double>(i) / kN;
+    trace.Append(r);
+  }
+
+  StreamAggEngine::Options options = BaseOptions();
+  options.adaptive = true;
+  options.sample_size = 10000;
+  auto engine = StreamAggEngine::FromQueryDefs(
+      schema,
+      {QueryDef(*schema.ParseAttributeSet("AB")),
+       QueryDef(*schema.ParseAttributeSet("CD"))},
+      options);
+  ASSERT_TRUE(engine.ok());
+
+  // Alternate odd-sized batches with single records so runtime swaps land
+  // at every possible position relative to the reads below.
+  const std::span<const Record> records(trace.records());
+  size_t i = 0;
+  uint64_t last_records = 0;
+  while (i < records.size()) {
+    if (i % 3 == 0) {
+      ASSERT_TRUE((*engine)->Process(records[i]).ok());
+      ++i;
+    } else {
+      const size_t n = std::min<size_t>(257, records.size() - i);
+      ASSERT_TRUE((*engine)->ProcessBatch(records.subspan(i, n)).ok());
+      i += n;
+    }
+    // Reading totals mid-stream must be side-effect free (idempotent) and
+    // exact: records processed so far, monotonically. (While sampling,
+    // records are buffered and the count is behind; it catches up at the
+    // planning replay.)
+    const RuntimeCounters first = (*engine)->counters();
+    const RuntimeCounters second = (*engine)->counters();
+    EXPECT_TRUE(first == second);
+    if ((*engine)->planned()) {
+      EXPECT_EQ(first.records, i);
+    }
+    EXPECT_GE(first.records, last_records);
+    last_records = first.records;
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+  // The traffic shift must actually have forced at least one swap for this
+  // test to mean anything.
+  EXPECT_GE((*engine)->reoptimizations(), 1);
+  EXPECT_EQ((*engine)->counters().records, trace.size());
+  // Reading after Finish is stable too.
+  EXPECT_TRUE((*engine)->counters() == (*engine)->counters());
+}
+
+TEST(StreamAggEngineTest, TelemetryReportsModelPredictions) {
+  const Trace trace = UniformTrace(800, 80000, 31);
+  const Schema& schema = trace.schema();
+  auto engine = StreamAggEngine::FromQueryDefs(
+      schema,
+      {QueryDef(*schema.ParseAttributeSet("AB")),
+       QueryDef(*schema.ParseAttributeSet("BC")),
+       QueryDef(*schema.ParseAttributeSet("CD"))},
+      BaseOptions());
+  ASSERT_TRUE(engine.ok());
+  // While sampling, telemetry is an empty snapshot.
+  EXPECT_TRUE((*engine)->telemetry().tables.empty());
+  for (const Record& r : trace.records()) {
+    ASSERT_TRUE((*engine)->Process(r).ok());
+  }
+  const TelemetrySnapshot live = (*engine)->telemetry();
+  ASSERT_FALSE(live.tables.empty());
+  for (const TableTelemetry& t : live.tables) {
+    // Engine-annotated snapshots pair every table's observed rate with the
+    // cost model's prediction for the planned statistics.
+    EXPECT_TRUE(t.has_prediction()) << t.relation;
+    EXPECT_GE(t.predicted_collision_rate, 0.0) << t.relation;
+    EXPECT_LT(t.predicted_collision_rate, 1.0) << t.relation;
+    EXPECT_GE(t.observed_collision_rate, 0.0) << t.relation;
+    EXPECT_EQ(t.drift(),
+              t.observed_collision_rate - t.predicted_collision_rate);
+  }
+  EXPECT_TRUE(live.counters == (*engine)->counters());
+
+  ASSERT_TRUE((*engine)->Finish().ok());
+  // The final snapshot survives runtime teardown and keeps the totals.
+  const TelemetrySnapshot final_snap = (*engine)->telemetry();
+  ASSERT_FALSE(final_snap.tables.empty());
+  EXPECT_EQ(final_snap.counters.records, trace.size());
+  EXPECT_TRUE(final_snap.counters == (*engine)->counters());
+}
+
+TEST(StreamAggEngineTest, TelemetryEpochHistoryIsBoundedAndLabeled) {
+  const Trace trace = UniformTrace(400, 60000, 37);
+  StreamAggEngine::Options options = BaseOptions();
+  options.epoch_seconds = 1.0;  // 10 epochs over the 10-second trace.
+  options.telemetry_epoch_snapshots = true;
+  options.telemetry_history_limit = 4;
+  auto engine = StreamAggEngine::FromQueryDefs(
+      trace.schema(),
+      {QueryDef(*trace.schema().ParseAttributeSet("AB"))}, options);
+  ASSERT_TRUE(engine.ok());
+  for (const Record& r : trace.records()) {
+    ASSERT_TRUE((*engine)->Process(r).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+
+  const std::vector<TelemetrySnapshot>& history =
+      (*engine)->telemetry_history();
+  ASSERT_FALSE(history.empty());
+  EXPECT_LE(history.size(), 4u);  // Oldest snapshots dropped first.
+  for (size_t i = 1; i < history.size(); ++i) {
+    EXPECT_LT(history[i - 1].epoch, history[i].epoch);
+    // Cumulative counters only grow along the history.
+    EXPECT_LE(history[i - 1].counters.records, history[i].counters.records);
+  }
+}
+
+TEST(StreamAggEngineTest, ShardedTelemetryMergesToEngineCounters) {
+  const Trace trace = UniformTrace(600, 80000, 41);
+  StreamAggEngine::Options options = BaseOptions();
+  options.num_shards = 3;
+  auto engine = StreamAggEngine::FromQueryDefs(
+      trace.schema(),
+      {QueryDef(*trace.schema().ParseAttributeSet("AB")),
+       QueryDef(*trace.schema().ParseAttributeSet("CD"))},
+      options);
+  ASSERT_TRUE(engine.ok());
+  for (const Record& r : trace.records()) {
+    ASSERT_TRUE((*engine)->Process(r).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+
+  const TelemetrySnapshot snap = (*engine)->telemetry();
+  EXPECT_EQ(snap.num_shards, 3);
+  // Merged totals are bit-identical to the engine's accumulated counters.
+  EXPECT_TRUE(snap.counters == (*engine)->counters());
+  EXPECT_EQ(snap.counters.records, trace.size());
+  ASSERT_EQ(snap.shards.size(), 3u);
+  uint64_t routed = 0;
+  for (const ShardTelemetry& s : snap.shards) routed += s.records;
+  EXPECT_EQ(routed, trace.size());
 }
 
 }  // namespace

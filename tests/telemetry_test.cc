@@ -1,0 +1,390 @@
+// Telemetry layer (obs/): histogram bucket semantics, Merge algebra,
+// snapshot JSON round trips, and the shard-merge invariant — merged
+// snapshot totals must be bit-identical to the runtime's own counters.
+
+#include "obs/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/configuration.h"
+#include "obs/metrics.h"
+#include "stream/uniform_generator.h"
+#include "stream/zipf_generator.h"
+#include "util/random.h"
+
+namespace streamagg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LogHistogram
+
+TEST(LogHistogramTest, BucketBoundaries) {
+  // Bucket 0 holds exactly {0}; bucket i >= 1 holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(LogHistogram::BucketFor(0), 0);
+  EXPECT_EQ(LogHistogram::BucketFor(1), 1);
+  EXPECT_EQ(LogHistogram::BucketFor(2), 2);
+  EXPECT_EQ(LogHistogram::BucketFor(3), 2);
+  EXPECT_EQ(LogHistogram::BucketFor(4), 3);
+  EXPECT_EQ(LogHistogram::BucketFor(1023), 10);
+  EXPECT_EQ(LogHistogram::BucketFor(1024), 11);
+  EXPECT_EQ(LogHistogram::BucketFor(std::numeric_limits<uint64_t>::max()),
+            64);
+
+  // Every bucket's own bounds land back in that bucket, and consecutive
+  // buckets tile the uint64 range without gap or overlap.
+  for (int b = 0; b < LogHistogram::kNumBuckets; ++b) {
+    EXPECT_EQ(LogHistogram::BucketFor(LogHistogram::BucketLowerBound(b)), b);
+    EXPECT_EQ(LogHistogram::BucketFor(LogHistogram::BucketUpperBound(b)), b);
+    if (b + 1 < LogHistogram::kNumBuckets) {
+      EXPECT_EQ(LogHistogram::BucketUpperBound(b) + 1,
+                LogHistogram::BucketLowerBound(b + 1));
+    }
+  }
+  EXPECT_EQ(LogHistogram::BucketUpperBound(LogHistogram::kNumBuckets - 1),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(LogHistogramTest, RecordTracksStats) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.PercentileUpperBound(0.5), 0u);
+
+  for (uint64_t v : {7u, 0u, 100u, 3u}) h.Record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 110u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 27.5);
+  EXPECT_EQ(h.bucket_count(LogHistogram::BucketFor(0)), 1u);
+  EXPECT_EQ(h.bucket_count(LogHistogram::BucketFor(7)), 1u);
+}
+
+TEST(LogHistogramTest, PercentileUpperBoundIsLogScaleExact) {
+  LogHistogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  // p100 clamps to the observed max, not the bucket upper bound (127).
+  EXPECT_EQ(h.PercentileUpperBound(1.0), 100u);
+  // p1 -> rank 1 -> value 1 -> bucket 1, upper bound 1.
+  EXPECT_EQ(h.PercentileUpperBound(0.01), 1u);
+  // p50 -> rank 50 -> bucket of 50 is [32, 63].
+  EXPECT_EQ(h.PercentileUpperBound(0.5), 63u);
+}
+
+LogHistogram RandomHistogram(Random* rng) {
+  LogHistogram h;
+  const size_t n = rng->Uniform(40);
+  for (size_t i = 0; i < n; ++i) {
+    // Spread across the whole bucket range, including 0 and huge values.
+    h.Record(rng->Next64() >> rng->Uniform(64));
+  }
+  return h;
+}
+
+TEST(LogHistogramTest, MergeIsAssociativeAndCommutative) {
+  // Property test: element-wise merge must be exactly associative and
+  // commutative, with the empty histogram as identity — this is what makes
+  // shard-merged and swap-accumulated telemetry well defined regardless of
+  // merge order.
+  Random rng(0x7e1e);
+  for (int trial = 0; trial < 200; ++trial) {
+    const LogHistogram a = RandomHistogram(&rng);
+    const LogHistogram b = RandomHistogram(&rng);
+    const LogHistogram c = RandomHistogram(&rng);
+
+    LogHistogram ab = a;
+    ab.Merge(b);
+    LogHistogram ba = b;
+    ba.Merge(a);
+    EXPECT_TRUE(ab == ba) << "commutativity, trial " << trial;
+
+    LogHistogram ab_c = ab;
+    ab_c.Merge(c);
+    LogHistogram bc = b;
+    bc.Merge(c);
+    LogHistogram a_bc = a;
+    a_bc.Merge(bc);
+    EXPECT_TRUE(ab_c == a_bc) << "associativity, trial " << trial;
+
+    LogHistogram with_empty = a;
+    with_empty.Merge(LogHistogram());
+    EXPECT_TRUE(with_empty == a) << "identity, trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot JSON round trip
+
+TelemetrySnapshot HandCraftedSnapshot() {
+  TelemetrySnapshot snap;
+  snap.epoch = 41;
+  snap.num_shards = 3;
+  snap.reoptimizations = 2;
+  snap.counters.records = (uint64_t{1} << 63) + 12345;  // Exceeds double.
+  snap.counters.intra_probes = std::numeric_limits<uint64_t>::max();
+  snap.counters.intra_transfers = 7;
+  snap.counters.flush_probes = 1024;
+  snap.counters.flush_transfers = 99;
+  snap.counters.epochs_flushed = 41;
+
+  TableTelemetry table;
+  table.relation = "ABD";
+  table.is_query = true;
+  table.query_index = 2;
+  table.parent = 0;
+  table.num_buckets = 512;
+  table.occupied = 100;
+  table.occupied_hwm = 300;
+  table.probes = 100000;
+  table.inserts = 60000;
+  table.updates = 30000;
+  table.collisions = 10000;
+  table.intra_evictions = 4000;
+  table.flush_evictions = 6000;
+  table.hfta_transfers = 10000;
+  table.flushed_entries = 4100;
+  table.flush_occupancy.Record(100);
+  table.flush_occupancy.Record(120);
+  table.observed_collision_rate = 0.1;
+  table.predicted_collision_rate = 0.0875;
+  snap.tables.push_back(table);
+  table.relation = "BC";
+  table.is_query = false;
+  table.query_index = -1;
+  table.predicted_collision_rate = TableTelemetry::kNoPrediction;
+  snap.tables.push_back(table);
+
+  snap.shards.push_back(ShardTelemetry{1000, 12});
+  snap.shards.push_back(ShardTelemetry{997, 3});
+  snap.hfta_groups = {123, 0, 456789};
+  snap.batch_records.Record(64);
+  snap.batch_ns.Record(123456);
+  snap.flush_ns.Record(std::numeric_limits<uint64_t>::max());
+  snap.epoch_gap_ns.Record(0);
+  return snap;
+}
+
+TEST(TelemetrySnapshotTest, JsonRoundTripIsBitExact) {
+  const TelemetrySnapshot snap = HandCraftedSnapshot();
+  const std::string line = snap.ToJsonLine();
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // One line.
+  auto restored = TelemetrySnapshot::FromJsonLine(line);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  // operator== covers every field, including the uint64 values above the
+  // double-exact range and the kNoPrediction sentinel.
+  EXPECT_TRUE(*restored == snap);
+  // And the round trip is a fixed point of serialization.
+  EXPECT_EQ(restored->ToJsonLine(), line);
+}
+
+TEST(TelemetrySnapshotTest, FromJsonLineRejectsGarbage) {
+  EXPECT_FALSE(TelemetrySnapshot::FromJsonLine("").ok());
+  EXPECT_FALSE(TelemetrySnapshot::FromJsonLine("not json").ok());
+  EXPECT_FALSE(TelemetrySnapshot::FromJsonLine("[1, 2]").ok());
+  EXPECT_FALSE(TelemetrySnapshot::FromJsonLine("{\"epoch\": 1,}").ok());
+}
+
+TEST(TelemetrySnapshotTest, ToTableMentionsEveryRelation) {
+  const TelemetrySnapshot snap = HandCraftedSnapshot();
+  const std::string table = snap.ToTable();
+  EXPECT_NE(table.find("ABD"), std::string::npos);
+  EXPECT_NE(table.find("BC"), std::string::npos);
+  EXPECT_NE(table.find("epoch"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots of live runtimes
+
+Trace TestTrace(uint64_t seed, size_t n = 60000) {
+  const Schema schema = *Schema::Default(4);
+  auto universe = GroupUniverse::Uniform(schema, 800, {60, 60, 60, 60}, seed);
+  auto gen =
+      std::move(ZipfGenerator::Make(std::move(*universe), 1.0, seed + 1))
+          .value();
+  return Trace::Generate(*gen, n, 12.0);
+}
+
+std::vector<RuntimeRelationSpec> TestSpecs(const Schema& schema) {
+  auto config = Configuration::Parse(schema, "ABCD(AB BCD(BC BD CD))");
+  EXPECT_TRUE(config.ok());
+  auto specs = config->ToRuntimeSpecs(
+      std::vector<double>(config->num_nodes(), 128.0));
+  EXPECT_TRUE(specs.ok());
+  return *specs;
+}
+
+TEST(TelemetrySnapshotTest, SerialRuntimeSnapshotMatchesSources) {
+  const Trace trace = TestTrace(0xa11);
+  auto runtime =
+      ConfigurationRuntime::Make(trace.schema(), TestSpecs(trace.schema()),
+                                 3.0);
+  ASSERT_TRUE(runtime.ok());
+  (*runtime)->ProcessTrace(trace);
+
+  const TelemetrySnapshot snap =
+      BuildTelemetrySnapshot(**runtime, trace.schema());
+  EXPECT_EQ(snap.num_shards, 1);
+  EXPECT_TRUE(snap.shards.empty());
+  EXPECT_TRUE(snap.counters == (*runtime)->counters());
+  ASSERT_EQ(static_cast<int>(snap.tables.size()),
+            (*runtime)->num_relations());
+  for (int i = 0; i < (*runtime)->num_relations(); ++i) {
+    const LftaHashTable& table = (*runtime)->table(i);
+    const TableTelemetry& t = snap.tables[static_cast<size_t>(i)];
+    EXPECT_EQ(t.probes, table.probes());
+    EXPECT_EQ(t.collisions, table.collisions());
+    EXPECT_EQ(t.updates, table.updates());
+    EXPECT_EQ(t.inserts, table.inserts());
+    EXPECT_EQ(t.probes, t.inserts + t.updates + t.collisions);
+    EXPECT_DOUBLE_EQ(t.observed_collision_rate, table.CollisionRate());
+    // Raw runtime snapshots carry no model predictions (engine adds them).
+    EXPECT_FALSE(t.has_prediction());
+  }
+  // A snapshot of a live runtime survives the JSON round trip too.
+  auto restored = TelemetrySnapshot::FromJsonLine(snap.ToJsonLine());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(*restored == snap);
+}
+
+TEST(TelemetrySnapshotTest, ShardedMergeIsBitIdenticalToRuntimeCounters) {
+  // The acceptance invariant: a merged N>1 snapshot's totals are exact
+  // uint64 sums over the same events the runtime counted — bit-identical
+  // to ShardedRuntime::counters() and to the field-wise sum over replicas.
+  const Trace trace = TestTrace(0xb22);
+  const std::vector<RuntimeRelationSpec> specs = TestSpecs(trace.schema());
+  ShardedRuntime::Options options;
+  options.num_shards = 4;
+  auto sharded =
+      ShardedRuntime::Make(trace.schema(), specs, 3.0, options);
+  ASSERT_TRUE(sharded.ok());
+  (*sharded)->ProcessTrace(trace);
+
+  const TelemetrySnapshot snap =
+      BuildTelemetrySnapshot(**sharded, trace.schema());
+  EXPECT_EQ(snap.num_shards, 4);
+  EXPECT_TRUE(snap.counters == (*sharded)->counters());
+  EXPECT_EQ(snap.counters.records, trace.size());
+
+  // Per-table tallies are the field-wise sums over the shard replicas.
+  ASSERT_EQ(static_cast<int>(snap.tables.size()),
+            (*sharded)->shard(0).num_relations());
+  for (size_t i = 0; i < snap.tables.size(); ++i) {
+    uint64_t probes = 0, collisions = 0, updates = 0, flushed = 0;
+    for (int s = 0; s < (*sharded)->num_shards(); ++s) {
+      const LftaHashTable& table =
+          (*sharded)->shard(s).table(static_cast<int>(i));
+      probes += table.probes();
+      collisions += table.collisions();
+      updates += table.updates();
+      flushed += table.flushed_entries();
+    }
+    EXPECT_EQ(snap.tables[i].probes, probes) << "table " << i;
+    EXPECT_EQ(snap.tables[i].collisions, collisions) << "table " << i;
+    EXPECT_EQ(snap.tables[i].updates, updates) << "table " << i;
+    EXPECT_EQ(snap.tables[i].flushed_entries, flushed) << "table " << i;
+  }
+
+  // Producer-side ingest stats: every record was routed to some shard.
+  ASSERT_EQ(snap.shards.size(), 4u);
+  uint64_t routed = 0;
+  for (const ShardTelemetry& s : snap.shards) routed += s.records;
+  EXPECT_EQ(routed, trace.size());
+}
+
+TEST(TelemetrySnapshotTest, SingleShardSnapshotMatchesSerialTables) {
+  // One shard behind a queue sees the identical record order through
+  // identical tables, so every per-table telemetry field must match the
+  // serial runtime exactly (timing histograms excluded by construction —
+  // TableTelemetry carries none).
+  const Trace trace = TestTrace(0xc33);
+  const std::vector<RuntimeRelationSpec> specs = TestSpecs(trace.schema());
+
+  auto serial = ConfigurationRuntime::Make(trace.schema(), specs, 3.0);
+  ASSERT_TRUE(serial.ok());
+  (*serial)->ProcessTrace(trace);
+
+  ShardedRuntime::Options options;
+  options.num_shards = 1;
+  auto sharded = ShardedRuntime::Make(trace.schema(), specs, 3.0, options);
+  ASSERT_TRUE(sharded.ok());
+  (*sharded)->ProcessTrace(trace);
+
+  const TelemetrySnapshot a =
+      BuildTelemetrySnapshot(**serial, trace.schema());
+  const TelemetrySnapshot b =
+      BuildTelemetrySnapshot(**sharded, trace.schema());
+  EXPECT_TRUE(a.counters == b.counters);
+  ASSERT_EQ(a.tables.size(), b.tables.size());
+  for (size_t i = 0; i < a.tables.size(); ++i) {
+    EXPECT_TRUE(a.tables[i] == b.tables[i]) << "table " << i;
+  }
+  EXPECT_EQ(a.hfta_groups, b.hfta_groups);
+}
+
+TEST(TelemetrySnapshotTest, RuntimeLevelOffDisablesTelemetryTallies) {
+  const Trace trace = TestTrace(0xd44);
+  auto runtime =
+      ConfigurationRuntime::Make(trace.schema(), TestSpecs(trace.schema()),
+                                 3.0);
+  ASSERT_TRUE(runtime.ok());
+  (*runtime)->set_telemetry_level(TelemetryLevel::kOff);
+  (*runtime)->ProcessTrace(trace);
+
+  // The load-bearing counters (adaptive control, cost accounting) never
+  // turn off...
+  EXPECT_EQ((*runtime)->counters().records, trace.size());
+  EXPECT_GT((*runtime)->table(0).probes(), 0u);
+  // ...but the telemetry-only tallies and histograms stay zero.
+  const RuntimeTelemetry& telemetry = (*runtime)->telemetry();
+  EXPECT_EQ(telemetry.batch_ns.count(), 0u);
+  EXPECT_EQ(telemetry.flush_ns.count(), 0u);
+  for (const RelationTelemetry& r : telemetry.relations) {
+    EXPECT_EQ(r.intra_evictions, 0u);
+    EXPECT_EQ(r.flush_evictions, 0u);
+    EXPECT_EQ(r.hfta_transfers, 0u);
+    EXPECT_EQ(r.flush_occupancy.count(), 0u);
+  }
+  // Snapshots still build and serialize; they just carry zeros.
+  const TelemetrySnapshot snap =
+      BuildTelemetrySnapshot(**runtime, trace.schema());
+  auto restored = TelemetrySnapshot::FromJsonLine(snap.ToJsonLine());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(*restored == snap);
+}
+
+TEST(TelemetrySnapshotTest, FullLevelPopulatesHistograms) {
+  const Trace trace = TestTrace(0xe55);
+  auto runtime =
+      ConfigurationRuntime::Make(trace.schema(), TestSpecs(trace.schema()),
+                                 3.0);
+  ASSERT_TRUE(runtime.ok());
+  (*runtime)->ProcessTrace(trace);  // Default level: kFull.
+
+  const TelemetrySnapshot snap =
+      BuildTelemetrySnapshot(**runtime, trace.schema());
+  EXPECT_GT(snap.batch_records.count(), 0u);
+  EXPECT_GT(snap.batch_ns.count(), 0u);
+  EXPECT_GT(snap.flush_ns.count(), 0u);
+  EXPECT_EQ(snap.flush_ns.count(), snap.counters.epochs_flushed);
+  // Every flush recorded each table's occupancy.
+  for (const TableTelemetry& t : snap.tables) {
+    EXPECT_EQ(t.flush_occupancy.count(), snap.counters.epochs_flushed)
+        << t.relation;
+  }
+  // Eviction-reason tallies reconcile with the collision totals: every
+  // collision evicts (intra), every flush drains occupied entries.
+  for (const TableTelemetry& t : snap.tables) {
+    EXPECT_EQ(t.intra_evictions + t.flush_evictions,
+              t.collisions + t.flushed_entries)
+        << t.relation;
+  }
+}
+
+}  // namespace
+}  // namespace streamagg
