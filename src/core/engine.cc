@@ -13,11 +13,31 @@ namespace streamagg {
 
 Status StreamAggEngine::ValidateOptions(const Options& options) {
   if (options.num_shards < 1) {
-    return Status::InvalidArgument("num_shards must be >= 1");
-  }
-  if (options.num_shards > 1 && options.adaptive) {
     return Status::InvalidArgument(
-        "adaptive re-planning requires num_shards == 1");
+        "Options::num_shards must be >= 1 (got " +
+        std::to_string(options.num_shards) + ")");
+  }
+  if (options.num_producers < 1) {
+    return Status::InvalidArgument(
+        "Options::num_producers must be >= 1 (got " +
+        std::to_string(options.num_producers) + ")");
+  }
+  if (options.shard_queue_capacity < 2) {
+    return Status::InvalidArgument(
+        "Options::shard_queue_capacity must be >= 2 (got " +
+        std::to_string(options.shard_queue_capacity) + ")");
+  }
+  if (options.adaptive && options.num_shards > 1) {
+    return Status::InvalidArgument(
+        "Options::adaptive requires num_shards == 1 (got num_shards = " +
+        std::to_string(options.num_shards) +
+        "): drift re-planning assumes one serial runtime");
+  }
+  if (options.adaptive && options.num_producers > 1) {
+    return Status::InvalidArgument(
+        "Options::adaptive requires num_producers == 1 (got num_producers = " +
+        std::to_string(options.num_producers) +
+        "): drift re-planning assumes one serial runtime");
   }
   return Status::OK();
 }
@@ -134,10 +154,12 @@ Status StreamAggEngine::InstallRuntime() {
   // The incoming runtime's counters start at zero; reset the accumulation
   // baseline with them (see AccumulateCounters).
   live_counter_baseline_ = RuntimeCounters{};
-  if (options_.num_shards > 1) {
+  if (options_.num_shards > 1 || options_.num_producers > 1) {
     ShardedRuntime::Options sharded_options;
     sharded_options.num_shards = options_.num_shards;
+    sharded_options.num_producers = options_.num_producers;
     sharded_options.queue_capacity = options_.shard_queue_capacity;
+    sharded_options.pin_threads = options_.pin_threads;
     STREAMAGG_ASSIGN_OR_RETURN(
         std::unique_ptr<ShardedRuntime> sharded,
         ShardedRuntime::Make(schema_, std::move(specs), options_.epoch_seconds,
@@ -423,9 +445,16 @@ void StreamAggEngine::AnnotateSnapshot(TelemetrySnapshot* snapshot) const {
 }
 
 void StreamAggEngine::CaptureEpochSnapshot(uint64_t completed_epoch) {
-  // Serial runtimes only: a sharded snapshot mid-stream would race the
-  // workers (see ShardedRuntime's threading contract).
-  if (!options_.telemetry_epoch_snapshots || runtime_ == nullptr) return;
+  if (!options_.telemetry_epoch_snapshots ||
+      (runtime_ == nullptr && sharded_runtime_ == nullptr)) {
+    return;
+  }
+  // A sharded snapshot mid-stream would race the workers, so quiesce first:
+  // the FlushEpoch barrier drains every queue of the P x S matrix, flushes
+  // the completed epoch on every shard, and leaves the workers parked —
+  // reading their tables (and the merged HFTA/counters) is then race-free.
+  // The capture is merged across shards, like every sharded snapshot.
+  if (sharded_runtime_ != nullptr) sharded_runtime_->FlushEpoch();
   TelemetrySnapshot snapshot = telemetry();
   snapshot.epoch = completed_epoch;
   telemetry_history_.push_back(std::move(snapshot));

@@ -53,8 +53,23 @@ class StreamAggEngine {
     /// model's per-table sizing) stays honest. Incompatible with
     /// `adaptive` for now — drift re-planning assumes one serial runtime.
     int num_shards = 1;
-    /// Per-shard record queue capacity when num_shards > 1.
+    /// Parallel ingest producers feeding the shards. 1 (default) stages
+    /// records on the caller's thread. P > 1 turns the sharded runtime's
+    /// ingest front end into a P x S matrix of SPSC queues: each batch is
+    /// striped across P producer threads that hash/route in parallel, with
+    /// an epoch barrier quiescing the matrix at every epoch boundary so
+    /// results stay bit-identical to the serial engine. num_producers > 1
+    /// engages the sharded runtime even when num_shards == 1, and is
+    /// incompatible with `adaptive` for the same reason num_shards is.
+    int num_producers = 1;
+    /// Per-(producer, shard) record queue capacity when the sharded
+    /// runtime is engaged (num_shards > 1 or num_producers > 1).
     size_t shard_queue_capacity = 4096;
+    /// Pin shard workers and producer threads to CPUs chosen by the
+    /// affinity planner (util/cpu_topology.h): producers spread across
+    /// NUMA nodes, each shard consumer co-located with its dominant
+    /// producer. Best-effort; ignored on the serial path.
+    bool pin_threads = false;
     /// Runtime telemetry tier (obs/metrics.h), within whatever the binary
     /// compiled in via STREAMAGG_TELEMETRY_LEVEL. kFull adds per-batch and
     /// per-flush wall-clock histograms; kCounters keeps only integer
@@ -64,8 +79,9 @@ class StreamAggEngine {
     /// Record a TelemetrySnapshot each time the engine's epoch advances
     /// (telemetry_history()). Off by default: capture allocates, so it is
     /// opt-in for dashboards (examples/engine_monitor.cpp), never on the
-    /// zero-allocation path. Serial (num_shards == 1) engines only —
-    /// sharded snapshots are safe only at epoch barriers.
+    /// zero-allocation path. Sharded engines capture at a FlushEpoch
+    /// barrier (the runtime is quiesced first, so the snapshot is race-free
+    /// and merged across shards); serial engines capture pre-flush.
     bool telemetry_epoch_snapshots = false;
     /// Bound on telemetry_history(): oldest snapshots are dropped first.
     size_t telemetry_history_limit = 64;
@@ -157,8 +173,9 @@ class StreamAggEngine {
   /// Builds (or rebuilds) the runtime for `plan_`, carrying the HFTA over.
   Status InstallRuntime();
 
-  /// Rejects option combinations the engine cannot honor (num_shards < 1,
-  /// adaptive + sharded).
+  /// Rejects option combinations the engine cannot honor (num_shards or
+  /// num_producers < 1, queue capacity < 2, adaptive + sharded). Messages
+  /// name the offending field and the value it held.
   static Status ValidateOptions(const Options& options);
 
   /// LFTA memory the optimizer may plan for: the budget split across
@@ -204,8 +221,10 @@ class StreamAggEngine {
   // Live state.
   std::unique_ptr<RelationCatalog> catalog_;  // Snapshot behind plan_.
   std::unique_ptr<OptimizedPlan> plan_;
-  std::unique_ptr<ConfigurationRuntime> runtime_;  // num_shards == 1.
-  std::unique_ptr<ShardedRuntime> sharded_runtime_;  // num_shards > 1.
+  /// Serial path (num_shards == 1 and num_producers == 1).
+  std::unique_ptr<ConfigurationRuntime> runtime_;
+  /// Parallel path (num_shards > 1 or num_producers > 1).
+  std::unique_ptr<ShardedRuntime> sharded_runtime_;
   std::unique_ptr<Hfta> accumulated_hfta_;  // Results across runtime swaps.
   uint64_t current_epoch_ = 0;
   bool saw_record_ = false;

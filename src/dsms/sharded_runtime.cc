@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <string>
 #include <utility>
 
 #include "util/hash.h"
@@ -21,10 +23,19 @@ Result<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Make(
     const Schema& schema, std::vector<RuntimeRelationSpec> specs,
     double epoch_seconds, Options options, uint64_t seed) {
   if (options.num_shards < 1) {
-    return Status::InvalidArgument("num_shards must be >= 1");
+    return Status::InvalidArgument(
+        "Options::num_shards must be >= 1 (got " +
+        std::to_string(options.num_shards) + ")");
+  }
+  if (options.num_producers < 1) {
+    return Status::InvalidArgument(
+        "Options::num_producers must be >= 1 (got " +
+        std::to_string(options.num_producers) + ")");
   }
   if (options.queue_capacity < 2) {
-    return Status::InvalidArgument("queue_capacity must be >= 2");
+    return Status::InvalidArgument(
+        "Options::queue_capacity must be >= 2 (got " +
+        std::to_string(options.queue_capacity) + ")");
   }
   std::vector<std::unique_ptr<ConfigurationRuntime>> shards;
   shards.reserve(static_cast<size_t>(options.num_shards));
@@ -48,7 +59,7 @@ Result<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Make(
   }
   return std::unique_ptr<ShardedRuntime>(new ShardedRuntime(
       schema, std::move(shards), partition_attrs, std::move(per_query_metrics),
-      options.queue_capacity));
+      epoch_seconds, options));
 }
 
 ShardedRuntime::ShardedRuntime(
@@ -56,33 +67,64 @@ ShardedRuntime::ShardedRuntime(
     std::vector<std::unique_ptr<ConfigurationRuntime>> shards,
     AttributeSet partition_attrs,
     std::vector<std::vector<MetricSpec>> per_query_metrics,
-    size_t queue_capacity)
+    double epoch_seconds, Options options)
     : schema_(schema),
       shards_(std::move(shards)),
       partition_attrs_(partition_attrs),
       per_query_metrics_(std::move(per_query_metrics)),
+      epoch_seconds_(epoch_seconds),
+      num_producers_(options.num_producers),
+      pin_threads_(options.pin_threads),
       merged_hfta_(std::make_unique<Hfta>(per_query_metrics_)) {
-  queues_.reserve(shards_.size());
-  staging_.resize(shards_.size());
-  shard_stats_.resize(shards_.size());
+  const size_t matrix = static_cast<size_t>(num_producers_) * shards_.size();
+  queues_.reserve(matrix);
+  staging_.resize(matrix);
+  ingest_stats_.resize(matrix);
+  for (size_t i = 0; i < matrix; ++i) {
+    queues_.push_back(
+        std::make_unique<SpscQueue<Envelope>>(options.queue_capacity));
+  }
+  if (pin_threads_) {
+    layout_ = AffinityLayout::Plan(CpuTopology::Detect(), num_producers_,
+                                   num_shards());
+  } else {
+    layout_ = AffinityLayout::Plan(CpuTopology{}, num_producers_,
+                                   num_shards());  // All -1: unpinned.
+  }
+  // Queues must all exist before any worker or producer thread starts.
   workers_.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
-    queues_.push_back(std::make_unique<SpscQueue<Envelope>>(queue_capacity));
+    workers_.emplace_back([this, s] { WorkerLoop(static_cast<int>(s)); });
   }
-  // Queues must all exist before any worker starts.
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    workers_.emplace_back(
-        [this, s] { WorkerLoop(static_cast<int>(s)); });
+  if (num_producers_ > 1) {
+    producer_slots_.reserve(static_cast<size_t>(num_producers_ - 1));
+    producer_threads_.reserve(static_cast<size_t>(num_producers_ - 1));
+    for (int p = 1; p < num_producers_; ++p) {
+      producer_slots_.push_back(std::make_unique<ProducerSlot>());
+    }
+    for (int p = 1; p < num_producers_; ++p) {
+      producer_threads_.emplace_back([this, p] { ProducerLoop(p); });
+    }
   }
 }
 
 ShardedRuntime::~ShardedRuntime() {
-  // Deliver any staged records first: queued work is processed, not dropped.
+  // Stop the internal producers first: after this, the driver is the only
+  // thread touching staging buffers and queue rows.
+  for (auto& slot : producer_slots_) {
+    {
+      std::lock_guard<std::mutex> lock(slot->mutex);
+      slot->stop = true;
+    }
+    slot->cv.notify_all();
+  }
+  for (std::thread& producer : producer_threads_) producer.join();
+  // Deliver any staged records: queued work is processed, not dropped.
   FlushStaging();
   Envelope stop;
   stop.kind = Envelope::Kind::kStop;
-  for (size_t s = 0; s < workers_.size(); ++s) {
-    PushBlocking(static_cast<int>(s), stop);
+  for (int p = 0; p < num_producers_; ++p) {
+    for (int s = 0; s < num_shards(); ++s) PushBlocking(p, s, stop);
   }
   for (std::thread& worker : workers_) worker.join();
 }
@@ -94,8 +136,9 @@ int ShardedRuntime::ShardOf(const Record& record) const {
   return static_cast<int>(h % shards_.size());
 }
 
-void ShardedRuntime::PushBlocking(int shard, const Envelope& envelope) {
-  SpscQueue<Envelope>& queue = *queues_[shard];
+void ShardedRuntime::PushBlocking(int producer, int shard,
+                                  const Envelope& envelope) {
+  SpscQueue<Envelope>& queue = *queues_[QueueIndex(producer, shard)];
   int spins = 0;
   while (!queue.TryPush(envelope)) {
     // Backpressure: the shard is behind. Yield, then briefly sleep so a
@@ -111,77 +154,201 @@ void ShardedRuntime::PushBlocking(int shard, const Envelope& envelope) {
   // (kEnvelopeBatch records), amortized to a fraction of a load per record.
   if (telemetry_level_ != TelemetryLevel::kOff) {
     const uint64_t depth = queue.SizeApprox();
-    ShardIngestStats& stats = shard_stats_[static_cast<size_t>(shard)];
+    ShardIngestStats& stats = ingest_stats_[QueueIndex(producer, shard)];
     if (depth > stats.queue_depth_hwm) stats.queue_depth_hwm = depth;
   }
 #endif
 }
 
 void ShardedRuntime::WorkerLoop(int shard) {
-  SpscQueue<Envelope>& queue = *queues_[shard];
+  if (pin_threads_) {
+    PinCurrentThreadToCpu(layout_.shard_cpu[static_cast<size_t>(shard)]);
+  }
   ConfigurationRuntime& runtime = *shards_[shard];
+  // The worker's view of its queue column: one SPSC ring per producer. It
+  // sweeps the column round-robin; control markers (kFlush/kStop) take
+  // effect once one has arrived from every producer, which proves the whole
+  // column is drained up to the marker (each ring is FIFO and the driver
+  // pushes markers after quiescing the producers).
+  std::vector<SpscQueue<Envelope>*> column;
+  column.reserve(static_cast<size_t>(num_producers_));
+  for (int p = 0; p < num_producers_; ++p) {
+    column.push_back(queues_[QueueIndex(p, shard)].get());
+  }
   Envelope envelope;
   int idle = 0;
+  int flush_seen = 0;
+  int stop_seen = 0;
   for (;;) {
-    if (!queue.TryPop(&envelope)) {
-      // Idle backoff mirrors PushBlocking: cheap yields first, then short
-      // sleeps once the stream has clearly paused.
-      if (++idle < 1024) {
-        std::this_thread::yield();
-      } else {
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    bool any = false;
+    for (SpscQueue<Envelope>* queue : column) {
+      if (!queue->TryPop(&envelope)) continue;
+      any = true;
+      switch (envelope.kind) {
+        case Envelope::Kind::kBatch:
+          runtime.ProcessBatch(std::span<const Record>(
+              envelope.records.data(), envelope.count));
+          break;
+        case Envelope::Kind::kFlush:
+          if (++flush_seen == num_producers_) {
+            flush_seen = 0;
+            runtime.FlushEpoch();
+            std::lock_guard<std::mutex> lock(barrier_mutex_);
+            if (--barrier_pending_ == 0) barrier_cv_.notify_one();
+          }
+          break;
+        case Envelope::Kind::kStop:
+          if (++stop_seen == num_producers_) return;
+          break;
       }
+    }
+    if (any) {
+      idle = 0;
       continue;
     }
-    idle = 0;
-    switch (envelope.kind) {
-      case Envelope::Kind::kBatch:
-        runtime.ProcessBatch(std::span<const Record>(
-            envelope.records.data(), envelope.count));
-        break;
-      case Envelope::Kind::kFlush: {
-        runtime.FlushEpoch();
-        std::lock_guard<std::mutex> lock(barrier_mutex_);
-        if (--barrier_pending_ == 0) barrier_cv_.notify_one();
-        break;
-      }
-      case Envelope::Kind::kStop:
-        return;
+    // Idle backoff mirrors PushBlocking: cheap yields first, then short
+    // sleeps once the stream has clearly paused.
+    if (++idle < 1024) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
   }
 }
 
-void ShardedRuntime::Stage(int shard, const Record& record) {
+void ShardedRuntime::ProducerLoop(int producer) {
+  if (pin_threads_) {
+    PinCurrentThreadToCpu(layout_.producer_cpu[static_cast<size_t>(producer)]);
+  }
+  ProducerSlot& slot = *producer_slots_[static_cast<size_t>(producer - 1)];
+  for (;;) {
+    std::span<const Record> task;
+    {
+      std::unique_lock<std::mutex> lock(slot.mutex);
+      slot.cv.wait(lock, [&] { return slot.stop || slot.gen != slot.done; });
+      if (slot.stop && slot.gen == slot.done) return;
+      task = slot.task;
+    }
+    StageSpan(producer, task);
+    {
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      slot.done = slot.gen;
+    }
+    slot.cv.notify_all();
+  }
+}
+
+void ShardedRuntime::Stage(int producer, const Record& record) {
+  const int shard = ShardOf(record);
+  const size_t index = QueueIndex(producer, shard);
   STREAMAGG_TELEMETRY_COUNTERS(
       if (telemetry_level_ != TelemetryLevel::kOff)
-          ++shard_stats_[static_cast<size_t>(shard)].records;);
-  Envelope& staging = staging_[shard];
+          ++ingest_stats_[index].records;);
+  Envelope& staging = staging_[index];
   staging.records[staging.count++] = record;
   if (staging.count == kEnvelopeBatch) {
-    PushBlocking(shard, staging);
+    PushBlocking(producer, shard, staging);
     staging.count = 0;
   }
 }
 
+void ShardedRuntime::StageSpan(int producer, std::span<const Record> records) {
+  for (const Record& record : records) Stage(producer, record);
+}
+
 void ShardedRuntime::FlushStaging() {
-  for (size_t s = 0; s < staging_.size(); ++s) {
-    if (staging_[s].count == 0) continue;
-    PushBlocking(static_cast<int>(s), staging_[s]);
-    staging_[s].count = 0;
+  for (int p = 0; p < num_producers_; ++p) {
+    for (int s = 0; s < num_shards(); ++s) {
+      Envelope& staging = staging_[QueueIndex(p, s)];
+      if (staging.count == 0) continue;
+      PushBlocking(p, s, staging);
+      staging.count = 0;
+    }
   }
 }
 
 void ShardedRuntime::ProcessRecord(const Record& record) {
-  Stage(ShardOf(record), record);
+  ProcessBatch(std::span<const Record>(&record, 1));
 }
 
 void ShardedRuntime::ProcessBatch(std::span<const Record> records) {
-  for (const Record& record : records) Stage(ShardOf(record), record);
+  if (records.empty()) return;
+  if (num_producers_ == 1) {
+    // Single-producer fast path: stage on the driver, unchanged from the
+    // original design. Workers flush interior epochs autonomously when they
+    // see the boundary timestamp, so no barriers are needed mid-stream.
+    StageSpan(0, records);
+    return;
+  }
+  // Multi-producer path: cut the batch into epoch runs and quiesce the
+  // whole matrix at each boundary. Between barriers every in-flight record
+  // belongs to one epoch, so the arbitrary cross-producer interleave a
+  // worker sees is a within-epoch permutation — harmless, because final
+  // (query, epoch, group) aggregates are order-independent inside an epoch.
+  const auto epoch_of = [this](double timestamp) {
+    return static_cast<uint64_t>(std::floor(timestamp / epoch_seconds_));
+  };
+  size_t i = 0;
+  while (i < records.size()) {
+    size_t end = records.size();
+    if (epoch_seconds_ > 0.0) {
+      const uint64_t epoch = epoch_of(records[i].timestamp);
+      if (saw_record_ && epoch != last_epoch_) FlushEpoch();
+      last_epoch_ = epoch;
+      // Timestamps are non-decreasing and floor is monotone, so if the last
+      // record shares the first's epoch the whole tail is one run.
+      if (epoch_of(records[end - 1].timestamp) != epoch) {
+        end = i + 1;
+        while (end < records.size() &&
+               epoch_of(records[end].timestamp) == epoch) {
+          ++end;
+        }
+      }
+    }
+    saw_record_ = true;
+    DispatchRun(records.subspan(i, end - i));
+    i = end;
+  }
+}
+
+void ShardedRuntime::DispatchRun(std::span<const Record> records) {
+  const size_t p_count = static_cast<size_t>(num_producers_);
+  // Tiny runs are not worth two condvar hops per helper: stage them on the
+  // driver. Correctness is unaffected (any within-epoch split is valid).
+  if (records.size() < p_count * kEnvelopeBatch) {
+    StageSpan(0, records);
+    return;
+  }
+  // Contiguous stripes preserve per-producer timestamp order; the remainder
+  // spreads one extra record over the leading stripes.
+  const size_t base = records.size() / p_count;
+  const size_t extra = records.size() % p_count;
+  size_t offset = base + (extra > 0 ? 1 : 0);  // Producer 0's stripe size.
+  const size_t driver_size = offset;
+  for (size_t p = 1; p < p_count; ++p) {
+    const size_t size = base + (p < extra ? 1 : 0);
+    ProducerSlot& slot = *producer_slots_[p - 1];
+    {
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      slot.task = records.subspan(offset, size);
+      ++slot.gen;
+    }
+    slot.cv.notify_all();
+    offset += size;
+  }
+  StageSpan(0, records.first(driver_size));
+  for (size_t p = 1; p < p_count; ++p) {
+    ProducerSlot& slot = *producer_slots_[p - 1];
+    std::unique_lock<std::mutex> lock(slot.mutex);
+    slot.cv.wait(lock, [&] { return slot.done == slot.gen; });
+  }
 }
 
 void ShardedRuntime::FlushEpoch() {
-  // Staged records belong to the epoch being flushed; deliver them first so
-  // the flush markers land behind every record.
+  // Producers are quiescent here: DispatchRun joins every helper before
+  // returning, and FlushEpoch is only called from the driver thread. Staged
+  // records belong to the epoch being flushed; deliver them first so the
+  // flush markers land behind every record in every ring.
   FlushStaging();
   {
     std::lock_guard<std::mutex> lock(barrier_mutex_);
@@ -189,14 +356,17 @@ void ShardedRuntime::FlushEpoch() {
   }
   Envelope flush;
   flush.kind = Envelope::Kind::kFlush;
-  for (int s = 0; s < num_shards(); ++s) PushBlocking(s, flush);
+  for (int p = 0; p < num_producers_; ++p) {
+    for (int s = 0; s < num_shards(); ++s) PushBlocking(p, s, flush);
+  }
   {
     std::unique_lock<std::mutex> lock(barrier_mutex_);
     barrier_cv_.wait(lock, [this] { return barrier_pending_ == 0; });
   }
-  // All shards have drained up to the flush marker and acknowledged under
-  // the barrier mutex, so reading their state here is race-free: nothing
-  // else is in their queues (this thread is the only producer).
+  // All shards have drained their whole queue column up to the flush
+  // markers and acknowledged under the barrier mutex, so reading their
+  // state here is race-free: nothing else is in their queues (the driver
+  // is the only thread pushing, and the helpers are parked).
   RebuildMergedSnapshot();
 }
 
@@ -212,6 +382,28 @@ void ShardedRuntime::RebuildMergedSnapshot() {
 void ShardedRuntime::ProcessTrace(const Trace& trace) {
   ProcessBatch(trace.records());
   FlushEpoch();
+}
+
+ShardIngestStats ShardedRuntime::shard_stats(int i) const {
+  ShardIngestStats total;
+  for (int p = 0; p < num_producers_; ++p) {
+    const ShardIngestStats& cell = ingest_stats_[QueueIndex(p, i)];
+    total.records += cell.records;
+    total.queue_depth_hwm = std::max(total.queue_depth_hwm,
+                                     cell.queue_depth_hwm);
+  }
+  return total;
+}
+
+ShardIngestStats ShardedRuntime::producer_stats(int p) const {
+  ShardIngestStats total;
+  for (int s = 0; s < num_shards(); ++s) {
+    const ShardIngestStats& cell = ingest_stats_[QueueIndex(p, s)];
+    total.records += cell.records;
+    total.queue_depth_hwm = std::max(total.queue_depth_hwm,
+                                     cell.queue_depth_hwm);
+  }
+  return total;
 }
 
 uint64_t ShardedRuntime::TotalMemoryWords() const {

@@ -11,50 +11,73 @@
 
 #include "dsms/configuration_runtime.h"
 #include "obs/metrics.h"
+#include "util/cpu_topology.h"
 #include "util/spsc_queue.h"
 
 namespace streamagg {
 
-/// Producer-side ingest telemetry of one shard: how many records were
-/// routed to it (the skew signal — a hot root group shows up as one shard's
-/// count running away from the others) and the deepest its queue ever got,
-/// in envelopes (the backpressure signal; at capacity the producer blocks).
+/// Producer-side ingest telemetry of one (producer, shard) queue: how many
+/// records were routed through it (the skew signal — a hot root group shows
+/// up as one shard's count running away from the others) and the deepest
+/// the queue ever got, in envelopes (the backpressure signal; at capacity
+/// the producer blocks).
 struct ShardIngestStats {
   uint64_t records = 0;
   uint64_t queue_depth_hwm = 0;
 };
 
-/// Parallel LFTA ingest: N ConfigurationRuntime replicas, each owned by one
-/// worker thread and fed through a bounded SPSC record queue. Records are
+/// Parallel LFTA ingest: S ConfigurationRuntime replicas, each owned by one
+/// worker thread and fed through bounded SPSC record queues by P producers
+/// (a P x S queue matrix — every (producer, shard) pair has its own ring,
+/// so the hot path never needs an MPMC queue or a lock). Records are
 /// partitioned by a hash of their projection onto the configuration's root
 /// (raw-relation) attributes, so a root group always lands on the same
-/// shard and every shard preserves the serial per-table collision/eviction
-/// semantics on its slice of the stream. Per-shard HFTA outputs are merged
-/// at an epoch barrier (FlushEpoch) into the same final aggregates the
-/// serial runtime produces — shard merge is order-insensitive because all
-/// supported aggregates are commutative. See docs/runtime.md for the full
-/// concurrency model.
+/// shard regardless of which producer routed it. Per-shard HFTA outputs are
+/// merged at an epoch barrier (FlushEpoch) into the same final aggregates
+/// the serial runtime produces — shard merge is order-insensitive because
+/// all supported aggregates are commutative. See docs/runtime.md for the
+/// full concurrency model.
 ///
 /// Threading contract (single external driver thread):
-///  * ProcessRecord / ProcessTrace / FlushEpoch must be called from one
-///    thread (the producer). Records must arrive in non-decreasing
-///    timestamp order, exactly as for ConfigurationRuntime.
+///  * ProcessRecord / ProcessBatch / ProcessTrace / FlushEpoch must be
+///    called from one thread (the driver). Records must arrive in
+///    non-decreasing timestamp order, exactly as for ConfigurationRuntime.
+///    With num_producers > 1 the runtime owns P-1 internal producer threads;
+///    ProcessBatch stripes each epoch-run across them and joins before
+///    returning, so the multi-producer fan-out is invisible to the caller.
 ///  * hfta() and counters() return the snapshot merged at the last
 ///    FlushEpoch barrier; they are stable (race-free) between barriers.
 ///  * shard(i) exposes a shard's runtime for inspection and is only safe
 ///    to read between FlushEpoch (or construction) and the next
-///    ProcessRecord, while the workers are quiescent.
+///    ProcessRecord/ProcessBatch, while the workers are quiescent. The same
+///    holds for shard_stats()/producer_stats().
 class ShardedRuntime {
  public:
   struct Options {
     /// Number of shard replicas / worker threads. 1 is valid (one worker
     /// behind one queue) and produces the serial runtime's exact results.
     int num_shards = 1;
-    /// Per-shard queue capacity in *envelopes* (each envelope carries up to
-    /// kEnvelopeBatch records); rounded up to a power of two. The producer
-    /// blocks (spins) when a shard's queue is full, so this bounds both
+    /// Number of ingest producers. 1 (default) stages and enqueues on the
+    /// driver thread exactly as before. P > 1 adds P-1 internal producer
+    /// threads; ProcessBatch splits each batch into contiguous stripes and
+    /// all P producers hash/route/stage in parallel through their own queue
+    /// rows. Epoch boundaries insert a quiescing barrier (all producers
+    /// joined, all queues drained, every shard flushed) so each worker only
+    /// ever interleaves same-epoch records — which keeps final aggregates
+    /// bit-identical to the serial runtime for any producer/shard split.
+    int num_producers = 1;
+    /// Per-(producer, shard) queue capacity in *envelopes* (each envelope
+    /// carries up to kEnvelopeBatch records); rounded up to a power of two.
+    /// A producer blocks (spins) when a queue is full, so this bounds both
     /// memory and the producer/consumer skew.
     size_t queue_capacity = 4096;
+    /// Pin worker threads (and internal producer threads) to CPUs chosen by
+    /// AffinityLayout::Plan over the detected topology: producers spread
+    /// across NUMA nodes, each shard consumer co-located with the producer
+    /// that owns its busiest queue row. The driver thread (producer 0) is
+    /// never pinned — it belongs to the caller. Pinning is best-effort;
+    /// failures degrade to unpinned threads.
+    bool pin_threads = false;
   };
 
   /// Records per queue envelope: the hand-off granularity. Batching
@@ -68,35 +91,41 @@ class ShardedRuntime {
   /// identical hash functions over identically sized tables). The memory
   /// budget question is the caller's: replicas multiply the footprint by
   /// num_shards, so planners should size specs with budget/num_shards
-  /// (StreamAggEngine does; see core/engine.h).
+  /// (StreamAggEngine does; see core/engine.h). Producers do not replicate
+  /// tables — only queues and staging buffers scale with num_producers.
   static Result<std::unique_ptr<ShardedRuntime>> Make(
       const Schema& schema, std::vector<RuntimeRelationSpec> specs,
       double epoch_seconds, Options options, uint64_t seed = 0x1f7a);
 
-  /// Stops and joins the workers; any queued records are processed first.
+  /// Stops and joins workers and producer threads; any queued records are
+  /// processed first.
   ~ShardedRuntime();
 
   ShardedRuntime(const ShardedRuntime&) = delete;
   ShardedRuntime& operator=(const ShardedRuntime&) = delete;
 
-  /// Routes one record to its shard's staging envelope; the envelope is
-  /// pushed to the shard's queue (blocking when full) once it holds
-  /// kEnvelopeBatch records. Partially filled envelopes are delivered by
-  /// the next FlushEpoch barrier, which is also when results become
-  /// visible — the staging delay is unobservable through this class's API.
+  /// Routes one record (via producer 0) to its shard's staging envelope;
+  /// the envelope is pushed to the shard's queue (blocking when full) once
+  /// it holds kEnvelopeBatch records. Partially filled envelopes are
+  /// delivered by the next FlushEpoch barrier, which is also when results
+  /// become visible — the staging delay is unobservable through this
+  /// class's API.
   void ProcessRecord(const Record& record);
 
   /// Routes a batch of records (non-decreasing timestamps). Equivalent to
   /// calling ProcessRecord per record: partitioning is per-record, so batch
-  /// boundaries never affect results.
+  /// boundaries never affect results. With num_producers > 1 the batch is
+  /// cut into epoch runs, each run striped across all P producers, and an
+  /// epoch barrier quiesces the matrix between runs.
   void ProcessBatch(std::span<const Record> records);
 
   /// Feeds a whole trace, then runs the final epoch barrier.
   void ProcessTrace(const Trace& trace);
 
-  /// Epoch barrier: drains every shard queue, flushes every shard's current
-  /// epoch, and rebuilds the merged HFTA/counters snapshot. Blocks the
-  /// caller until all shards have acknowledged.
+  /// Epoch barrier: quiesces the producers, drains every queue of the
+  /// P x S matrix, flushes every shard's current epoch, and rebuilds the
+  /// merged HFTA/counters snapshot. Blocks the caller until all shards have
+  /// acknowledged.
   void FlushEpoch();
 
   /// Merged results across shards, as of the last FlushEpoch barrier.
@@ -105,13 +134,17 @@ class ShardedRuntime {
   const RuntimeCounters& counters() const { return merged_counters_; }
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_producers() const { return num_producers_; }
   /// A shard's replica; see the threading contract above.
   const ConfigurationRuntime& shard(int i) const { return *shards_[i]; }
-  /// Producer-side ingest stats for shard `i` (owned by the producer
-  /// thread, so safe whenever the caller honors the producer contract).
-  const ShardIngestStats& shard_stats(int i) const {
-    return shard_stats_[static_cast<size_t>(i)];
-  }
+  /// Ingest stats of shard `i` summed over its queue column (records routed
+  /// to the shard by any producer; queue depth high-water mark is the max
+  /// over the column). Safe while the producers are quiescent (same
+  /// contract as shard()).
+  ShardIngestStats shard_stats(int i) const;
+  /// Ingest stats of producer `p` summed over its queue row (records the
+  /// producer routed anywhere; depth HWM is the max over the row).
+  ShardIngestStats producer_stats(int p) const;
   /// Sets the runtime telemetry tier on the producer-side gauges and every
   /// shard replica (an atomic store per shard; workers may be running).
   void set_telemetry_level(TelemetryLevel level) {
@@ -121,13 +154,19 @@ class ShardedRuntime {
   /// The attribute set records are partitioned by (the union of the
   /// configuration's raw-relation attributes).
   AttributeSet partition_attrs() const { return partition_attrs_; }
+  /// The affinity placement chosen at construction. All -1 (unpinned) when
+  /// Options::pin_threads is false.
+  const AffinityLayout& layout() const { return layout_; }
 
   /// Total LFTA memory across all shard replicas, in 4-byte words.
   uint64_t TotalMemoryWords() const;
 
  private:
   /// One queue entry: a batch of up to kEnvelopeBatch records, or a control
-  /// command for the worker.
+  /// command for the worker. A worker acts on kFlush/kStop only once it has
+  /// received one from *every* producer's queue — by then each FIFO queue
+  /// has delivered everything pushed ahead of its marker, so the whole
+  /// matrix column is drained.
   struct Envelope {
     enum class Kind : uint8_t {
       kBatch,  ///< Process records[0..count).
@@ -139,19 +178,43 @@ class ShardedRuntime {
     std::array<Record, kEnvelopeBatch> records;
   };
 
+  /// Hand-off slot of one internal producer thread: the driver publishes a
+  /// stripe under the mutex and bumps `gen`; the producer stages it and
+  /// reports back through `done`. One slot per producer keeps the hand-off
+  /// contention-free across producers.
+  struct ProducerSlot {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::span<const Record> task;
+    uint64_t gen = 0;   ///< Driver-incremented task generation.
+    uint64_t done = 0;  ///< Last generation the producer completed.
+    bool stop = false;
+  };
+
   ShardedRuntime(const Schema& schema,
                  std::vector<std::unique_ptr<ConfigurationRuntime>> shards,
                  AttributeSet partition_attrs,
                  std::vector<std::vector<MetricSpec>> per_query_metrics,
-                 size_t queue_capacity);
+                 double epoch_seconds, Options options);
 
   int ShardOf(const Record& record) const;
-  void PushBlocking(int shard, const Envelope& envelope);
-  /// Appends `record` to the shard's staging envelope, pushing it when full.
-  void Stage(int shard, const Record& record);
-  /// Pushes every non-empty staging envelope (FlushEpoch and destructor).
+  size_t QueueIndex(int producer, int shard) const {
+    return static_cast<size_t>(producer) * shards_.size() +
+           static_cast<size_t>(shard);
+  }
+  void PushBlocking(int producer, int shard, const Envelope& envelope);
+  /// Appends `record` to producer `p`'s staging envelope for its shard,
+  /// pushing it when full. Called on the owning producer's thread.
+  void Stage(int producer, const Record& record);
+  /// Stages a span of records as producer `p` (the per-producer inner loop).
+  void StageSpan(int producer, std::span<const Record> records);
+  /// Stripes `records` (all of one epoch) across the P producers and joins.
+  void DispatchRun(std::span<const Record> records);
+  /// Pushes every non-empty staging envelope of every producer. Driver-only,
+  /// requires quiescent producers (FlushEpoch and destructor).
   void FlushStaging();
   void WorkerLoop(int shard);
+  void ProducerLoop(int producer);
   /// Rebuilds merged_hfta_/merged_counters_ from the quiescent shards.
   void RebuildMergedSnapshot();
 
@@ -159,16 +222,33 @@ class ShardedRuntime {
   std::vector<std::unique_ptr<ConfigurationRuntime>> shards_;
   AttributeSet partition_attrs_;
   std::vector<std::vector<MetricSpec>> per_query_metrics_;
+  double epoch_seconds_ = 0.0;
+  int num_producers_ = 1;
 
+  /// P x S queue matrix, row-major by producer (QueueIndex). Producer p
+  /// writes only row p; worker s reads only column s.
   std::vector<std::unique_ptr<SpscQueue<Envelope>>> queues_;
-  /// Producer-owned per-shard staging envelopes (batch accumulation).
+  /// Per-(producer, shard) staging envelopes, laid out like queues_; each
+  /// row is owned by its producer thread.
   std::vector<Envelope> staging_;
-  /// Producer-owned ingest telemetry, parallel to shards_.
-  std::vector<ShardIngestStats> shard_stats_;
+  /// Per-(producer, shard) ingest telemetry, laid out like queues_; each
+  /// row is owned by its producer thread.
+  std::vector<ShardIngestStats> ingest_stats_;
   /// Producer-side copy of the telemetry tier (gates the gauges above; the
   /// shard replicas hold their own atomic copy).
   TelemetryLevel telemetry_level_ = TelemetryLevel::kFull;
   std::vector<std::thread> workers_;
+  /// Internal producer threads 1..P-1 (producer 0 is the driver thread).
+  std::vector<std::thread> producer_threads_;
+  std::vector<std::unique_ptr<ProducerSlot>> producer_slots_;
+  AffinityLayout layout_;
+  bool pin_threads_ = false;
+
+  /// Epoch tracking on the driver (multi-producer path only): an epoch
+  /// boundary inside ProcessBatch triggers the quiescing barrier before the
+  /// next epoch's records are dispatched.
+  uint64_t last_epoch_ = 0;
+  bool saw_record_ = false;
 
   /// Barrier handshake: FlushEpoch sets pending = num_shards, each worker
   /// decrements after flushing; the mutex also orders the producer's

@@ -157,6 +157,9 @@ void TableTelemetry::MergeFrom(const TableTelemetry& other) {
 void TelemetrySnapshot::MergeFrom(const TelemetrySnapshot& other) {
   epoch = std::max(epoch, other.epoch);
   num_shards += other.num_shards;
+  // Shard replicas share one ingest front end: producers do not add up the
+  // way shard replicas do.
+  num_producers = std::max(num_producers, other.num_producers);
   reoptimizations = std::max(reoptimizations, other.reoptimizations);
   counters.Add(other.counters);
   if (tables.size() < other.tables.size()) tables.resize(other.tables.size());
@@ -168,6 +171,8 @@ void TelemetrySnapshot::MergeFrom(const TelemetrySnapshot& other) {
     }
   }
   shards.insert(shards.end(), other.shards.begin(), other.shards.end());
+  producers.insert(producers.end(), other.producers.begin(),
+                   other.producers.end());
   if (hfta_groups.size() < other.hfta_groups.size()) {
     hfta_groups.resize(other.hfta_groups.size());
   }
@@ -184,6 +189,8 @@ std::string TelemetrySnapshot::ToJsonLine() const {
   JsonValue root = JsonValue::Object();
   root.Set("epoch", JsonValue::Number(epoch));
   root.Set("num_shards", JsonValue::Number(static_cast<int64_t>(num_shards)));
+  root.Set("num_producers",
+           JsonValue::Number(static_cast<int64_t>(num_producers)));
   root.Set("reoptimizations",
            JsonValue::Number(static_cast<int64_t>(reoptimizations)));
   root.Set("counters", CountersToJson(counters));
@@ -195,9 +202,21 @@ std::string TelemetrySnapshot::ToJsonLine() const {
     JsonValue obj = JsonValue::Object();
     obj.Set("records", JsonValue::Number(s.records));
     obj.Set("queue_depth_hwm", JsonValue::Number(s.queue_depth_hwm));
+    obj.Set("cpu", JsonValue::Number(static_cast<int64_t>(s.cpu)));
+    obj.Set("node", JsonValue::Number(static_cast<int64_t>(s.node)));
     shard_array.Append(std::move(obj));
   }
   root.Set("shards", std::move(shard_array));
+  JsonValue producer_array = JsonValue::Array();
+  for (const ProducerTelemetry& p : producers) {
+    JsonValue obj = JsonValue::Object();
+    obj.Set("records", JsonValue::Number(p.records));
+    obj.Set("queue_depth_hwm", JsonValue::Number(p.queue_depth_hwm));
+    obj.Set("cpu", JsonValue::Number(static_cast<int64_t>(p.cpu)));
+    obj.Set("node", JsonValue::Number(static_cast<int64_t>(p.node)));
+    producer_array.Append(std::move(obj));
+  }
+  root.Set("producers", std::move(producer_array));
   JsonValue groups = JsonValue::Array();
   for (uint64_t g : hfta_groups) groups.Append(JsonValue::Number(g));
   root.Set("hfta_groups", std::move(groups));
@@ -219,6 +238,10 @@ Result<TelemetrySnapshot> TelemetrySnapshot::FromJsonLine(
   TelemetrySnapshot s;
   s.epoch = root.Get("epoch").AsUint64();
   s.num_shards = static_cast<int>(root.Get("num_shards").AsInt64());
+  // Absent in snapshots serialized before the multi-producer front end.
+  s.num_producers = root.Has("num_producers")
+                        ? static_cast<int>(root.Get("num_producers").AsInt64())
+                        : 1;
   s.reoptimizations = static_cast<int>(root.Get("reoptimizations").AsInt64());
   s.counters = CountersFromJson(root.Get("counters"));
   const JsonValue& table_array = root.Get("tables");
@@ -227,11 +250,28 @@ Result<TelemetrySnapshot> TelemetrySnapshot::FromJsonLine(
   }
   const JsonValue& shard_array = root.Get("shards");
   for (size_t i = 0; i < shard_array.size(); ++i) {
+    const JsonValue& obj = shard_array.at(i);
     ShardTelemetry shard;
-    shard.records = shard_array.at(i).Get("records").AsUint64();
-    shard.queue_depth_hwm =
-        shard_array.at(i).Get("queue_depth_hwm").AsUint64();
+    shard.records = obj.Get("records").AsUint64();
+    shard.queue_depth_hwm = obj.Get("queue_depth_hwm").AsUint64();
+    // Placement fields are absent in pre-affinity snapshots.
+    if (obj.Has("cpu")) shard.cpu = static_cast<int>(obj.Get("cpu").AsInt64());
+    if (obj.Has("node")) {
+      shard.node = static_cast<int>(obj.Get("node").AsInt64());
+    }
     s.shards.push_back(shard);
+  }
+  if (root.Has("producers")) {
+    const JsonValue& producer_array = root.Get("producers");
+    for (size_t i = 0; i < producer_array.size(); ++i) {
+      const JsonValue& obj = producer_array.at(i);
+      ProducerTelemetry producer;
+      producer.records = obj.Get("records").AsUint64();
+      producer.queue_depth_hwm = obj.Get("queue_depth_hwm").AsUint64();
+      producer.cpu = static_cast<int>(obj.Get("cpu").AsInt64());
+      producer.node = static_cast<int>(obj.Get("node").AsInt64());
+      s.producers.push_back(producer);
+    }
   }
   const JsonValue& groups = root.Get("hfta_groups");
   for (size_t q = 0; q < groups.size(); ++q) {
@@ -249,10 +289,10 @@ std::string TelemetrySnapshot::ToTable() const {
   std::string out;
   char buffer[256];
   std::snprintf(buffer, sizeof(buffer),
-                "epoch %llu | shards %d | re-plans %d | records %llu | "
-                "epochs flushed %llu\n",
+                "epoch %llu | shards %d | producers %d | re-plans %d | "
+                "records %llu | epochs flushed %llu\n",
                 static_cast<unsigned long long>(epoch), num_shards,
-                reoptimizations,
+                num_producers, reoptimizations,
                 static_cast<unsigned long long>(counters.records),
                 static_cast<unsigned long long>(counters.epochs_flushed));
   out += buffer;
@@ -318,6 +358,27 @@ std::string TelemetrySnapshot::ToTable() const {
                     i, static_cast<unsigned long long>(shards[i].records),
                     static_cast<unsigned long long>(shards[i].queue_depth_hwm));
       out += buffer;
+      if (shards[i].cpu >= 0) {
+        std::snprintf(buffer, sizeof(buffer), " cpu=%d/node%d", shards[i].cpu,
+                      shards[i].node);
+        out += buffer;
+      }
+    }
+    out += '\n';
+  }
+  if (!producers.empty()) {
+    out += "producer ingest:";
+    for (size_t i = 0; i < producers.size(); ++i) {
+      std::snprintf(
+          buffer, sizeof(buffer), " p%zu records=%llu queue_hwm=%llu", i,
+          static_cast<unsigned long long>(producers[i].records),
+          static_cast<unsigned long long>(producers[i].queue_depth_hwm));
+      out += buffer;
+      if (producers[i].cpu >= 0) {
+        std::snprintf(buffer, sizeof(buffer), " cpu=%d/node%d",
+                      producers[i].cpu, producers[i].node);
+        out += buffer;
+      }
     }
     out += '\n';
   }
@@ -377,13 +438,26 @@ TelemetrySnapshot BuildTelemetrySnapshot(const ShardedRuntime& runtime,
                                          const Schema& schema) {
   TelemetrySnapshot s;
   s.num_shards = 0;  // MergeFrom sums the replicas' 1s back up.
+  const AffinityLayout& layout = runtime.layout();
   for (int i = 0; i < runtime.num_shards(); ++i) {
     s.MergeFrom(BuildTelemetrySnapshot(runtime.shard(i), schema));
-    const ShardIngestStats& stats = runtime.shard_stats(i);
+    const ShardIngestStats stats = runtime.shard_stats(i);
     ShardTelemetry shard;
     shard.records = stats.records;
     shard.queue_depth_hwm = stats.queue_depth_hwm;
+    shard.cpu = layout.shard_cpu[static_cast<size_t>(i)];
+    shard.node = layout.shard_node[static_cast<size_t>(i)];
     s.shards.push_back(shard);
+  }
+  s.num_producers = runtime.num_producers();
+  for (int p = 0; p < runtime.num_producers(); ++p) {
+    const ShardIngestStats stats = runtime.producer_stats(p);
+    ProducerTelemetry producer;
+    producer.records = stats.records;
+    producer.queue_depth_hwm = stats.queue_depth_hwm;
+    producer.cpu = layout.producer_cpu[static_cast<size_t>(p)];
+    producer.node = layout.producer_node[static_cast<size_t>(p)];
+    s.producers.push_back(producer);
   }
   // Replica HFTA rows over-count groups that straddle shards; the merged
   // barrier snapshot holds the deduplicated per-query row counts.

@@ -67,12 +67,26 @@ struct TableTelemetry {
 };
 
 /// Producer-side ingest stats of one shard (mirrors ShardIngestStats, in
-/// serializable form).
+/// serializable form), plus where the affinity planner put its consumer.
 struct ShardTelemetry {
   uint64_t records = 0;          ///< Records routed to this shard.
   uint64_t queue_depth_hwm = 0;  ///< Deepest queue backlog, in envelopes.
+  int cpu = -1;   ///< CPU the shard worker is pinned to; -1 = unpinned.
+  int node = -1;  ///< Its NUMA node; -1 = unknown.
 
   bool operator==(const ShardTelemetry&) const = default;
+};
+
+/// One ingest producer's view: records it routed (summed over its queue
+/// row), the deepest backlog it ever pushed into, and its pinned placement.
+/// Producer 0 is the driver thread and is never pinned.
+struct ProducerTelemetry {
+  uint64_t records = 0;          ///< Records this producer routed anywhere.
+  uint64_t queue_depth_hwm = 0;  ///< Deepest backlog across its queue row.
+  int cpu = -1;   ///< CPU the producer is pinned to; -1 = unpinned.
+  int node = -1;  ///< Its NUMA node; -1 = unknown.
+
+  bool operator==(const ProducerTelemetry&) const = default;
 };
 
 /// Point-in-time state of a whole engine/runtime: counters, per-table
@@ -86,10 +100,12 @@ struct ShardTelemetry {
 struct TelemetrySnapshot {
   uint64_t epoch = 0;  ///< Epoch the source was accumulating into.
   int num_shards = 1;
+  int num_producers = 1;    ///< Ingest producers (1 for serial runtimes).
   int reoptimizations = 0;  ///< Adaptive re-plans so far (engine-level).
   RuntimeCounters counters;
   std::vector<TableTelemetry> tables;
-  std::vector<ShardTelemetry> shards;  ///< Empty for serial runtimes.
+  std::vector<ShardTelemetry> shards;        ///< Empty for serial runtimes.
+  std::vector<ProducerTelemetry> producers;  ///< Empty for serial runtimes.
   /// Result rows held in the HFTA, per query (Hfta::TotalGroups).
   std::vector<uint64_t> hfta_groups;
   // Latency histograms (kFull tier; empty otherwise).
@@ -99,9 +115,10 @@ struct TelemetrySnapshot {
   LogHistogram epoch_gap_ns;
 
   /// Folds another snapshot into this one: counters/tallies sum, per-index
-  /// tables merge (TableTelemetry::MergeFrom), histograms merge, shard
-  /// lists concatenate, epoch takes the max. Used to aggregate shard
-  /// replicas; associative and commutative in every integer field.
+  /// tables merge (TableTelemetry::MergeFrom), histograms merge, shard and
+  /// producer lists concatenate, epoch and num_producers take the max. Used
+  /// to aggregate shard replicas; associative and commutative in every
+  /// integer field.
   void MergeFrom(const TelemetrySnapshot& other);
 
   /// One compact JSON object (no newline); schema in docs/observability.md.

@@ -1,0 +1,184 @@
+#include "util/cpu_topology.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace streamagg {
+
+namespace {
+
+/// Reads one line of a sysfs file; empty string when unreadable.
+std::string ReadSysfsLine(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return {};
+  std::string line;
+  std::getline(file, line);
+  return line;
+}
+
+CpuTopology FallbackTopology() {
+  CpuTopology topology;
+  unsigned n = std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  topology.cpus.reserve(n);
+  for (unsigned c = 0; c < n; ++c) {
+    topology.cpus.push_back(CpuInfo{static_cast<int>(c), 0});
+  }
+  return topology;
+}
+
+}  // namespace
+
+std::vector<int> CpuTopology::ParseCpuList(const std::string& text) {
+  std::vector<int> cpus;
+  std::stringstream stream(text);
+  std::string chunk;
+  while (std::getline(stream, chunk, ',')) {
+    if (chunk.empty()) continue;
+    const size_t dash = chunk.find('-');
+    char* end = nullptr;
+    if (dash == std::string::npos) {
+      const long cpu = std::strtol(chunk.c_str(), &end, 10);
+      if (end != chunk.c_str() && cpu >= 0) cpus.push_back(static_cast<int>(cpu));
+      continue;
+    }
+    const long lo = std::strtol(chunk.substr(0, dash).c_str(), &end, 10);
+    const std::string hi_text = chunk.substr(dash + 1);
+    const long hi = std::strtol(hi_text.c_str(), &end, 10);
+    if (lo < 0 || hi < lo) continue;
+    for (long cpu = lo; cpu <= hi; ++cpu) cpus.push_back(static_cast<int>(cpu));
+  }
+  return cpus;
+}
+
+int CpuTopology::num_nodes() const {
+  int max_node = -1;
+  for (const CpuInfo& cpu : cpus) max_node = std::max(max_node, cpu.node);
+  return max_node + 1;
+}
+
+CpuTopology CpuTopology::Detect() {
+  CpuTopology topology;
+  // Preferred source: per-node cpulists give CPU ids and node membership in
+  // one read. Nodes are probed densely from 0; a gap ends the scan (sysfs
+  // node ids are dense on every kernel we care about).
+  for (int node = 0;; ++node) {
+    const std::string list = ReadSysfsLine(
+        "/sys/devices/system/node/node" + std::to_string(node) + "/cpulist");
+    if (list.empty()) break;
+    for (int cpu : ParseCpuList(list)) {
+      topology.cpus.push_back(CpuInfo{cpu, node});
+    }
+  }
+  if (topology.cpus.empty()) {
+    // Non-NUMA sysfs layout or masked /sys: take the online list as one node.
+    for (int cpu :
+         ParseCpuList(ReadSysfsLine("/sys/devices/system/cpu/online"))) {
+      topology.cpus.push_back(CpuInfo{cpu, 0});
+    }
+  }
+  if (topology.cpus.empty()) return FallbackTopology();
+  std::sort(topology.cpus.begin(), topology.cpus.end(),
+            [](const CpuInfo& a, const CpuInfo& b) {
+              return a.node != b.node ? a.node < b.node : a.cpu < b.cpu;
+            });
+  topology.cpus.erase(
+      std::unique(topology.cpus.begin(), topology.cpus.end(),
+                  [](const CpuInfo& a, const CpuInfo& b) {
+                    return a.cpu == b.cpu;
+                  }),
+      topology.cpus.end());
+  return topology;
+}
+
+AffinityLayout AffinityLayout::Plan(const CpuTopology& topology,
+                                    int num_producers, int num_shards) {
+  AffinityLayout layout;
+  layout.producer_cpu.assign(static_cast<size_t>(num_producers), -1);
+  layout.producer_node.assign(static_cast<size_t>(num_producers), -1);
+  layout.shard_cpu.assign(static_cast<size_t>(num_shards), -1);
+  layout.shard_node.assign(static_cast<size_t>(num_shards), -1);
+  const int num_nodes = topology.num_nodes();
+  if (num_nodes == 0) return layout;  // Empty topology: everything unpinned.
+
+  // CPUs grouped per node; next_cpu tracks the round-robin cursor so each
+  // thread placed on a node takes the node's next free CPU.
+  std::vector<std::vector<int>> node_cpus(static_cast<size_t>(num_nodes));
+  for (const CpuInfo& cpu : topology.cpus) {
+    node_cpus[static_cast<size_t>(cpu.node)].push_back(cpu.cpu);
+  }
+  std::vector<size_t> next_cpu(static_cast<size_t>(num_nodes), 0);
+  int placed = 0;
+  const int total_cpus = topology.num_cpus();
+  auto take = [&](int node) {
+    // Overflow threads stay unpinned: stacking every extra thread onto one
+    // CPU would serialize them behind each other, worse than the scheduler.
+    if (placed >= total_cpus) return -1;
+    std::vector<int>& cpus = node_cpus[static_cast<size_t>(node)];
+    if (cpus.empty()) return -1;
+    size_t& cursor = next_cpu[static_cast<size_t>(node)];
+    if (cursor >= cpus.size()) return -1;  // Node full; caller picks another.
+    ++placed;
+    return cpus[cursor++];
+  };
+  auto node_with_room = [&](int preferred) {
+    for (int probe = 0; probe < num_nodes; ++probe) {
+      const int node = (preferred + probe) % num_nodes;
+      if (next_cpu[static_cast<size_t>(node)] <
+          node_cpus[static_cast<size_t>(node)].size()) {
+        return node;
+      }
+    }
+    return -1;
+  };
+
+  // Producers spread round-robin across nodes so the ingest bandwidth (and
+  // the queue memory each producer allocates) is balanced per node.
+  for (int p = 0; p < num_producers; ++p) {
+    const int node = node_with_room(p % num_nodes);
+    if (node < 0) break;
+    const int cpu = take(node);
+    if (cpu < 0) break;
+    layout.producer_cpu[static_cast<size_t>(p)] = cpu;
+    layout.producer_node[static_cast<size_t>(p)] = node;
+  }
+  // Shard s follows producer (s mod P): that producer owns s's busiest queue
+  // row, so the consumer, its ring, and its hash tables stay node-local to
+  // it. When the preferred node is out of CPUs the shard spills to the next
+  // node with room rather than staying unpinned.
+  for (int s = 0; s < num_shards; ++s) {
+    const int producer = num_producers > 0 ? s % num_producers : 0;
+    int preferred = layout.producer_node[static_cast<size_t>(producer)];
+    if (preferred < 0) preferred = s % num_nodes;
+    const int node = node_with_room(preferred);
+    if (node < 0) break;
+    const int cpu = take(node);
+    if (cpu < 0) break;
+    layout.shard_cpu[static_cast<size_t>(s)] = cpu;
+    layout.shard_node[static_cast<size_t>(s)] = node;
+  }
+  return layout;
+}
+
+bool PinCurrentThreadToCpu(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0) return false;
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(static_cast<unsigned>(cpu), &mask);
+  return pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace streamagg

@@ -1,0 +1,67 @@
+#ifndef STREAMAGG_UTIL_CPU_TOPOLOGY_H_
+#define STREAMAGG_UTIL_CPU_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+namespace streamagg {
+
+/// One online logical CPU as seen by the scheduler.
+struct CpuInfo {
+  int cpu = 0;   ///< Logical CPU id (the id taskset/pthread affinity uses).
+  int node = 0;  ///< NUMA node the CPU belongs to (0 on non-NUMA machines).
+};
+
+/// The machine's CPU/NUMA layout, as much of it as the platform exposes.
+/// Discovery reads Linux sysfs (/sys/devices/system/node/node*/cpulist,
+/// falling back to /sys/devices/system/cpu/online); on other platforms, or
+/// when sysfs is unreadable, it degrades to hardware_concurrency() CPUs on
+/// one node. The struct itself is plain data so affinity planning
+/// (AffinityLayout::Plan) can be unit-tested against synthetic topologies.
+struct CpuTopology {
+  std::vector<CpuInfo> cpus;  ///< Online CPUs, sorted by (node, cpu).
+
+  int num_cpus() const { return static_cast<int>(cpus.size()); }
+  /// Number of distinct NUMA nodes (0 for an empty topology).
+  int num_nodes() const;
+
+  /// Discovers the live machine's topology. Never fails: the worst case is
+  /// a single synthetic CPU on node 0.
+  static CpuTopology Detect();
+
+  /// Parses a sysfs-style CPU list ("0-3,8,10-11") into ids. Exposed for
+  /// tests; malformed chunks are skipped.
+  static std::vector<int> ParseCpuList(const std::string& text);
+};
+
+/// Placement of a P-producer x S-shard ingest front end onto a topology
+/// (dsms/sharded_runtime.h). The goal is producer-locality: shard s is fed
+/// mostly through queues owned by producer (s mod P), so the planner puts
+/// each shard consumer on the same NUMA node as that producer — the queue
+/// ring and the shard's hash tables then stay in node-local memory. A CPU id
+/// of -1 means "leave the thread unpinned" (more threads than CPUs, or an
+/// empty topology).
+struct AffinityLayout {
+  std::vector<int> producer_cpu;   ///< CPU per producer, -1 = unpinned.
+  std::vector<int> producer_node;  ///< Node per producer, -1 = unknown.
+  std::vector<int> shard_cpu;      ///< CPU per shard consumer, -1 = unpinned.
+  std::vector<int> shard_node;     ///< Node per shard consumer, -1 = unknown.
+
+  /// Plans a layout for `num_producers` x `num_shards` over `topology`:
+  /// producers are spread round-robin across nodes, each shard follows its
+  /// dominant producer's node, and within a node distinct CPUs are handed
+  /// out round-robin (threads double up only once a node's CPUs are
+  /// exhausted; with more threads than total CPUs, the overflow threads stay
+  /// unpinned rather than stacking onto CPU 0).
+  static AffinityLayout Plan(const CpuTopology& topology, int num_producers,
+                             int num_shards);
+};
+
+/// Pins the calling thread to `cpu`. Returns true on success; on non-Linux
+/// platforms (or when the kernel rejects the mask) it is a no-op returning
+/// false — affinity is an optimization, never a correctness requirement.
+bool PinCurrentThreadToCpu(int cpu);
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_UTIL_CPU_TOPOLOGY_H_

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace streamagg {
@@ -17,8 +18,11 @@ namespace streamagg {
 /// common case touches only the cache line it owns; the shared indices are
 /// re-read only when the cached view says full/empty.
 ///
-/// T must be copy-assignable and default-constructible. Capacity is rounded
-/// up to a power of two; one slot is never wasted (full = capacity elements).
+/// T must be default-constructible plus copy-assignable (copy push) or
+/// move-assignable (move push; move-only element types such as unique_ptr
+/// work as long as only the rvalue overload is instantiated). Capacity is
+/// rounded up to a power of two; one slot is never wasted (full = capacity
+/// elements).
 template <typename T>
 class SpscQueue {
  public:
@@ -44,14 +48,29 @@ class SpscQueue {
     return true;
   }
 
-  /// Consumer side. Returns false when the ring is empty.
+  /// Producer side, moving `item` into the ring slot. On failure (ring
+  /// full) `item` is left untouched, so callers can retry.
+  bool TryPush(T&& item) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty. The element is
+  /// moved out of the slot (the slot is overwritten by a later push, so a
+  /// moved-from remnant there is fine).
   bool TryPop(T* out) {
     const size_t head = head_.load(std::memory_order_relaxed);
     if (head == cached_tail_) {
       cached_tail_ = tail_.load(std::memory_order_acquire);
       if (head == cached_tail_) return false;
     }
-    *out = slots_[head & mask_];
+    *out = std::move(slots_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
     return true;
   }

@@ -1,0 +1,136 @@
+// CPU topology discovery and affinity planning (util/cpu_topology.h). The
+// planner is pure over a plain-data topology, so synthetic NUMA layouts can
+// be tested exactly; Detect() is only sanity-checked against the live
+// machine (the test must pass on any container).
+
+#include "util/cpu_topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace streamagg {
+namespace {
+
+CpuTopology SyntheticTopology(int nodes, int cpus_per_node) {
+  CpuTopology topology;
+  int next = 0;
+  for (int n = 0; n < nodes; ++n) {
+    for (int c = 0; c < cpus_per_node; ++c) {
+      topology.cpus.push_back(CpuInfo{next++, n});
+    }
+  }
+  return topology;
+}
+
+TEST(CpuTopologyTest, ParseCpuListHandlesRangesAndSingles) {
+  EXPECT_EQ(CpuTopology::ParseCpuList("0-3"),
+            (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(CpuTopology::ParseCpuList("0-3,8,10-11"),
+            (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(CpuTopology::ParseCpuList("5"), (std::vector<int>{5}));
+  EXPECT_EQ(CpuTopology::ParseCpuList(""), (std::vector<int>{}));
+  // Malformed chunks are skipped, valid ones kept.
+  EXPECT_EQ(CpuTopology::ParseCpuList("x,2,7-5,3"),
+            (std::vector<int>{2, 3}));
+}
+
+TEST(CpuTopologyTest, DetectReturnsAtLeastOneCpu) {
+  const CpuTopology topology = CpuTopology::Detect();
+  ASSERT_GE(topology.num_cpus(), 1);
+  ASSERT_GE(topology.num_nodes(), 1);
+  // Sorted by (node, cpu) with no duplicate CPU ids.
+  std::set<int> seen;
+  int last_node = -1;
+  for (const CpuInfo& cpu : topology.cpus) {
+    EXPECT_GE(cpu.node, last_node);
+    last_node = cpu.node;
+    EXPECT_TRUE(seen.insert(cpu.cpu).second) << "duplicate cpu " << cpu.cpu;
+  }
+}
+
+TEST(CpuTopologyTest, EmptyTopologyLeavesEverythingUnpinned) {
+  const AffinityLayout layout = AffinityLayout::Plan(CpuTopology{}, 3, 5);
+  ASSERT_EQ(layout.producer_cpu.size(), 3u);
+  ASSERT_EQ(layout.shard_cpu.size(), 5u);
+  for (int cpu : layout.producer_cpu) EXPECT_EQ(cpu, -1);
+  for (int node : layout.producer_node) EXPECT_EQ(node, -1);
+  for (int cpu : layout.shard_cpu) EXPECT_EQ(cpu, -1);
+  for (int node : layout.shard_node) EXPECT_EQ(node, -1);
+}
+
+TEST(CpuTopologyTest, PlanSpreadsProducersAcrossNodes) {
+  const CpuTopology topology = SyntheticTopology(2, 4);  // 8 CPUs, 2 nodes.
+  const AffinityLayout layout = AffinityLayout::Plan(topology, 4, 4);
+  // Producers round-robin over the nodes: 0,1,0,1.
+  EXPECT_EQ(layout.producer_node, (std::vector<int>{0, 1, 0, 1}));
+  // All distinct CPUs.
+  std::set<int> cpus(layout.producer_cpu.begin(), layout.producer_cpu.end());
+  EXPECT_EQ(cpus.size(), 4u);
+  for (int cpu : layout.producer_cpu) EXPECT_GE(cpu, 0);
+}
+
+TEST(CpuTopologyTest, ShardsFollowTheirDominantProducersNode) {
+  const CpuTopology topology = SyntheticTopology(2, 4);
+  const AffinityLayout layout = AffinityLayout::Plan(topology, 2, 4);
+  // Producer 0 -> node 0, producer 1 -> node 1. Shard s is fed mostly by
+  // producer (s mod 2), so shards 0,2 belong on node 0 and shards 1,3 on
+  // node 1 — and there is room (4 CPUs per node, 1 producer + 2 shards).
+  EXPECT_EQ(layout.shard_node, (std::vector<int>{0, 1, 0, 1}));
+  // No CPU is handed out twice across producers and shards.
+  std::set<int> cpus;
+  for (int cpu : layout.producer_cpu) EXPECT_TRUE(cpus.insert(cpu).second);
+  for (int cpu : layout.shard_cpu) EXPECT_TRUE(cpus.insert(cpu).second);
+}
+
+TEST(CpuTopologyTest, ShardsSpillToNextNodeWhenPreferredIsFull) {
+  // 2 nodes x 2 CPUs. One producer (node 0, 1 CPU used) and 3 shards, all
+  // preferring node 0: only one fits next to the producer; the rest spill.
+  const CpuTopology topology = SyntheticTopology(2, 2);
+  const AffinityLayout layout = AffinityLayout::Plan(topology, 1, 3);
+  EXPECT_EQ(layout.producer_node[0], 0);
+  EXPECT_EQ(layout.shard_node[0], 0);  // Fits beside the producer.
+  EXPECT_EQ(layout.shard_node[1], 1);  // Node 0 full: spills.
+  EXPECT_EQ(layout.shard_node[2], 1);
+}
+
+TEST(CpuTopologyTest, OverflowThreadsStayUnpinned) {
+  // More threads than CPUs: the overflow must stay unpinned (-1), never
+  // stacked onto an already-assigned CPU.
+  const CpuTopology topology = SyntheticTopology(1, 2);
+  const AffinityLayout layout = AffinityLayout::Plan(topology, 2, 4);
+  int pinned = 0;
+  std::set<int> cpus;
+  for (int cpu : layout.producer_cpu) {
+    if (cpu >= 0) {
+      ++pinned;
+      EXPECT_TRUE(cpus.insert(cpu).second);
+    }
+  }
+  for (int cpu : layout.shard_cpu) {
+    if (cpu >= 0) {
+      ++pinned;
+      EXPECT_TRUE(cpus.insert(cpu).second);
+    }
+  }
+  EXPECT_EQ(pinned, 2);  // Exactly the machine's CPU count.
+}
+
+TEST(CpuTopologyTest, PinCurrentThreadRejectsNegativeCpu) {
+  EXPECT_FALSE(PinCurrentThreadToCpu(-1));
+}
+
+TEST(CpuTopologyTest, PinCurrentThreadToDetectedCpu) {
+#if defined(__linux__)
+  const CpuTopology topology = CpuTopology::Detect();
+  ASSERT_GE(topology.num_cpus(), 1);
+  // Pinning to a detected CPU should succeed on Linux (the test process is
+  // allowed to restrict its own mask).
+  EXPECT_TRUE(PinCurrentThreadToCpu(topology.cpus.front().cpu));
+#else
+  GTEST_SKIP() << "thread pinning is Linux-only";
+#endif
+}
+
+}  // namespace
+}  // namespace streamagg

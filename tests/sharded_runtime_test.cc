@@ -223,6 +223,40 @@ TEST(ShardedRuntimeTest, RejectsInvalidOptions) {
   options.num_shards = 2;
   options.queue_capacity = 1;
   EXPECT_FALSE(ShardedRuntime::Make(schema, specs, 0.0, options).ok());
+  options.queue_capacity = 4096;
+  options.num_producers = 0;
+  EXPECT_FALSE(ShardedRuntime::Make(schema, specs, 0.0, options).ok());
+}
+
+TEST(ShardedRuntimeTest, ValidationMessagesNameFieldAndValue) {
+  // Status messages must point at the offending field with the value it
+  // held, so a misconfigured deployment reads the fix off the error.
+  const Schema schema = *Schema::Default(4);
+  const std::vector<RuntimeRelationSpec> specs =
+      SpecsFor(schema, "AB(A B)");
+  ShardedRuntime::Options options;
+  options.num_shards = -3;
+  auto status = ShardedRuntime::Make(schema, specs, 0.0, options).status();
+  EXPECT_NE(status.ToString().find("num_shards"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.ToString().find("-3"), std::string::npos)
+      << status.ToString();
+
+  options.num_shards = 2;
+  options.num_producers = 0;
+  status = ShardedRuntime::Make(schema, specs, 0.0, options).status();
+  EXPECT_NE(status.ToString().find("num_producers"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.ToString().find("(got 0)"), std::string::npos)
+      << status.ToString();
+
+  options.num_producers = 1;
+  options.queue_capacity = 1;
+  status = ShardedRuntime::Make(schema, specs, 0.0, options).status();
+  EXPECT_NE(status.ToString().find("queue_capacity"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.ToString().find("(got 1)"), std::string::npos)
+      << status.ToString();
 }
 
 TEST(ShardedRuntimeTest, EngineShardedMatchesSerialEngine) {
@@ -275,6 +309,52 @@ TEST(ShardedRuntimeTest, EngineRejectsAdaptiveSharding) {
   options.adaptive = false;
   options.num_shards = 0;
   EXPECT_FALSE(StreamAggEngine::FromQueryDefs(schema, queries, options).ok());
+}
+
+TEST(ShardedRuntimeTest, EngineValidationCoversProducerCombinations) {
+  const Schema schema = *Schema::Default(4);
+  std::vector<QueryDef> queries = {QueryDef(*schema.ParseAttributeSet("AB"))};
+
+  auto expect_rejected = [&](StreamAggEngine::Options options,
+                             const std::string& field,
+                             const std::string& value) {
+    auto result = StreamAggEngine::FromQueryDefs(schema, queries, options);
+    ASSERT_FALSE(result.ok()) << field;
+    const std::string message = result.status().ToString();
+    EXPECT_NE(message.find(field), std::string::npos) << message;
+    EXPECT_NE(message.find(value), std::string::npos) << message;
+  };
+
+  StreamAggEngine::Options options;
+  options.num_producers = 0;
+  expect_rejected(options, "num_producers", "(got 0)");
+
+  options = {};
+  options.num_producers = -2;
+  expect_rejected(options, "num_producers", "(got -2)");
+
+  options = {};
+  options.shard_queue_capacity = 1;
+  expect_rejected(options, "shard_queue_capacity", "(got 1)");
+
+  options = {};
+  options.adaptive = true;
+  options.num_shards = 2;
+  expect_rejected(options, "adaptive", "num_shards = 2");
+
+  options = {};
+  options.adaptive = true;
+  options.num_producers = 4;
+  expect_rejected(options, "adaptive", "num_producers = 4");
+
+  // Valid combinations still construct.
+  options = {};
+  options.num_producers = 2;
+  options.num_shards = 2;
+  EXPECT_TRUE(StreamAggEngine::FromQueryDefs(schema, queries, options).ok());
+  options = {};
+  options.adaptive = true;  // Serial adaptive stays allowed.
+  EXPECT_TRUE(StreamAggEngine::FromQueryDefs(schema, queries, options).ok());
 }
 
 }  // namespace

@@ -160,8 +160,11 @@ TelemetrySnapshot HandCraftedSnapshot() {
   table.predicted_collision_rate = TableTelemetry::kNoPrediction;
   snap.tables.push_back(table);
 
-  snap.shards.push_back(ShardTelemetry{1000, 12});
-  snap.shards.push_back(ShardTelemetry{997, 3});
+  snap.num_producers = 2;
+  snap.shards.push_back(ShardTelemetry{1000, 12, 4, 0});
+  snap.shards.push_back(ShardTelemetry{997, 3, -1, -1});
+  snap.producers.push_back(ProducerTelemetry{1200, 9, -1, -1});
+  snap.producers.push_back(ProducerTelemetry{797, 12, 5, 1});
   snap.hfta_groups = {123, 0, 456789};
   snap.batch_records.Record(64);
   snap.batch_ns.Record(123456);
@@ -181,6 +184,54 @@ TEST(TelemetrySnapshotTest, JsonRoundTripIsBitExact) {
   EXPECT_TRUE(*restored == snap);
   // And the round trip is a fixed point of serialization.
   EXPECT_EQ(restored->ToJsonLine(), line);
+}
+
+TEST(TelemetrySnapshotTest, FromJsonLineAcceptsPreProducerSnapshots) {
+  // Lines serialized before the multi-producer front end carry neither
+  // "num_producers" nor "producers" (nor shard placement fields); they must
+  // still parse, with the serial defaults.
+  TelemetrySnapshot old = HandCraftedSnapshot();
+  old.num_producers = 1;
+  old.producers.clear();
+  for (ShardTelemetry& s : old.shards) {
+    s.cpu = -1;
+    s.node = -1;
+  }
+  std::string line = old.ToJsonLine();
+  // Strip the new fields to simulate an old serializer.
+  auto strip = [&line](const std::string& key) {
+    const size_t at = line.find(key);
+    ASSERT_NE(at, std::string::npos) << key;
+    size_t end = at + key.size();
+    int depth = 0;
+    while (end < line.size()) {
+      const char c = line[end];
+      if (c == '[' || c == '{') ++depth;
+      if (c == ']' || c == '}') {
+        if (depth == 0) break;
+        --depth;
+      }
+      if (c == ',' && depth == 0) {
+        ++end;  // Swallow the trailing comma.
+        break;
+      }
+      ++end;
+    }
+    size_t from = at;
+    if (end < line.size() && (line[end] == '}' || line[end] == ']') &&
+        from > 0 && line[from - 1] == ',') {
+      --from;  // Last field of its object: drop the comma before it instead.
+    }
+    line.erase(from, end - from);
+  };
+  strip("\"num_producers\":");
+  strip("\"producers\":");
+  while (line.find("\"cpu\":") != std::string::npos) strip("\"cpu\":");
+  while (line.find("\"node\":") != std::string::npos) strip("\"node\":");
+
+  auto restored = TelemetrySnapshot::FromJsonLine(line);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString() << "\n" << line;
+  EXPECT_TRUE(*restored == old);
 }
 
 TEST(TelemetrySnapshotTest, FromJsonLineRejectsGarbage) {
@@ -230,7 +281,9 @@ TEST(TelemetrySnapshotTest, SerialRuntimeSnapshotMatchesSources) {
   const TelemetrySnapshot snap =
       BuildTelemetrySnapshot(**runtime, trace.schema());
   EXPECT_EQ(snap.num_shards, 1);
+  EXPECT_EQ(snap.num_producers, 1);
   EXPECT_TRUE(snap.shards.empty());
+  EXPECT_TRUE(snap.producers.empty());
   EXPECT_TRUE(snap.counters == (*runtime)->counters());
   ASSERT_EQ(static_cast<int>(snap.tables.size()),
             (*runtime)->num_relations());
@@ -290,11 +343,15 @@ TEST(TelemetrySnapshotTest, ShardedMergeIsBitIdenticalToRuntimeCounters) {
     EXPECT_EQ(snap.tables[i].flushed_entries, flushed) << "table " << i;
   }
 
-  // Producer-side ingest stats: every record was routed to some shard.
+  // Producer-side ingest stats: every record was routed to some shard, and
+  // the default single producer routed all of them.
   ASSERT_EQ(snap.shards.size(), 4u);
   uint64_t routed = 0;
   for (const ShardTelemetry& s : snap.shards) routed += s.records;
   EXPECT_EQ(routed, trace.size());
+  EXPECT_EQ(snap.num_producers, 1);
+  ASSERT_EQ(snap.producers.size(), 1u);
+  EXPECT_EQ(snap.producers[0].records, trace.size());
 }
 
 TEST(TelemetrySnapshotTest, SingleShardSnapshotMatchesSerialTables) {
