@@ -87,6 +87,69 @@ void BM_EngineAdaptiveOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineAdaptiveOverhead);
 
+// End-to-end cost of a drift-triggered re-plan cycle: a calm phase long
+// enough to plan and settle, then a 10x group blow-up that sustains the
+// K-epoch trend and fires one subtree re-plan (see docs/runtime.md §4).
+// Sweeps serial vs 4-shard so the Quiesce-barrier epoch checks and the
+// barrier plan swap are priced next to the serial equivalents. Reports
+// whole-run records/sec (sampling, trend checks and the re-plan included)
+// plus the re-plans actually taken per run.
+void BM_EngineAdaptiveReplanCycle(benchmark::State& state) {
+  const int num_shards = static_cast<int>(state.range(0));
+  const Schema schema = *Schema::Default(4);
+  auto calm = std::move(UniformGenerator::Make(schema, 500, 17)).value();
+  auto shifted = std::move(UniformGenerator::Make(schema, 5000, 19)).value();
+  std::vector<Record> replay(1 << 18);
+  for (size_t i = 0; i < replay.size(); ++i) {
+    Record r = (i < replay.size() / 2) ? calm->Next() : shifted->Next();
+    r.timestamp = 12.0 * static_cast<double>(i) /
+                  static_cast<double>(replay.size());
+    replay[i] = r;
+  }
+  std::vector<QueryDef> queries = {
+      QueryDef(*schema.ParseAttributeSet("AB")),
+      QueryDef(*schema.ParseAttributeSet("CD"))};
+  StreamAggEngine::Options options;
+  options.memory_words = 40000;
+  options.sample_size = 20000;
+  options.epoch_seconds = 1.0;
+  options.clustered = false;
+  options.adaptive = true;
+  options.num_shards = num_shards;
+  options.shard_queue_capacity = 1024;
+
+  int64_t replans = 0;
+  double total_millis = 0.0;
+  for (auto _ : state) {
+    auto engine =
+        std::move(StreamAggEngine::FromQueryDefs(schema, queries, options))
+            .value();
+    double millis = 0.0;
+    {
+      ScopedTimer timer(&millis);
+      for (const Record& r : replay) {
+        benchmark::DoNotOptimize(engine->Process(r));
+      }
+      (void)engine->Finish();
+    }
+    replans += engine->reoptimizations();
+    state.SetIterationTime(millis / 1000.0);
+    total_millis += millis;
+  }
+  const double processed = static_cast<double>(state.iterations()) *
+                           static_cast<double>(replay.size());
+  state.SetItemsProcessed(static_cast<int64_t>(processed));
+  state.counters["records_per_sec"] = processed / (total_millis / 1000.0);
+  state.counters["replans_per_run"] =
+      static_cast<double>(replans) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_EngineAdaptiveReplanCycle)
+    ->Arg(1)
+    ->Arg(4)
+    ->ArgNames({"shards"})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
 // Shard-count sweep: the same engine with the parallel LFTA ingest path at
 // 1/2/4/8 shards. Reports records/sec plus scaling vs the serial (1-shard)
 // run and per-shard efficiency; run on a machine with >= as many cores as

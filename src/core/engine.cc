@@ -27,18 +27,8 @@ Status StreamAggEngine::ValidateOptions(const Options& options) {
         "Options::shard_queue_capacity must be >= 2 (got " +
         std::to_string(options.shard_queue_capacity) + ")");
   }
-  if (options.adaptive && options.num_shards > 1) {
-    return Status::InvalidArgument(
-        "Options::adaptive requires num_shards == 1 (got num_shards = " +
-        std::to_string(options.num_shards) +
-        "): drift re-planning assumes one serial runtime");
-  }
-  if (options.adaptive && options.num_producers > 1) {
-    return Status::InvalidArgument(
-        "Options::adaptive requires num_producers == 1 (got num_producers = " +
-        std::to_string(options.num_producers) +
-        "): drift re-planning assumes one serial runtime");
-  }
+  // adaptive composes with num_shards/num_producers: the drift check and
+  // plan swap run at the sharded runtime's quiescence barrier.
   return Status::OK();
 }
 
@@ -224,17 +214,52 @@ void StreamAggEngine::AccumulateCounters() {
 }
 
 Status StreamAggEngine::HandleEpochBoundary(uint64_t next_epoch) {
-  // Judge drift on the live (pre-flush) tables.
+  // Judge the epoch-snapshot history for a sustained drift trend. The
+  // completed epoch's snapshot was just appended by CaptureEpochSnapshot
+  // (capture is forced on under adaptive), so the trend window ends at the
+  // epoch whose boundary we are standing on; a single noisy epoch cannot
+  // trigger, only trend_epochs consecutive drifted ones can.
   CostModel cost_model(catalog_.get(), collision_model_.get(),
                        options_.optimizer.cost);
   AdaptiveController controller(&cost_model, plan_.get(),
                                 options_.adaptive_options);
-  if (!controller.ShouldReoptimize(*runtime_)) return Status::OK();
+  const AdaptiveController::TrendVerdict verdict = controller.AssessTrend(
+      std::span<const TelemetrySnapshot>(telemetry_history_));
+  if (!verdict.should_replan) return Status::OK();
 
-  // Fresh statistics from table occupancy; fall back to the previous
-  // catalog for relations that are not instantiated.
+  const Configuration& config = plan_->config;
+  // The drifted tables condemn their whole feeding trees (verdict indices
+  // line up with configuration nodes — ToRuntimeSpecs preserves order).
+  std::vector<int> tree_root(static_cast<size_t>(config.num_nodes()));
+  for (int i = 0; i < config.num_nodes(); ++i) {
+    int r = i;
+    while (config.node(r).parent >= 0) r = config.node(r).parent;
+    tree_root[static_cast<size_t>(i)] = r;
+  }
+  std::set<int> drifted_roots;
+  for (int t : verdict.drifted_tables) {
+    if (t >= 0 && t < config.num_nodes()) {
+      drifted_roots.insert(tree_root[static_cast<size_t>(t)]);
+    }
+  }
+  std::set<uint32_t> drifted_masks;
+  int pinned_nodes = 0;
+  for (int i = 0; i < config.num_nodes(); ++i) {
+    if (drifted_roots.count(tree_root[static_cast<size_t>(i)]) > 0) {
+      drifted_masks.insert(config.node(i).attrs.mask());
+    } else {
+      ++pinned_nodes;
+    }
+  }
+
+  // Fresh statistics from live (pre-flush) table occupancy — the serial
+  // runtime has not flushed the boundary yet, and the sharded runtime was
+  // quiesced (not flushed) by the capture above. Only the drifted trees'
+  // relations take fresh estimates: the pinned trees must re-cost exactly
+  // as before, and the rest of the catalog keeps its prior statistics.
   const std::map<uint32_t, uint64_t> estimates =
-      controller.EstimateGroupCounts(*runtime_);
+      runtime_ != nullptr ? controller.EstimateGroupCounts(*runtime_)
+                          : controller.EstimateGroupCounts(*sharded_runtime_);
   std::vector<AttributeSet> group_bys;
   for (const QueryDef& q : queries_) group_bys.push_back(q.group_by);
   STREAMAGG_ASSIGN_OR_RETURN(FeedingGraph graph,
@@ -247,8 +272,9 @@ Status StreamAggEngine::HandleEpochBoundary(uint64_t next_epoch) {
   std::map<uint32_t, uint64_t> counts;
   for (AttributeSet set : interesting) {
     auto it = estimates.find(set.mask());
-    counts[set.mask()] =
-        it != estimates.end() ? it->second : catalog_->GroupCount(set);
+    const bool fresh =
+        drifted_masks.count(set.mask()) > 0 && it != estimates.end();
+    counts[set.mask()] = fresh ? it->second : catalog_->GroupCount(set);
   }
   const double flow_length = catalog_->FlowLength(schema_.AllAttributes());
   STREAMAGG_ASSIGN_OR_RETURN(
@@ -257,16 +283,41 @@ Status StreamAggEngine::HandleEpochBoundary(uint64_t next_epoch) {
 
   // Retire the current runtime at the boundary: flush its epoch, keep its
   // results and counters, then swap in the re-planned configuration.
-  runtime_->FlushEpoch();
-  accumulated_hfta_->MergeFrom(runtime_->hfta());
+  if (runtime_ != nullptr) {
+    runtime_->FlushEpoch();
+    accumulated_hfta_->MergeFrom(runtime_->hfta());
+  } else {
+    // The queues are already drained (Quiesce above); this barrier only
+    // flushes the completed epoch on every shard and re-merges.
+    sharded_runtime_->FlushEpoch();
+    accumulated_hfta_->MergeFrom(sharded_runtime_->hfta());
+  }
   AccumulateCounters();
 
   catalog_ = std::make_unique<RelationCatalog>(std::move(next_catalog));
+  std::vector<int> drifted_nodes(verdict.drifted_tables.begin(),
+                                 verdict.drifted_tables.end());
   STREAMAGG_ASSIGN_OR_RETURN(
       OptimizedPlan plan,
-      optimizer_.Optimize(*catalog_, queries_, PlanningBudget()));
+      optimizer_.ReplanSubtrees(*catalog_, *plan_, drifted_nodes,
+                                PlanningBudget()));
   last_optimize_millis_ = plan.optimize_millis;
   ++reoptimizations_;
+
+  ReplanEvent event;
+  event.epoch = telemetry_history_.empty() ? current_epoch_
+                                           : telemetry_history_.back().epoch;
+  if (verdict.max_table >= 0 && verdict.max_table < config.num_nodes()) {
+    event.trigger_relation =
+        schema_.FormatAttributeSet(config.node(verdict.max_table).attrs);
+  }
+  event.drift = verdict.max_drift;
+  event.pinned_nodes = pinned_nodes;
+  event.replanned_nodes =
+      std::max(0, plan.config.num_nodes() - pinned_nodes);
+  event.optimize_millis = plan.optimize_millis;
+  replan_events_.push_back(std::move(event));
+
   plan_ = std::make_unique<OptimizedPlan>(std::move(plan));
   STREAMAGG_RETURN_NOT_OK(InstallRuntime());
   (void)next_epoch;
@@ -438,6 +489,7 @@ void StreamAggEngine::AnnotateSnapshot(TelemetrySnapshot* snapshot) const {
   snapshot->counters = counters();
   snapshot->reoptimizations = reoptimizations_;
   snapshot->epoch = current_epoch_;
+  snapshot->replans = replan_events_;
   for (size_t i = 0;
        i < snapshot->tables.size() && i < planned_rates_.size(); ++i) {
     snapshot->tables[i].predicted_collision_rate = planned_rates_[i];
@@ -445,20 +497,34 @@ void StreamAggEngine::AnnotateSnapshot(TelemetrySnapshot* snapshot) const {
 }
 
 void StreamAggEngine::CaptureEpochSnapshot(uint64_t completed_epoch) {
-  if (!options_.telemetry_epoch_snapshots ||
+  // Adaptive engines always capture: the trend check reads the history.
+  if ((!options_.telemetry_epoch_snapshots && !options_.adaptive) ||
       (runtime_ == nullptr && sharded_runtime_ == nullptr)) {
     return;
   }
   // A sharded snapshot mid-stream would race the workers, so quiesce first:
-  // the FlushEpoch barrier drains every queue of the P x S matrix, flushes
-  // the completed epoch on every shard, and leaves the workers parked —
-  // reading their tables (and the merged HFTA/counters) is then race-free.
-  // The capture is merged across shards, like every sharded snapshot.
-  if (sharded_runtime_ != nullptr) sharded_runtime_->FlushEpoch();
+  // the barrier drains every queue of the P x S matrix and leaves the
+  // workers parked — reading their tables (and the merged HFTA/counters) is
+  // then race-free. Quiesce, not FlushEpoch: the snapshot shows the
+  // completed epoch's tables as the stream left them (occupancy is the
+  // adaptive path's group-count signal), matching the serial engine's
+  // pre-flush capture. The epoch flush itself happens as usual — workers
+  // flush when they see the next epoch's timestamps, and the multi-producer
+  // driver inserts its boundary barrier on the next dispatch.
+  if (sharded_runtime_ != nullptr) sharded_runtime_->Quiesce();
   TelemetrySnapshot snapshot = telemetry();
   snapshot.epoch = completed_epoch;
   telemetry_history_.push_back(std::move(snapshot));
-  if (telemetry_history_.size() > options_.telemetry_history_limit) {
+  size_t limit = options_.telemetry_history_limit;
+  if (options_.adaptive) {
+    // The trend window needs trend_epochs observations plus the preceding
+    // snapshot for the oldest delta.
+    const size_t need = static_cast<size_t>(std::max(
+                            1, options_.adaptive_options.trend_epochs)) +
+                        1;
+    limit = std::max(limit, need);
+  }
+  while (telemetry_history_.size() > limit) {
     telemetry_history_.erase(telemetry_history_.begin());
   }
 }

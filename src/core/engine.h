@@ -38,7 +38,16 @@ class StreamAggEngine {
     /// Epoch length; overridden by the queries' time/N grouping when the
     /// engine is built from query texts.
     double epoch_seconds = 0.0;
-    /// Enable drift-triggered re-planning at epoch boundaries.
+    /// Enable drift-triggered re-planning at epoch boundaries: the engine
+    /// keeps per-epoch telemetry snapshots (epoch snapshots are forced on)
+    /// and asks AdaptiveController::AssessTrend for a sustained drift trend
+    /// — `adaptive_options.trend_epochs` consecutive epochs of a table
+    /// colliding beyond plan. On a trigger it re-estimates statistics from
+    /// table occupancy and re-plans only the drifted feeding trees
+    /// (Optimizer::ReplanSubtrees), swapping the runtime at the epoch
+    /// boundary. Works for any num_producers x num_shards split: sharded
+    /// engines run the check at a Quiesce barrier, where the matrix is
+    /// drained but the tables still hold the epoch's groups.
     bool adaptive = false;
     AdaptiveController::Options adaptive_options;
     OptimizerOptions optimizer;
@@ -50,8 +59,8 @@ class StreamAggEngine {
     /// records across N runtime replicas driven by worker threads and
     /// merges their HFTA outputs at the Finish() epoch barrier; the LFTA
     /// memory budget is split N ways so the total footprint (and the cost
-    /// model's per-table sizing) stays honest. Incompatible with
-    /// `adaptive` for now — drift re-planning assumes one serial runtime.
+    /// model's per-table sizing) stays honest. Composes with `adaptive`:
+    /// drift checks and plan swaps happen at the quiescence barrier.
     int num_shards = 1;
     /// Parallel ingest producers feeding the shards. 1 (default) stages
     /// records on the caller's thread. P > 1 turns the sharded runtime's
@@ -59,8 +68,8 @@ class StreamAggEngine {
     /// striped across P producer threads that hash/route in parallel, with
     /// an epoch barrier quiescing the matrix at every epoch boundary so
     /// results stay bit-identical to the serial engine. num_producers > 1
-    /// engages the sharded runtime even when num_shards == 1, and is
-    /// incompatible with `adaptive` for the same reason num_shards is.
+    /// engages the sharded runtime even when num_shards == 1, and composes
+    /// with `adaptive` the same way num_shards does.
     int num_producers = 1;
     /// Per-(producer, shard) record queue capacity when the sharded
     /// runtime is engaged (num_shards > 1 or num_producers > 1).
@@ -79,11 +88,14 @@ class StreamAggEngine {
     /// Record a TelemetrySnapshot each time the engine's epoch advances
     /// (telemetry_history()). Off by default: capture allocates, so it is
     /// opt-in for dashboards (examples/engine_monitor.cpp), never on the
-    /// zero-allocation path. Sharded engines capture at a FlushEpoch
-    /// barrier (the runtime is quiesced first, so the snapshot is race-free
-    /// and merged across shards); serial engines capture pre-flush.
+    /// zero-allocation path — except under `adaptive`, which needs the
+    /// history for its trend check and forces capture on. Sharded engines
+    /// capture at a Quiesce barrier (queues drained, workers parked, tables
+    /// still holding the completed epoch's groups — race-free and merged
+    /// across shards); serial engines likewise capture pre-flush.
     bool telemetry_epoch_snapshots = false;
     /// Bound on telemetry_history(): oldest snapshots are dropped first.
+    /// Adaptive engines keep at least trend_epochs + 1 snapshots.
     size_t telemetry_history_limit = 64;
   };
 
@@ -167,15 +179,22 @@ class StreamAggEngine {
   /// Ends the sampling phase: measures statistics, plans, replays buffer.
   Status PlanFromSample();
 
-  /// Epoch boundary: drift check, possible re-plan, runtime swap.
+  /// Epoch boundary (adaptive only): judges the telemetry history for a
+  /// sustained drift trend; on a trigger, re-estimates statistics for the
+  /// drifted feeding trees from live table occupancy, retires the current
+  /// runtime (results/counters carried over), re-plans the drifted subtrees
+  /// with the rest pinned, records a ReplanEvent and swaps in the new
+  /// runtime. CaptureEpochSnapshot must run first: it appends the history
+  /// entry the trend check reads and, for sharded engines, quiesces the
+  /// matrix so the tables are safe to read.
   Status HandleEpochBoundary(uint64_t next_epoch);
 
   /// Builds (or rebuilds) the runtime for `plan_`, carrying the HFTA over.
   Status InstallRuntime();
 
   /// Rejects option combinations the engine cannot honor (num_shards or
-  /// num_producers < 1, queue capacity < 2, adaptive + sharded). Messages
-  /// name the offending field and the value it held.
+  /// num_producers < 1, queue capacity < 2). Messages name the offending
+  /// field and the value it held.
   static Status ValidateOptions(const Options& options);
 
   /// LFTA memory the optimizer may plan for: the budget split across
@@ -237,6 +256,9 @@ class StreamAggEngine {
   /// order). Empty when no catalog is available.
   std::vector<double> planned_rates_;
   std::vector<TelemetrySnapshot> telemetry_history_;
+  /// Every adaptive re-plan so far, oldest first; copied into snapshots by
+  /// AnnotateSnapshot so the JSON export carries the re-plan lifecycle.
+  std::vector<ReplanEvent> replan_events_;
   /// Snapshot taken inside Finish() before the runtime is torn down.
   std::unique_ptr<TelemetrySnapshot> final_snapshot_;
   int reoptimizations_ = 0;

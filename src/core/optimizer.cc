@@ -1,5 +1,9 @@
 #include "core/optimizer.h"
 
+#include <algorithm>
+#include <set>
+#include <utility>
+
 #include "util/timer.h"
 
 namespace streamagg {
@@ -69,6 +73,132 @@ Result<OptimizedPlan> Optimizer::Optimize(const RelationCatalog& catalog,
   }
   plan.optimize_millis = timer.ElapsedMillis();
   return plan;
+}
+
+Result<OptimizedPlan> Optimizer::ReplanSubtrees(
+    const RelationCatalog& catalog, const OptimizedPlan& plan,
+    const std::vector<int>& drifted_nodes, double memory_words) const {
+  Timer timer;
+  const Configuration& config = plan.config;
+  const int n = config.num_nodes();
+  if (drifted_nodes.empty()) {
+    return Status::InvalidArgument("ReplanSubtrees needs drifted nodes");
+  }
+  if (static_cast<int>(plan.buckets.size()) != n) {
+    return Status::InvalidArgument("plan buckets do not match configuration");
+  }
+  // A drifted node condemns its whole feeding tree: the tree's statistics
+  // are interdependent (children aggregate the parent's evictions), so
+  // re-planning a child without its ancestors would re-size tables the
+  // optimizer never re-considered.
+  std::vector<int> root(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    int r = i;
+    while (config.node(r).parent >= 0) r = config.node(r).parent;
+    root[static_cast<size_t>(i)] = r;
+  }
+  std::set<int> drifted_roots;
+  for (int d : drifted_nodes) {
+    if (d < 0 || d >= n) {
+      return Status::InvalidArgument("drifted node index out of range");
+    }
+    drifted_roots.insert(root[static_cast<size_t>(d)]);
+  }
+  const auto full_replan = [&]() {
+    return Optimize(catalog, config.QueryDefs(), memory_words);
+  };
+  if (static_cast<int>(drifted_roots.size()) ==
+      static_cast<int>(config.RawRelations().size())) {
+    return full_replan();  // Every tree drifted: nothing to pin.
+  }
+
+  // Split the configuration: the drifted trees' queries go back to the
+  // optimizer, everything else keeps its node and bucket allocation.
+  std::vector<QueryDef> replan_defs;
+  std::vector<int> replan_query_index;  // Original index per sub-plan query.
+  double pinned_memory = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const Configuration::Node& node = config.node(i);
+    if (drifted_roots.count(root[static_cast<size_t>(i)]) > 0) {
+      if (node.is_query) {
+        replan_defs.emplace_back(node.attrs, node.query_metrics);
+        replan_query_index.push_back(node.query_index);
+      }
+    } else {
+      pinned_memory += plan.buckets[static_cast<size_t>(i)] *
+                       static_cast<double>(config.EntryWords(i));
+    }
+  }
+  const double sub_budget = memory_words - pinned_memory;
+  if (sub_budget <= 0.0) return full_replan();
+  Result<OptimizedPlan> sub = Optimize(catalog, replan_defs, sub_budget);
+  // E.g. the residual budget cannot host the drifted queries' tables.
+  if (!sub.ok()) return full_replan();
+
+  // The stitch below cannot host duplicate relations; a fresh phantom equal
+  // to a pinned relation sends the whole problem back to the optimizer.
+  std::set<uint32_t> pinned_attrs;
+  for (int i = 0; i < n; ++i) {
+    if (drifted_roots.count(root[static_cast<size_t>(i)]) == 0) {
+      pinned_attrs.insert(config.node(i).attrs.mask());
+    }
+  }
+  for (const Configuration::Node& node : sub->config.nodes()) {
+    if (pinned_attrs.count(node.attrs.mask()) > 0) return full_replan();
+  }
+
+  // Stitch pinned trees and the fresh sub-plan into one configuration.
+  // Pinned nodes keep their original relative order (parents stay before
+  // children); sub-plan nodes follow with re-based indices. Query indices
+  // map back to the original query list, so results and HFTA wiring stay
+  // stable across the swap.
+  std::vector<Configuration::Node> nodes;
+  std::vector<double> buckets;
+  nodes.reserve(static_cast<size_t>(n) + sub->config.nodes().size());
+  buckets.reserve(nodes.capacity());
+  std::vector<int> remap(static_cast<size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    if (drifted_roots.count(root[static_cast<size_t>(i)]) > 0) continue;
+    remap[static_cast<size_t>(i)] = static_cast<int>(nodes.size());
+    Configuration::Node node = config.node(i);
+    node.parent =
+        node.parent >= 0 ? remap[static_cast<size_t>(node.parent)] : -1;
+    node.children.clear();
+    nodes.push_back(std::move(node));
+    buckets.push_back(plan.buckets[static_cast<size_t>(i)]);
+  }
+  const int offset = static_cast<int>(nodes.size());
+  for (int i = 0; i < sub->config.num_nodes(); ++i) {
+    Configuration::Node node = sub->config.node(i);
+    node.parent = node.parent >= 0 ? node.parent + offset : -1;
+    node.children.clear();
+    if (node.is_query) {
+      node.query_index =
+          replan_query_index[static_cast<size_t>(node.query_index)];
+    }
+    nodes.push_back(std::move(node));
+    buckets.push_back(sub->buckets[static_cast<size_t>(i)]);
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].parent >= 0) {
+      nodes[static_cast<size_t>(nodes[i].parent)].children.push_back(
+          static_cast<int>(i));
+    }
+  }
+  Configuration stitched(config.schema(), std::move(nodes),
+                         config.num_queries());
+
+  const CostModel cost_model(&catalog, collision_model_.get(), options_.cost);
+  OptimizedPlan out{std::move(stitched), std::move(buckets), 0.0, 0.0,
+                    sub->peak_load_satisfied, 0.0, std::move(sub->steps)};
+  out.per_record_cost = cost_model.PerRecordCost(out.config, out.buckets);
+  out.end_of_epoch_cost = cost_model.EndOfEpochCost(out.config, out.buckets);
+  if (options_.peak_load_limit > 0.0) {
+    out.peak_load_satisfied =
+        out.end_of_epoch_cost <= options_.peak_load_limit;
+  }
+  out.optimize_millis = timer.ElapsedMillis();
+  return out;
 }
 
 }  // namespace streamagg

@@ -74,6 +74,23 @@ class Optimizer {
                                  const std::vector<AttributeSet>& queries,
                                  double memory_words) const;
 
+  /// Subtree-pinned re-plan for the adaptive path: re-runs the optimizer
+  /// only over the feeding trees of `plan.config` that contain a node in
+  /// `drifted_nodes` (indices into the configuration), with the remaining
+  /// trees pinned — their nodes and bucket allocations are carried into the
+  /// result verbatim, and the drifted trees' queries are re-planned inside
+  /// `memory_words` minus the pinned trees' footprint. Query indices stay
+  /// stable across the stitch. Falls back to a full Optimize when every
+  /// tree drifted, when no budget remains for the drifted queries, or when
+  /// the fresh sub-plan would duplicate a pinned relation (a configuration
+  /// cannot hold the same attribute set twice). The peak-load constraint is
+  /// enforced inside the drifted sub-plan only; `peak_load_satisfied`
+  /// reports whether the stitched whole still meets the limit.
+  Result<OptimizedPlan> ReplanSubtrees(const RelationCatalog& catalog,
+                                       const OptimizedPlan& plan,
+                                       const std::vector<int>& drifted_nodes,
+                                       double memory_words) const;
+
  private:
   OptimizerOptions options_;
   std::unique_ptr<CollisionModel> collision_model_;

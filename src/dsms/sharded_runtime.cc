@@ -178,6 +178,7 @@ void ShardedRuntime::WorkerLoop(int shard) {
   Envelope envelope;
   int idle = 0;
   int flush_seen = 0;
+  int quiesce_seen = 0;
   int stop_seen = 0;
   for (;;) {
     bool any = false;
@@ -193,6 +194,16 @@ void ShardedRuntime::WorkerLoop(int shard) {
           if (++flush_seen == num_producers_) {
             flush_seen = 0;
             runtime.FlushEpoch();
+            std::lock_guard<std::mutex> lock(barrier_mutex_);
+            if (--barrier_pending_ == 0) barrier_cv_.notify_one();
+          }
+          break;
+        case Envelope::Kind::kQuiesce:
+          // Same marker-counting proof as kFlush — one from every producer
+          // means the whole column is drained — but the shard's tables are
+          // left mid-epoch: the driver wants to read their occupancy.
+          if (++quiesce_seen == num_producers_) {
+            quiesce_seen = 0;
             std::lock_guard<std::mutex> lock(barrier_mutex_);
             if (--barrier_pending_ == 0) barrier_cv_.notify_one();
           }
@@ -344,29 +355,33 @@ void ShardedRuntime::DispatchRun(std::span<const Record> records) {
   }
 }
 
-void ShardedRuntime::FlushEpoch() {
+void ShardedRuntime::FlushEpoch() { RunBarrier(Envelope::Kind::kFlush); }
+
+void ShardedRuntime::Quiesce() { RunBarrier(Envelope::Kind::kQuiesce); }
+
+void ShardedRuntime::RunBarrier(Envelope::Kind kind) {
   // Producers are quiescent here: DispatchRun joins every helper before
-  // returning, and FlushEpoch is only called from the driver thread. Staged
-  // records belong to the epoch being flushed; deliver them first so the
-  // flush markers land behind every record in every ring.
+  // returning, and barriers are only run from the driver thread. Staged
+  // records belong to the epoch in flight; deliver them first so the
+  // markers land behind every record in every ring.
   FlushStaging();
   {
     std::lock_guard<std::mutex> lock(barrier_mutex_);
     barrier_pending_ = num_shards();
   }
-  Envelope flush;
-  flush.kind = Envelope::Kind::kFlush;
+  Envelope marker;
+  marker.kind = kind;
   for (int p = 0; p < num_producers_; ++p) {
-    for (int s = 0; s < num_shards(); ++s) PushBlocking(p, s, flush);
+    for (int s = 0; s < num_shards(); ++s) PushBlocking(p, s, marker);
   }
   {
     std::unique_lock<std::mutex> lock(barrier_mutex_);
     barrier_cv_.wait(lock, [this] { return barrier_pending_ == 0; });
   }
-  // All shards have drained their whole queue column up to the flush
-  // markers and acknowledged under the barrier mutex, so reading their
-  // state here is race-free: nothing else is in their queues (the driver
-  // is the only thread pushing, and the helpers are parked).
+  // All shards have drained their whole queue column up to the markers and
+  // acknowledged under the barrier mutex, so reading their state here is
+  // race-free: nothing else is in their queues (the driver is the only
+  // thread pushing, and the helpers are parked).
   RebuildMergedSnapshot();
 }
 

@@ -128,6 +128,15 @@ class ShardedRuntime {
   /// acknowledged.
   void FlushEpoch();
 
+  /// Quiescence barrier *without* flushing: drains every queue of the
+  /// matrix and rebuilds the merged snapshot, but leaves each shard's LFTA
+  /// tables mid-epoch (occupied). This is the barrier the adaptive engine
+  /// snapshots and estimates statistics at — table occupancy is the
+  /// group-count signal, and an epoch flush would destroy it. After the
+  /// call the same contract as FlushEpoch holds: shard(i)/shard_stats() are
+  /// race-free until the next ProcessRecord/ProcessBatch.
+  void Quiesce();
+
   /// Merged results across shards, as of the last FlushEpoch barrier.
   const Hfta& hfta() const { return *merged_hfta_; }
   /// Aggregated counters across shards, as of the last FlushEpoch barrier.
@@ -169,9 +178,10 @@ class ShardedRuntime {
   /// matrix column is drained.
   struct Envelope {
     enum class Kind : uint8_t {
-      kBatch,  ///< Process records[0..count).
-      kFlush,  ///< Flush the shard's epoch and acknowledge the barrier.
-      kStop,   ///< Exit the worker loop (destructor only).
+      kBatch,    ///< Process records[0..count).
+      kFlush,    ///< Flush the shard's epoch and acknowledge the barrier.
+      kQuiesce,  ///< Acknowledge the barrier without flushing (Quiesce()).
+      kStop,     ///< Exit the worker loop (destructor only).
     };
     Kind kind = Kind::kBatch;
     uint16_t count = 0;
@@ -213,6 +223,10 @@ class ShardedRuntime {
   /// Pushes every non-empty staging envelope of every producer. Driver-only,
   /// requires quiescent producers (FlushEpoch and destructor).
   void FlushStaging();
+  /// Shared body of FlushEpoch/Quiesce: delivers staged records, pushes one
+  /// `kind` marker down every queue of the matrix, waits for every shard's
+  /// acknowledgement, then rebuilds the merged snapshot.
+  void RunBarrier(Envelope::Kind kind);
   void WorkerLoop(int shard);
   void ProducerLoop(int producer);
   /// Rebuilds merged_hfta_/merged_counters_ from the quiescent shards.

@@ -20,6 +20,9 @@ std::vector<uint64_t> SlidingWindowView::WindowEnds() const {
 }
 
 EpochAggregate SlidingWindowView::WindowEndingAt(uint64_t end_pane) const {
+#if STREAMAGG_TELEMETRY_LEVEL >= 2
+  const uint64_t start_ns = TelemetryNowNanos();
+#endif
   EpochAggregate window;
   const std::vector<MetricSpec>& metrics = hfta_->query_metrics(query_index_);
   const uint64_t first_pane =
@@ -32,6 +35,9 @@ EpochAggregate SlidingWindowView::WindowEndingAt(uint64_t end_pane) const {
       if (!inserted) it->second.Merge(state, metrics);
     }
   }
+#if STREAMAGG_TELEMETRY_LEVEL >= 2
+  merge_ns_.Record(TelemetryNowNanos() - start_ns);
+#endif
   return window;
 }
 

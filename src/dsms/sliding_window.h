@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "dsms/hfta.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace streamagg {
@@ -37,6 +38,12 @@ class SlidingWindowView {
   /// Total record count inside the window (sums group counts).
   uint64_t WindowTotalCount(uint64_t end_pane) const;
 
+  /// Wall-nanosecond latency of every pane merge this view performed (one
+  /// sample per WindowEndingAt call — the per-window merge cost of the
+  /// panes technique). Recorded at the kFull compile tier
+  /// (STREAMAGG_TELEMETRY_LEVEL >= 2); empty when compiled out.
+  const LogHistogram& merge_latency() const { return merge_ns_; }
+
  private:
   SlidingWindowView(const Hfta* hfta, int query_index, int panes_per_window)
       : hfta_(hfta),
@@ -46,6 +53,9 @@ class SlidingWindowView {
   const Hfta* hfta_;
   int query_index_;
   int panes_per_window_;
+  /// Mutable: WindowEndingAt is logically const (it only reads results);
+  /// the latency tally is observability, not state.
+  mutable LogHistogram merge_ns_;
 };
 
 }  // namespace streamagg

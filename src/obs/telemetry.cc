@@ -116,6 +116,30 @@ TableTelemetry TableFromJson(const JsonValue& v) {
   return t;
 }
 
+JsonValue ReplanToJson(const ReplanEvent& e) {
+  JsonValue out = JsonValue::Object();
+  out.Set("epoch", JsonValue::Number(e.epoch));
+  out.Set("trigger_relation", JsonValue::Str(e.trigger_relation));
+  out.Set("drift", JsonValue::Number(e.drift));
+  out.Set("replanned_nodes",
+          JsonValue::Number(static_cast<int64_t>(e.replanned_nodes)));
+  out.Set("pinned_nodes",
+          JsonValue::Number(static_cast<int64_t>(e.pinned_nodes)));
+  out.Set("optimize_millis", JsonValue::Number(e.optimize_millis));
+  return out;
+}
+
+ReplanEvent ReplanFromJson(const JsonValue& v) {
+  ReplanEvent e;
+  e.epoch = v.Get("epoch").AsUint64();
+  e.trigger_relation = v.Get("trigger_relation").AsString();
+  e.drift = v.Get("drift").AsDouble();
+  e.replanned_nodes = static_cast<int>(v.Get("replanned_nodes").AsInt64());
+  e.pinned_nodes = static_cast<int>(v.Get("pinned_nodes").AsInt64());
+  e.optimize_millis = v.Get("optimize_millis").AsDouble();
+  return e;
+}
+
 std::string FormatHistogramLine(const char* name, const LogHistogram& h) {
   char buffer[192];
   if (h.count() == 0) {
@@ -173,6 +197,9 @@ void TelemetrySnapshot::MergeFrom(const TelemetrySnapshot& other) {
   shards.insert(shards.end(), other.shards.begin(), other.shards.end());
   producers.insert(producers.end(), other.producers.begin(),
                    other.producers.end());
+  // Re-plan history is engine-level: shard replicas never carry any, so
+  // concatenation is the identity there and a plain union otherwise.
+  replans.insert(replans.end(), other.replans.begin(), other.replans.end());
   if (hfta_groups.size() < other.hfta_groups.size()) {
     hfta_groups.resize(other.hfta_groups.size());
   }
@@ -220,6 +247,9 @@ std::string TelemetrySnapshot::ToJsonLine() const {
   JsonValue groups = JsonValue::Array();
   for (uint64_t g : hfta_groups) groups.Append(JsonValue::Number(g));
   root.Set("hfta_groups", std::move(groups));
+  JsonValue replan_array = JsonValue::Array();
+  for (const ReplanEvent& e : replans) replan_array.Append(ReplanToJson(e));
+  root.Set("replans", std::move(replan_array));
   JsonValue histograms = JsonValue::Object();
   histograms.Set("batch_records", HistogramToJson(batch_records));
   histograms.Set("batch_ns", HistogramToJson(batch_ns));
@@ -276,6 +306,13 @@ Result<TelemetrySnapshot> TelemetrySnapshot::FromJsonLine(
   const JsonValue& groups = root.Get("hfta_groups");
   for (size_t q = 0; q < groups.size(); ++q) {
     s.hfta_groups.push_back(groups.at(q).AsUint64());
+  }
+  // Absent in snapshots serialized before drift-driven re-planning.
+  if (root.Has("replans")) {
+    const JsonValue& replan_array = root.Get("replans");
+    for (size_t i = 0; i < replan_array.size(); ++i) {
+      s.replans.push_back(ReplanFromJson(replan_array.at(i)));
+    }
   }
   const JsonValue& histograms = root.Get("histograms");
   s.batch_records = HistogramFromJson(histograms.Get("batch_records"));
@@ -347,6 +384,18 @@ std::string TelemetrySnapshot::ToTable() const {
     for (size_t q = 0; q < hfta_groups.size(); ++q) {
       std::snprintf(buffer, sizeof(buffer), " q%zu=%llu", q,
                     static_cast<unsigned long long>(hfta_groups[q]));
+      out += buffer;
+    }
+    out += '\n';
+  }
+  if (!replans.empty()) {
+    out += "re-plans:";
+    for (const ReplanEvent& e : replans) {
+      std::snprintf(buffer, sizeof(buffer),
+                    " [epoch %llu %s drift %+0.4f rebuilt %d pinned %d]",
+                    static_cast<unsigned long long>(e.epoch),
+                    e.trigger_relation.c_str(), e.drift, e.replanned_nodes,
+                    e.pinned_nodes);
       out += buffer;
     }
     out += '\n';

@@ -89,6 +89,21 @@ struct ProducerTelemetry {
   bool operator==(const ProducerTelemetry&) const = default;
 };
 
+/// One adaptive re-plan, as recorded by the engine at the epoch barrier
+/// where it fired: which relation's drift trend triggered it, how wide the
+/// drift was, and how much of the configuration was actually rebuilt
+/// (subtree-pinned re-plans keep the non-drifted trees' tables untouched).
+struct ReplanEvent {
+  uint64_t epoch = 0;           ///< Epoch whose boundary triggered the swap.
+  std::string trigger_relation; ///< Worst-drifting table, schema-formatted.
+  double drift = 0.0;           ///< Its observed - predicted rate gap.
+  int replanned_nodes = 0;      ///< Relations rebuilt by the optimizer.
+  int pinned_nodes = 0;         ///< Relations kept from the old plan.
+  double optimize_millis = 0.0;
+
+  bool operator==(const ReplanEvent&) const = default;
+};
+
 /// Point-in-time state of a whole engine/runtime: counters, per-table
 /// stats, per-shard ingest stats, HFTA gauges and latency histograms.
 /// Serializable to one JSON line (ToJsonLine/FromJsonLine round-trip
@@ -108,6 +123,9 @@ struct TelemetrySnapshot {
   std::vector<ProducerTelemetry> producers;  ///< Empty for serial runtimes.
   /// Result rows held in the HFTA, per query (Hfta::TotalGroups).
   std::vector<uint64_t> hfta_groups;
+  /// Adaptive re-plans up to this snapshot, oldest first (engine-level;
+  /// empty for raw runtime snapshots and non-adaptive engines).
+  std::vector<ReplanEvent> replans;
   // Latency histograms (kFull tier; empty otherwise).
   LogHistogram batch_records;
   LogHistogram batch_ns;

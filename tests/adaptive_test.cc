@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <span>
+
 #include "stream/trace_stats.h"
 #include "stream/uniform_generator.h"
 
@@ -112,6 +115,201 @@ TEST(AdaptiveControllerTest, OccupancyRecoversGroupCounts) {
           << AttributeSet(mask).ToString();
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Occupancy-inversion property: g = log(1 - occ/b) / log(1 - 1/b) must
+// recover the group count that produced the expected occupancy
+// occ = b (1 - (1 - 1/b)^g), across bucket counts and loads.
+
+TEST(AdaptiveControllerTest, InvertOccupancyRecoversKnownGroupCounts) {
+  for (const double b : {64.0, 256.0, 1024.0, 8192.0}) {
+    for (const double g :
+         {1.0, b / 8.0, b / 2.0, b, 2.0 * b, 4.0 * b}) {
+      const double occ = b * (1.0 - std::pow(1.0 - 1.0 / b, g));
+      const double estimated = AdaptiveController::InvertOccupancy(occ, b);
+      if (occ >= b - 0.5) {
+        // Past ~95% occupancy the map is no longer invertible: the lower
+        // bound takes over.
+        EXPECT_DOUBLE_EQ(estimated, 3.0 * b) << "b=" << b << " g=" << g;
+      } else {
+        // Exact expected occupancy inverts back exactly (up to fp error).
+        EXPECT_NEAR(estimated, g, 1e-6 * g + 1e-6)
+            << "b=" << b << " g=" << g;
+      }
+    }
+  }
+}
+
+TEST(AdaptiveControllerTest, InvertOccupancyToleratesIntegerOccupancy) {
+  // Real tables report whole occupied buckets; rounding the occupancy must
+  // not move the estimate by more than a few percent.
+  for (const double b : {256.0, 1024.0, 8192.0}) {
+    for (const double g : {b / 4.0, b, 2.0 * b}) {
+      const double occ =
+          std::round(b * (1.0 - std::pow(1.0 - 1.0 / b, g)));
+      const double estimated = AdaptiveController::InvertOccupancy(occ, b);
+      EXPECT_NEAR(estimated, g, 0.05 * g + 2.0) << "b=" << b << " g=" << g;
+    }
+  }
+}
+
+TEST(AdaptiveControllerTest, InvertOccupancyEdgeCases) {
+  // Cold tables carry no signal.
+  EXPECT_DOUBLE_EQ(AdaptiveController::InvertOccupancy(0.0, 1024.0), 0.0);
+  EXPECT_DOUBLE_EQ(AdaptiveController::InvertOccupancy(-3.0, 1024.0), 0.0);
+  // Saturated tables report the ~3b lower bound, including exactly at the
+  // cutoff and at full occupancy.
+  EXPECT_DOUBLE_EQ(AdaptiveController::InvertOccupancy(1023.5, 1024.0),
+                   3072.0);
+  EXPECT_DOUBLE_EQ(AdaptiveController::InvertOccupancy(1024.0, 1024.0),
+                   3072.0);
+  // Just below the cutoff the inversion is finite and far above b.
+  const double near_full =
+      AdaptiveController::InvertOccupancy(1023.0, 1024.0);
+  EXPECT_TRUE(std::isfinite(near_full));
+  EXPECT_GT(near_full, 2.0 * 1024.0);
+  // Degenerate single-bucket tables fall back to the occupancy itself.
+  EXPECT_DOUBLE_EQ(AdaptiveController::InvertOccupancy(1.0, 1.0), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Trend-vs-threshold: AssessTrend judges synthetic snapshot histories. Only
+// the fields the trend check reads matter: per-table lifetime
+// probe/collision tallies and the model prediction.
+
+/// Appends "one more epoch" with the given per-epoch collision rate to a
+/// cumulative history (10000 probes per epoch, prediction fixed at 0.1).
+void AppendEpoch(std::vector<TelemetrySnapshot>* history, double rate) {
+  constexpr uint64_t kEpochProbes = 10000;
+  TelemetrySnapshot snap;
+  if (!history->empty()) snap = history->back();
+  snap.epoch = history->size();
+  if (snap.tables.empty()) {
+    TableTelemetry table;
+    table.relation = "AB";
+    table.num_buckets = 1024;
+    table.predicted_collision_rate = 0.1;
+    snap.tables.push_back(table);
+  }
+  TableTelemetry& table = snap.tables[0];
+  table.probes += kEpochProbes;
+  table.collisions += static_cast<uint64_t>(rate * kEpochProbes);
+  table.observed_collision_rate =
+      static_cast<double>(table.collisions) /
+      static_cast<double>(table.probes);
+  history->push_back(std::move(snap));
+}
+
+/// A controller whose AssessTrend options are the defaults (K = 2). The
+/// trend check reads predictions off the snapshots, so any plan works for
+/// construction.
+struct TrendFixture {
+  Scenario scenario = MakeScenario(1000, 83);
+  PreciseCollisionModel precise;
+  CostModel cost_model{&scenario.catalog, &precise, CostParams{1.0, 50.0}};
+  AdaptiveController controller{&cost_model, &scenario.plan};
+};
+
+TEST(AdaptiveControllerTest, TrendSingleEpochSpikeDoesNotTrigger) {
+  TrendFixture f;
+  std::vector<TelemetrySnapshot> history;
+  AppendEpoch(&history, 0.1);  // On plan.
+  AppendEpoch(&history, 0.1);
+  AppendEpoch(&history, 0.6);  // One-epoch burst.
+  // At the spike, the window still holds a calm epoch.
+  EXPECT_FALSE(f.controller.AssessTrend(history).should_replan);
+  AppendEpoch(&history, 0.1);  // Burst gone.
+  EXPECT_FALSE(f.controller.AssessTrend(history).should_replan);
+}
+
+TEST(AdaptiveControllerTest, TrendConsecutiveWideningEpochsTrigger) {
+  TrendFixture f;
+  std::vector<TelemetrySnapshot> history;
+  AppendEpoch(&history, 0.1);
+  AppendEpoch(&history, 0.45);  // Drift appears...
+  EXPECT_FALSE(f.controller.AssessTrend(history).should_replan)
+      << "one drifted epoch must not trigger with trend_epochs = 2";
+  AppendEpoch(&history, 0.5);  // ...and widens: sustained.
+  const auto verdict = f.controller.AssessTrend(history);
+  EXPECT_TRUE(verdict.should_replan);
+  ASSERT_EQ(verdict.drifted_tables, std::vector<int>{0});
+  EXPECT_EQ(verdict.max_table, 0);
+  EXPECT_NEAR(verdict.max_drift, 0.4, 1e-9);
+  EXPECT_NEAR(verdict.max_deviation, 4.0, 1e-9);
+}
+
+TEST(AdaptiveControllerTest, TrendPlateauTriggersDecaySpikeDoesNot) {
+  // A post-shift plateau (drift flat at the new level) is a real shift; a
+  // spike already collapsing is not worth a re-plan.
+  TrendFixture plateau;
+  std::vector<TelemetrySnapshot> flat;
+  AppendEpoch(&flat, 0.5);
+  AppendEpoch(&flat, 0.48);  // Within the widening slack of 0.5.
+  EXPECT_TRUE(plateau.controller.AssessTrend(flat).should_replan);
+
+  TrendFixture decay;
+  std::vector<TelemetrySnapshot> shrinking;
+  AppendEpoch(&shrinking, 0.5);
+  AppendEpoch(&shrinking, 0.3);  // Drift fell 0.4 -> 0.2: collapsing.
+  EXPECT_FALSE(decay.controller.AssessTrend(shrinking).should_replan);
+}
+
+TEST(AdaptiveControllerTest, TrendRatesBelowPlanNeverTrigger) {
+  TrendFixture f;
+  std::vector<TelemetrySnapshot> history;
+  for (int i = 0; i < 6; ++i) AppendEpoch(&history, 0.02);  // Below 0.1 plan.
+  const auto verdict = f.controller.AssessTrend(history);
+  EXPECT_FALSE(verdict.should_replan);
+  EXPECT_TRUE(verdict.drifted_tables.empty());
+  EXPECT_DOUBLE_EQ(verdict.max_deviation, 0.0);
+}
+
+TEST(AdaptiveControllerTest, TrendPlanSwapResetsTheWindow) {
+  // A runtime swap resets the lifetime tallies; the drifting epochs before
+  // the swap must not count toward the new plan's trend.
+  TrendFixture f;
+  std::vector<TelemetrySnapshot> history;
+  AppendEpoch(&history, 0.1);
+  AppendEpoch(&history, 0.5);
+  AppendEpoch(&history, 0.5);
+  EXPECT_TRUE(f.controller.AssessTrend(history).should_replan);
+  // Fresh plan: tallies restart from zero — discontinuous with the past.
+  TelemetrySnapshot fresh;
+  TableTelemetry table;
+  table.relation = "AB";
+  table.num_buckets = 1024;
+  table.predicted_collision_rate = 0.1;
+  table.probes = 10000;
+  table.collisions = 5000;  // Still high, but only one epoch of evidence.
+  table.observed_collision_rate = 0.5;
+  fresh.tables.push_back(table);
+  fresh.epoch = history.back().epoch + 1;
+  history.push_back(fresh);
+  EXPECT_FALSE(f.controller.AssessTrend(history).should_replan);
+}
+
+TEST(AdaptiveControllerTest, TrendIgnoresThinEpochsAndMissingPredictions) {
+  TrendFixture f;
+  // Two drifted epochs, but the latest one saw almost no traffic: the
+  // per-epoch probe floor keeps it from counting.
+  std::vector<TelemetrySnapshot> history;
+  AppendEpoch(&history, 0.5);
+  TelemetrySnapshot thin = history.back();
+  thin.epoch++;
+  thin.tables[0].probes += 10;  // Far below min_probes_per_table.
+  thin.tables[0].collisions += 8;
+  history.push_back(thin);
+  EXPECT_FALSE(f.controller.AssessTrend(history).should_replan);
+
+  // Same traffic without a model prediction can never trigger.
+  std::vector<TelemetrySnapshot> unpredicted;
+  AppendEpoch(&unpredicted, 0.5);
+  AppendEpoch(&unpredicted, 0.5);
+  for (TelemetrySnapshot& snap : unpredicted) {
+    snap.tables[0].predicted_collision_rate = TableTelemetry::kNoPrediction;
+  }
+  EXPECT_FALSE(f.controller.AssessTrend(unpredicted).should_replan);
 }
 
 }  // namespace

@@ -299,13 +299,16 @@ TEST(ShardedRuntimeTest, EngineShardedMatchesSerialEngine) {
   EXPECT_EQ(serial->counters().records, sharded->counters().records);
 }
 
-TEST(ShardedRuntimeTest, EngineRejectsAdaptiveSharding) {
+TEST(ShardedRuntimeTest, EngineAcceptsAdaptiveSharding) {
+  // Adaptive + sharded is a supported combination: the drift check and plan
+  // swap run at the quiescence barrier (tests/adaptive_differential_test.cc
+  // exercises the behavior; this covers the validation surface).
   const Schema schema = *Schema::Default(4);
   std::vector<QueryDef> queries = {QueryDef(*schema.ParseAttributeSet("AB"))};
   StreamAggEngine::Options options;
   options.num_shards = 4;
   options.adaptive = true;
-  EXPECT_FALSE(StreamAggEngine::FromQueryDefs(schema, queries, options).ok());
+  EXPECT_TRUE(StreamAggEngine::FromQueryDefs(schema, queries, options).ok());
   options.adaptive = false;
   options.num_shards = 0;
   EXPECT_FALSE(StreamAggEngine::FromQueryDefs(schema, queries, options).ok());
@@ -337,16 +340,6 @@ TEST(ShardedRuntimeTest, EngineValidationCoversProducerCombinations) {
   options.shard_queue_capacity = 1;
   expect_rejected(options, "shard_queue_capacity", "(got 1)");
 
-  options = {};
-  options.adaptive = true;
-  options.num_shards = 2;
-  expect_rejected(options, "adaptive", "num_shards = 2");
-
-  options = {};
-  options.adaptive = true;
-  options.num_producers = 4;
-  expect_rejected(options, "adaptive", "num_producers = 4");
-
   // Valid combinations still construct.
   options = {};
   options.num_producers = 2;
@@ -354,6 +347,18 @@ TEST(ShardedRuntimeTest, EngineValidationCoversProducerCombinations) {
   EXPECT_TRUE(StreamAggEngine::FromQueryDefs(schema, queries, options).ok());
   options = {};
   options.adaptive = true;  // Serial adaptive stays allowed.
+  EXPECT_TRUE(StreamAggEngine::FromQueryDefs(schema, queries, options).ok());
+
+  // Adaptive composes with sharding and parallel ingest: the drift check
+  // and plan swap happen at the quiescence barrier.
+  options = {};
+  options.adaptive = true;
+  options.num_shards = 2;
+  EXPECT_TRUE(StreamAggEngine::FromQueryDefs(schema, queries, options).ok());
+  options = {};
+  options.adaptive = true;
+  options.num_producers = 4;
+  options.num_shards = 4;
   EXPECT_TRUE(StreamAggEngine::FromQueryDefs(schema, queries, options).ok());
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/configuration.h"
+#include "dsms/sliding_window.h"
 #include "obs/metrics.h"
 #include "stream/uniform_generator.h"
 #include "stream/zipf_generator.h"
@@ -166,6 +167,8 @@ TelemetrySnapshot HandCraftedSnapshot() {
   snap.producers.push_back(ProducerTelemetry{1200, 9, -1, -1});
   snap.producers.push_back(ProducerTelemetry{797, 12, 5, 1});
   snap.hfta_groups = {123, 0, 456789};
+  snap.replans.push_back(ReplanEvent{40, "AB", 0.3125, 3, 2, 1.5});
+  snap.replans.push_back(ReplanEvent{41, "CD", 0.125, 1, 4, 0.25});
   snap.batch_records.Record(64);
   snap.batch_ns.Record(123456);
   snap.flush_ns.Record(std::numeric_limits<uint64_t>::max());
@@ -232,6 +235,46 @@ TEST(TelemetrySnapshotTest, FromJsonLineAcceptsPreProducerSnapshots) {
   auto restored = TelemetrySnapshot::FromJsonLine(line);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString() << "\n" << line;
   EXPECT_TRUE(*restored == old);
+}
+
+TEST(TelemetrySnapshotTest, FromJsonLineAcceptsPreReplanSnapshots) {
+  // Lines serialized before drift-driven re-planning carry no "replans"
+  // array; they must still parse, with an empty re-plan history.
+  TelemetrySnapshot old = HandCraftedSnapshot();
+  old.replans.clear();
+  std::string line = old.ToJsonLine();
+  const std::string key = "\"replans\":[]";
+  const size_t at = line.find(key);
+  ASSERT_NE(at, std::string::npos) << line;
+  size_t len = key.size();
+  if (at + len < line.size() && line[at + len] == ',') ++len;
+  line.erase(at, len);
+
+  auto restored = TelemetrySnapshot::FromJsonLine(line);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString() << "\n" << line;
+  EXPECT_TRUE(*restored == old);
+}
+
+TEST(TelemetrySnapshotTest, MergeConcatenatesReplans) {
+  // Re-plan history is engine-level (shard replicas never carry any), so
+  // the merge algebra for it is plain concatenation in call order.
+  TelemetrySnapshot a;
+  a.replans.push_back(ReplanEvent{3, "AB", 0.25, 2, 1, 0.5});
+  TelemetrySnapshot b;
+  b.replans.push_back(ReplanEvent{5, "BC", 0.5, 4, 0, 1.0});
+  b.replans.push_back(ReplanEvent{7, "CD", 0.75, 1, 3, 2.0});
+  a.MergeFrom(b);
+  ASSERT_EQ(a.replans.size(), 3u);
+  EXPECT_EQ(a.replans[0].trigger_relation, "AB");
+  EXPECT_EQ(a.replans[1].trigger_relation, "BC");
+  EXPECT_EQ(a.replans[2].trigger_relation, "CD");
+}
+
+TEST(TelemetrySnapshotTest, ToTableMentionsReplans) {
+  const TelemetrySnapshot snap = HandCraftedSnapshot();
+  const std::string table = snap.ToTable();
+  EXPECT_NE(table.find("re-plans:"), std::string::npos);
+  EXPECT_NE(table.find("epoch 40"), std::string::npos);
 }
 
 TEST(TelemetrySnapshotTest, FromJsonLineRejectsGarbage) {
@@ -441,6 +484,31 @@ TEST(TelemetrySnapshotTest, FullLevelPopulatesHistograms) {
               t.collisions + t.flushed_entries)
         << t.relation;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Sliding-window pane-merge latency
+
+TEST(SlidingWindowTelemetryTest, PaneMergeLatencyIsRecorded) {
+  // Every WindowEndingAt call is one pane merge and contributes exactly one
+  // latency sample (at the kFull compile tier; compiled out below it).
+  Hfta hfta(1);
+  GroupKey key;
+  key.size = 1;
+  key.values[0] = 7;
+  hfta.Add(0, 0, key, AggregateState::FromCount(3));
+  hfta.Add(0, 1, key, AggregateState::FromCount(4));
+  auto view = SlidingWindowView::Make(&hfta, 0, 2);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->merge_latency().count(), 0u);
+  EXPECT_EQ(view->WindowEndingAt(1).at(key).count, 7u);
+  EXPECT_EQ(view->WindowEndingAt(0).at(key).count, 3u);
+  EXPECT_EQ(view->WindowTotalCount(1), 7u);  // Merges via WindowEndingAt.
+#if STREAMAGG_TELEMETRY_LEVEL >= 2
+  EXPECT_EQ(view->merge_latency().count(), 3u);
+#else
+  EXPECT_EQ(view->merge_latency().count(), 0u);
+#endif
 }
 
 }  // namespace
