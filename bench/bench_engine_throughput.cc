@@ -450,4 +450,78 @@ BENCHMARK(BM_EngineTelemetryOverhead)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
+// Offered-load sweep for the overload controller (docs/overload.md): the
+// batched-ingest loop with the cost-priced shedding floor pinned to the
+// load factor the sweep point simulates — load_pct/100 = F, floor
+// 1 - 1/F (the engine_monitor --overload convention), so 50%/100% shed
+// nothing and 150%/200% shed 1/3 and 1/2 of every raw probe. Reports
+// whole-run records/sec next to the realized shed fraction and the p99
+// epoch-boundary gap, the three columns of the EXPERIMENTS.md overload
+// table: throughput should *rise* with the shed fraction (dropped probes
+// are cycles not spent) while the epoch gap stays flat.
+void BM_EngineOverload(benchmark::State& state) {
+  const size_t batch_size = 64;
+  const double load = static_cast<double>(state.range(0)) / 100.0;
+  const Schema schema = *Schema::Default(4);
+  auto gen = std::move(UniformGenerator::Make(schema, 2837, 7)).value();
+  std::vector<QueryDef> queries = {
+      QueryDef(*schema.ParseAttributeSet("AB")),
+      QueryDef(*schema.ParseAttributeSet("BC")),
+      QueryDef(*schema.ParseAttributeSet("BD")),
+      QueryDef(*schema.ParseAttributeSet("CD"))};
+  StreamAggEngine::Options options;
+  options.memory_words = 40000;
+  options.sample_size = 20000;
+  options.epoch_seconds = 1.0;
+  options.clustered = false;
+  options.overload.enabled = true;
+  options.overload.min_shed_fraction = std::max(0.0, 1.0 - 1.0 / load);
+  auto engine =
+      std::move(StreamAggEngine::FromQueryDefs(schema, queries, options))
+          .value();
+  // Drive past the sampling phase so the loop measures steady state.
+  double t = 0.0;
+  for (size_t i = 0; i <= options.sample_size; ++i) {
+    Record r = gen->Next();
+    r.timestamp = t;
+    (void)engine->Process(r);
+  }
+  std::vector<Record> replay(1 << 16);
+  for (Record& r : replay) r = gen->Next();
+  double total_millis = 0.0;
+  for (auto _ : state) {
+    double millis = 0.0;
+    {
+      ScopedTimer timer(&millis);
+      for (size_t base = 0; base < replay.size(); base += batch_size) {
+        const size_t n = std::min(batch_size, replay.size() - base);
+        for (size_t i = 0; i < n; ++i) {
+          t += 1e-5;  // ~100k records per epoch: boundaries stay in play.
+          replay[base + i].timestamp = t;
+        }
+        (void)engine->ProcessBatch(
+            std::span<const Record>(replay.data() + base, n));
+      }
+    }
+    state.SetIterationTime(millis / 1000.0);
+    total_millis += millis;
+  }
+  const double processed = static_cast<double>(state.iterations()) *
+                           static_cast<double>(replay.size());
+  state.SetItemsProcessed(static_cast<int64_t>(processed));
+  state.counters["records_per_sec"] = processed / (total_millis / 1000.0);
+  const TelemetrySnapshot snapshot = engine->telemetry();
+  state.counters["shed_fraction"] = snapshot.shedding.shed_fraction;
+  state.counters["p99_epoch_gap_ns"] = static_cast<double>(
+      snapshot.epoch_gap_ns.PercentileUpperBound(0.99));
+}
+BENCHMARK(BM_EngineOverload)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(150)
+    ->Arg(200)
+    ->ArgNames({"load_pct"})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace

@@ -6,10 +6,20 @@
 // The scenario: a monitor on a netflow-like link watching per-endpoint and
 // per-pair packet counts in 5-second panes with a 15-second sliding window;
 // halfway through, an address scan multiplies the number of active groups.
+//
+// Flags:
+//   --overload F     replay the same traffic at F x the offered rate
+//                    (timestamps compressed by F) with the overload
+//                    controller armed at a 1 - 1/F shed floor — the
+//                    docs/overload.md operations drill.
+//   --stats-json P   after the run, append the final TelemetrySnapshot as
+//                    one JSON line to file P ("-" for stdout).
 
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/engine.h"
 #include "dsms/sliding_window.h"
@@ -21,8 +31,9 @@ using namespace streamagg;
 namespace {
 
 // 40 seconds of regular flow traffic followed by 20 seconds of scan-heavy
-// traffic (6x the groups).
-Trace ShiftingTraffic() {
+// traffic (6x the groups). `overload` > 1 compresses the timeline by that
+// factor, so the same records arrive as if the link ran overload x faster.
+Trace ShiftingTraffic(double overload) {
   const Schema schema = *Schema::Default(4);
   auto regular = std::move(FlowGenerator::MakePaperTrace({})).value();
   auto scan = std::move(UniformGenerator::Make(schema, 18000, 77)).value();
@@ -30,24 +41,44 @@ Trace ShiftingTraffic() {
   const size_t kRegular = 500000;
   const size_t kScan = 250000;
   trace.Reserve(kRegular + kScan);
-  trace.set_duration_seconds(60.0);
+  trace.set_duration_seconds(60.0 / overload);
   for (size_t i = 0; i < kRegular; ++i) {
     Record r = regular->Next();
-    r.timestamp = 40.0 * static_cast<double>(i) / kRegular;
+    r.timestamp = 40.0 * static_cast<double>(i) / kRegular / overload;
     trace.Append(r);
   }
   for (size_t i = 0; i < kScan; ++i) {
     Record r = scan->Next();
-    r.timestamp = 40.0 + 20.0 * static_cast<double>(i) / kScan;
+    r.timestamp =
+        (40.0 + 20.0 * static_cast<double>(i) / kScan) / overload;
     trace.Append(r);
   }
   return trace;
 }
 
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--overload F] [--stats-json PATH|-]\n", argv0);
+  return 2;
+}
+
 }  // namespace
 
-int main() {
-  const Trace traffic = ShiftingTraffic();
+int main(int argc, char** argv) {
+  double overload = 1.0;
+  const char* stats_json = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--overload") == 0 && i + 1 < argc) {
+      overload = std::atof(argv[++i]);
+      if (!(overload > 0.0)) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
+      stats_json = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  const Trace traffic = ShiftingTraffic(overload);
   const Schema& schema = traffic.schema();
 
   StreamAggEngine::Options options;
@@ -56,6 +87,15 @@ int main() {
   options.adaptive = true;
   // Record a telemetry snapshot per completed epoch for the dashboard below.
   options.telemetry_epoch_snapshots = true;
+  if (overload > 1.0) {
+    // The operations drill from docs/overload.md: arm the controller with
+    // the shed floor matched to the simulated overload factor, so the kept
+    // fraction is what a right-sized link would have carried.
+    options.overload.enabled = true;
+    options.overload.min_shed_fraction = 1.0 - 1.0 / overload;
+    std::printf("overload drill: %.2fx offered load, shed floor %.3f\n",
+                overload, options.overload.min_shed_fraction);
+  }
   auto engine = StreamAggEngine::FromQueryTexts(
       schema,
       {
@@ -88,8 +128,8 @@ int main() {
   // history — cumulative records, the worst model-vs-actual collision-rate
   // drift across tables, and queue/HFTA pressure gauges.
   std::printf("\nper-epoch telemetry dashboard:\n");
-  std::printf("%7s %12s %10s %14s %-14s %10s\n", "epoch", "records",
-              "tables", "worst drift", "(table)", "hfta rows");
+  std::printf("%7s %12s %10s %14s %-14s %10s %8s\n", "epoch", "records",
+              "tables", "worst drift", "(table)", "hfta rows", "shed");
   for (const TelemetrySnapshot& snap : (*engine)->telemetry_history()) {
     double worst_drift = 0.0;
     const TableTelemetry* worst = nullptr;
@@ -103,10 +143,11 @@ int main() {
     uint64_t hfta_rows = 0;
     for (uint64_t g : snap.hfta_groups) hfta_rows += g;
     std::printf("%7" PRIu64 " %12" PRIu64 " %10zu %+14.4f %-14s %10" PRIu64
-                "\n",
+                " %8.4f\n",
                 snap.epoch, snap.counters.records, snap.tables.size(),
                 worst_drift,
-                worst != nullptr ? worst->relation.c_str() : "-", hfta_rows);
+                worst != nullptr ? worst->relation.c_str() : "-", hfta_rows,
+                snap.shedding.shed_fraction);
   }
 
   // Final state, rendered the same way `streamagg_cli --stats` does.
@@ -141,6 +182,21 @@ int main() {
                 end >= 2 ? (end - 2) * 5 : 0, (end + 1) * 5,
                 window->WindowEndingAt(end).size(),
                 window->WindowTotalCount(end));
+  }
+
+  if (stats_json != nullptr) {
+    const std::string line = (*engine)->telemetry().ToJsonLine();
+    if (std::strcmp(stats_json, "-") == 0) {
+      std::printf("%s\n", line.c_str());
+    } else {
+      std::FILE* out = std::fopen(stats_json, "a");
+      if (out == nullptr) {
+        std::fprintf(stderr, "stats-json: cannot open %s\n", stats_json);
+        return 1;
+      }
+      std::fprintf(out, "%s\n", line.c_str());
+      std::fclose(out);
+    }
   }
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace streamagg {
 
@@ -31,6 +32,16 @@ bool SnapshotsContinuous(const TelemetrySnapshot& prev,
 }
 
 }  // namespace
+
+bool SustainedTrend(std::span<const double> window, double floor,
+                    double slack) {
+  if (window.empty()) return false;
+  for (size_t w = 0; w < window.size(); ++w) {
+    if (window[w] < floor) return false;
+    if (w > 0 && window[w] < window[w - 1] * (1.0 - slack)) return false;
+  }
+  return true;
+}
 
 AdaptiveController::AdaptiveController(const CostModel* cost_model,
                                        const OptimizedPlan* plan,
@@ -113,18 +124,20 @@ AdaptiveController::TrendVerdict AdaptiveController::AssessTrend(
     }
     // Sustained trend: every epoch in the window beyond both thresholds,
     // and never shrinking by more than the slack — a plateau at the new
-    // level keeps triggering, a decaying spike does not.
-    bool sustained = true;
-    for (size_t w = 0; w < k && sustained; ++w) {
+    // level keeps triggering, a decaying spike does not. Epochs that are
+    // invalid or below the deviation threshold encode as -infinity, which
+    // SustainedTrend can never accept.
+    std::vector<double> drifts(k);
+    for (size_t w = 0; w < k; ++w) {
       const EpochObservation& obs = window[w];
-      sustained = obs.valid && obs.drift >= options_.absolute_floor &&
-                  obs.deviation > options_.deviation_threshold;
-      if (sustained && w > 0) {
-        sustained = obs.drift >=
-                    window[w - 1].drift * (1.0 - options_.widening_slack);
-      }
+      drifts[w] = obs.valid && obs.deviation > options_.deviation_threshold
+                      ? obs.drift
+                      : -std::numeric_limits<double>::infinity();
     }
-    if (!sustained) continue;
+    if (!SustainedTrend(drifts, options_.absolute_floor,
+                        options_.widening_slack)) {
+      continue;
+    }
     verdict.drifted_tables.push_back(static_cast<int>(t));
     const EpochObservation& last = window[k - 1];
     if (last.deviation > verdict.max_deviation || verdict.max_table < 0) {

@@ -12,6 +12,16 @@
 
 namespace streamagg {
 
+/// The shared K-epoch trend rule (AdaptiveController::AssessTrend and the
+/// overload controller — docs/overload.md): true when every value in
+/// `window` clears `floor` and never shrinks epoch-over-epoch by more than
+/// `slack` (as a fraction of the previous value) — a plateau at the new
+/// level sustains, a decaying one-off spike does not. An empty window never
+/// sustains. Callers encode disqualified epochs (too few probes, below a
+/// secondary threshold) as -infinity.
+bool SustainedTrend(std::span<const double> window, double floor,
+                    double slack);
+
 /// Drift detection and statistics re-estimation for adaptive
 /// re-optimization — the system-level question the paper raises in its
 /// conclusions ("issues related to adaptivity and frequency of execution").

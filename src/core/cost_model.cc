@@ -37,6 +37,26 @@ double CostModel::PerRecordCost(const Configuration& config,
   return cost;
 }
 
+std::vector<double> CostModel::PerRecordCostByRoot(
+    const Configuration& config, const std::vector<double>& buckets) const {
+  const std::vector<double> x = CollisionRates(config, buckets);
+  // Same recurrence as PerRecordCost, but each node's terms are credited to
+  // the root of its feeding tree. Nodes are ordered parents before children,
+  // so root[i] is already resolved when node i is visited.
+  std::vector<double> feed(x.size(), 1.0);
+  std::vector<int> root(x.size(), 0);
+  std::vector<double> by_root(x.size(), 0.0);
+  for (int i = 0; i < config.num_nodes(); ++i) {
+    const Configuration::Node& node = config.node(i);
+    root[i] = node.parent >= 0 ? root[node.parent] : i;
+    if (node.parent >= 0) feed[i] = feed[node.parent] * x[node.parent];
+    double cost = feed[i] * params_.c1;
+    if (node.is_query) cost += feed[i] * x[i] * params_.c2;
+    by_root[static_cast<size_t>(root[i])] += cost;
+  }
+  return by_root;
+}
+
 double CostModel::EndOfEpochCost(const Configuration& config,
                                  const std::vector<double>& buckets) const {
   const std::vector<double> x = CollisionRates(config, buckets);

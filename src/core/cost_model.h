@@ -50,6 +50,15 @@ class CostModel {
   double PerRecordCost(const Configuration& config,
                        const std::vector<double>& buckets) const;
 
+  /// Equation 7 attributed to feeding-tree roots: element r holds the part
+  /// of PerRecordCost contributed by root node r's whole subtree, and is 0
+  /// for non-root nodes. Because every term of Eq 7 belongs to exactly one
+  /// tree, the vector sums to PerRecordCost exactly — this is the price (in
+  /// c1-cycles per record) that shedding one record at root r's raw-relation
+  /// probe saves (docs/overload.md).
+  std::vector<double> PerRecordCostByRoot(
+      const Configuration& config, const std::vector<double>& buckets) const;
+
   /// End-of-epoch update cost E_u (Equation 8): top-down flush; each non-raw
   /// relation R receives feed_R = M_parent + feed_parent * x_parent probes
   /// (c1 each); each query evicts M_R + feed_R * x_R entries (c2 each).

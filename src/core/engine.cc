@@ -8,6 +8,7 @@
 
 #include "core/feeding_graph.h"
 #include "stream/trace_stats.h"
+#include "util/timer.h"
 
 namespace streamagg {
 
@@ -26,6 +27,15 @@ Status StreamAggEngine::ValidateOptions(const Options& options) {
     return Status::InvalidArgument(
         "Options::shard_queue_capacity must be >= 2 (got " +
         std::to_string(options.shard_queue_capacity) + ")");
+  }
+  STREAMAGG_RETURN_NOT_OK(OverloadController::ValidateOptions(options.overload));
+  if (options.overload.enabled &&
+      options.telemetry_level == TelemetryLevel::kOff) {
+    // The controller's pressure signals are the kCounters-tier tallies;
+    // kOff compiles it out of the loop entirely.
+    return Status::InvalidArgument(
+        "Options::overload.enabled requires Options::telemetry_level above "
+        "kOff (got kOff)");
   }
   // adaptive composes with num_shards/num_producers: the drift check and
   // plan swap run at the sharded runtime's quiescence barrier.
@@ -144,18 +154,44 @@ Status StreamAggEngine::InstallRuntime() {
   // The incoming runtime's counters start at zero; reset the accumulation
   // baseline with them (see AccumulateCounters).
   live_counter_baseline_ = RuntimeCounters{};
+  // The overload controller outlives runtime swaps; each new plan only
+  // re-prices its raw relations (and re-derives the shed plan, so the shed
+  // floor stays in force on the fresh runtime).
+  if (options_.overload.enabled) {
+    if (overload_controller_ == nullptr) {
+      overload_controller_ =
+          std::make_unique<OverloadController>(options_.overload);
+    }
+    if (catalog_ != nullptr) {
+      CostModel cost_model(catalog_.get(), collision_model_.get(),
+                           options_.optimizer.cost);
+      overload_controller_->PriceRelations(&cost_model, *plan_, schema_);
+    } else {
+      // Pinned plan without statistics: uniform pricing keeps the shed
+      // floor (and the watermark trend logic) in force.
+      overload_controller_->PriceRelations(nullptr, *plan_, schema_);
+    }
+  }
   if (options_.num_shards > 1 || options_.num_producers > 1) {
     ShardedRuntime::Options sharded_options;
     sharded_options.num_shards = options_.num_shards;
     sharded_options.num_producers = options_.num_producers;
     sharded_options.queue_capacity = options_.shard_queue_capacity;
     sharded_options.pin_threads = options_.pin_threads;
+    if (options_.overload.enabled && options_.overload.rebalance) {
+      sharded_options.rebalance_slots_per_shard =
+          options_.overload.rebalance_slots_per_shard;
+    }
     STREAMAGG_ASSIGN_OR_RETURN(
         std::unique_ptr<ShardedRuntime> sharded,
         ShardedRuntime::Make(schema_, std::move(specs), options_.epoch_seconds,
                              sharded_options));
     sharded_runtime_ = std::move(sharded);
     sharded_runtime_->set_telemetry_level(options_.telemetry_level);
+    if (overload_controller_ != nullptr) {
+      STREAMAGG_RETURN_NOT_OK(
+          sharded_runtime_->SetShedPlan(overload_controller_->shed_plan()));
+    }
     return Status::OK();
   }
   STREAMAGG_ASSIGN_OR_RETURN(
@@ -164,6 +200,10 @@ Status StreamAggEngine::InstallRuntime() {
                                  options_.epoch_seconds));
   runtime_ = std::move(runtime);
   runtime_->set_telemetry_level(options_.telemetry_level);
+  if (overload_controller_ != nullptr) {
+    STREAMAGG_RETURN_NOT_OK(
+        runtime_->SetShedPlan(overload_controller_->shed_plan()));
+  }
   return Status::OK();
 }
 
@@ -282,7 +322,10 @@ Status StreamAggEngine::HandleEpochBoundary(uint64_t next_epoch) {
       RelationCatalog::Synthetic(schema_, std::move(counts), flow_length));
 
   // Retire the current runtime at the boundary: flush its epoch, keep its
-  // results and counters, then swap in the re-planned configuration.
+  // results and counters, then swap in the re-planned configuration. The
+  // barrier work is timed into the event's merge_millis — the swap-latency
+  // companion to optimize_millis (docs/observability.md).
+  Timer merge_timer;
   if (runtime_ != nullptr) {
     runtime_->FlushEpoch();
     accumulated_hfta_->MergeFrom(runtime_->hfta());
@@ -292,6 +335,7 @@ Status StreamAggEngine::HandleEpochBoundary(uint64_t next_epoch) {
     sharded_runtime_->FlushEpoch();
     accumulated_hfta_->MergeFrom(sharded_runtime_->hfta());
   }
+  const double merge_millis = merge_timer.ElapsedMillis();
   AccumulateCounters();
 
   catalog_ = std::make_unique<RelationCatalog>(std::move(next_catalog));
@@ -316,11 +360,45 @@ Status StreamAggEngine::HandleEpochBoundary(uint64_t next_epoch) {
   event.replanned_nodes =
       std::max(0, plan.config.num_nodes() - pinned_nodes);
   event.optimize_millis = plan.optimize_millis;
+  event.merge_millis = merge_millis;
   replan_events_.push_back(std::move(event));
 
   plan_ = std::make_unique<OptimizedPlan>(std::move(plan));
   STREAMAGG_RETURN_NOT_OK(InstallRuntime());
   (void)next_epoch;
+  return Status::OK();
+}
+
+Status StreamAggEngine::HandleOverloadBoundary() {
+  if (overload_controller_ == nullptr ||
+      (runtime_ == nullptr && sharded_runtime_ == nullptr)) {
+    return Status::OK();
+  }
+  // CaptureEpochSnapshot already ran (overload forces capture on): the
+  // history ends at the epoch whose boundary this is, and a sharded runtime
+  // is quiescent behind the capture's Quiesce barrier — both SetShedPlan
+  // and ApplyIngestLayout are driver-only operations specified for exactly
+  // this point.
+  if (overload_controller_->UpdateShedPlan(
+          std::span<const TelemetrySnapshot>(telemetry_history_))) {
+    const ShedPlan& plan = overload_controller_->shed_plan();
+    if (runtime_ != nullptr) {
+      STREAMAGG_RETURN_NOT_OK(runtime_->SetShedPlan(plan));
+    } else {
+      STREAMAGG_RETURN_NOT_OK(sharded_runtime_->SetShedPlan(plan));
+    }
+  }
+  if (sharded_runtime_ != nullptr && sharded_runtime_->num_slots() > 0) {
+    OverloadController::IngestLayout layout =
+        overload_controller_->DecideRebalance(
+            std::span<const TelemetrySnapshot>(telemetry_history_),
+            sharded_runtime_->SlotRecords(), sharded_runtime_->slot_shards(),
+            sharded_runtime_->num_shards(), sharded_runtime_->num_producers());
+    if (layout.changed) {
+      STREAMAGG_RETURN_NOT_OK(sharded_runtime_->ApplyIngestLayout(
+          std::move(layout.slot_shards), std::move(layout.stripe_weights)));
+    }
+  }
   return Status::OK();
 }
 
@@ -354,6 +432,9 @@ Status StreamAggEngine::Process(const Record& record) {
       if (options_.adaptive) {
         STREAMAGG_RETURN_NOT_OK(HandleEpochBoundary(epoch));
       }
+      // After any re-plan: the overload controller re-judges against the
+      // runtime that will actually run the next epoch.
+      STREAMAGG_RETURN_NOT_OK(HandleOverloadBoundary());
       current_epoch_ = epoch;
     } else if (!saw_record_) {
       current_epoch_ = epoch;
@@ -369,9 +450,10 @@ Status StreamAggEngine::Process(const Record& record) {
 
 Status StreamAggEngine::ProcessBatch(std::span<const Record> records) {
   size_t i = 0;
-  // Sampling (buffer fill, possible mid-batch planning) and adaptive
-  // epoch-boundary checks keep the per-record logic.
-  while (i < records.size() && (!planned() || options_.adaptive)) {
+  // Sampling (buffer fill, possible mid-batch planning) and the adaptive /
+  // overload epoch-boundary checks keep the per-record logic.
+  while (i < records.size() &&
+         (!planned() || options_.adaptive || options_.overload.enabled)) {
     STREAMAGG_RETURN_NOT_OK(Process(records[i]));
     ++i;
   }
@@ -494,11 +576,64 @@ void StreamAggEngine::AnnotateSnapshot(TelemetrySnapshot* snapshot) const {
        i < snapshot->tables.size() && i < planned_rates_.size(); ++i) {
     snapshot->tables[i].predicted_collision_rate = planned_rates_[i];
   }
+  if (overload_controller_ != nullptr) {
+    SheddingTelemetry& shed = snapshot->shedding;
+    shed.enabled = true;
+    shed.target_fraction = overload_controller_->target_fraction();
+    // counters() is swap-accumulated, so both tallies are lifetime-exact:
+    // shed_fraction here is the realized drop rate, not the plan's target.
+    shed.offered_records = snapshot->counters.records;
+    shed.shed_probes = snapshot->counters.shed_probes;
+    const std::vector<OverloadController::RelationPrice>& prices =
+        overload_controller_->prices();
+    const ShedPlan& shed_plan = overload_controller_->shed_plan();
+    size_t live_raw = 0;
+    if (runtime_ != nullptr) {
+      live_raw = static_cast<size_t>(runtime_->num_raw_relations());
+    } else if (sharded_runtime_ != nullptr) {
+      live_raw = static_cast<size_t>(
+          sharded_runtime_->shard(0).num_raw_relations());
+    }
+    shed.relations.clear();
+    shed.relations.reserve(prices.size());
+    for (size_t i = 0; i < prices.size(); ++i) {
+      SheddingRelationTelemetry relation;
+      relation.relation = prices[i].relation;
+      relation.price = prices[i].cycles_per_record;
+      relation.shed_fraction =
+          i < shed_plan.numerators.size()
+              ? static_cast<double>(shed_plan.numerators[i]) /
+                    static_cast<double>(ShedPlan::kDenominator)
+              : 0.0;
+      // Per-relation drop counts are the live runtime's (they reset at a
+      // swap; the lifetime total above never does).
+      if (i < live_raw) {
+        relation.shed_records =
+            runtime_ != nullptr
+                ? runtime_->shed_count(static_cast<int>(i))
+                : sharded_runtime_->shed_count(static_cast<int>(i));
+      }
+      shed.relations.push_back(std::move(relation));
+    }
+    shed.shed_fraction =
+        shed.offered_records == 0 || prices.empty()
+            ? 0.0
+            : static_cast<double>(shed.shed_probes) /
+                  (static_cast<double>(shed.offered_records) *
+                   static_cast<double>(prices.size()));
+    shed.accuracy_loss = overload_controller_->accuracy_loss();
+    shed.cycles_saved_per_record =
+        overload_controller_->cycles_saved_per_record();
+    shed.rebalances =
+        static_cast<uint64_t>(overload_controller_->rebalances());
+  }
 }
 
 void StreamAggEngine::CaptureEpochSnapshot(uint64_t completed_epoch) {
-  // Adaptive engines always capture: the trend check reads the history.
-  if ((!options_.telemetry_epoch_snapshots && !options_.adaptive) ||
+  // Adaptive and overload engines always capture: their epoch-boundary
+  // judgments read the history.
+  if ((!options_.telemetry_epoch_snapshots && !options_.adaptive &&
+       !options_.overload.enabled) ||
       (runtime_ == nullptr && sharded_runtime_ == nullptr)) {
     return;
   }
@@ -522,6 +657,12 @@ void StreamAggEngine::CaptureEpochSnapshot(uint64_t completed_epoch) {
     const size_t need = static_cast<size_t>(std::max(
                             1, options_.adaptive_options.trend_epochs)) +
                         1;
+    limit = std::max(limit, need);
+  }
+  if (options_.overload.enabled) {
+    // Same shape for the overload controller's pressure window.
+    const size_t need =
+        static_cast<size_t>(std::max(1, options_.overload.trend_epochs)) + 1;
     limit = std::max(limit, need);
   }
   while (telemetry_history_.size() > limit) {

@@ -10,6 +10,7 @@
 #include "core/adaptive.h"
 #include "core/optimizer.h"
 #include "core/query_language.h"
+#include "dsms/overload_controller.h"
 #include "dsms/sharded_runtime.h"
 #include "obs/telemetry.h"
 #include "stream/trace_stats.h"
@@ -97,6 +98,14 @@ class StreamAggEngine {
     /// Bound on telemetry_history(): oldest snapshots are dropped first.
     /// Adaptive engines keep at least trend_epochs + 1 snapshots.
     size_t telemetry_history_limit = 64;
+    /// Overload controller (dsms/overload_controller.h, docs/overload.md):
+    /// cost-priced load shedding at the raw-relation probes plus ingest
+    /// rebalancing, judged at epoch boundaries from the telemetry history
+    /// (epoch snapshots are forced on, like `adaptive`). Requires
+    /// telemetry_level above kOff — the controller reads the blocked-push
+    /// counters that tier maintains. Composes with `adaptive` and any
+    /// num_producers x num_shards split.
+    OverloadController::Options overload;
   };
 
   /// Builds an engine from queries in the paper's query language. The
@@ -189,6 +198,14 @@ class StreamAggEngine {
   /// matrix so the tables are safe to read.
   Status HandleEpochBoundary(uint64_t next_epoch);
 
+  /// Epoch boundary (overload controller only): re-judges the shed plan
+  /// against the freshly captured snapshot history and installs it into the
+  /// live runtime; for sharded runtimes also asks the controller for an
+  /// ingest-layout rebalance and applies it at the Quiesce barrier the
+  /// capture already ran. Runs after CaptureEpochSnapshot (and after any
+  /// adaptive re-plan, so the plan it sheds against is the live one).
+  Status HandleOverloadBoundary();
+
   /// Builds (or rebuilds) the runtime for `plan_`, carrying the HFTA over.
   Status InstallRuntime();
 
@@ -259,6 +276,9 @@ class StreamAggEngine {
   /// Every adaptive re-plan so far, oldest first; copied into snapshots by
   /// AnnotateSnapshot so the JSON export carries the re-plan lifecycle.
   std::vector<ReplanEvent> replan_events_;
+  /// Present iff Options::overload.enabled; survives runtime swaps (it is
+  /// re-priced, not rebuilt, at InstallRuntime).
+  std::unique_ptr<OverloadController> overload_controller_;
   /// Snapshot taken inside Finish() before the runtime is torn down.
   std::unique_ptr<TelemetrySnapshot> final_snapshot_;
   int reoptimizations_ = 0;

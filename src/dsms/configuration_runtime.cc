@@ -100,6 +100,8 @@ ConfigurationRuntime::ConfigurationRuntime(
   }
   hfta_ = std::make_unique<Hfta>(std::move(query_metrics));
   telemetry_.relations.resize(specs_.size());
+  shed_accum_.resize(raw_relations_.size(), 0);
+  shed_counts_.resize(raw_relations_.size(), 0);
   // Projection plans for the batched hot path: one per raw relation
   // (record -> key) and one per feeding edge (parent key -> child key).
   raw_plans_.reserve(raw_relations_.size());
@@ -114,6 +116,26 @@ ConfigurationRuntime::ConfigurationRuntime(
           ProjectionPlan::ForKey(specs_[rel].attrs, specs_[child].attrs));
     }
   }
+}
+
+Status ConfigurationRuntime::SetShedPlan(const ShedPlan& plan) {
+  if (!plan.numerators.empty() &&
+      plan.numerators.size() != raw_relations_.size()) {
+    return Status::InvalidArgument(
+        "ShedPlan::numerators must be empty or have one entry per raw "
+        "relation (got " + std::to_string(plan.numerators.size()) +
+        ", need " + std::to_string(raw_relations_.size()) + ")");
+  }
+  for (uint32_t n : plan.numerators) {
+    if (n > ShedPlan::kDenominator) {
+      return Status::InvalidArgument(
+          "ShedPlan numerator must be <= " +
+          std::to_string(ShedPlan::kDenominator) + " (got " +
+          std::to_string(n) + ")");
+    }
+  }
+  shed_plan_ = plan;
+  return Status::OK();
 }
 
 template <bool kFlushing>
@@ -188,28 +210,75 @@ void ConfigurationRuntime::ProcessEpochRun(std::span<const Record> records) {
   GroupKey& evicted_key = scratch_evicted_key_;
   AggregateState& evicted_state = scratch_evicted_state_;
   const AggregateState& count_one = count_one_;
+  const bool shedding = shed_plan_.active();
   for (size_t ri = 0; ri < raw_relations_.size(); ++ri) {
     const int rel = raw_relations_[ri];
     LftaHashTable& table = *tables_[rel];
     const ProjectionPlan& plan = raw_plans_[ri];
     const std::vector<MetricSpec>& metrics = specs_[rel].metrics;
     const bool count_only = metrics.empty();
+    const uint32_t shed_num = shedding ? shed_plan_.numerators[ri] : 0;
+    if (shed_num == 0) {
+      for (size_t base = 0; base < records.size(); base += kChunk) {
+        const size_t n = std::min(kChunk, records.size() - base);
+        for (size_t j = 0; j < n; ++j) {
+          keys[j] = plan.Apply(records[base + j]);
+          buckets[j] = table.BucketOf(keys[j]);
+          table.Prefetch(buckets[j]);
+        }
+        counters_.intra_probes += n;
+        for (size_t j = 0; j < n; ++j) {
+          const ProbeOutcome outcome =
+              count_only
+                  ? table.ProbeStateAt(buckets[j], keys[j], count_one,
+                                       &evicted_key, &evicted_state)
+                  : table.ProbeStateAt(
+                        buckets[j], keys[j],
+                        AggregateState::FromRecord(records[base + j], metrics),
+                        &evicted_key, &evicted_state);
+          if (outcome == ProbeOutcome::kCollision) {
+            PropagateEviction</*kFlushing=*/false>(rel, evicted_key,
+                                                   evicted_state);
+          }
+        }
+      }
+      continue;
+    }
+    // Shedding variant (docs/overload.md): an error-diffusion accumulator
+    // drops exactly shed_num out of every kDenominator offered records —
+    // deterministic, evenly spread, and exact in integers. Survivor indices
+    // are gathered per chunk, then the chunk pipeline runs on survivors
+    // only, so the shed records cost one add and one compare each.
+    uint32_t* const survivors = scratch_survivors_.data();
+    uint32_t accum = shed_accum_[ri];
+    uint64_t shed = 0;
     for (size_t base = 0; base < records.size(); base += kChunk) {
       const size_t n = std::min(kChunk, records.size() - base);
+      size_t m = 0;
       for (size_t j = 0; j < n; ++j) {
-        keys[j] = plan.Apply(records[base + j]);
+        accum += shed_num;
+        if (accum >= ShedPlan::kDenominator) {
+          accum -= ShedPlan::kDenominator;
+          ++shed;
+          continue;
+        }
+        survivors[m++] = static_cast<uint32_t>(base + j);
+      }
+      for (size_t j = 0; j < m; ++j) {
+        keys[j] = plan.Apply(records[survivors[j]]);
         buckets[j] = table.BucketOf(keys[j]);
         table.Prefetch(buckets[j]);
       }
-      counters_.intra_probes += n;
-      for (size_t j = 0; j < n; ++j) {
+      counters_.intra_probes += m;
+      for (size_t j = 0; j < m; ++j) {
         const ProbeOutcome outcome =
             count_only
                 ? table.ProbeStateAt(buckets[j], keys[j], count_one,
                                      &evicted_key, &evicted_state)
                 : table.ProbeStateAt(
                       buckets[j], keys[j],
-                      AggregateState::FromRecord(records[base + j], metrics),
+                      AggregateState::FromRecord(records[survivors[j]],
+                                                 metrics),
                       &evicted_key, &evicted_state);
         if (outcome == ProbeOutcome::kCollision) {
           PropagateEviction</*kFlushing=*/false>(rel, evicted_key,
@@ -217,6 +286,9 @@ void ConfigurationRuntime::ProcessEpochRun(std::span<const Record> records) {
         }
       }
     }
+    shed_accum_[ri] = accum;
+    shed_counts_[ri] += shed;
+    counters_.shed_probes += shed;
   }
 }
 

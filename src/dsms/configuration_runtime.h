@@ -38,6 +38,26 @@ struct RuntimeRelationSpec {
   std::vector<MetricSpec> query_metrics;
 };
 
+/// Deterministic probe-shedding plan for the raw-relation probe loop
+/// (docs/overload.md). Per raw relation (in the runtime's raw-relation
+/// order), `numerators[r]` out of every kDenominator offered records are
+/// dropped before the probe via an error-diffusion accumulator — exact
+/// integer shed counts, no RNG, and the zero-numerator path is untouched
+/// (bit-identical to no plan at all).
+struct ShedPlan {
+  static constexpr uint32_t kDenominator = 1024;
+  /// Parallel to the runtime's raw relations; empty sheds nothing.
+  std::vector<uint32_t> numerators;
+
+  bool active() const {
+    for (uint32_t n : numerators) {
+      if (n > 0) return true;
+    }
+    return false;
+  }
+  bool operator==(const ShedPlan&) const = default;
+};
+
 /// Operation counters of a runtime execution. The paper's "actual cost"
 /// experiments (Section 6.3.2) weight these with the architecture constants:
 /// cost = (probes) * c1 + (transfers) * c2.
@@ -48,6 +68,9 @@ struct RuntimeCounters {
   uint64_t flush_probes = 0;     ///< Probes during end-of-epoch flushes (c1).
   uint64_t flush_transfers = 0;  ///< Transfers during end-of-epoch flushes (c2).
   uint64_t epochs_flushed = 0;
+  /// Raw-relation probes skipped by the shed plan (docs/overload.md). For
+  /// every raw relation r: table(r).probes() + its shed count == records.
+  uint64_t shed_probes = 0;
 
   uint64_t total_probes() const { return intra_probes + flush_probes; }
   uint64_t total_transfers() const { return intra_transfers + flush_transfers; }
@@ -62,6 +85,7 @@ struct RuntimeCounters {
     flush_probes += other.flush_probes;
     flush_transfers += other.flush_transfers;
     epochs_flushed += other.epochs_flushed;
+    shed_probes += other.shed_probes;
   }
 
   /// Per-field difference against an earlier snapshot of the same
@@ -76,6 +100,7 @@ struct RuntimeCounters {
     d.flush_probes = flush_probes - baseline.flush_probes;
     d.flush_transfers = flush_transfers - baseline.flush_transfers;
     d.epochs_flushed = epochs_flushed - baseline.epochs_flushed;
+    d.shed_probes = shed_probes - baseline.shed_probes;
     return d;
   }
 
@@ -204,6 +229,29 @@ class ConfigurationRuntime {
   /// Total LFTA memory used by all tables, in 4-byte words.
   uint64_t TotalMemoryWords() const;
 
+  /// Raw relations in probe order (the order ShedPlan numerators follow —
+  /// it matches the configuration's node order restricted to roots, since
+  /// Configuration::ToRuntimeSpecs preserves order).
+  int num_raw_relations() const {
+    return static_cast<int>(raw_relations_.size());
+  }
+  int raw_relation(int i) const {
+    return raw_relations_[static_cast<size_t>(i)];
+  }
+
+  /// Installs a probe-shedding plan (docs/overload.md). Caller must hold
+  /// the quiescence contract: the driver thread for serial runtimes, the
+  /// barrier hand-off for sharded workers (ShardedRuntime::SetShedPlan).
+  /// An empty plan disables shedding; numerators otherwise parallel
+  /// raw-relation order, each <= ShedPlan::kDenominator.
+  Status SetShedPlan(const ShedPlan& plan);
+  const ShedPlan& shed_plan() const { return shed_plan_; }
+  /// Records dropped at raw relation `i` (raw-relation order) so far.
+  /// Exact: table(raw_relation(i)).probes() + shed_count(i) == records.
+  uint64_t shed_count(int i) const {
+    return shed_counts_[static_cast<size_t>(i)];
+  }
+
  private:
   ConfigurationRuntime(const Schema& schema,
                        std::vector<RuntimeRelationSpec> specs,
@@ -246,6 +294,9 @@ class ConfigurationRuntime {
   /// safe.
   std::array<GroupKey, kChunk> scratch_keys_;
   std::array<uint64_t, kChunk> scratch_buckets_;
+  /// Survivor record indices of the current chunk when a shed plan is
+  /// active (ProcessEpochRun's shedding variant).
+  std::array<uint32_t, kChunk> scratch_survivors_;
   GroupKey scratch_evicted_key_;
   AggregateState scratch_evicted_state_;
   /// The one-record count-only contribution, shared by every metric-free
@@ -263,6 +314,12 @@ class ConfigurationRuntime {
   /// steady_clock stamp of the last FlushEpoch (0 = none yet); feeds the
   /// epoch_gap_ns histogram.
   uint64_t last_flush_nanos_ = 0;
+  /// Probe shedding (docs/overload.md): the installed plan, one
+  /// error-diffusion accumulator per raw relation (in [0, kDenominator)),
+  /// and the exact per-relation drop tallies.
+  ShedPlan shed_plan_;
+  std::vector<uint32_t> shed_accum_;
+  std::vector<uint64_t> shed_counts_;
 };
 
 }  // namespace streamagg

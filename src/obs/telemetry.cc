@@ -54,6 +54,7 @@ JsonValue CountersToJson(const RuntimeCounters& c) {
   out.Set("flush_probes", JsonValue::Number(c.flush_probes));
   out.Set("flush_transfers", JsonValue::Number(c.flush_transfers));
   out.Set("epochs_flushed", JsonValue::Number(c.epochs_flushed));
+  out.Set("shed_probes", JsonValue::Number(c.shed_probes));
   return out;
 }
 
@@ -65,6 +66,8 @@ RuntimeCounters CountersFromJson(const JsonValue& v) {
   c.flush_probes = v.Get("flush_probes").AsUint64();
   c.flush_transfers = v.Get("flush_transfers").AsUint64();
   c.epochs_flushed = v.Get("epochs_flushed").AsUint64();
+  // Absent in snapshots serialized before the overload controller.
+  if (v.Has("shed_probes")) c.shed_probes = v.Get("shed_probes").AsUint64();
   return c;
 }
 
@@ -126,6 +129,7 @@ JsonValue ReplanToJson(const ReplanEvent& e) {
   out.Set("pinned_nodes",
           JsonValue::Number(static_cast<int64_t>(e.pinned_nodes)));
   out.Set("optimize_millis", JsonValue::Number(e.optimize_millis));
+  out.Set("merge_millis", JsonValue::Number(e.merge_millis));
   return out;
 }
 
@@ -137,7 +141,56 @@ ReplanEvent ReplanFromJson(const JsonValue& v) {
   e.replanned_nodes = static_cast<int>(v.Get("replanned_nodes").AsInt64());
   e.pinned_nodes = static_cast<int>(v.Get("pinned_nodes").AsInt64());
   e.optimize_millis = v.Get("optimize_millis").AsDouble();
+  // Absent in events serialized before swap-latency tracking.
+  if (v.Has("merge_millis")) e.merge_millis = v.Get("merge_millis").AsDouble();
   return e;
+}
+
+JsonValue SheddingToJson(const SheddingTelemetry& s) {
+  JsonValue out = JsonValue::Object();
+  out.Set("enabled", JsonValue::Bool(s.enabled));
+  out.Set("target_fraction", JsonValue::Number(s.target_fraction));
+  out.Set("offered_records", JsonValue::Number(s.offered_records));
+  out.Set("shed_probes", JsonValue::Number(s.shed_probes));
+  out.Set("shed_fraction", JsonValue::Number(s.shed_fraction));
+  out.Set("accuracy_loss", JsonValue::Number(s.accuracy_loss));
+  out.Set("cycles_saved_per_record",
+          JsonValue::Number(s.cycles_saved_per_record));
+  out.Set("rebalances", JsonValue::Number(s.rebalances));
+  JsonValue relations = JsonValue::Array();
+  for (const SheddingRelationTelemetry& r : s.relations) {
+    JsonValue obj = JsonValue::Object();
+    obj.Set("relation", JsonValue::Str(r.relation));
+    obj.Set("price", JsonValue::Number(r.price));
+    obj.Set("shed_fraction", JsonValue::Number(r.shed_fraction));
+    obj.Set("shed_records", JsonValue::Number(r.shed_records));
+    relations.Append(std::move(obj));
+  }
+  out.Set("relations", std::move(relations));
+  return out;
+}
+
+SheddingTelemetry SheddingFromJson(const JsonValue& v) {
+  SheddingTelemetry s;
+  s.enabled = v.Get("enabled").AsBool();
+  s.target_fraction = v.Get("target_fraction").AsDouble();
+  s.offered_records = v.Get("offered_records").AsUint64();
+  s.shed_probes = v.Get("shed_probes").AsUint64();
+  s.shed_fraction = v.Get("shed_fraction").AsDouble();
+  s.accuracy_loss = v.Get("accuracy_loss").AsDouble();
+  s.cycles_saved_per_record = v.Get("cycles_saved_per_record").AsDouble();
+  s.rebalances = v.Get("rebalances").AsUint64();
+  const JsonValue& relations = v.Get("relations");
+  for (size_t i = 0; i < relations.size(); ++i) {
+    const JsonValue& obj = relations.at(i);
+    SheddingRelationTelemetry r;
+    r.relation = obj.Get("relation").AsString();
+    r.price = obj.Get("price").AsDouble();
+    r.shed_fraction = obj.Get("shed_fraction").AsDouble();
+    r.shed_records = obj.Get("shed_records").AsUint64();
+    s.relations.push_back(std::move(r));
+  }
+  return s;
 }
 
 std::string FormatHistogramLine(const char* name, const LogHistogram& h) {
@@ -178,6 +231,35 @@ void TableTelemetry::MergeFrom(const TableTelemetry& other) {
                         static_cast<double>(probes);
 }
 
+void SheddingTelemetry::MergeFrom(const SheddingTelemetry& other) {
+  enabled = enabled || other.enabled;
+  target_fraction = std::max(target_fraction, other.target_fraction);
+  offered_records += other.offered_records;
+  shed_probes += other.shed_probes;
+  accuracy_loss = std::max(accuracy_loss, other.accuracy_loss);
+  cycles_saved_per_record =
+      std::max(cycles_saved_per_record, other.cycles_saved_per_record);
+  rebalances += other.rebalances;
+  if (relations.size() < other.relations.size()) {
+    relations.resize(other.relations.size());
+  }
+  const size_t num_relations = relations.size();
+  for (size_t i = 0; i < other.relations.size(); ++i) {
+    if (relations[i].relation.empty()) {
+      relations[i] = other.relations[i];
+    } else {
+      relations[i].shed_records += other.relations[i].shed_records;
+    }
+  }
+  // Realized overall fraction over the summed counts.
+  shed_fraction =
+      offered_records == 0 || num_relations == 0
+          ? 0.0
+          : static_cast<double>(shed_probes) /
+                (static_cast<double>(offered_records) *
+                 static_cast<double>(num_relations));
+}
+
 void TelemetrySnapshot::MergeFrom(const TelemetrySnapshot& other) {
   epoch = std::max(epoch, other.epoch);
   num_shards += other.num_shards;
@@ -200,6 +282,9 @@ void TelemetrySnapshot::MergeFrom(const TelemetrySnapshot& other) {
   // Re-plan history is engine-level: shard replicas never carry any, so
   // concatenation is the identity there and a plain union otherwise.
   replans.insert(replans.end(), other.replans.begin(), other.replans.end());
+  // Shedding is engine-level too: replicas carry a disabled (empty) view,
+  // which merges as the identity.
+  shedding.MergeFrom(other.shedding);
   if (hfta_groups.size() < other.hfta_groups.size()) {
     hfta_groups.resize(other.hfta_groups.size());
   }
@@ -229,6 +314,7 @@ std::string TelemetrySnapshot::ToJsonLine() const {
     JsonValue obj = JsonValue::Object();
     obj.Set("records", JsonValue::Number(s.records));
     obj.Set("queue_depth_hwm", JsonValue::Number(s.queue_depth_hwm));
+    obj.Set("blocked_pushes", JsonValue::Number(s.blocked_pushes));
     obj.Set("cpu", JsonValue::Number(static_cast<int64_t>(s.cpu)));
     obj.Set("node", JsonValue::Number(static_cast<int64_t>(s.node)));
     shard_array.Append(std::move(obj));
@@ -239,6 +325,7 @@ std::string TelemetrySnapshot::ToJsonLine() const {
     JsonValue obj = JsonValue::Object();
     obj.Set("records", JsonValue::Number(p.records));
     obj.Set("queue_depth_hwm", JsonValue::Number(p.queue_depth_hwm));
+    obj.Set("blocked_pushes", JsonValue::Number(p.blocked_pushes));
     obj.Set("cpu", JsonValue::Number(static_cast<int64_t>(p.cpu)));
     obj.Set("node", JsonValue::Number(static_cast<int64_t>(p.node)));
     producer_array.Append(std::move(obj));
@@ -250,6 +337,10 @@ std::string TelemetrySnapshot::ToJsonLine() const {
   JsonValue replan_array = JsonValue::Array();
   for (const ReplanEvent& e : replans) replan_array.Append(ReplanToJson(e));
   root.Set("replans", std::move(replan_array));
+  // The shedding section exists only when the overload controller does:
+  // disabled engines (and telemetry_level kOff, which refuses the
+  // controller) serialize no trace of it.
+  if (shedding.enabled) root.Set("shedding", SheddingToJson(shedding));
   JsonValue histograms = JsonValue::Object();
   histograms.Set("batch_records", HistogramToJson(batch_records));
   histograms.Set("batch_ns", HistogramToJson(batch_ns));
@@ -284,6 +375,10 @@ Result<TelemetrySnapshot> TelemetrySnapshot::FromJsonLine(
     ShardTelemetry shard;
     shard.records = obj.Get("records").AsUint64();
     shard.queue_depth_hwm = obj.Get("queue_depth_hwm").AsUint64();
+    // Absent in snapshots serialized before the overload controller.
+    if (obj.Has("blocked_pushes")) {
+      shard.blocked_pushes = obj.Get("blocked_pushes").AsUint64();
+    }
     // Placement fields are absent in pre-affinity snapshots.
     if (obj.Has("cpu")) shard.cpu = static_cast<int>(obj.Get("cpu").AsInt64());
     if (obj.Has("node")) {
@@ -298,6 +393,10 @@ Result<TelemetrySnapshot> TelemetrySnapshot::FromJsonLine(
       ProducerTelemetry producer;
       producer.records = obj.Get("records").AsUint64();
       producer.queue_depth_hwm = obj.Get("queue_depth_hwm").AsUint64();
+      // Absent in snapshots serialized before the overload controller.
+      if (obj.Has("blocked_pushes")) {
+        producer.blocked_pushes = obj.Get("blocked_pushes").AsUint64();
+      }
       producer.cpu = static_cast<int>(obj.Get("cpu").AsInt64());
       producer.node = static_cast<int>(obj.Get("node").AsInt64());
       s.producers.push_back(producer);
@@ -313,6 +412,10 @@ Result<TelemetrySnapshot> TelemetrySnapshot::FromJsonLine(
     for (size_t i = 0; i < replan_array.size(); ++i) {
       s.replans.push_back(ReplanFromJson(replan_array.at(i)));
     }
+  }
+  // Absent whenever the overload controller was off (or pre-dates it).
+  if (root.Has("shedding")) {
+    s.shedding = SheddingFromJson(root.Get("shedding"));
   }
   const JsonValue& histograms = root.Get("histograms");
   s.batch_records = HistogramFromJson(histograms.Get("batch_records"));
@@ -400,12 +503,34 @@ std::string TelemetrySnapshot::ToTable() const {
     }
     out += '\n';
   }
+  if (shedding.enabled) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "shedding: target %.3f | shed %llu/%llu probes (%.4f) | "
+                  "accuracy loss %.4f | saves %.1f cyc/rec | rebalances %llu\n",
+                  shedding.target_fraction,
+                  static_cast<unsigned long long>(shedding.shed_probes),
+                  static_cast<unsigned long long>(shedding.offered_records *
+                                                  shedding.relations.size()),
+                  shedding.shed_fraction, shedding.accuracy_loss,
+                  shedding.cycles_saved_per_record,
+                  static_cast<unsigned long long>(shedding.rebalances));
+    out += buffer;
+    for (const SheddingRelationTelemetry& r : shedding.relations) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "  shed %-12s price=%8.2f fraction=%.4f dropped=%llu\n",
+                    r.relation.c_str(), r.price, r.shed_fraction,
+                    static_cast<unsigned long long>(r.shed_records));
+      out += buffer;
+    }
+  }
   if (!shards.empty()) {
     out += "shard ingest:";
     for (size_t i = 0; i < shards.size(); ++i) {
-      std::snprintf(buffer, sizeof(buffer), " s%zu records=%llu queue_hwm=%llu",
-                    i, static_cast<unsigned long long>(shards[i].records),
-                    static_cast<unsigned long long>(shards[i].queue_depth_hwm));
+      std::snprintf(buffer, sizeof(buffer),
+                    " s%zu records=%llu queue_hwm=%llu blocked=%llu", i,
+                    static_cast<unsigned long long>(shards[i].records),
+                    static_cast<unsigned long long>(shards[i].queue_depth_hwm),
+                    static_cast<unsigned long long>(shards[i].blocked_pushes));
       out += buffer;
       if (shards[i].cpu >= 0) {
         std::snprintf(buffer, sizeof(buffer), " cpu=%d/node%d", shards[i].cpu,
@@ -419,9 +544,11 @@ std::string TelemetrySnapshot::ToTable() const {
     out += "producer ingest:";
     for (size_t i = 0; i < producers.size(); ++i) {
       std::snprintf(
-          buffer, sizeof(buffer), " p%zu records=%llu queue_hwm=%llu", i,
+          buffer, sizeof(buffer),
+          " p%zu records=%llu queue_hwm=%llu blocked=%llu", i,
           static_cast<unsigned long long>(producers[i].records),
-          static_cast<unsigned long long>(producers[i].queue_depth_hwm));
+          static_cast<unsigned long long>(producers[i].queue_depth_hwm),
+          static_cast<unsigned long long>(producers[i].blocked_pushes));
       out += buffer;
       if (producers[i].cpu >= 0) {
         std::snprintf(buffer, sizeof(buffer), " cpu=%d/node%d",
@@ -494,6 +621,7 @@ TelemetrySnapshot BuildTelemetrySnapshot(const ShardedRuntime& runtime,
     ShardTelemetry shard;
     shard.records = stats.records;
     shard.queue_depth_hwm = stats.queue_depth_hwm;
+    shard.blocked_pushes = stats.blocked_pushes;
     shard.cpu = layout.shard_cpu[static_cast<size_t>(i)];
     shard.node = layout.shard_node[static_cast<size_t>(i)];
     s.shards.push_back(shard);
@@ -504,6 +632,7 @@ TelemetrySnapshot BuildTelemetrySnapshot(const ShardedRuntime& runtime,
     ProducerTelemetry producer;
     producer.records = stats.records;
     producer.queue_depth_hwm = stats.queue_depth_hwm;
+    producer.blocked_pushes = stats.blocked_pushes;
     producer.cpu = layout.producer_cpu[static_cast<size_t>(p)];
     producer.node = layout.producer_node[static_cast<size_t>(p)];
     s.producers.push_back(producer);

@@ -71,6 +71,9 @@ struct TableTelemetry {
 struct ShardTelemetry {
   uint64_t records = 0;          ///< Records routed to this shard.
   uint64_t queue_depth_hwm = 0;  ///< Deepest queue backlog, in envelopes.
+  /// Envelope pushes into this shard's queues that found them full — the
+  /// overload controller's backpressure signal (docs/overload.md).
+  uint64_t blocked_pushes = 0;
   int cpu = -1;   ///< CPU the shard worker is pinned to; -1 = unpinned.
   int node = -1;  ///< Its NUMA node; -1 = unknown.
 
@@ -83,6 +86,10 @@ struct ShardTelemetry {
 struct ProducerTelemetry {
   uint64_t records = 0;          ///< Records this producer routed anywhere.
   uint64_t queue_depth_hwm = 0;  ///< Deepest backlog across its queue row.
+  /// Pushes across this producer's queue row that found a queue full; the
+  /// per-epoch delta over records is the blocked fraction the overload
+  /// controller compares against its watermark (docs/overload.md).
+  uint64_t blocked_pushes = 0;
   int cpu = -1;   ///< CPU the producer is pinned to; -1 = unpinned.
   int node = -1;  ///< Its NUMA node; -1 = unknown.
 
@@ -100,8 +107,59 @@ struct ReplanEvent {
   int replanned_nodes = 0;      ///< Relations rebuilt by the optimizer.
   int pinned_nodes = 0;         ///< Relations kept from the old plan.
   double optimize_millis = 0.0;
+  /// Wall-clock of the barrier work around the swap: flushing the retiring
+  /// runtime and merging its HFTA into the accumulated results.
+  double merge_millis = 0.0;
 
   bool operator==(const ReplanEvent&) const = default;
+};
+
+/// One raw relation's slice of the shedding picture: what a shed probe
+/// there is worth (the cost model's Eq-7 cycles credited to the relation's
+/// feeding tree) and how much is actually being shed.
+struct SheddingRelationTelemetry {
+  std::string relation;  ///< Schema-formatted attribute set.
+  /// Eq-7 cycles one shed record saves at this relation's probe.
+  double price = 0.0;
+  /// Planned shed fraction (ShedPlan numerator / denominator).
+  double shed_fraction = 0.0;
+  /// Probes actually dropped at this relation (live runtime, exact).
+  uint64_t shed_records = 0;
+
+  bool operator==(const SheddingRelationTelemetry&) const = default;
+};
+
+/// Engine-level view of the overload controller (docs/overload.md): the
+/// live shed plan, its exact drop counters, and the controller's estimate
+/// of what the plan costs (accuracy) and buys (cycles). Absent from the
+/// JSON line (and empty here) when the controller is disabled.
+struct SheddingTelemetry {
+  bool enabled = false;
+  /// Overall shed target the controller is currently holding.
+  double target_fraction = 0.0;
+  /// Records offered to the engine (counters.records — pre-shedding; the
+  /// probe hook drops records per raw relation, never before counting).
+  uint64_t offered_records = 0;
+  /// Raw-relation probes dropped, summed over relations and runtime swaps
+  /// (counters.shed_probes — exact, from the deterministic accumulator).
+  uint64_t shed_probes = 0;
+  /// shed_probes / (offered_records * num raw relations): the realized
+  /// overall shed fraction.
+  double shed_fraction = 0.0;
+  /// Estimated degraded fraction of the query surface (sum of per-relation
+  /// shed_fraction x accuracy weight).
+  double accuracy_loss = 0.0;
+  /// Eq-7 cycles the current plan saves per offered record.
+  double cycles_saved_per_record = 0.0;
+  /// Ingest-layout rebalances the controller has applied so far.
+  uint64_t rebalances = 0;
+  std::vector<SheddingRelationTelemetry> relations;
+
+  /// Folds another engine's view in: counts sum, fractions recompute from
+  /// the summed counts, per-index relations sum their drop counters.
+  void MergeFrom(const SheddingTelemetry& other);
+
+  bool operator==(const SheddingTelemetry&) const = default;
 };
 
 /// Point-in-time state of a whole engine/runtime: counters, per-table
@@ -126,6 +184,9 @@ struct TelemetrySnapshot {
   /// Adaptive re-plans up to this snapshot, oldest first (engine-level;
   /// empty for raw runtime snapshots and non-adaptive engines).
   std::vector<ReplanEvent> replans;
+  /// Overload-controller state (engine-level; enabled == false — and the
+  /// JSON section absent — when the engine runs without the controller).
+  SheddingTelemetry shedding;
   // Latency histograms (kFull tier; empty otherwise).
   LogHistogram batch_records;
   LogHistogram batch_ns;

@@ -162,13 +162,25 @@ TelemetrySnapshot HandCraftedSnapshot() {
   snap.tables.push_back(table);
 
   snap.num_producers = 2;
-  snap.shards.push_back(ShardTelemetry{1000, 12, 4, 0});
-  snap.shards.push_back(ShardTelemetry{997, 3, -1, -1});
-  snap.producers.push_back(ProducerTelemetry{1200, 9, -1, -1});
-  snap.producers.push_back(ProducerTelemetry{797, 12, 5, 1});
+  snap.shards.push_back(ShardTelemetry{1000, 12, 7, 4, 0});
+  snap.shards.push_back(ShardTelemetry{997, 3, 0, -1, -1});
+  snap.producers.push_back(ProducerTelemetry{1200, 9, 3, -1, -1});
+  snap.producers.push_back(ProducerTelemetry{797, 12, 0, 5, 1});
   snap.hfta_groups = {123, 0, 456789};
-  snap.replans.push_back(ReplanEvent{40, "AB", 0.3125, 3, 2, 1.5});
-  snap.replans.push_back(ReplanEvent{41, "CD", 0.125, 1, 4, 0.25});
+  snap.replans.push_back(ReplanEvent{40, "AB", 0.3125, 3, 2, 1.5, 0.75});
+  snap.replans.push_back(ReplanEvent{41, "CD", 0.125, 1, 4, 0.25, 0.0});
+  snap.shedding.enabled = true;
+  snap.shedding.target_fraction = 0.5;
+  snap.shedding.offered_records = 60000;
+  snap.shedding.shed_probes = 45000;
+  snap.shedding.shed_fraction = 0.375;
+  snap.shedding.accuracy_loss = 0.25;
+  snap.shedding.cycles_saved_per_record = 1.5;
+  snap.shedding.rebalances = 2;
+  snap.shedding.relations.push_back(
+      SheddingRelationTelemetry{"ABCD", 12.5, 0.5, 30000});
+  snap.shedding.relations.push_back(
+      SheddingRelationTelemetry{"CD", 3.25, 0.25, 15000});
   snap.batch_records.Record(64);
   snap.batch_ns.Record(123456);
   snap.flush_ns.Record(std::numeric_limits<uint64_t>::max());
@@ -253,6 +265,73 @@ TEST(TelemetrySnapshotTest, FromJsonLineAcceptsPreReplanSnapshots) {
   auto restored = TelemetrySnapshot::FromJsonLine(line);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString() << "\n" << line;
   EXPECT_TRUE(*restored == old);
+}
+
+TEST(TelemetrySnapshotTest, SheddingSectionAbsentWhenDisabled) {
+  // Engines without the overload controller serialize no "shedding" key at
+  // all (any telemetry tier), and pre-shedding lines parse to the default
+  // disabled section — the schema change is invisible both directions.
+  TelemetrySnapshot snap = HandCraftedSnapshot();
+  snap.shedding = SheddingTelemetry{};
+  const std::string line = snap.ToJsonLine();
+  EXPECT_EQ(line.find("\"shedding\""), std::string::npos) << line;
+  auto restored = TelemetrySnapshot::FromJsonLine(line);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(*restored == snap);
+}
+
+TEST(TelemetrySnapshotTest, SheddingMergeSumsCountsAndRecomputesFraction) {
+  SheddingTelemetry a;
+  a.enabled = true;
+  a.target_fraction = 0.25;
+  a.offered_records = 1000;
+  a.shed_probes = 500;
+  a.rebalances = 1;
+  a.relations.push_back(SheddingRelationTelemetry{"AB", 2.0, 0.25, 500});
+  SheddingTelemetry b;
+  b.enabled = true;
+  b.target_fraction = 0.5;
+  b.offered_records = 3000;
+  b.shed_probes = 1500;
+  b.rebalances = 2;
+  b.relations.push_back(SheddingRelationTelemetry{"AB", 2.0, 0.5, 1500});
+
+  a.MergeFrom(b);
+  EXPECT_TRUE(a.enabled);
+  EXPECT_DOUBLE_EQ(a.target_fraction, 0.5);
+  EXPECT_EQ(a.offered_records, 4000u);
+  EXPECT_EQ(a.shed_probes, 2000u);
+  EXPECT_EQ(a.rebalances, 3u);
+  ASSERT_EQ(a.relations.size(), 1u);
+  EXPECT_EQ(a.relations[0].shed_records, 2000u);
+  // The realized fraction recomputes from the summed counts: 2000 drops
+  // over 4000 offered records at one raw relation.
+  EXPECT_DOUBLE_EQ(a.shed_fraction, 0.5);
+}
+
+TEST(TelemetrySnapshotTest, SnapshotMergeCarriesSheddingAndHistograms) {
+  // Shedding-era snapshots keep the whole merge algebra: the shedding
+  // section folds in (counts sum) and the latency histograms underneath it
+  // still merge element-wise.
+  TelemetrySnapshot a = HandCraftedSnapshot();
+  const TelemetrySnapshot b = HandCraftedSnapshot();
+  const uint64_t gap_count = a.epoch_gap_ns.count();
+  a.MergeFrom(b);
+  EXPECT_EQ(a.epoch_gap_ns.count(), 2 * gap_count);
+  EXPECT_EQ(a.shedding.offered_records, 2 * b.shedding.offered_records);
+  EXPECT_EQ(a.shedding.shed_probes, 2 * b.shedding.shed_probes);
+  EXPECT_EQ(a.shedding.rebalances, 2 * b.shedding.rebalances);
+  ASSERT_EQ(a.shedding.relations.size(), b.shedding.relations.size());
+  for (size_t i = 0; i < a.shedding.relations.size(); ++i) {
+    EXPECT_EQ(a.shedding.relations[i].shed_records,
+              2 * b.shedding.relations[i].shed_records)
+        << a.shedding.relations[i].relation;
+  }
+}
+
+TEST(TelemetrySnapshotTest, ToTableMentionsShedding) {
+  const std::string table = HandCraftedSnapshot().ToTable();
+  EXPECT_NE(table.find("shedding:"), std::string::npos) << table;
 }
 
 TEST(TelemetrySnapshotTest, MergeConcatenatesReplans) {
