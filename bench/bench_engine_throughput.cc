@@ -8,10 +8,15 @@
 
 #include <algorithm>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/engine.h"
+#include "dsms/configuration_runtime.h"
+#include "dsms/lfta_hash_table.h"
 #include "stream/uniform_generator.h"
+#include "stream/zipf_generator.h"
+#include "util/simd_hash.h"
 #include "util/timer.h"
 
 using namespace streamagg;
@@ -521,6 +526,104 @@ BENCHMARK(BM_EngineOverload)
     ->Arg(150)
     ->Arg(200)
     ->ArgNames({"load_pct"})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Probe-kernel sweep: one query table driven straight through
+// ConfigurationRuntime::ProcessBatch at batch 64, with the bucket count
+// pinned (1024) so the group-count sweep walks the paper's collision curve
+// from cold (g/b = 1/4) to saturated (g/b = 16, where nearly every probe
+// evicts a resident group). Uniform and Zipf(1.0) draws from the same group
+// universe at every point — the hash-vs-sort methodology of the group-by
+// study (arXiv 2411.13245); see EXPERIMENTS.md. Reports records/sec plus
+// the observed collision rate.
+void BM_EngineProbeKernel(benchmark::State& state) {
+  const uint64_t groups = static_cast<uint64_t>(state.range(0));
+  const double theta = static_cast<double>(state.range(1)) / 100.0;
+  const bool sort_mode = state.range(2) != 0;
+  const Schema schema = *Schema::Default(4);
+  auto universe = std::move(GroupUniverse::Uniform(
+                                schema, groups,
+                                {1 << 16, 1 << 16, 1 << 16, 1 << 16}, 23))
+                      .value();
+  std::unique_ptr<RecordGenerator> gen;
+  if (theta == 0.0) {
+    gen = std::make_unique<UniformGenerator>(std::move(universe), 29);
+  } else {
+    gen = std::move(ZipfGenerator::Make(std::move(universe), theta, 29))
+              .value();
+  }
+  RuntimeRelationSpec spec;
+  spec.attrs = *schema.ParseAttributeSet("AB");
+  spec.num_buckets = 1024;
+  spec.is_query = true;
+  spec.query_index = 0;
+  auto runtime =
+      std::move(ConfigurationRuntime::Make(schema, {spec}, 1.0)).value();
+  if (sort_mode) {
+    (void)runtime->SetProbeModes({ProbeMode::kSort});
+  }
+  // Pre-drawn, pre-timestamped replay inside one epoch: the timed region
+  // is the pure probe kernel plus its evictions (no flush mid-batch).
+  std::vector<Record> replay(1 << 16);
+  double t = 0.0;
+  for (Record& r : replay) {
+    r = gen->Next();
+    t += 1e-7;
+    r.timestamp = t;
+  }
+  double total_millis = 0.0;
+  for (auto _ : state) {
+    double millis = 0.0;
+    {
+      ScopedTimer timer(&millis);
+      for (size_t base = 0; base < replay.size(); base += 64) {
+        const size_t n = std::min<size_t>(64, replay.size() - base);
+        runtime->ProcessBatch(
+            std::span<const Record>(replay.data() + base, n));
+      }
+    }
+    state.SetIterationTime(millis / 1000.0);
+    total_millis += millis;
+  }
+  const double processed = static_cast<double>(state.iterations()) *
+                           static_cast<double>(replay.size());
+  state.SetItemsProcessed(static_cast<int64_t>(processed));
+  state.counters["records_per_sec"] = processed / (total_millis / 1000.0);
+  const LftaHashTable& table = runtime->table(0);
+  state.counters["collision_rate"] =
+      table.probes() > 0 ? static_cast<double>(table.collisions()) /
+                               static_cast<double>(table.probes())
+                         : 0.0;
+  if (sort_mode) {
+    state.counters["unique_per_drain"] =
+        table.sort_drains() > 0
+            ? static_cast<double>(table.sort_unique_groups()) /
+                  static_cast<double>(table.sort_drains())
+            : 0.0;
+  }
+  // CI's bench-smoke job greps this label to assert the SIMD dispatch the
+  // build actually selected (docs/probe_kernel.md §2).
+  state.SetLabel(std::string("simd:") + SimdTierName());
+}
+BENCHMARK(BM_EngineProbeKernel)
+    ->Args({256, 0, 0})
+    ->Args({1024, 0, 0})
+    ->Args({4096, 0, 0})
+    ->Args({16384, 0, 0})
+    ->Args({256, 100, 0})
+    ->Args({1024, 100, 0})
+    ->Args({4096, 100, 0})
+    ->Args({16384, 100, 0})
+    ->Args({256, 0, 1})
+    ->Args({1024, 0, 1})
+    ->Args({4096, 0, 1})
+    ->Args({16384, 0, 1})
+    ->Args({256, 100, 1})
+    ->Args({1024, 100, 1})
+    ->Args({4096, 100, 1})
+    ->Args({16384, 100, 1})
+    ->ArgNames({"groups", "zipf_pct", "sort"})
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 

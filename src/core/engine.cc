@@ -154,6 +154,10 @@ Status StreamAggEngine::InstallRuntime() {
   // The incoming runtime's counters start at zero; reset the accumulation
   // baseline with them (see AccumulateCounters).
   live_counter_baseline_ = RuntimeCounters{};
+  // A fresh runtime starts every table in hash mode; the adaptive boundary
+  // re-decides from the new plan's own telemetry (trend runs restart at a
+  // swap anyway — SnapshotsContinuous breaks there).
+  probe_modes_.clear();
   // The overload controller outlives runtime swaps; each new plan only
   // re-prices its raw relations (and re-derives the shed plan, so the shed
   // floor stays in force on the fresh runtime).
@@ -261,10 +265,48 @@ Status StreamAggEngine::HandleEpochBoundary(uint64_t next_epoch) {
   // trigger, only trend_epochs consecutive drifted ones can.
   CostModel cost_model(catalog_.get(), collision_model_.get(),
                        options_.optimizer.cost);
-  AdaptiveController controller(&cost_model, plan_.get(),
-                                options_.adaptive_options);
-  const AdaptiveController::TrendVerdict verdict = controller.AssessTrend(
-      std::span<const TelemetrySnapshot>(telemetry_history_));
+  const std::span<const TelemetrySnapshot> history(telemetry_history_);
+  AdaptiveController::Options adaptive_options = options_.adaptive_options;
+  if (adaptive_options.auto_tune_trend) {
+    // Re-derive the trend cadence from the observed epoch-gap spread: a
+    // jittery cadence demands more confirming epochs before any verdict
+    // (drift, overload-independent probe modes) is acted on.
+    adaptive_options =
+        AdaptiveController::AutoTuneTrend(adaptive_options, history);
+  }
+  AdaptiveController controller(&cost_model, plan_.get(), adaptive_options);
+
+  // Probe-mode policy (opt-in; docs/probe_kernel.md §3). Flips are
+  // flag-only: the serial runtime has not flushed this boundary yet and
+  // drains any pending sort run inside FlushEpoch regardless of the flag;
+  // the sharded runtime sits quiescent behind the capture's barrier, which
+  // is exactly where SetProbeModes is specified.
+  if (adaptive_options.sort_enter_collision_rate <= 1.0) {
+    std::vector<ProbeMode> modes = controller.DecideProbeModes(history);
+    if (!modes.empty() && modes != probe_modes_) {
+      if (runtime_ != nullptr) {
+        STREAMAGG_RETURN_NOT_OK(runtime_->SetProbeModes(modes));
+      } else {
+        STREAMAGG_RETURN_NOT_OK(sharded_runtime_->SetProbeModes(modes));
+      }
+      probe_modes_ = std::move(modes);
+      if (overload_controller_ != nullptr) {
+        // Keep the shed prices honest: a sort-mode root costs c1_sort + the
+        // run dedup rate downstream, not c1 + the hash collision rate.
+        // PriceRelations rebuilds the plan at the current target, so push
+        // the re-derived plan into the runtime immediately.
+        overload_controller_->PriceRelations(&cost_model, *plan_, schema_,
+                                             probe_modes_);
+        const ShedPlan& shed = overload_controller_->shed_plan();
+        STREAMAGG_RETURN_NOT_OK(runtime_ != nullptr
+                                    ? runtime_->SetShedPlan(shed)
+                                    : sharded_runtime_->SetShedPlan(shed));
+      }
+    }
+  }
+
+  const AdaptiveController::TrendVerdict verdict =
+      controller.AssessTrend(history);
   if (!verdict.should_replan) return Status::OK();
 
   const Configuration& config = plan_->config;

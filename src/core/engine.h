@@ -196,6 +196,16 @@ class StreamAggEngine {
   /// runtime. CaptureEpochSnapshot must run first: it appends the history
   /// entry the trend check reads and, for sharded engines, quiesces the
   /// matrix so the tables are safe to read.
+  ///
+  /// Also the seat of the probe-mode policy (docs/probe_kernel.md §3): when
+  /// adaptive_options.sort_enter_collision_rate <= 1.0 the same controller
+  /// chooses hash vs. sort-drain per raw table (DecideProbeModes) and
+  /// installs flips via SetProbeModes — flag-only, safe at this boundary on
+  /// both paths (serial pre-flush, sharded quiescent). A flip re-prices the
+  /// overload controller's shed plan so its cycles-per-record stay honest.
+  /// When adaptive_options.auto_tune_trend is set, trend_epochs and
+  /// widening_slack are first re-derived from the observed epoch-gap spread
+  /// (AdaptiveController::AutoTuneTrend).
   Status HandleEpochBoundary(uint64_t next_epoch);
 
   /// Epoch boundary (overload controller only): re-judges the shed plan
@@ -272,6 +282,11 @@ class StreamAggEngine {
   /// the runtime's tables (Configuration::ToRuntimeSpecs preserves node
   /// order). Empty when no catalog is available.
   std::vector<double> planned_rates_;
+  /// Per-raw-relation probe modes currently installed in the live runtime
+  /// (raw-relation order). Empty means never decided — every table in hash
+  /// mode, which is also what a fresh runtime starts with, so InstallRuntime
+  /// clears it. Only the adaptive boundary writes it (HandleEpochBoundary).
+  std::vector<ProbeMode> probe_modes_;
   std::vector<TelemetrySnapshot> telemetry_history_;
   /// Every adaptive re-plan so far, oldest first; copied into snapshots by
   /// AnnotateSnapshot so the JSON export carries the re-plan lifecycle.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "util/simd_hash.h"
+
 namespace streamagg {
 
 Result<std::unique_ptr<ConfigurationRuntime>> ConfigurationRuntime::Make(
@@ -138,6 +140,22 @@ Status ConfigurationRuntime::SetShedPlan(const ShedPlan& plan) {
   return Status::OK();
 }
 
+Status ConfigurationRuntime::SetProbeModes(const std::vector<ProbeMode>& modes) {
+  if (!modes.empty() && modes.size() != raw_relations_.size()) {
+    return Status::InvalidArgument(
+        "SetProbeModes needs one mode per raw relation (got " +
+        std::to_string(modes.size()) + ", need " +
+        std::to_string(raw_relations_.size()) + ") or an empty vector");
+  }
+  // Flag-only: pending run-buffer entries are drained by the next
+  // FlushEpoch regardless of mode, so no state migration happens here.
+  for (size_t i = 0; i < raw_relations_.size(); ++i) {
+    tables_[static_cast<size_t>(raw_relations_[i])]->set_probe_mode(
+        modes.empty() ? ProbeMode::kHash : modes[i]);
+  }
+  return Status::OK();
+}
+
 template <bool kFlushing>
 void ConfigurationRuntime::ProbeRelation(int rel, const GroupKey& key,
                                          const AggregateState& state) {
@@ -191,25 +209,133 @@ void ConfigurationRuntime::PropagateEviction(int rel, const GroupKey& key,
   }
 }
 
+void ConfigurationRuntime::HashChunk(const LftaHashTable& table, int width,
+                                     size_t n) {
+  // AoS -> SoA transpose of the just-projected keys (still hot in L1): the
+  // column layout is what lets HashWordsBatch sweep whole-chunk lanes.
+  const uint32_t* cols[kMaxAttributes];
+  for (int w = 0; w < width; ++w) {
+    uint32_t* col = scratch_cols_[static_cast<size_t>(w)].data();
+    for (size_t j = 0; j < n; ++j) col[j] = scratch_keys_[j].values[w];
+    cols[w] = col;
+  }
+  HashWordsBatch(cols, width, n, table.seed(), scratch_hashes_.data());
+}
+
+void ConfigurationRuntime::ProbeChunkHash(
+    int rel, LftaHashTable& table, size_t n, std::span<const Record> records,
+    const uint32_t* rec_idx, const std::vector<MetricSpec>& metrics) {
+  GroupKey* const keys = scratch_keys_.data();
+  uint64_t* const buckets = scratch_buckets_.data();
+  LftaHashTable::SlotClass* const classes = scratch_classes_.data();
+  uint64_t* const dirty = scratch_dirty_.data();
+  const bool count_only = metrics.empty();
+  HashChunk(table, table.key_width(), n);
+  for (size_t j = 0; j < n; ++j) {
+    buckets[j] = table.BucketOfHash(scratch_hashes_[j]);
+    table.Prefetch(buckets[j]);
+  }
+  // Classify pass: a pure read sweep over the (prefetched) slots —
+  // gather-compare the whole chunk before any slot is written.
+  for (size_t j = 0; j < n; ++j) {
+    classes[j] = table.ClassifySlot(buckets[j], keys[j]);
+  }
+  counters_.intra_probes += n;
+  // Apply pass, in record order. A classification is stale once an earlier
+  // record of the chunk inserted into or collided on the same bucket
+  // (merges leave the resident key and occupancy untouched); those buckets
+  // sit in the dirty list and fall back to the serial probe, which keeps
+  // the whole pipeline bit-identical to record-at-a-time ProbeStateAt.
+  AggregateState from_record;
+  size_t dirty_n = 0;
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t bucket = buckets[j];
+    const AggregateState* add = &count_one_;
+    if (!count_only) {
+      from_record = AggregateState::FromRecord(records[rec_idx[j]], metrics);
+      add = &from_record;
+    }
+    bool stale = false;
+    for (size_t d = 0; d < dirty_n; ++d) {
+      if (dirty[d] == bucket) {
+        stale = true;
+        break;
+      }
+    }
+    if (stale) {
+      const ProbeOutcome outcome =
+          table.ProbeStateAt(bucket, keys[j], *add, &scratch_evicted_key_,
+                             &scratch_evicted_state_);
+      if (outcome == ProbeOutcome::kCollision) {
+        PropagateEviction</*kFlushing=*/false>(rel, scratch_evicted_key_,
+                                               scratch_evicted_state_);
+      }
+      continue;  // A stale bucket is occupied and already dirty.
+    }
+    switch (classes[j]) {
+      case LftaHashTable::SlotClass::kEmpty:
+        table.ApplyInsert(bucket, keys[j], *add);
+        dirty[dirty_n++] = bucket;
+        break;
+      case LftaHashTable::SlotClass::kMatch:
+        table.ApplyMerge(bucket, *add);
+        break;
+      case LftaHashTable::SlotClass::kMismatch:
+        table.ApplyCollision(bucket, keys[j], *add, &scratch_evicted_key_,
+                             &scratch_evicted_state_);
+        dirty[dirty_n++] = bucket;
+        PropagateEviction</*kFlushing=*/false>(rel, scratch_evicted_key_,
+                                               scratch_evicted_state_);
+        break;
+    }
+  }
+}
+
+void ConfigurationRuntime::ProbeChunkSort(
+    int rel, LftaHashTable& table, size_t n, std::span<const Record> records,
+    const uint32_t* rec_idx, const std::vector<MetricSpec>& metrics) {
+  const bool count_only = metrics.empty();
+  HashChunk(table, table.key_width(), n);
+  // Sort-mode appends are not probes: intra_probes (and the table's
+  // probes()) stay untouched; the work is accounted when the run drains
+  // and its distinct groups propagate as transfers/child probes.
+  AggregateState from_record;
+  for (size_t j = 0; j < n; ++j) {
+    const AggregateState* add = &count_one_;
+    if (!count_only) {
+      from_record = AggregateState::FromRecord(records[rec_idx[j]], metrics);
+      add = &from_record;
+    }
+    if (table.SortAppend(scratch_keys_[j], *add, scratch_hashes_[j])) {
+      const uint64_t unique =
+          table.DrainSortRun([&](const GroupKey& key,
+                                 const AggregateState& state) {
+            PropagateEviction</*kFlushing=*/false>(rel, key, state);
+          });
+#if STREAMAGG_TELEMETRY_LEVEL >= 2
+      if (telemetry_level_.load(std::memory_order_relaxed) ==
+          TelemetryLevel::kFull) {
+        telemetry_.sort_run_unique.Record(unique);
+      }
+#else
+      (void)unique;
+#endif
+    }
+  }
+}
+
 void ConfigurationRuntime::ProcessEpochRun(std::span<const Record> records) {
   counters_.records += records.size();
   // Probe relation-major: per raw relation, sweep the run in chunks of
-  // kChunk records — project + hash + prefetch the whole chunk, then probe
-  // it. By the time a probe touches its bucket the prefetch issued up to
-  // kChunk-1 probes earlier has (ideally) pulled the slot line into cache.
-  // Relation-major order is bit-identical to record-major: the feeding
-  // forest's trees are disjoint, so each table sees the same probe sequence
-  // either way, and all cross-tree state (HFTA, counters) merges
-  // commutatively.
+  // kChunk records — project + batch-hash + prefetch the whole chunk, then
+  // classify and apply it (docs/probe_kernel.md). By the time the classify
+  // sweep touches a bucket the prefetch issued up to kChunk-1 slots earlier
+  // has (ideally) pulled the line into cache. Relation-major order is
+  // bit-identical to record-major: the feeding forest's trees are disjoint,
+  // so each table sees the same probe sequence either way, and all
+  // cross-tree state (HFTA, counters) merges commutatively.
   GroupKey* const keys = scratch_keys_.data();
-  uint64_t* const buckets = scratch_buckets_.data();
-  // Eviction outputs live in object scratch: GroupKey/AggregateState
-  // zero-initialize tens of bytes on construction, a real per-call cost at
-  // these rates. They are only read after a kCollision writes them, so
-  // reuse across calls is safe.
-  GroupKey& evicted_key = scratch_evicted_key_;
-  AggregateState& evicted_state = scratch_evicted_state_;
-  const AggregateState& count_one = count_one_;
+  uint32_t* const survivors = scratch_survivors_.data();
   const bool shedding = shed_plan_.active();
   for (size_t ri = 0; ri < raw_relations_.size(); ++ri) {
     const int rel = raw_relations_[ri];
@@ -217,29 +343,28 @@ void ConfigurationRuntime::ProcessEpochRun(std::span<const Record> records) {
     const ProjectionPlan& plan = raw_plans_[ri];
     const std::vector<MetricSpec>& metrics = specs_[rel].metrics;
     const bool count_only = metrics.empty();
+    const bool sort_mode = table.probe_mode() == ProbeMode::kSort;
     const uint32_t shed_num = shedding ? shed_plan_.numerators[ri] : 0;
     if (shed_num == 0) {
       for (size_t base = 0; base < records.size(); base += kChunk) {
         const size_t n = std::min(kChunk, records.size() - base);
         for (size_t j = 0; j < n; ++j) {
           keys[j] = plan.Apply(records[base + j]);
-          buckets[j] = table.BucketOf(keys[j]);
-          table.Prefetch(buckets[j]);
         }
-        counters_.intra_probes += n;
-        for (size_t j = 0; j < n; ++j) {
-          const ProbeOutcome outcome =
-              count_only
-                  ? table.ProbeStateAt(buckets[j], keys[j], count_one,
-                                       &evicted_key, &evicted_state)
-                  : table.ProbeStateAt(
-                        buckets[j], keys[j],
-                        AggregateState::FromRecord(records[base + j], metrics),
-                        &evicted_key, &evicted_state);
-          if (outcome == ProbeOutcome::kCollision) {
-            PropagateEviction</*kFlushing=*/false>(rel, evicted_key,
-                                                   evicted_state);
+        // Metric-bearing chunks carry their record indices so the probe
+        // helpers can rebuild per-record states; count-only chunks don't
+        // touch the records again.
+        const uint32_t* rec_idx = nullptr;
+        if (!count_only) {
+          for (size_t j = 0; j < n; ++j) {
+            survivors[j] = static_cast<uint32_t>(base + j);
           }
+          rec_idx = survivors;
+        }
+        if (sort_mode) {
+          ProbeChunkSort(rel, table, n, records, rec_idx, metrics);
+        } else {
+          ProbeChunkHash(rel, table, n, records, rec_idx, metrics);
         }
       }
       continue;
@@ -249,7 +374,6 @@ void ConfigurationRuntime::ProcessEpochRun(std::span<const Record> records) {
     // deterministic, evenly spread, and exact in integers. Survivor indices
     // are gathered per chunk, then the chunk pipeline runs on survivors
     // only, so the shed records cost one add and one compare each.
-    uint32_t* const survivors = scratch_survivors_.data();
     uint32_t accum = shed_accum_[ri];
     uint64_t shed = 0;
     for (size_t base = 0; base < records.size(); base += kChunk) {
@@ -266,24 +390,11 @@ void ConfigurationRuntime::ProcessEpochRun(std::span<const Record> records) {
       }
       for (size_t j = 0; j < m; ++j) {
         keys[j] = plan.Apply(records[survivors[j]]);
-        buckets[j] = table.BucketOf(keys[j]);
-        table.Prefetch(buckets[j]);
       }
-      counters_.intra_probes += m;
-      for (size_t j = 0; j < m; ++j) {
-        const ProbeOutcome outcome =
-            count_only
-                ? table.ProbeStateAt(buckets[j], keys[j], count_one,
-                                     &evicted_key, &evicted_state)
-                : table.ProbeStateAt(
-                      buckets[j], keys[j],
-                      AggregateState::FromRecord(records[survivors[j]],
-                                                 metrics),
-                      &evicted_key, &evicted_state);
-        if (outcome == ProbeOutcome::kCollision) {
-          PropagateEviction</*kFlushing=*/false>(rel, evicted_key,
-                                                 evicted_state);
-        }
+      if (sort_mode) {
+        ProbeChunkSort(rel, table, m, records, survivors, metrics);
+      } else {
+        ProbeChunkHash(rel, table, m, records, survivors, metrics);
       }
     }
     shed_accum_[ri] = accum;
@@ -349,6 +460,25 @@ void ConfigurationRuntime::FlushEpoch() {
     last_flush_nanos_ = flush_start;
   }
 #endif
+  // Pending sort-mode run buffers drain first, whatever the current mode —
+  // a mode flip never strands partial aggregates. Drained groups propagate
+  // like any other flush eviction, so their cascades land in child tables
+  // before those flush below.
+  for (size_t ri = 0; ri < raw_relations_.size(); ++ri) {
+    const int rel = raw_relations_[ri];
+    LftaHashTable& table = *tables_[rel];
+    if (table.sort_run_size() == 0) continue;
+    const uint64_t unique =
+        table.DrainSortRun([&](const GroupKey& key,
+                               const AggregateState& state) {
+          PropagateEviction</*kFlushing=*/true>(rel, key, state);
+        });
+#if STREAMAGG_TELEMETRY_LEVEL >= 2
+    if (timed) telemetry_.sort_run_unique.Record(unique);
+#else
+    (void)unique;
+#endif
+  }
   // Top-down: specs are ordered parents before children, so by the time a
   // relation is flushed it already holds everything its ancestors pushed
   // down during this flush (paper Section 3.2.2).

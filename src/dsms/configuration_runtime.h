@@ -153,6 +153,10 @@ struct RuntimeTelemetry {
   LogHistogram batch_ns;       ///< Wall nanoseconds per ProcessBatch call.
   LogHistogram flush_ns;       ///< Wall nanoseconds per FlushEpoch call.
   LogHistogram epoch_gap_ns;   ///< Wall nanoseconds between epoch flushes.
+  /// Distinct groups emitted per sort-mode run drain (docs/probe_kernel.md
+  /// §3) — the empirical d behind the sort-mode cost term d/L, and the
+  /// signal the adaptive controller uses to leave sort mode.
+  LogHistogram sort_run_unique;
   std::vector<RelationTelemetry> relations;
 
   void Merge(const RuntimeTelemetry& other) {
@@ -160,6 +164,7 @@ struct RuntimeTelemetry {
     batch_ns.Merge(other.batch_ns);
     flush_ns.Merge(other.flush_ns);
     epoch_gap_ns.Merge(other.epoch_gap_ns);
+    sort_run_unique.Merge(other.sort_run_unique);
     if (relations.size() < other.relations.size()) {
       relations.resize(other.relations.size());
     }
@@ -247,9 +252,24 @@ class ConfigurationRuntime {
   Status SetShedPlan(const ShedPlan& plan);
   const ShedPlan& shed_plan() const { return shed_plan_; }
   /// Records dropped at raw relation `i` (raw-relation order) so far.
-  /// Exact: table(raw_relation(i)).probes() + shed_count(i) == records.
+  /// Exact: table(raw_relation(i)).probes() + shed_count(i) == records —
+  /// for hash-mode relations; sort-mode appends are not probes
+  /// (docs/probe_kernel.md §3).
   uint64_t shed_count(int i) const {
     return shed_counts_[static_cast<size_t>(i)];
+  }
+
+  /// Installs per-raw-relation probe modes (docs/probe_kernel.md §3), under
+  /// the same quiescence contract as SetShedPlan. `modes` parallels
+  /// raw-relation order; empty restores all-hash. The switch is flag-only
+  /// and safe at any record boundary: a run buffer left behind by sort mode
+  /// is drained by the next FlushEpoch regardless of the current mode, so a
+  /// flip never strands partial aggregates. Eviction-fed child probes always
+  /// hash; the mode only steers the raw-record path.
+  Status SetProbeModes(const std::vector<ProbeMode>& modes);
+  /// Current mode of raw relation `i` (raw-relation order).
+  ProbeMode probe_mode(int i) const {
+    return tables_[static_cast<size_t>(raw_relation(i))]->probe_mode();
   }
 
  private:
@@ -270,8 +290,34 @@ class ConfigurationRuntime {
                          const AggregateState& state);
 
   /// Probes every raw relation with every record of `records`, all of which
-  /// belong to the current epoch. The batched inner loop.
+  /// belong to the current epoch. The batched columnar inner loop
+  /// (docs/probe_kernel.md): per chunk of kChunk records it projects keys,
+  /// transposes them into struct-of-arrays columns, hashes the whole chunk
+  /// with HashWordsBatch (SIMD-dispatched), resolves and prefetches buckets,
+  /// classifies every slot in a pure read sweep, then applies outcomes in
+  /// record order — falling back to the serial probe for buckets dirtied
+  /// earlier in the chunk, which keeps results bit-identical to
+  /// record-at-a-time processing. Sort-mode raw relations instead append the
+  /// hashed chunk to their run buffer and drain when it fills.
   void ProcessEpochRun(std::span<const Record> records);
+
+  /// The hash-mode chunk pipeline on `n` already-projected keys in
+  /// scratch_keys_ (record indices rec_idx[0..n) into `records` for
+  /// metric-bearing states; null when count-only). Returns nothing; bumps
+  /// counters exactly as the serial loop would.
+  void ProbeChunkHash(int rel, LftaHashTable& table, size_t n,
+                      std::span<const Record> records, const uint32_t* rec_idx,
+                      const std::vector<MetricSpec>& metrics);
+
+  /// The sort-mode chunk pipeline: batch-hash and append; drains the run
+  /// through PropagateEviction when it fills.
+  void ProbeChunkSort(int rel, LftaHashTable& table, size_t n,
+                      std::span<const Record> records, const uint32_t* rec_idx,
+                      const std::vector<MetricSpec>& metrics);
+
+  /// Transposes scratch_keys_[0..n) into scratch_cols_ and writes the
+  /// chunk's HashWordsBatch results (table seed) into scratch_hashes_.
+  void HashChunk(const LftaHashTable& table, int width, size_t n);
 
   Schema schema_;
   std::vector<RuntimeRelationSpec> specs_;
@@ -297,6 +343,16 @@ class ConfigurationRuntime {
   /// Survivor record indices of the current chunk when a shed plan is
   /// active (ProcessEpochRun's shedding variant).
   std::array<uint32_t, kChunk> scratch_survivors_;
+  /// Struct-of-arrays view of the chunk's keys: scratch_cols_[w][j] is word
+  /// w of key j — the layout HashWordsBatch consumes (one contiguous lane
+  /// sweep per key word).
+  std::array<std::array<uint32_t, kChunk>, kMaxAttributes> scratch_cols_;
+  std::array<uint64_t, kChunk> scratch_hashes_;
+  /// Per-record slot classifications of the chunk's classify pass, and the
+  /// buckets dirtied (inserted into / collided on) so far this chunk — a
+  /// linear-scanned list, at most kChunk entries.
+  std::array<LftaHashTable::SlotClass, kChunk> scratch_classes_;
+  std::array<uint64_t, kChunk> scratch_dirty_;
   GroupKey scratch_evicted_key_;
   AggregateState scratch_evicted_state_;
   /// The one-record count-only contribution, shared by every metric-free

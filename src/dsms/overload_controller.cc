@@ -96,12 +96,13 @@ OverloadController::OverloadController(Options options)
 
 void OverloadController::PriceRelations(const CostModel* cost_model,
                                         const OptimizedPlan& plan,
-                                        const Schema& schema) {
+                                        const Schema& schema,
+                                        std::span<const ProbeMode> root_modes) {
   prices_.clear();
   const Configuration& config = plan.config;
   const std::vector<double> by_root =
       cost_model != nullptr
-          ? cost_model->PerRecordCostByRoot(config, plan.buckets)
+          ? cost_model->PerRecordCostByRoot(config, plan.buckets, root_modes)
           : std::vector<double>(static_cast<size_t>(config.num_nodes()), 1.0);
   // Root attribution and query census, same walk as PerRecordCostByRoot
   // (parents precede children in the node order).

@@ -26,6 +26,24 @@ inline uint64_t HashWords(const uint32_t* words, size_t n, uint64_t seed) {
   return Mix64(h);
 }
 
+/// Lemire fast-range: maps a well-mixed 64-bit hash onto [0, range) with a
+/// multiply-shift instead of a 64-bit divide. The one bucket-mapping
+/// function of the system — the per-record probe (LftaHashTable::BucketOf)
+/// and the batched columnar kernel must go through this same helper, or the
+/// two paths could silently map the same key to different buckets.
+inline uint64_t FastRange64(uint64_t hash, uint64_t range) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(hash) * range) >> 64);
+}
+
+/// The bucket `n` key words map to in a table of `num_buckets` buckets under
+/// `seed`: HashWords composed with FastRange64. Single-record and batched
+/// probes both resolve buckets through this helper (bit-identical paths).
+inline uint64_t BucketOfWords(const uint32_t* words, size_t n, uint64_t seed,
+                              uint64_t num_buckets) {
+  return FastRange64(HashWords(words, n, seed), num_buckets);
+}
+
 }  // namespace streamagg
 
 #endif  // STREAMAGG_UTIL_HASH_H_

@@ -1,0 +1,212 @@
+#include "util/simd_hash.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/hash.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace streamagg {
+
+namespace {
+
+constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kMixC1 = 0xbf58476d1ce4e5b9ULL;
+constexpr uint64_t kMixC2 = 0x94d049bb133111ebULL;
+
+inline uint64_t InitState(int width, uint64_t seed) {
+  return seed ^ (kGolden + (static_cast<uint64_t>(width) << 2));
+}
+
+/// Portable fallback: word-major over blocks of keys so each inner loop is
+/// an independent-lane sweep the compiler may autovectorize. Arithmetic is
+/// exactly HashWords's chain, so results match the scalar reference bit for
+/// bit (as the SIMD tiers must too).
+void HashWordsBatchScalar(const uint32_t* const* cols, int width, size_t count,
+                          uint64_t seed, uint64_t* out) {
+  constexpr size_t kBlock = 16;
+  const uint64_t init = InitState(width, seed);
+  uint64_t h[kBlock];
+  for (size_t base = 0; base < count; base += kBlock) {
+    const size_t n = count - base < kBlock ? count - base : kBlock;
+    for (size_t j = 0; j < n; ++j) h[j] = init;
+    for (int w = 0; w < width; ++w) {
+      const uint32_t* col = cols[w] + base;
+      for (size_t j = 0; j < n; ++j) {
+        uint64_t z = h[j] ^ (static_cast<uint64_t>(col[j]) + kGolden +
+                             (h[j] << 6) + (h[j] >> 2));
+        z = (z ^ (z >> 30)) * kMixC1;
+        z = (z ^ (z >> 27)) * kMixC2;
+        h[j] = z ^ (z >> 31);
+      }
+    }
+    for (size_t j = 0; j < n; ++j) out[base + j] = Mix64(h[j]);
+  }
+}
+
+#if defined(__x86_64__)
+
+// 64x64 -> low-64 multiply by the constant (b_lo, b_hi): SSE2/AVX2 have no
+// 64-bit multiply, so compose it from 32x32 -> 64 partial products —
+// a*b = a_lo*b_lo + ((a_lo*b_hi + a_hi*b_lo) << 32) (the a_hi*b_hi term
+// only feeds bits >= 64 and drops out of the low half).
+
+inline __m128i Mul64Sse2(__m128i a, __m128i b_lo, __m128i b_hi) {
+  const __m128i lo = _mm_mul_epu32(a, b_lo);
+  const __m128i cross = _mm_add_epi64(
+      _mm_mul_epu32(_mm_srli_epi64(a, 32), b_lo), _mm_mul_epu32(a, b_hi));
+  return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+}
+
+inline __m128i Mix64Sse2(__m128i z, __m128i c1_lo, __m128i c1_hi,
+                         __m128i c2_lo, __m128i c2_hi) {
+  z = _mm_xor_si128(z, _mm_srli_epi64(z, 30));
+  z = Mul64Sse2(z, c1_lo, c1_hi);
+  z = _mm_xor_si128(z, _mm_srli_epi64(z, 27));
+  z = Mul64Sse2(z, c2_lo, c2_hi);
+  return _mm_xor_si128(z, _mm_srli_epi64(z, 31));
+}
+
+/// SSE2 tier (x86-64 baseline): two keys per step.
+void HashWordsBatchSse2(const uint32_t* const* cols, int width, size_t count,
+                        uint64_t seed, uint64_t* out) {
+  const uint64_t init = InitState(width, seed);
+  const __m128i vinit = _mm_set1_epi64x(static_cast<long long>(init));
+  const __m128i golden = _mm_set1_epi64x(static_cast<long long>(kGolden));
+  const __m128i c1_lo = _mm_set1_epi64x(static_cast<long long>(kMixC1 & 0xffffffffULL));
+  const __m128i c1_hi = _mm_set1_epi64x(static_cast<long long>(kMixC1 >> 32));
+  const __m128i c2_lo = _mm_set1_epi64x(static_cast<long long>(kMixC2 & 0xffffffffULL));
+  const __m128i c2_hi = _mm_set1_epi64x(static_cast<long long>(kMixC2 >> 32));
+  const __m128i zero = _mm_setzero_si128();
+  size_t j = 0;
+  for (; j + 2 <= count; j += 2) {
+    __m128i h = vinit;
+    for (int w = 0; w < width; ++w) {
+      const __m128i w32 = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(cols[w] + j));
+      const __m128i wv = _mm_unpacklo_epi32(w32, zero);
+      const __m128i t = _mm_add_epi64(
+          wv, _mm_add_epi64(golden, _mm_add_epi64(_mm_slli_epi64(h, 6),
+                                                  _mm_srli_epi64(h, 2))));
+      h = Mix64Sse2(_mm_xor_si128(h, t), c1_lo, c1_hi, c2_lo, c2_hi);
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + j),
+                     Mix64Sse2(h, c1_lo, c1_hi, c2_lo, c2_hi));
+  }
+  for (; j < count; ++j) {
+    uint64_t h = init;
+    for (int w = 0; w < width; ++w) {
+      h = Mix64(h ^ (static_cast<uint64_t>(cols[w][j]) + kGolden + (h << 6) +
+                     (h >> 2)));
+    }
+    out[j] = Mix64(h);
+  }
+}
+
+__attribute__((target("avx2"))) inline __m256i Mul64Avx2(__m256i a,
+                                                         __m256i b_lo,
+                                                         __m256i b_hi) {
+  const __m256i lo = _mm256_mul_epu32(a, b_lo);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b_lo),
+                       _mm256_mul_epu32(a, b_hi));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) inline __m256i Mix64Avx2(__m256i z,
+                                                         __m256i c1_lo,
+                                                         __m256i c1_hi,
+                                                         __m256i c2_lo,
+                                                         __m256i c2_hi) {
+  z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 30));
+  z = Mul64Avx2(z, c1_lo, c1_hi);
+  z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 27));
+  z = Mul64Avx2(z, c2_lo, c2_hi);
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+/// AVX2 tier: four keys per step. Compiled with a function-level target
+/// attribute so the translation unit builds without -mavx2 and the tier is
+/// safe to carry in a portable binary (it only runs after cpu_supports).
+__attribute__((target("avx2"))) void HashWordsBatchAvx2(
+    const uint32_t* const* cols, int width, size_t count, uint64_t seed,
+    uint64_t* out) {
+  const uint64_t init = InitState(width, seed);
+  const __m256i vinit = _mm256_set1_epi64x(static_cast<long long>(init));
+  const __m256i golden = _mm256_set1_epi64x(static_cast<long long>(kGolden));
+  const __m256i c1_lo = _mm256_set1_epi64x(static_cast<long long>(kMixC1 & 0xffffffffULL));
+  const __m256i c1_hi = _mm256_set1_epi64x(static_cast<long long>(kMixC1 >> 32));
+  const __m256i c2_lo = _mm256_set1_epi64x(static_cast<long long>(kMixC2 & 0xffffffffULL));
+  const __m256i c2_hi = _mm256_set1_epi64x(static_cast<long long>(kMixC2 >> 32));
+  size_t j = 0;
+  for (; j + 4 <= count; j += 4) {
+    __m256i h = vinit;
+    for (int w = 0; w < width; ++w) {
+      const __m256i wv = _mm256_cvtepu32_epi64(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols[w] + j)));
+      const __m256i t = _mm256_add_epi64(
+          wv,
+          _mm256_add_epi64(golden, _mm256_add_epi64(_mm256_slli_epi64(h, 6),
+                                                    _mm256_srli_epi64(h, 2))));
+      h = Mix64Avx2(_mm256_xor_si256(h, t), c1_lo, c1_hi, c2_lo, c2_hi);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j),
+                        Mix64Avx2(h, c1_lo, c1_hi, c2_lo, c2_hi));
+  }
+  for (; j < count; ++j) {
+    uint64_t h = init;
+    for (int w = 0; w < width; ++w) {
+      h = Mix64(h ^ (static_cast<uint64_t>(cols[w][j]) + kGolden + (h << 6) +
+                     (h >> 2)));
+    }
+    out[j] = Mix64(h);
+  }
+}
+
+#endif  // defined(__x86_64__)
+
+using BatchHashFn = void (*)(const uint32_t* const*, int, size_t, uint64_t,
+                             uint64_t*);
+
+struct Dispatch {
+  BatchHashFn fn;
+  const char* name;
+};
+
+/// Picks the widest tier the CPU supports, capped by STREAMAGG_SIMD
+/// (scalar|sse2|avx2; unknown values are ignored). Runs once per process.
+Dispatch PickDispatch() {
+  int cap = 2;
+  if (const char* env = std::getenv("STREAMAGG_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) cap = 0;
+    if (std::strcmp(env, "sse2") == 0) cap = 1;
+    if (std::strcmp(env, "avx2") == 0) cap = 2;
+  }
+#if defined(__x86_64__)
+  if (cap >= 2 && __builtin_cpu_supports("avx2")) {
+    return {HashWordsBatchAvx2, "avx2"};
+  }
+  if (cap >= 1) return {HashWordsBatchSse2, "sse2"};
+#endif
+  (void)cap;
+  return {HashWordsBatchScalar, "scalar"};
+}
+
+const Dispatch& GetDispatch() {
+  static const Dispatch dispatch = PickDispatch();
+  return dispatch;
+}
+
+}  // namespace
+
+void HashWordsBatch(const uint32_t* const* cols, int width, size_t count,
+                    uint64_t seed, uint64_t* out) {
+  GetDispatch().fn(cols, width, count, seed, out);
+}
+
+const char* SimdTierName() { return GetDispatch().name; }
+
+}  // namespace streamagg

@@ -1,0 +1,33 @@
+#ifndef STREAMAGG_UTIL_SIMD_HASH_H_
+#define STREAMAGG_UTIL_SIMD_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace streamagg {
+
+/// Batched HashWords over struct-of-arrays key columns (docs/probe_kernel.md).
+///
+/// `cols[w]` holds word `w` of every key in the batch: key j is
+/// {cols[0][j], ..., cols[width-1][j]}. Writes HashWords(key_j, width, seed)
+/// to out[j] for j in [0, count) — bit-identical to calling the scalar
+/// HashWords per key, which is what makes the batched probe kernel
+/// interchangeable with the serial reference.
+///
+/// The per-key mix chain is sequential in the word index, but independent
+/// across keys, so the kernel vectorizes across lanes: AVX2 runs 4 keys per
+/// step, SSE2 runs 2, and the portable fallback is a plain scalar loop the
+/// compiler may autovectorize. The implementation is picked once per process
+/// by runtime CPU dispatch (x86 only; other architectures always take the
+/// scalar path). Set STREAMAGG_SIMD=scalar|sse2|avx2 to cap the tier below
+/// what the CPU supports (requests above it are clamped).
+void HashWordsBatch(const uint32_t* const* cols, int width, size_t count,
+                    uint64_t seed, uint64_t* out);
+
+/// Name of the dispatched tier: "avx2", "sse2" or "scalar". Logged once by
+/// the probe-kernel bench so CI can assert the SIMD path was exercised.
+const char* SimdTierName();
+
+}  // namespace streamagg
+
+#endif  // STREAMAGG_UTIL_SIMD_HASH_H_
