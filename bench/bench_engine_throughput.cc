@@ -14,6 +14,7 @@
 #include "core/engine.h"
 #include "dsms/configuration_runtime.h"
 #include "dsms/lfta_hash_table.h"
+#include "obs/trace.h"
 #include "stream/uniform_generator.h"
 #include "stream/zipf_generator.h"
 #include "util/simd_hash.h"
@@ -455,6 +456,79 @@ BENCHMARK(BM_EngineTelemetryOverhead)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
+// The flight-recorder gate (docs/tracing.md §4): the same batch-64 replay
+// loop with FlightRecorder disabled (arg 0) vs enabled (arg 1). Event
+// sites fire at epoch/barrier/flush cadence — never per record — so the
+// enabled run must stay within noise (< 3%) of the disabled baseline;
+// overhead_pct reports the measured regression against the arg-0 run.
+void BM_EngineTraceOverhead(benchmark::State& state) {
+  const size_t batch_size = 64;
+  const bool tracing = state.range(0) != 0;
+  FlightRecorder::Instance().Clear();
+  FlightRecorder::Instance().set_enabled(tracing);
+  const Schema schema = *Schema::Default(4);
+  auto gen = std::move(UniformGenerator::Make(schema, 2837, 7)).value();
+  std::vector<QueryDef> queries = {
+      QueryDef(*schema.ParseAttributeSet("AB")),
+      QueryDef(*schema.ParseAttributeSet("BC")),
+      QueryDef(*schema.ParseAttributeSet("BD")),
+      QueryDef(*schema.ParseAttributeSet("CD"))};
+  StreamAggEngine::Options options;
+  options.memory_words = 40000;
+  options.sample_size = 20000;
+  options.epoch_seconds = 1.0;
+  options.clustered = false;
+  auto engine =
+      std::move(StreamAggEngine::FromQueryDefs(schema, queries, options))
+          .value();
+  // Drive past the sampling phase so the loop measures steady state.
+  double t = 0.0;
+  for (size_t i = 0; i <= options.sample_size; ++i) {
+    Record r = gen->Next();
+    r.timestamp = t;
+    (void)engine->Process(r);
+  }
+  std::vector<Record> replay(1 << 16);
+  for (Record& r : replay) {
+    r = gen->Next();
+    t += 1e-7;
+    r.timestamp = t;
+  }
+  double total_millis = 0.0;
+  for (auto _ : state) {
+    double millis = 0.0;
+    {
+      ScopedTimer timer(&millis);
+      for (size_t base = 0; base < replay.size(); base += batch_size) {
+        const size_t n = std::min(batch_size, replay.size() - base);
+        (void)engine->ProcessBatch(
+            std::span<const Record>(replay.data() + base, n));
+      }
+    }
+    state.SetIterationTime(millis / 1000.0);
+    total_millis += millis;
+  }
+  const double processed = static_cast<double>(state.iterations()) *
+                           static_cast<double>(replay.size());
+  state.SetItemsProcessed(static_cast<int64_t>(processed));
+  const double rate = processed / (total_millis / 1000.0);
+  // Registration order runs arg 0 first; it seeds the baseline.
+  static double off_rate = 0.0;
+  if (!tracing) off_rate = rate;
+  state.counters["records_per_sec"] = rate;
+  if (off_rate > 0.0) {
+    state.counters["overhead_pct"] = 100.0 * (off_rate - rate) / off_rate;
+  }
+  FlightRecorder::Instance().set_enabled(false);
+  FlightRecorder::Instance().Clear();
+}
+BENCHMARK(BM_EngineTraceOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"tracing"})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
 // Offered-load sweep for the overload controller (docs/overload.md): the
 // batched-ingest loop with the cost-priced shedding floor pinned to the
 // load factor the sweep point simulates — load_pct/100 = F, floor
@@ -518,7 +592,7 @@ void BM_EngineOverload(benchmark::State& state) {
   const TelemetrySnapshot snapshot = engine->telemetry();
   state.counters["shed_fraction"] = snapshot.shedding.shed_fraction;
   state.counters["p99_epoch_gap_ns"] = static_cast<double>(
-      snapshot.epoch_gap_ns.PercentileUpperBound(0.99));
+      snapshot.epoch_gap_ns.Quantile(0.99));
 }
 BENCHMARK(BM_EngineOverload)
     ->Arg(50)

@@ -14,6 +14,17 @@
 //                    docs/overload.md operations drill.
 //   --stats-json P   after the run, append the final TelemetrySnapshot as
 //                    one JSON line to file P ("-" for stdout).
+//   --shards N       run the parallel ingest path with N LFTA shards.
+//   --trace-json P   after the run, write the flight-recorder events as a
+//                    Chrome trace (chrome://tracing / Perfetto) to P
+//                    ("-" for stdout). Implies tracing on.
+//   --metrics P      after the run, write the final telemetry snapshot in
+//                    OpenMetrics text format to P ("-" for stdout).
+//   --serve PORT     after the run, keep serving the final snapshot on
+//                    http://127.0.0.1:PORT/metrics (and /healthz) until
+//                    the process is killed.
+
+#include <unistd.h>
 
 #include <cinttypes>
 #include <cmath>
@@ -23,6 +34,9 @@
 
 #include "core/engine.h"
 #include "dsms/sliding_window.h"
+#include "obs/http_listener.h"
+#include "obs/openmetrics.h"
+#include "obs/trace.h"
 #include "stream/flow_generator.h"
 #include "stream/uniform_generator.h"
 
@@ -58,8 +72,29 @@ Trace ShiftingTraffic(double overload) {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--overload F] [--stats-json PATH|-]\n", argv0);
+               "usage: %s [--overload F] [--stats-json PATH|-] [--shards N]\n"
+               "          [--trace-json PATH|-] [--metrics PATH|-]"
+               " [--serve PORT]\n",
+               argv0);
   return 2;
+}
+
+// Writes `text` to `path`, with "-" meaning stdout. Returns false on I/O
+// failure (already reported to stderr).
+bool WriteTextFile(const char* what, const char* path,
+                   const std::string& text) {
+  if (std::strcmp(path, "-") == 0) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "%s: cannot open %s\n", what, path);
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fclose(out);
+  return true;
 }
 
 }  // namespace
@@ -67,15 +102,33 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   double overload = 1.0;
   const char* stats_json = nullptr;
+  const char* trace_json = nullptr;
+  const char* metrics_path = nullptr;
+  int serve_port = -1;
+  int shards = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--overload") == 0 && i + 1 < argc) {
       overload = std::atof(argv[++i]);
       if (!(overload > 0.0)) return Usage(argv[0]);
     } else if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
       stats_json = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) {
+      trace_json = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve_port = std::atoi(argv[++i]);
+      if (serve_port < 0 || serve_port > 65535) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+      if (shards < 1) return Usage(argv[0]);
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  if (trace_json != nullptr) {
+    FlightRecorder::Instance().set_enabled(true);
   }
 
   const Trace traffic = ShiftingTraffic(overload);
@@ -85,6 +138,7 @@ int main(int argc, char** argv) {
   options.memory_words = 40000;
   options.sample_size = 50000;
   options.adaptive = true;
+  options.num_shards = shards;
   // Record a telemetry snapshot per completed epoch for the dashboard below.
   options.telemetry_epoch_snapshots = true;
   if (overload > 1.0) {
@@ -197,6 +251,35 @@ int main(int argc, char** argv) {
       std::fprintf(out, "%s\n", line.c_str());
       std::fclose(out);
     }
+  }
+
+  if (trace_json != nullptr) {
+    const std::vector<TraceEvent> events = FlightRecorder::Instance().Snapshot();
+    std::printf("\nflight recorder: %zu events captured\n", events.size());
+    if (!WriteTextFile("trace-json", trace_json, TraceToChromeJson(events))) {
+      return 1;
+    }
+  }
+
+  const std::string openmetrics = TelemetryToOpenMetrics((*engine)->telemetry());
+  if (metrics_path != nullptr) {
+    if (!WriteTextFile("metrics", metrics_path, openmetrics)) return 1;
+  }
+
+  if (serve_port >= 0) {
+    MetricsHttpListener listener;
+    Status s = listener.Start(static_cast<uint16_t>(serve_port),
+                              [openmetrics]() { return openmetrics; });
+    if (!s.ok()) {
+      std::fprintf(stderr, "serve: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving http://127.0.0.1:%u/metrics (ctrl-c to stop)\n",
+                listener.port());
+    std::fflush(stdout);
+    // Block forever: the listener thread owns the socket; the process exits
+    // when killed. pause() keeps the main thread off the CPU.
+    for (;;) pause();
   }
   return 0;
 }

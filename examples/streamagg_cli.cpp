@@ -21,6 +21,9 @@
 //                       collision rates, latency histograms)
 //   --stats-json FILE   write the snapshot as one JSON line ("-" = stdout);
 //                       schema in docs/observability.md
+//   --trace-json FILE   enable the flight recorder and write the run's
+//                       events as a Chrome trace ("-" = stdout);
+//                       format in docs/tracing.md
 //   --make-demo-trace FILE   write a demo trace and exit
 
 #include <algorithm>
@@ -33,6 +36,7 @@
 
 #include "core/engine.h"
 #include "core/plan_io.h"
+#include "obs/trace.h"
 #include "stream/flow_generator.h"
 #include "stream/trace_io.h"
 #include "util/random.h"
@@ -71,7 +75,7 @@ void PrintUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --trace FILE --query SQL [--query SQL ...]\n"
                "          [--memory WORDS] [--adaptive] [--top N]\n"
-               "          [--stats] [--stats-json FILE]\n"
+               "          [--stats] [--stats-json FILE] [--trace-json FILE]\n"
                "       %s --make-demo-trace FILE\n",
                argv0, argv0);
 }
@@ -87,6 +91,7 @@ int main(int argc, char** argv) {
   std::string save_plan_path;
   bool print_stats = false;
   std::string stats_json_path;
+  std::string trace_json_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -114,6 +119,8 @@ int main(int argc, char** argv) {
       print_stats = true;
     } else if (arg == "--stats-json") {
       stats_json_path = next();
+    } else if (arg == "--trace-json") {
+      trace_json_path = next();
     } else {
       PrintUsage(argv[0]);
       return 2;
@@ -136,6 +143,9 @@ int main(int argc, char** argv) {
   options.memory_words = memory_words;
   options.adaptive = adaptive;
   options.sample_size = std::min<size_t>(50000, trace->size());
+  if (!trace_json_path.empty()) {
+    FlightRecorder::Instance().set_enabled(true);
+  }
   auto engine =
       StreamAggEngine::FromQueryTexts(trace->schema(), query_texts, options);
   if (!engine.ok()) {
@@ -188,6 +198,24 @@ int main(int argc, char** argv) {
       std::fclose(f);
       std::printf("telemetry snapshot written to %s\n",
                   stats_json_path.c_str());
+    }
+  }
+  if (!trace_json_path.empty()) {
+    const std::string json = TraceToChromeJson();
+    if (trace_json_path == "-") {
+      std::fwrite(json.data(), 1, json.size(), stdout);
+    } else {
+      std::FILE* f = std::fopen(trace_json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "error: could not open %s\n",
+                     trace_json_path.c_str());
+        return 1;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("flight-recorder trace written to %s (%zu events)\n",
+                  trace_json_path.c_str(),
+                  FlightRecorder::Instance().Snapshot().size());
     }
   }
   const RuntimeCounters counters = (*engine)->counters();

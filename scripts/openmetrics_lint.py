@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Grammar lint for OpenMetrics text exposition (stdlib only).
+
+Checks the subset of the OpenMetrics 1.0 line grammar that scrapers enforce
+on ingestion, mirroring tests/openmetrics_test.cc for use in CI shell steps:
+
+  * metadata (# TYPE / # HELP) precedes a family's samples, TYPE first
+  * each family is declared once and its samples are contiguous
+  * counter sample names carry the `_total` suffix
+  * histogram samples are `_bucket` (with an `le` label, cumulative and
+    `le`-ascending, closing with `le="+Inf"` == `_count`), `_count`, `_sum`
+  * sample values parse as numbers
+  * the exposition ends with `# EOF` and nothing after it
+
+Usage: openmetrics_lint.py FILE [FILE...]   (or `-` for stdin)
+Exits non-zero on the first malformed file; prints one line per finding.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>\S+)$"
+)
+LE_LABEL = re.compile(r'le="(?P<le>[^"]*)"')
+
+
+def lint(name, text):
+    """Returns a list of "line N: problem" strings (empty when clean)."""
+    errors = []
+
+    def err(lineno, message):
+        errors.append("%s:%d: %s" % (name, lineno, message))
+
+    family = None  # (name, type) of the most recent # TYPE.
+    families_seen = set()
+    saw_eof = False
+    # Histogram running state: previous cumulative count and le bound.
+    hist_prev_count = None
+    hist_prev_le = None
+    hist_count_value = None
+    hist_inf_value = None
+
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    else:
+        err(len(lines), "exposition must end with a newline")
+
+    for lineno, line in enumerate(lines, 1):
+        if saw_eof:
+            err(lineno, "content after # EOF")
+            break
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if not line:
+            err(lineno, "blank line")
+            continue
+
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2 or not METRIC_NAME.match(parts[0]):
+                err(lineno, "malformed TYPE line")
+                continue
+            fname, ftype = parts
+            if ftype not in ("gauge", "counter", "histogram"):
+                err(lineno, "unsupported type %r" % ftype)
+            if fname in families_seen:
+                err(lineno, "family %s declared twice" % fname)
+            families_seen.add(fname)
+            family = (fname, ftype)
+            hist_prev_count = None
+            hist_prev_le = None
+            hist_count_value = None
+            hist_inf_value = None
+            continue
+        if line.startswith("# HELP "):
+            fname = line[len("# HELP "):].split(" ")[0]
+            if family is None or fname != family[0]:
+                err(lineno, "HELP outside its family")
+            continue
+        if line.startswith("#"):
+            err(lineno, "unknown metadata line")
+            continue
+
+        m = SAMPLE.match(line)
+        if not m:
+            err(lineno, "malformed sample line")
+            continue
+        sname, labels, value = m.group("name"), m.group("labels"), m.group(
+            "value")
+        try:
+            float(value)
+        except ValueError:
+            err(lineno, "unparseable value %r" % value)
+        if family is None:
+            err(lineno, "sample before any TYPE")
+            continue
+
+        fname, ftype = family
+        if ftype == "counter":
+            if sname != fname + "_total":
+                err(lineno, "counter sample must be %s_total" % fname)
+        elif ftype == "gauge":
+            if sname != fname:
+                err(lineno, "gauge sample outside family %s" % fname)
+        else:  # histogram
+            if sname == fname + "_bucket":
+                le = LE_LABEL.search(labels or "")
+                if not le:
+                    err(lineno, "histogram bucket without le label")
+                    continue
+                bound = le.group("le")
+                count = int(float(value))
+                if hist_prev_count is not None and count < hist_prev_count:
+                    err(lineno, "bucket counts must be cumulative")
+                if bound == "+Inf":
+                    hist_inf_value = count
+                else:
+                    if hist_inf_value is not None:
+                        err(lineno, "+Inf bucket must come last")
+                    if (hist_prev_le is not None
+                            and float(bound) <= hist_prev_le):
+                        err(lineno, "le bounds must ascend")
+                    hist_prev_le = float(bound)
+                hist_prev_count = count
+            elif sname == fname + "_count":
+                hist_count_value = int(float(value))
+                if hist_inf_value is None:
+                    err(lineno, "histogram missing le=\"+Inf\" bucket")
+                elif hist_count_value != hist_inf_value:
+                    err(lineno, "_count must equal the +Inf bucket")
+            elif sname == fname + "_sum":
+                pass
+            else:
+                err(lineno, "histogram sample outside family %s" % fname)
+
+    if not saw_eof:
+        errors.append("%s: missing terminal # EOF" % name)
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[-3].strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        if path == "-":
+            text = sys.stdin.read()
+            label = "<stdin>"
+        else:
+            with open(path, "r") as f:
+                text = f.read()
+            label = path
+        problems = lint(label, text)
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        if problems:
+            failed = True
+        else:
+            print("%s: OK (%d lines)" % (label, text.count("\n")))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -245,8 +245,8 @@ AdaptiveController::Options AdaptiveController::AutoTuneTrend(
   // wobble. Each doubling of the spread buys one extra confirming epoch and
   // 5 extra points of shrink tolerance.
   const double p50 =
-      static_cast<double>(std::max<uint64_t>(1, gaps.PercentileUpperBound(0.5)));
-  const double p99 = static_cast<double>(gaps.PercentileUpperBound(0.99));
+      static_cast<double>(std::max<uint64_t>(1, gaps.Quantile(0.5)));
+  const double p99 = static_cast<double>(gaps.Quantile(0.99));
   const double spread = std::max(1.0, p99 / p50);
   const double doublings = std::log2(spread);
   base.trend_epochs =

@@ -7,10 +7,35 @@
 #include <set>
 
 #include "core/feeding_graph.h"
+#include "obs/trace.h"
 #include "stream/trace_stats.h"
 #include "util/timer.h"
 
 namespace streamagg {
+
+#if STREAMAGG_TELEMETRY_LEVEL >= 1
+namespace {
+
+/// Records a kShedPlanInstall instant for the controller's current plan,
+/// called wherever a plan is pushed into a runtime (initial arm, reprice
+/// after a probe-mode flip, runtime swap, and boundary updates alike) so
+/// the trace shows every install, not just the changed-at-boundary ones.
+void TraceShedPlanInstall(const OverloadController& controller,
+                          uint64_t epoch) {
+  const ShedPlan& plan = controller.shed_plan();
+  uint32_t shedding_relations = 0;
+  for (uint32_t n : plan.numerators) {
+    if (n > 0) ++shedding_relations;
+  }
+  FlightRecorder::Instance().RecordInstant(
+      TraceEventType::kShedPlanInstall, epoch,
+      static_cast<uint32_t>(
+          std::clamp(controller.target_fraction(), 0.0, 1.0) * 1000.0),
+      shedding_relations);
+}
+
+}  // namespace
+#endif
 
 Status StreamAggEngine::ValidateOptions(const Options& options) {
   if (options.num_shards < 1) {
@@ -195,6 +220,8 @@ Status StreamAggEngine::InstallRuntime() {
     if (overload_controller_ != nullptr) {
       STREAMAGG_RETURN_NOT_OK(
           sharded_runtime_->SetShedPlan(overload_controller_->shed_plan()));
+      STREAMAGG_TRACE(
+          TraceShedPlanInstall(*overload_controller_, current_epoch_));
     }
     return Status::OK();
   }
@@ -207,6 +234,8 @@ Status StreamAggEngine::InstallRuntime() {
   if (overload_controller_ != nullptr) {
     STREAMAGG_RETURN_NOT_OK(
         runtime_->SetShedPlan(overload_controller_->shed_plan()));
+    STREAMAGG_TRACE(
+        TraceShedPlanInstall(*overload_controller_, current_epoch_));
   }
   return Status::OK();
 }
@@ -227,6 +256,9 @@ void StreamAggEngine::RuntimeProcessBatch(std::span<const Record> records) {
     const uint64_t epoch = static_cast<uint64_t>(
         std::floor(records.back().timestamp / options_.epoch_seconds));
     if (saw_record_ && epoch != current_epoch_) {
+      STREAMAGG_TRACE(FlightRecorder::Instance().RecordInstant(
+          TraceEventType::kEpochBoundary, current_epoch_,
+          static_cast<uint32_t>(epoch)));
       // The epoch history sees the completed epoch's pre-flush tables; the
       // boundary-straddling batch itself lands in the next snapshot.
       CaptureEpochSnapshot(current_epoch_);
@@ -290,6 +322,15 @@ Status StreamAggEngine::HandleEpochBoundary(uint64_t next_epoch) {
         STREAMAGG_RETURN_NOT_OK(sharded_runtime_->SetProbeModes(modes));
       }
       probe_modes_ = std::move(modes);
+      STREAMAGG_TRACE({
+        uint32_t sort_tables = 0;
+        for (ProbeMode m : probe_modes_) {
+          if (m == ProbeMode::kSort) ++sort_tables;
+        }
+        FlightRecorder::Instance().RecordInstant(
+            TraceEventType::kProbeModeFlip, current_epoch_, sort_tables,
+            static_cast<uint32_t>(probe_modes_.size()));
+      });
       if (overload_controller_ != nullptr) {
         // Keep the shed prices honest: a sort-mode root costs c1_sort + the
         // run dedup rate downstream, not c1 + the hash collision rate.
@@ -301,13 +342,25 @@ Status StreamAggEngine::HandleEpochBoundary(uint64_t next_epoch) {
         STREAMAGG_RETURN_NOT_OK(runtime_ != nullptr
                                     ? runtime_->SetShedPlan(shed)
                                     : sharded_runtime_->SetShedPlan(shed));
+        STREAMAGG_TRACE(
+            TraceShedPlanInstall(*overload_controller_, current_epoch_));
       }
     }
   }
 
   const AdaptiveController::TrendVerdict verdict =
       controller.AssessTrend(history);
+  STREAMAGG_TRACE(FlightRecorder::Instance().RecordInstant(
+      TraceEventType::kTrendAssess, current_epoch_,
+      verdict.should_replan ? 1u : 0u,
+      static_cast<uint32_t>(std::max(verdict.max_table, 0)),
+      static_cast<uint32_t>(std::clamp(verdict.max_drift, 0.0, 4.0) *
+                            1000.0)));
   if (!verdict.should_replan) return Status::OK();
+  STREAMAGG_TRACE(const uint64_t replan_start =
+                      FlightRecorder::Instance().enabled()
+                          ? TelemetryNowNanos()
+                          : 0);
 
   const Configuration& config = plan_->config;
   // The drifted tables condemn their whole feeding trees (verdict indices
@@ -407,6 +460,15 @@ Status StreamAggEngine::HandleEpochBoundary(uint64_t next_epoch) {
 
   plan_ = std::make_unique<OptimizedPlan>(std::move(plan));
   STREAMAGG_RETURN_NOT_OK(InstallRuntime());
+  STREAMAGG_TRACE(if (replan_start != 0) {
+    // Covers the whole swap: retire-flush + HFTA merge, re-estimate,
+    // re-optimize, and runtime rebuild — the replan latency a Chrome trace
+    // shows as one block at the epoch boundary.
+    FlightRecorder::Instance().RecordSpan(
+        TraceEventType::kReplanSwap, replan_start, current_epoch_,
+        static_cast<uint32_t>(replan_events_.back().replanned_nodes),
+        static_cast<uint32_t>(replan_events_.back().pinned_nodes));
+  });
   (void)next_epoch;
   return Status::OK();
 }
@@ -429,6 +491,8 @@ Status StreamAggEngine::HandleOverloadBoundary() {
     } else {
       STREAMAGG_RETURN_NOT_OK(sharded_runtime_->SetShedPlan(plan));
     }
+    STREAMAGG_TRACE(
+        TraceShedPlanInstall(*overload_controller_, current_epoch_));
   }
   if (sharded_runtime_ != nullptr && sharded_runtime_->num_slots() > 0) {
     OverloadController::IngestLayout layout =
@@ -437,8 +501,12 @@ Status StreamAggEngine::HandleOverloadBoundary() {
             sharded_runtime_->SlotRecords(), sharded_runtime_->slot_shards(),
             sharded_runtime_->num_shards(), sharded_runtime_->num_producers());
     if (layout.changed) {
+      STREAMAGG_TRACE(const uint32_t slots =
+                          static_cast<uint32_t>(layout.slot_shards.size()));
       STREAMAGG_RETURN_NOT_OK(sharded_runtime_->ApplyIngestLayout(
           std::move(layout.slot_shards), std::move(layout.stripe_weights)));
+      STREAMAGG_TRACE(FlightRecorder::Instance().RecordInstant(
+          TraceEventType::kRebalance, current_epoch_, slots));
     }
   }
   return Status::OK();
@@ -468,6 +536,9 @@ Status StreamAggEngine::Process(const Record& record) {
     const uint64_t epoch = static_cast<uint64_t>(
         std::floor(record.timestamp / options_.epoch_seconds));
     if (saw_record_ && epoch != current_epoch_) {
+      STREAMAGG_TRACE(FlightRecorder::Instance().RecordInstant(
+          TraceEventType::kEpochBoundary, current_epoch_,
+          static_cast<uint32_t>(epoch)));
       // Capture before any adaptive swap/flush: the history entry shows the
       // completed epoch's tables as the stream left them.
       CaptureEpochSnapshot(current_epoch_);
@@ -692,7 +763,7 @@ void StreamAggEngine::CaptureEpochSnapshot(uint64_t completed_epoch) {
   TelemetrySnapshot snapshot = telemetry();
   snapshot.epoch = completed_epoch;
   telemetry_history_.push_back(std::move(snapshot));
-  size_t limit = options_.telemetry_history_limit;
+  size_t limit = options_.telemetry_history_cap;
   if (options_.adaptive) {
     // The trend window needs trend_epochs observations plus the preceding
     // snapshot for the oldest delta.

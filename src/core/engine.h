@@ -97,7 +97,7 @@ class StreamAggEngine {
     bool telemetry_epoch_snapshots = false;
     /// Bound on telemetry_history(): oldest snapshots are dropped first.
     /// Adaptive engines keep at least trend_epochs + 1 snapshots.
-    size_t telemetry_history_limit = 64;
+    size_t telemetry_history_cap = 64;
     /// Overload controller (dsms/overload_controller.h, docs/overload.md):
     /// cost-priced load shedding at the raw-relation probes plus ingest
     /// rebalancing, judged at epoch boundaries from the telemetry history

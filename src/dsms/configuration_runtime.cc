@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "obs/trace.h"
 #include "util/simd_hash.h"
 
 namespace streamagg {
@@ -307,11 +308,22 @@ void ConfigurationRuntime::ProbeChunkSort(
       add = &from_record;
     }
     if (table.SortAppend(scratch_keys_[j], *add, scratch_hashes_[j])) {
+      STREAMAGG_TRACE(const uint64_t run_len = table.sort_run_size();
+                      const uint64_t drain_start =
+                          FlightRecorder::Instance().enabled()
+                              ? TelemetryNowNanos()
+                              : 0);
       const uint64_t unique =
           table.DrainSortRun([&](const GroupKey& key,
                                  const AggregateState& state) {
             PropagateEviction</*kFlushing=*/false>(rel, key, state);
           });
+      STREAMAGG_TRACE(if (drain_start != 0) {
+        FlightRecorder::Instance().RecordSpan(
+            TraceEventType::kSortRunDrain, drain_start, current_epoch_,
+            static_cast<uint32_t>(rel), static_cast<uint32_t>(unique),
+            static_cast<uint32_t>(run_len));
+      });
 #if STREAMAGG_TELEMETRY_LEVEL >= 2
       if (telemetry_level_.load(std::memory_order_relaxed) ==
           TelemetryLevel::kFull) {
@@ -448,6 +460,13 @@ void ConfigurationRuntime::ProcessBatch(std::span<const Record> records) {
 }
 
 void ConfigurationRuntime::FlushEpoch() {
+  // The flight recorder's span over the whole flush (docs/tracing.md):
+  // shard-labeled, so a sharded trace shows each replica's flush phase of
+  // the epoch barrier.
+  STREAMAGG_TRACE(const uint64_t trace_start =
+                      FlightRecorder::Instance().enabled()
+                          ? TelemetryNowNanos()
+                          : 0);
 #if STREAMAGG_TELEMETRY_LEVEL >= 2
   const bool timed = telemetry_level_.load(std::memory_order_relaxed) ==
                      TelemetryLevel::kFull;
@@ -468,11 +487,22 @@ void ConfigurationRuntime::FlushEpoch() {
     const int rel = raw_relations_[ri];
     LftaHashTable& table = *tables_[rel];
     if (table.sort_run_size() == 0) continue;
+    STREAMAGG_TRACE(const uint64_t run_len = table.sort_run_size();
+                    const uint64_t drain_start =
+                        FlightRecorder::Instance().enabled()
+                            ? TelemetryNowNanos()
+                            : 0);
     const uint64_t unique =
         table.DrainSortRun([&](const GroupKey& key,
                                const AggregateState& state) {
           PropagateEviction</*kFlushing=*/true>(rel, key, state);
         });
+    STREAMAGG_TRACE(if (drain_start != 0) {
+      FlightRecorder::Instance().RecordSpan(
+          TraceEventType::kSortRunDrain, drain_start, current_epoch_,
+          static_cast<uint32_t>(rel), static_cast<uint32_t>(unique),
+          static_cast<uint32_t>(run_len));
+    });
 #if STREAMAGG_TELEMETRY_LEVEL >= 2
     if (timed) telemetry_.sort_run_unique.Record(unique);
 #else
@@ -500,6 +530,11 @@ void ConfigurationRuntime::FlushEpoch() {
 #if STREAMAGG_TELEMETRY_LEVEL >= 2
   if (timed) telemetry_.flush_ns.Record(TelemetryNowNanos() - flush_start);
 #endif
+  STREAMAGG_TRACE(if (trace_start != 0) {
+    FlightRecorder::Instance().RecordSpan(TraceEventType::kEpochFlush,
+                                          trace_start, current_epoch_,
+                                          static_cast<uint32_t>(trace_id_));
+  });
 }
 
 void ConfigurationRuntime::ProcessTrace(const Trace& trace) {

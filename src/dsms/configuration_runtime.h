@@ -259,6 +259,12 @@ class ConfigurationRuntime {
     return shed_counts_[static_cast<size_t>(i)];
   }
 
+  /// Shard index stamped into this runtime's flight-recorder events
+  /// (docs/tracing.md) — 0 for serial runtimes; ShardedRuntime::Make labels
+  /// each replica with its shard.
+  void set_trace_id(int id) { trace_id_ = id; }
+  int trace_id() const { return trace_id_; }
+
   /// Installs per-raw-relation probe modes (docs/probe_kernel.md §3), under
   /// the same quiescence contract as SetShedPlan. `modes` parallels
   /// raw-relation order; empty restores all-hash. The switch is flag-only
@@ -376,6 +382,8 @@ class ConfigurationRuntime {
   ShedPlan shed_plan_;
   std::vector<uint32_t> shed_accum_;
   std::vector<uint64_t> shed_counts_;
+  /// Shard label of this runtime's trace events (see set_trace_id).
+  int trace_id_ = 0;
 };
 
 }  // namespace streamagg

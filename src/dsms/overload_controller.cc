@@ -1,7 +1,6 @@
 #include "dsms/overload_controller.h"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
 #include <numeric>
 
@@ -10,32 +9,6 @@
 namespace streamagg {
 
 namespace {
-
-/// p99 upper bound of the histogram growth from `prev` to `cur` (nullptr
-/// prev = zero baseline). LogHistogram merges element-wise, so the per-epoch
-/// view is the bucket-count delta; counts are monotone within one runtime's
-/// life, and a runtime swap (counts shrink) reads as an empty epoch.
-uint64_t DeltaP99(const LogHistogram* prev, const LogHistogram& cur) {
-  uint64_t total = 0;
-  std::array<uint64_t, LogHistogram::kNumBuckets> delta{};
-  for (int b = 0; b < LogHistogram::kNumBuckets; ++b) {
-    const uint64_t before = prev != nullptr ? prev->bucket_count(b) : 0;
-    const uint64_t after = cur.bucket_count(b);
-    delta[static_cast<size_t>(b)] = after > before ? after - before : 0;
-    total += delta[static_cast<size_t>(b)];
-  }
-  if (total == 0) return 0;
-  uint64_t rank = static_cast<uint64_t>(0.99 * static_cast<double>(total));
-  if (rank < 0.99 * static_cast<double>(total) || rank == 0) ++rank;
-  uint64_t seen = 0;
-  for (int b = 0; b < LogHistogram::kNumBuckets; ++b) {
-    seen += delta[static_cast<size_t>(b)];
-    if (seen >= rank) {
-      return std::min(LogHistogram::BucketUpperBound(b), cur.max());
-    }
-  }
-  return cur.max();
-}
 
 uint64_t SumBlockedPushes(const std::vector<ProducerTelemetry>& producers) {
   uint64_t total = 0;
@@ -195,8 +168,14 @@ double OverloadController::EpochPressure(const TelemetrySnapshot* prev,
     }
   }
   if (options_.epoch_gap_watermark_ns > 0) {
-    const uint64_t p99 = DeltaP99(
-        prev != nullptr ? &prev->epoch_gap_ns : nullptr, cur.epoch_gap_ns);
+    // p99 of this epoch's gap distribution: LogHistogram merges
+    // element-wise, so the per-epoch view is the lifetime delta (Since);
+    // counts are monotone within one runtime's life, and a runtime swap
+    // (counts shrink) clamps to an empty epoch.
+    const LogHistogram delta = prev != nullptr
+                                   ? cur.epoch_gap_ns.Since(prev->epoch_gap_ns)
+                                   : cur.epoch_gap_ns;
+    const uint64_t p99 = delta.Quantile(0.99);
     pressure = std::max(pressure,
                         static_cast<double>(p99) /
                             static_cast<double>(options_.epoch_gap_watermark_ns));

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/hash.h"
 
 namespace streamagg {
@@ -49,6 +50,7 @@ Result<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Make(
     STREAMAGG_ASSIGN_OR_RETURN(
         std::unique_ptr<ConfigurationRuntime> shard,
         ConfigurationRuntime::Make(schema, specs, epoch_seconds, seed));
+    shard->set_trace_id(s);  // Label the replica's flight-recorder events.
     shards.push_back(std::move(shard));
   }
   AttributeSet partition_attrs;
@@ -165,6 +167,12 @@ void ShardedRuntime::PushBlocking(int producer, int shard,
   SpscQueue<Envelope>& queue = *queues_[QueueIndex(producer, shard)];
   int spins = 0;
   if (!queue.TryPush(envelope)) {
+    // Stall span (docs/tracing.md): only the *blocked* path reads the clock,
+    // so the uncontended push stays a TryPush plus one relaxed load.
+    STREAMAGG_TRACE(const uint64_t stall_start =
+                        FlightRecorder::Instance().enabled()
+                            ? TelemetryNowNanos()
+                            : 0);
     STREAMAGG_TELEMETRY_COUNTERS(
         if (telemetry_level_ != TelemetryLevel::kOff)
             ++ingest_stats_[QueueIndex(producer, shard)].blocked_pushes;);
@@ -177,6 +185,11 @@ void ShardedRuntime::PushBlocking(int producer, int shard,
         std::this_thread::sleep_for(std::chrono::microseconds(50));
       }
     } while (!queue.TryPush(envelope));
+    STREAMAGG_TRACE(if (stall_start != 0) {
+      FlightRecorder::Instance().RecordSpan(
+          TraceEventType::kBlockedPush, stall_start, /*epoch=*/0,
+          static_cast<uint32_t>(producer), static_cast<uint32_t>(shard));
+    });
   }
 #if STREAMAGG_TELEMETRY_LEVEL >= 1
   // Depth sampled right after the push: one acquire load per envelope
@@ -223,6 +236,9 @@ void ShardedRuntime::WorkerLoop(int shard) {
           if (++flush_seen == num_producers_) {
             flush_seen = 0;
             runtime.FlushEpoch();
+            STREAMAGG_TRACE(FlightRecorder::Instance().RecordInstant(
+                TraceEventType::kBarrierAck, runtime.current_epoch(),
+                static_cast<uint32_t>(shard), /*kind=*/0));
             std::lock_guard<std::mutex> lock(barrier_mutex_);
             if (--barrier_pending_ == 0) barrier_cv_.notify_one();
           }
@@ -233,6 +249,9 @@ void ShardedRuntime::WorkerLoop(int shard) {
           // left mid-epoch: the driver wants to read their occupancy.
           if (++quiesce_seen == num_producers_) {
             quiesce_seen = 0;
+            STREAMAGG_TRACE(FlightRecorder::Instance().RecordInstant(
+                TraceEventType::kBarrierAck, runtime.current_epoch(),
+                static_cast<uint32_t>(shard), /*kind=*/1));
             std::lock_guard<std::mutex> lock(barrier_mutex_);
             if (--barrier_pending_ == 0) barrier_cv_.notify_one();
           }
@@ -426,6 +445,13 @@ void ShardedRuntime::FlushEpoch() { RunBarrier(Envelope::Kind::kFlush); }
 void ShardedRuntime::Quiesce() { RunBarrier(Envelope::Kind::kQuiesce); }
 
 void ShardedRuntime::RunBarrier(Envelope::Kind kind) {
+  // Driver-side barrier span (docs/tracing.md): covers staging delivery,
+  // marker propagation, the wait for every shard's ack, and the snapshot
+  // rebuild — the wall-clock cost of one FlushEpoch/Quiesce barrier.
+  STREAMAGG_TRACE(const uint64_t barrier_start =
+                      FlightRecorder::Instance().enabled()
+                          ? TelemetryNowNanos()
+                          : 0);
   // Producers are quiescent here: DispatchRun joins every helper before
   // returning, and barriers are only run from the driver thread. Staged
   // records belong to the epoch in flight; deliver them first so the
@@ -449,6 +475,11 @@ void ShardedRuntime::RunBarrier(Envelope::Kind kind) {
   // race-free: nothing else is in their queues (the driver is the only
   // thread pushing, and the helpers are parked).
   RebuildMergedSnapshot();
+  STREAMAGG_TRACE(if (barrier_start != 0) {
+    FlightRecorder::Instance().RecordSpan(
+        TraceEventType::kBarrier, barrier_start, shards_[0]->current_epoch(),
+        /*kind=*/kind == Envelope::Kind::kQuiesce ? 1u : 0u);
+  });
 }
 
 void ShardedRuntime::RebuildMergedSnapshot() {

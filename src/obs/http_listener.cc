@@ -1,0 +1,137 @@
+#include "obs/http_listener.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "obs/openmetrics.h"
+
+namespace streamagg {
+namespace {
+
+/// Writes the whole buffer, retrying short writes; best-effort (a client
+/// that hung up mid-response is its own problem).
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(const char* status_line, const char* content_type,
+                         const std::string& body) {
+  std::string r = "HTTP/1.1 ";
+  r += status_line;
+  r += "\r\nContent-Type: ";
+  r += content_type;
+  r += "\r\nContent-Length: ";
+  r += std::to_string(body.size());
+  r += "\r\nConnection: close\r\n\r\n";
+  r += body;
+  return r;
+}
+
+}  // namespace
+
+Status MetricsHttpListener::Start(uint16_t port, MetricsHandler handler) {
+  if (running()) return Status::FailedPrecondition("listener already started");
+  if (!handler) return Status::InvalidArgument("null metrics handler");
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(fd, 4) != 0) {
+    ::close(fd);
+    return Status::Internal(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Status::Internal(std::string("getsockname: ") +
+                            std::strerror(errno));
+  }
+
+  handler_ = std::move(handler);
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&MetricsHttpListener::Serve, this);
+  return Status::OK();
+}
+
+void MetricsHttpListener::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_ = 0;
+  handler_ = nullptr;
+}
+
+void MetricsHttpListener::Serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Poll with a short timeout so Stop() is honored between connections.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // Read one bounded request; we only need the request line, and a scrape
+    // client sends the whole head in one segment in practice.
+    char buffer[2048];
+    ssize_t n = ::recv(client, buffer, sizeof(buffer) - 1, 0);
+    if (n <= 0) {
+      ::close(client);
+      continue;
+    }
+    buffer[n] = '\0';
+    std::string request(buffer);
+    std::string target;
+    if (request.rfind("GET ", 0) == 0) {
+      size_t end = request.find(' ', 4);
+      if (end != std::string::npos) target = request.substr(4, end - 4);
+    }
+
+    if (target == "/metrics") {
+      WriteAll(client,
+               HttpResponse("200 OK", OpenMetricsContentType(), handler_()));
+    } else if (target == "/healthz") {
+      WriteAll(client, HttpResponse("200 OK", "text/plain; charset=utf-8",
+                                    "ok\n"));
+    } else {
+      WriteAll(client, HttpResponse("404 Not Found",
+                                    "text/plain; charset=utf-8",
+                                    "not found\n"));
+    }
+    ::shutdown(client, SHUT_WR);
+    ::close(client);
+  }
+}
+
+}  // namespace streamagg

@@ -139,10 +139,13 @@ class LogHistogram {
                : static_cast<double>(sum_) / static_cast<double>(count_);
   }
 
-  /// Upper bound of the bucket containing the q-quantile (q in [0, 1]),
-  /// clamped to the observed max — a log-scale estimate, exact to within
-  /// one power of two. 0 when empty.
-  uint64_t PercentileUpperBound(double q) const {
+  /// The q-quantile (q in [0, 1]) by the upper-bound convention: the upper
+  /// bound of the bucket containing the rank-ceil(q*count) element, clamped
+  /// to the observed max — a log-scale estimate, exact to within one power
+  /// of two, never an underestimate. 0 when empty. Shared by every consumer
+  /// that reads percentiles off these histograms (overload watermarks,
+  /// trend auto-tuning, telemetry tables).
+  uint64_t Quantile(double q) const {
     if (count_ == 0) return 0;
     if (q < 0.0) q = 0.0;
     if (q > 1.0) q = 1.0;
@@ -155,6 +158,30 @@ class LogHistogram {
       if (seen >= rank) return std::min(BucketUpperBound(b), max());
     }
     return max();
+  }
+
+  /// The histogram of values recorded since `baseline` was captured, for
+  /// per-epoch percentiles over lifetime histograms: bucket counts, count,
+  /// and sum subtract (clamped at zero so a mismatched baseline degrades
+  /// rather than underflows). min/max are not recoverable for a window, so
+  /// the delta adopts *this* histogram's lifetime min/max — Quantile on the
+  /// delta therefore clamps to the lifetime max, matching the overload
+  /// controller's historical per-epoch p99 exactly.
+  LogHistogram Since(const LogHistogram& baseline) const {
+    LogHistogram d;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      const size_t i = static_cast<size_t>(b);
+      d.counts_[i] =
+          counts_[i] >= baseline.counts_[i] ? counts_[i] - baseline.counts_[i]
+                                            : 0;
+      d.count_ += d.counts_[i];
+    }
+    d.sum_ = sum_ >= baseline.sum_ ? sum_ - baseline.sum_ : 0;
+    if (d.count_ > 0) {
+      d.min_ = min_;
+      d.max_ = max_;
+    }
+    return d;
   }
 
   /// Element-wise accumulation; exactly associative and commutative.

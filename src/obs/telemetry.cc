@@ -214,8 +214,8 @@ std::string FormatHistogramLine(const char* name, const LogHistogram& h) {
     std::snprintf(buffer, sizeof(buffer),
                   "%-13s count=%llu mean=%.0f p50<=%llu p99<=%llu max=%llu\n",
                   name, static_cast<unsigned long long>(h.count()), h.Mean(),
-                  static_cast<unsigned long long>(h.PercentileUpperBound(0.5)),
-                  static_cast<unsigned long long>(h.PercentileUpperBound(0.99)),
+                  static_cast<unsigned long long>(h.Quantile(0.5)),
+                  static_cast<unsigned long long>(h.Quantile(0.99)),
                   static_cast<unsigned long long>(h.max()));
   }
   return buffer;

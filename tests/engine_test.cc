@@ -365,7 +365,7 @@ TEST(StreamAggEngineTest, TelemetryEpochHistoryIsBoundedAndLabeled) {
   StreamAggEngine::Options options = BaseOptions();
   options.epoch_seconds = 1.0;  // 10 epochs over the 10-second trace.
   options.telemetry_epoch_snapshots = true;
-  options.telemetry_history_limit = 4;
+  options.telemetry_history_cap = 4;
   auto engine = StreamAggEngine::FromQueryDefs(
       trace.schema(),
       {QueryDef(*trace.schema().ParseAttributeSet("AB"))}, options);
@@ -384,6 +384,50 @@ TEST(StreamAggEngineTest, TelemetryEpochHistoryIsBoundedAndLabeled) {
     // Cumulative counters only grow along the history.
     EXPECT_LE(history[i - 1].counters.records, history[i].counters.records);
   }
+}
+
+TEST(StreamAggEngineTest, TelemetryHistoryCapHoldsOnLongRuns) {
+  // Regression (ISSUE 8 satellite): history must stay at the cap no matter
+  // how many epochs the run spans — memory is O(cap), not O(stream length).
+  const Trace trace = UniformTrace(400, 60000, 43);
+  StreamAggEngine::Options options = BaseOptions();
+  options.epoch_seconds = 0.2;  // ~50 epochs over the 10-second trace.
+  options.telemetry_epoch_snapshots = true;
+  options.telemetry_history_cap = 3;
+  auto engine = StreamAggEngine::FromQueryDefs(
+      trace.schema(),
+      {QueryDef(*trace.schema().ParseAttributeSet("AB"))}, options);
+  ASSERT_TRUE(engine.ok());
+  for (const Record& r : trace.records()) {
+    ASSERT_TRUE((*engine)->Process(r).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+
+  // The run really did span far more epochs than the cap.
+  EXPECT_GT((*engine)->counters().epochs_flushed, 30u);
+  EXPECT_EQ((*engine)->telemetry_history().size(), 3u);
+}
+
+TEST(StreamAggEngineTest, TelemetryHistoryCapWidensToAdaptiveTrendWindow) {
+  // A cap below the adaptive trend window would starve AssessTrend, so the
+  // engine keeps at least trend_epochs + 1 snapshots regardless of the cap.
+  const Trace trace = UniformTrace(400, 60000, 47);
+  StreamAggEngine::Options options = BaseOptions();
+  options.epoch_seconds = 0.2;
+  options.adaptive = true;  // Forces epoch snapshots on.
+  options.adaptive_options.trend_epochs = 4;
+  options.telemetry_history_cap = 1;
+  auto engine = StreamAggEngine::FromQueryDefs(
+      trace.schema(),
+      {QueryDef(*trace.schema().ParseAttributeSet("AB"))}, options);
+  ASSERT_TRUE(engine.ok());
+  for (const Record& r : trace.records()) {
+    ASSERT_TRUE((*engine)->Process(r).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+
+  EXPECT_GT((*engine)->counters().epochs_flushed, 30u);
+  EXPECT_EQ((*engine)->telemetry_history().size(), 5u);  // trend_epochs + 1.
 }
 
 TEST(StreamAggEngineTest, ShardedTelemetryMergesToEngineCounters) {

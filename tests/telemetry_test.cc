@@ -55,7 +55,7 @@ TEST(LogHistogramTest, RecordTracksStats) {
   EXPECT_EQ(h.min(), 0u);
   EXPECT_EQ(h.max(), 0u);
   EXPECT_EQ(h.Mean(), 0.0);
-  EXPECT_EQ(h.PercentileUpperBound(0.5), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
 
   for (uint64_t v : {7u, 0u, 100u, 3u}) h.Record(v);
   EXPECT_EQ(h.count(), 4u);
@@ -67,15 +67,46 @@ TEST(LogHistogramTest, RecordTracksStats) {
   EXPECT_EQ(h.bucket_count(LogHistogram::BucketFor(7)), 1u);
 }
 
-TEST(LogHistogramTest, PercentileUpperBoundIsLogScaleExact) {
+TEST(LogHistogramTest, QuantileIsLogScaleExact) {
   LogHistogram h;
   for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
   // p100 clamps to the observed max, not the bucket upper bound (127).
-  EXPECT_EQ(h.PercentileUpperBound(1.0), 100u);
+  EXPECT_EQ(h.Quantile(1.0), 100u);
   // p1 -> rank 1 -> value 1 -> bucket 1, upper bound 1.
-  EXPECT_EQ(h.PercentileUpperBound(0.01), 1u);
+  EXPECT_EQ(h.Quantile(0.01), 1u);
   // p50 -> rank 50 -> bucket of 50 is [32, 63].
-  EXPECT_EQ(h.PercentileUpperBound(0.5), 63u);
+  EXPECT_EQ(h.Quantile(0.5), 63u);
+}
+
+TEST(LogHistogramTest, SinceSubtractsBucketCounts) {
+  // Since() inverts Merge-style accumulation: recording a baseline, then
+  // more values, then diffing must see exactly the later values' buckets.
+  LogHistogram h;
+  for (uint64_t v : {5u, 9u, 17u}) h.Record(v);
+  const LogHistogram baseline = h;
+  for (uint64_t v : {100u, 200u, 300u, 400u}) h.Record(v);
+
+  const LogHistogram delta = h.Since(baseline);
+  EXPECT_EQ(delta.count(), 4u);
+  EXPECT_EQ(delta.sum(), 1000u);
+  EXPECT_EQ(delta.bucket_count(LogHistogram::BucketFor(5)), 0u);
+  EXPECT_EQ(delta.bucket_count(LogHistogram::BucketFor(100)), 1u);
+  EXPECT_EQ(delta.bucket_count(LogHistogram::BucketFor(200)), 1u);
+  // Quantile over the window diff answers per-epoch percentile questions
+  // (the overload controller's epoch-gap watermark); the upper-bound
+  // convention clamps to the lifetime max.
+  EXPECT_EQ(delta.Quantile(1.0), std::min<uint64_t>(511, h.max()));
+
+  // Identity baseline -> empty delta; empty delta quantiles are 0.
+  const LogHistogram empty = h.Since(h);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.Quantile(0.99), 0u);
+
+  // A baseline from a different (larger) history — a runtime swap shrank
+  // the counts — clamps at zero instead of underflowing.
+  const LogHistogram swapped = baseline.Since(h);
+  EXPECT_EQ(swapped.count(), 0u);
+  EXPECT_EQ(swapped.Quantile(0.99), 0u);
 }
 
 LogHistogram RandomHistogram(Random* rng) {
