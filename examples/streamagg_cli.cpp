@@ -24,6 +24,14 @@
 //   --trace-json FILE   enable the flight recorder and write the run's
 //                       events as a Chrome trace ("-" = stdout);
 //                       format in docs/tracing.md
+//   --churn-script FILE apply online AddQuery/DropQuery mid-stream; each
+//                       line is "<epoch> add <sql>" or "<epoch> drop <id>"
+//                       ('#' starts a comment), fired when the stream
+//                       reaches that epoch (docs/query_frontend.md §4)
+//   --checksums         print one FNV-1a 64 line per query id over its
+//                       sorted per-epoch rows ("checksum query=<id>
+//                       value=<hex>") — stable across runs and engine
+//                       splits, used by the CI churn drill
 //   --make-demo-trace FILE   write a demo trace and exit
 
 #include <algorithm>
@@ -31,6 +39,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -76,8 +86,112 @@ void PrintUsage(const char* argv0) {
                "usage: %s --trace FILE --query SQL [--query SQL ...]\n"
                "          [--memory WORDS] [--adaptive] [--top N]\n"
                "          [--stats] [--stats-json FILE] [--trace-json FILE]\n"
+               "          [--churn-script FILE] [--checksums]\n"
                "       %s --make-demo-trace FILE\n",
                argv0, argv0);
+}
+
+/// One line of a churn script: at `epoch`, either AddQuery(`sql`) or
+/// DropQuery(`query_id`).
+struct ChurnAction {
+  uint64_t epoch = 0;
+  bool add = true;
+  std::string sql;    // add only
+  int query_id = -1;  // drop only
+  int line = 0;       // 1-based source line, for diagnostics
+};
+
+/// Parses a churn script: "<epoch> add <sql>" / "<epoch> drop <id>" per
+/// line, '#' comments and blank lines skipped. Returns actions sorted by
+/// epoch (stable, so same-epoch lines keep file order).
+bool LoadChurnScript(const std::string& path,
+                     std::vector<ChurnAction>* actions) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: could not open churn script %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    ChurnAction action;
+    action.line = line_no;
+    std::string verb;
+    if (!(line >> action.epoch >> verb)) continue;  // blank / comment-only
+    if (verb == "add") {
+      std::getline(line, action.sql);
+      const size_t start = action.sql.find_first_not_of(" \t");
+      if (start == std::string::npos) {
+        std::fprintf(stderr, "error: %s:%d: add needs a query\n",
+                     path.c_str(), line_no);
+        return false;
+      }
+      action.sql.erase(0, start);
+      action.add = true;
+    } else if (verb == "drop") {
+      if (!(line >> action.query_id)) {
+        std::fprintf(stderr, "error: %s:%d: drop needs a query id\n",
+                     path.c_str(), line_no);
+        return false;
+      }
+      action.add = false;
+    } else {
+      std::fprintf(stderr, "error: %s:%d: expected add or drop, got %s\n",
+                   path.c_str(), line_no, verb.c_str());
+      return false;
+    }
+    actions->push_back(std::move(action));
+  }
+  std::stable_sort(actions->begin(), actions->end(),
+                   [](const ChurnAction& a, const ChurnAction& b) {
+                     return a.epoch < b.epoch;
+                   });
+  return true;
+}
+
+/// FNV-1a 64 over a query's results: epochs ascending, rows within an
+/// epoch sorted by group key, each row contributing its key values, count
+/// and metric values. Independent of hash-map iteration order and engine
+/// split, so equal results hash equal.
+uint64_t QueryChecksum(const StreamAggEngine& engine, int query_id) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix64 = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h = (h ^ ((v >> (8 * b)) & 0xff)) * 1099511628211ull;
+    }
+  };
+  for (uint64_t epoch : engine.Epochs(query_id)) {
+    mix64(epoch);
+    const EpochAggregate& result = engine.EpochResult(query_id, epoch);
+    std::vector<const GroupKey*> keys;
+    keys.reserve(result.size());
+    for (const auto& [key, state] : result) keys.push_back(&key);
+    std::sort(keys.begin(), keys.end(),
+              [](const GroupKey* a, const GroupKey* b) {
+                if (a->size != b->size) return a->size < b->size;
+                for (uint8_t i = 0; i < a->size; ++i) {
+                  if (a->values[i] != b->values[i]) {
+                    return a->values[i] < b->values[i];
+                  }
+                }
+                return false;
+              });
+    for (const GroupKey* key : keys) {
+      mix64(key->size);
+      for (uint8_t i = 0; i < key->size; ++i) mix64(key->values[i]);
+      const AggregateState& state = result.at(*key);
+      mix64(state.count);
+      for (uint8_t i = 0; i < state.num_metrics; ++i) {
+        mix64(state.metrics[i]);
+      }
+    }
+  }
+  return h;
 }
 
 }  // namespace
@@ -92,6 +206,8 @@ int main(int argc, char** argv) {
   bool print_stats = false;
   std::string stats_json_path;
   std::string trace_json_path;
+  std::string churn_script_path;
+  bool print_checksums = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -121,6 +237,10 @@ int main(int argc, char** argv) {
       stats_json_path = next();
     } else if (arg == "--trace-json") {
       trace_json_path = next();
+    } else if (arg == "--churn-script") {
+      churn_script_path = next();
+    } else if (arg == "--checksums") {
+      print_checksums = true;
     } else {
       PrintUsage(argv[0]);
       return 2;
@@ -146,13 +266,56 @@ int main(int argc, char** argv) {
   if (!trace_json_path.empty()) {
     FlightRecorder::Instance().set_enabled(true);
   }
+  std::vector<ChurnAction> churn;
+  if (!churn_script_path.empty() &&
+      !LoadChurnScript(churn_script_path, &churn)) {
+    return 1;
+  }
+
   auto engine =
       StreamAggEngine::FromQueryTexts(trace->schema(), query_texts, options);
   if (!engine.ok()) {
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
+  if (!churn.empty() && (*engine)->epoch_seconds() <= 0.0) {
+    std::fprintf(stderr,
+                 "error: --churn-script needs an epoched engine (give the "
+                 "queries a time/N grouping or an epoch clause)\n");
+    return 1;
+  }
+  // Per-id query text, extended as the churn script adds queries.
+  std::vector<std::string> id_texts = query_texts;
+  size_t next_churn = 0;
   for (const Record& r : trace->records()) {
+    // Fire churn actions whose epoch the stream has reached.
+    while (next_churn < churn.size() &&
+           static_cast<double>(churn[next_churn].epoch) *
+                   (*engine)->epoch_seconds() <=
+               r.timestamp) {
+      const ChurnAction& action = churn[next_churn++];
+      if (action.add) {
+        auto id = (*engine)->AddQuery(action.sql);
+        if (!id.ok()) {
+          std::fprintf(stderr, "error: %s:%d: %s\n",
+                       churn_script_path.c_str(), action.line,
+                       id.status().ToString().c_str());
+          return 1;
+        }
+        id_texts.push_back(action.sql);
+        std::printf("churn: epoch %" PRIu64 " add -> query %d\n",
+                    action.epoch, *id);
+      } else {
+        if (Status s = (*engine)->DropQuery(action.query_id); !s.ok()) {
+          std::fprintf(stderr, "error: %s:%d: %s\n",
+                       churn_script_path.c_str(), action.line,
+                       s.ToString().c_str());
+          return 1;
+        }
+        std::printf("churn: epoch %" PRIu64 " drop query %d\n", action.epoch,
+                    action.query_id);
+      }
+    }
     if (Status s = (*engine)->Process(r); !s.ok()) {
       std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
       return 1;
@@ -226,10 +389,19 @@ int main(int argc, char** argv) {
                   counters.records,
               (*engine)->reoptimizations());
 
+  if (print_checksums) {
+    for (int id = 0; id < (*engine)->num_query_ids(); ++id) {
+      std::printf("checksum query=%d value=%016" PRIx64 "\n", id,
+                  QueryChecksum(**engine, id));
+    }
+  }
+
   const std::vector<ParsedQuery>& queries = (*engine)->parsed_queries();
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     const ParsedQuery& q = queries[qi];
-    std::printf("== Q%zu: %s\n", qi + 1, query_texts[qi].c_str());
+    const bool live = (*engine)->IsLive(static_cast<int>(qi));
+    std::printf("== Q%zu: %s%s\n", qi + 1, id_texts[qi].c_str(),
+                live ? "" : " (dropped)");
     for (uint64_t epoch : (*engine)->Epochs(static_cast<int>(qi))) {
       const EpochAggregate& result =
           (*engine)->EpochResult(static_cast<int>(qi), epoch);

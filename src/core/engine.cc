@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <set>
 
@@ -62,8 +63,18 @@ Status StreamAggEngine::ValidateOptions(const Options& options) {
         "Options::overload.enabled requires Options::telemetry_level above "
         "kOff (got kOff)");
   }
+  if (!(options.churn_reserve_fraction >= 0.0 &&
+        options.churn_reserve_fraction <= 0.9)) {
+    char value[32];
+    std::snprintf(value, sizeof(value), "%g", options.churn_reserve_fraction);
+    return Status::InvalidArgument(
+        "Options::churn_reserve_fraction must be in [0, 0.9] (got " +
+        std::string(value) + ")");
+  }
   // adaptive composes with num_shards/num_producers: the drift check and
-  // plan swap run at the sharded runtime's quiescence barrier.
+  // plan swap run at the sharded runtime's quiescence barrier. Query churn
+  // composes with all of the above — AddQuery/DropQuery act at the same
+  // barrier — so no combination involving it is rejected here.
   return Status::OK();
 }
 
@@ -110,7 +121,8 @@ Result<std::unique_ptr<StreamAggEngine>> StreamAggEngine::FromPinnedPlan(
   if (options.adaptive) {
     if (catalog_counts.empty()) {
       return Status::InvalidArgument(
-          "adaptive pinned-plan engines need catalog counts");
+          "Options::adaptive requires catalog counts for pinned-plan "
+          "engines (got adaptive=true with 0 catalog counts)");
     }
     STREAMAGG_ASSIGN_OR_RETURN(
         RelationCatalog catalog,
@@ -129,6 +141,51 @@ Result<std::unique_ptr<StreamAggEngine>> StreamAggEngine::FromPinnedPlan(
   return engine;
 }
 
+namespace {
+
+/// A ParsedQuery stand-in for def-built queries: the grouping attributes,
+/// count(*) and the declared metrics as outputs, no filter, no relation.
+/// Keeps parsed_queries() one-per-id regardless of how queries arrived.
+ParsedQuery SynthesizeParsed(const Schema& schema, const QueryDef& def) {
+  ParsedQuery q;
+  q.def = def;
+  for (int attr : def.group_by.Indices()) {
+    QueryOutput out;
+    out.kind = QueryOutput::Kind::kGroupAttr;
+    out.attr = attr;
+    out.name = schema.name(attr);
+    q.outputs.push_back(std::move(out));
+  }
+  QueryOutput count;
+  count.kind = QueryOutput::Kind::kCount;
+  count.name = "cnt";
+  q.outputs.push_back(std::move(count));
+  for (const MetricSpec& m : def.metrics) {
+    QueryOutput out;
+    out.kind = m.op == AggregateOp::kSum   ? QueryOutput::Kind::kSum
+               : m.op == AggregateOp::kMin ? QueryOutput::Kind::kMin
+                                           : QueryOutput::Kind::kMax;
+    out.attr = m.attr;
+    out.name = std::string(m.op == AggregateOp::kSum   ? "sum_"
+                           : m.op == AggregateOp::kMin ? "min_"
+                                                       : "max_") +
+               schema.name(m.attr);
+    q.outputs.push_back(std::move(out));
+  }
+  return q;
+}
+
+/// True when `record` passes every shared where-clause predicate.
+bool PassesFilters(const std::vector<AttributePredicate>& filters,
+                   const Record& record) {
+  for (const AttributePredicate& f : filters) {
+    if (!f.Matches(record)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 StreamAggEngine::StreamAggEngine(const Schema& schema,
                                  std::vector<QueryDef> queries,
                                  std::vector<ParsedQuery> parsed,
@@ -146,6 +203,21 @@ StreamAggEngine::StreamAggEngine(const Schema& schema,
   per_query_metrics.reserve(queries_.size());
   for (const QueryDef& q : queries_) per_query_metrics.push_back(q.metrics);
   accumulated_hfta_ = std::make_unique<Hfta>(std::move(per_query_metrics));
+  // Initial queries take ids 0..n-1, each owning its dense slot.
+  handles_.resize(queries_.size());
+  dense_refcount_.assign(queries_.size(), 1);
+  for (size_t i = 0; i < handles_.size(); ++i) {
+    handles_[i].dense = static_cast<int>(i);
+  }
+  if (!parsed_.empty()) {
+    shared_filters_ = parsed_.front().filters;
+    relation_name_ = parsed_.front().relation;
+  } else {
+    parsed_.reserve(queries_.size());
+    for (const QueryDef& q : queries_) {
+      parsed_.push_back(SynthesizeParsed(schema_, q));
+    }
+  }
 }
 
 Status StreamAggEngine::PlanFromSample() {
@@ -516,9 +588,7 @@ Status StreamAggEngine::Process(const Record& record) {
   // The shared where clause filters records before any table sees them
   // (the F of the LFTA's Filter-Transform-Aggregate); filtered records are
   // also excluded from statistics.
-  if (!parsed_.empty() && !parsed_.front().RecordPasses(record)) {
-    return Status::OK();
-  }
+  if (!PassesFilters(shared_filters_, record)) return Status::OK();
   if (!planned()) {
     sample_->Append(record);
     if (sample_->size() >= options_.sample_size) {
@@ -572,7 +642,7 @@ Status StreamAggEngine::ProcessBatch(std::span<const Record> records) {
   }
   if (i == records.size()) return Status::OK();
   const std::span<const Record> rest = records.subspan(i);
-  if (parsed_.empty() || parsed_.front().filters.empty()) {
+  if (shared_filters_.empty()) {
     RuntimeProcessBatch(rest);
     return Status::OK();
   }
@@ -581,7 +651,7 @@ Status StreamAggEngine::ProcessBatch(std::span<const Record> records) {
   std::array<Record, 256> buffer;
   size_t n = 0;
   for (const Record& record : rest) {
-    if (!parsed_.front().RecordPasses(record)) continue;
+    if (!PassesFilters(shared_filters_, record)) continue;
     buffer[n++] = record;
     if (n == buffer.size()) {
       RuntimeProcessBatch(std::span<const Record>(buffer.data(), n));
@@ -618,37 +688,371 @@ Status StreamAggEngine::Finish() {
   return Status::OK();
 }
 
+Result<int> StreamAggEngine::AddQuery(const std::string& text) {
+  QueryParseContext context;
+  if (!relation_name_.empty()) context.relations.push_back(relation_name_);
+  STREAMAGG_ASSIGN_OR_RETURN(ParsedQuery parsed,
+                             ParseQuery(schema_, text, context));
+  if (parsed.epoch_seconds > 0.0) {
+    if (options_.epoch_seconds > 0.0 &&
+        parsed.epoch_seconds != options_.epoch_seconds) {
+      char buffer[96];
+      std::snprintf(buffer, sizeof(buffer),
+                    "query epoch %gs disagrees with the engine's %gs",
+                    parsed.epoch_seconds, options_.epoch_seconds);
+      return Status::InvalidArgument(buffer);
+    }
+    if (options_.epoch_seconds == 0.0) {
+      if (saw_record_ || planned()) {
+        return Status::FailedPrecondition(
+            "cannot introduce an epoch after records have flowed; the "
+            "engine runs epochless");
+      }
+      options_.epoch_seconds = parsed.epoch_seconds;
+    }
+  }
+  if (!(parsed.filters == shared_filters_)) {
+    return Status::InvalidArgument(
+        "query where clause must equal the engine's shared filter (phantom "
+        "sharing requires one record filter upstream of every query)");
+  }
+  if (relation_name_.empty()) relation_name_ = parsed.relation;
+  return AddParsedQuery(std::move(parsed));
+}
+
+Result<int> StreamAggEngine::AddQuery(QueryDef def) {
+  if (def.group_by.empty() ||
+      !def.group_by.IsSubsetOf(schema_.AllAttributes())) {
+    return Status::InvalidArgument("query attributes invalid for schema");
+  }
+  return AddParsedQuery(SynthesizeParsed(schema_, def));
+}
+
+Result<int> StreamAggEngine::AddParsedQuery(ParsedQuery parsed) {
+  const QueryDef def = parsed.def;  // parsed is moved below; copy first.
+  const auto normalized = [](std::vector<MetricSpec> m) {
+    std::sort(m.begin(), m.end());
+    m.erase(std::unique(m.begin(), m.end()), m.end());
+    return m;
+  };
+  const std::vector<MetricSpec> want = normalized(def.metrics);
+  // A configuration cannot hold the same attribute set twice, so a
+  // group-by match with a live query either aliases it (identical metrics
+  // — share the slot, zero plan change) or is rejected.
+  for (size_t d = 0; d < queries_.size(); ++d) {
+    if (!(queries_[d].group_by == def.group_by)) continue;
+    if (normalized(queries_[d].metrics) != want) {
+      return Status::InvalidArgument(
+          "query groups by " + schema_.FormatAttributeSet(def.group_by) +
+          " like a live query but asks for different metrics; drop the "
+          "existing query first");
+    }
+    const int id = num_query_ids();
+    handles_.push_back(QueryHandle{static_cast<int>(d), current_epoch_, 0});
+    ++dense_refcount_[d];
+    parsed_.push_back(std::move(parsed));
+    QueryChurnEvent event;
+    event.epoch = current_epoch_;
+    event.query_id = id;
+    event.relation = schema_.FormatAttributeSet(def.group_by);
+    event.aliased = true;
+    RecordChurnEvent(std::move(event));
+    return id;
+  }
+  // Extends the accumulated HFTA with a fresh slot: identity for the
+  // existing dense slots, -1 (empty) for the newcomer.
+  const auto extend_hfta = [&]() {
+    std::vector<std::vector<MetricSpec>> metrics;
+    std::vector<int> source;
+    metrics.reserve(queries_.size());
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      metrics.push_back(queries_[i].metrics);
+      source.push_back(static_cast<int>(i));
+    }
+    metrics.back() = queries_.back().metrics;
+    source.back() = -1;
+    accumulated_hfta_->Remap(std::move(metrics), source);
+  };
+  if (!planned()) {
+    // Sampling phase: structural append — the newcomer joins the initial
+    // optimization (and sees the whole buffered sample on replay).
+    const int id = num_query_ids();
+    const int dense = static_cast<int>(queries_.size());
+    queries_.push_back(def);
+    dense_refcount_.push_back(1);
+    handles_.push_back(QueryHandle{dense, current_epoch_, 0});
+    parsed_.push_back(std::move(parsed));
+    extend_hfta();
+    QueryChurnEvent event;
+    event.epoch = current_epoch_;
+    event.query_id = id;
+    event.relation = schema_.FormatAttributeSet(def.group_by);
+    RecordChurnEvent(std::move(event));
+    return id;
+  }
+  if (catalog_ == nullptr) {
+    return Status::FailedPrecondition(
+        "online AddQuery needs statistics; give the pinned-plan engine "
+        "catalog counts or let the engine sample first");
+  }
+  // Plan before touching anything: grafting and the full-Optimize fallback
+  // are pure, so a planning failure leaves the engine exactly as it was.
+  // Grafts may spend the churn reserve (PlanningBudget(false)); the
+  // fallback re-plans everything, so it re-establishes the reserve.
+  int replanned_nodes = 0;
+  int pinned_nodes = 0;
+  bool grafted = true;
+  Result<OptimizedPlan> next =
+      optimizer_.GraftQueries(*catalog_, *plan_, {def}, PlanningBudget(false),
+                              &replanned_nodes, &pinned_nodes);
+  if (!next.ok()) {
+    grafted = false;
+    std::vector<QueryDef> all = queries_;
+    all.push_back(def);
+    next = optimizer_.Optimize(*catalog_, all, PlanningBudget());
+    STREAMAGG_RETURN_NOT_OK(next.status());
+    replanned_nodes = next->config.num_nodes();
+    pinned_nodes = 0;
+  }
+  // Quiesce barrier: the epoch in flight is flushed and folded into the
+  // accumulated results for the pre-existing queries, then the re-planned
+  // runtime takes over. The newcomer accumulates from here on.
+  const double merge_millis = ChurnBarrier();
+  const int id = num_query_ids();
+  const int dense = static_cast<int>(queries_.size());
+  queries_.push_back(def);
+  dense_refcount_.push_back(1);
+  handles_.push_back(QueryHandle{dense, current_epoch_, 0});
+  parsed_.push_back(std::move(parsed));
+  extend_hfta();
+  last_optimize_millis_ = next->optimize_millis;
+  plan_ = std::make_unique<OptimizedPlan>(std::move(*next));
+  STREAMAGG_RETURN_NOT_OK(InstallRuntime());
+  QueryChurnEvent event;
+  event.epoch = current_epoch_;
+  event.query_id = id;
+  event.relation = schema_.FormatAttributeSet(def.group_by);
+  event.grafted = grafted;
+  event.replanned_nodes = replanned_nodes;
+  event.pinned_nodes = pinned_nodes;
+  event.optimize_millis = plan_->optimize_millis;
+  event.merge_millis = merge_millis;
+  RecordChurnEvent(std::move(event));
+  return id;
+}
+
+Status StreamAggEngine::DropQuery(int query_id) {
+  if (query_id < 0 || query_id >= num_query_ids()) {
+    return Status::InvalidArgument("unknown query id " +
+                                   std::to_string(query_id));
+  }
+  QueryHandle& handle = handles_[static_cast<size_t>(query_id)];
+  if (handle.dense < 0) {
+    return Status::FailedPrecondition(
+        "query id " + std::to_string(query_id) + " was already dropped");
+  }
+  int live = 0;
+  for (const QueryHandle& h : handles_) {
+    if (h.dense >= 0) ++live;
+  }
+  if (live <= 1) {
+    return Status::FailedPrecondition(
+        "cannot drop the last live query; an engine cannot run queryless");
+  }
+  const int dense = handle.dense;
+  QueryChurnEvent event;
+  event.epoch = current_epoch_;
+  event.add = false;
+  event.query_id = query_id;
+  event.relation = schema_.FormatAttributeSet(queries_[dense].group_by);
+
+  if (dense_refcount_[static_cast<size_t>(dense)] > 1) {
+    // Alias release: the dense slot lives on for the other ids, so the
+    // plan is untouched. Archive from a read-only barrier view — flush the
+    // epoch in flight into the live HFTA, but do NOT fold it into the
+    // accumulated results (that happens when the runtime retires).
+    Timer timer;
+    if (sharded_runtime_ != nullptr) {
+      sharded_runtime_->Quiesce();
+      sharded_runtime_->FlushEpoch();
+    } else if (runtime_ != nullptr) {
+      runtime_->FlushEpoch();
+    }
+    ArchiveQuery(query_id, dense, /*include_live=*/true);
+    event.merge_millis = timer.ElapsedMillis();
+    event.aliased = true;
+    --dense_refcount_[static_cast<size_t>(dense)];
+    handle.dense = -1;
+    handle.dropped_epoch = current_epoch_;
+    RecordChurnEvent(std::move(event));
+    return Status::OK();
+  }
+
+  if (!planned()) {
+    // Sampling phase: structural removal before any plan exists.
+    ArchiveQuery(query_id, dense, /*include_live=*/false);
+    RemoveDenseSlot(dense);
+    handle.dense = -1;
+    handle.dropped_epoch = current_epoch_;
+    RecordChurnEvent(std::move(event));
+    return Status::OK();
+  }
+  if (catalog_ == nullptr) {
+    return Status::FailedPrecondition(
+        "online DropQuery needs statistics; give the pinned-plan engine "
+        "catalog counts or let the engine sample first");
+  }
+  // Prune first (pure surgery; full Optimize of the survivors only if the
+  // surgery errors), then run the barrier and swap.
+  int pinned_nodes = 0;
+  Result<OptimizedPlan> next =
+      optimizer_.PruneQueries(*catalog_, *plan_, {dense}, &pinned_nodes);
+  if (!next.ok()) {
+    std::vector<QueryDef> rest;
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      if (static_cast<int>(i) != dense) rest.push_back(queries_[i]);
+    }
+    next = optimizer_.Optimize(*catalog_, rest, PlanningBudget());
+    STREAMAGG_RETURN_NOT_OK(next.status());
+    pinned_nodes = 0;
+  }
+  event.merge_millis = ChurnBarrier();
+  // The accumulated HFTA now holds everything up to the drop; archive the
+  // slot before RemoveDenseSlot remaps it away.
+  ArchiveQuery(query_id, dense, /*include_live=*/false);
+  RemoveDenseSlot(dense);
+  handle.dense = -1;
+  handle.dropped_epoch = current_epoch_;
+  event.pinned_nodes = pinned_nodes;
+  event.optimize_millis = next->optimize_millis;
+  last_optimize_millis_ = next->optimize_millis;
+  plan_ = std::make_unique<OptimizedPlan>(std::move(*next));
+  STREAMAGG_RETURN_NOT_OK(InstallRuntime());
+  RecordChurnEvent(std::move(event));
+  return Status::OK();
+}
+
+double StreamAggEngine::ChurnBarrier() {
+  Timer timer;
+  if (sharded_runtime_ != nullptr) {
+    // Quiesce drains the P x S matrix and parks the workers; the flush
+    // then evicts every shard table and re-merges the shard HFTAs.
+    sharded_runtime_->Quiesce();
+    sharded_runtime_->FlushEpoch();
+    accumulated_hfta_->MergeFrom(sharded_runtime_->hfta());
+  } else if (runtime_ != nullptr) {
+    runtime_->FlushEpoch();
+    accumulated_hfta_->MergeFrom(runtime_->hfta());
+  }
+  AccumulateCounters();
+  return timer.ElapsedMillis();
+}
+
+void StreamAggEngine::ArchiveQuery(int query_id, int dense,
+                                   bool include_live) {
+  std::map<uint64_t, EpochAggregate> archive;
+  for (uint64_t e : accumulated_hfta_->Epochs(dense)) {
+    archive[e] = accumulated_hfta_->Result(dense, e);
+  }
+  if (include_live) {
+    const Hfta* live = runtime_ != nullptr ? &runtime_->hfta()
+                       : sharded_runtime_ != nullptr
+                           ? &sharded_runtime_->hfta()
+                           : nullptr;
+    if (live != nullptr) {
+      for (uint64_t e : live->Epochs(dense)) {
+        EpochAggregate& into = archive[e];
+        for (const auto& [key, state] : live->Result(dense, e)) {
+          auto [it, inserted] = into.try_emplace(key, state);
+          if (!inserted) {
+            it->second.Merge(state, queries_[static_cast<size_t>(dense)]
+                                        .metrics);
+          }
+        }
+      }
+    }
+  }
+  retired_[query_id] = std::move(archive);
+}
+
+void StreamAggEngine::RemoveDenseSlot(int dense) {
+  queries_.erase(queries_.begin() + dense);
+  dense_refcount_.erase(dense_refcount_.begin() + dense);
+  for (QueryHandle& h : handles_) {
+    if (h.dense > dense) --h.dense;
+  }
+  std::vector<std::vector<MetricSpec>> metrics;
+  std::vector<int> source;
+  metrics.reserve(queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    metrics.push_back(queries_[i].metrics);
+    source.push_back(static_cast<int>(i) < dense ? static_cast<int>(i)
+                                                 : static_cast<int>(i) + 1);
+  }
+  // Also nulls the HFTA's Add target cache — the ISSUE 10 satellite fix:
+  // a stale cache would keep accumulating a dropped query's groups.
+  accumulated_hfta_->Remap(std::move(metrics), source);
+}
+
+void StreamAggEngine::RecordChurnEvent(QueryChurnEvent event) {
+  STREAMAGG_TRACE(FlightRecorder::Instance().RecordInstant(
+      TraceEventType::kQueryChurn, event.epoch, event.add ? 1u : 0u,
+      static_cast<uint32_t>(event.query_id), event.grafted ? 1u : 0u));
+  churn_events_.push_back(std::move(event));
+}
+
 std::string StreamAggEngine::ConfigurationText() const {
   return plan_ != nullptr ? plan_->config.ToString() : std::string();
 }
 
 const EpochAggregate& StreamAggEngine::EpochResult(int query_index,
                                               uint64_t epoch) const {
+  // query_index is a stable id; translate to the dense slot the plan and
+  // HFTA hold. Dropped ids serve their archived results.
+  if (query_index < 0 || query_index >= num_query_ids()) {
+    return empty_aggregate_;
+  }
+  const int dense = handles_[static_cast<size_t>(query_index)].dense;
+  if (dense < 0) {
+    auto rid = retired_.find(query_index);
+    if (rid == retired_.end()) return empty_aggregate_;
+    auto it = rid->second.find(epoch);
+    return it == rid->second.end() ? empty_aggregate_ : it->second;
+  }
   if (runtime_ != nullptr) {
-    const EpochAggregate& live = runtime_->hfta().Result(query_index, epoch);
+    const EpochAggregate& live = runtime_->hfta().Result(dense, epoch);
     if (!live.empty()) return live;
   }
   if (sharded_runtime_ != nullptr) {
     // The merged snapshot from the last epoch barrier; mid-stream results
     // become visible at Finish() (see docs/runtime.md).
     const EpochAggregate& live =
-        sharded_runtime_->hfta().Result(query_index, epoch);
+        sharded_runtime_->hfta().Result(dense, epoch);
     if (!live.empty()) return live;
   }
-  return accumulated_hfta_->Result(query_index, epoch);
+  return accumulated_hfta_->Result(dense, epoch);
 }
 
 std::vector<uint64_t> StreamAggEngine::Epochs(int query_index) const {
   std::set<uint64_t> epochs;
+  if (query_index < 0 || query_index >= num_query_ids()) return {};
+  const int dense = handles_[static_cast<size_t>(query_index)].dense;
+  if (dense < 0) {
+    auto rid = retired_.find(query_index);
+    if (rid != retired_.end()) {
+      for (const auto& [e, agg] : rid->second) epochs.insert(e);
+    }
+    return std::vector<uint64_t>(epochs.begin(), epochs.end());
+  }
   if (runtime_ != nullptr) {
-    for (uint64_t e : runtime_->hfta().Epochs(query_index)) epochs.insert(e);
+    for (uint64_t e : runtime_->hfta().Epochs(dense)) epochs.insert(e);
   }
   if (sharded_runtime_ != nullptr) {
-    for (uint64_t e : sharded_runtime_->hfta().Epochs(query_index)) {
+    for (uint64_t e : sharded_runtime_->hfta().Epochs(dense)) {
       epochs.insert(e);
     }
   }
-  for (uint64_t e : accumulated_hfta_->Epochs(query_index)) epochs.insert(e);
+  for (uint64_t e : accumulated_hfta_->Epochs(dense)) epochs.insert(e);
   return std::vector<uint64_t>(epochs.begin(), epochs.end());
 }
 
@@ -685,6 +1089,7 @@ void StreamAggEngine::AnnotateSnapshot(TelemetrySnapshot* snapshot) const {
   snapshot->reoptimizations = reoptimizations_;
   snapshot->epoch = current_epoch_;
   snapshot->replans = replan_events_;
+  snapshot->query_churn = churn_events_;
   for (size_t i = 0;
        i < snapshot->tables.size() && i < planned_rates_.size(); ++i) {
     snapshot->tables[i].predicted_collision_rate = planned_rates_[i];

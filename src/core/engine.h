@@ -75,6 +75,12 @@ class StreamAggEngine {
     /// Per-(producer, shard) record queue capacity when the sharded
     /// runtime is engaged (num_shards > 1 or num_producers > 1).
     size_t shard_queue_capacity = 4096;
+    /// Fraction of the LFTA budget held back from the initial plan (and
+    /// from adaptive re-plans and full-Optimize churn fallbacks) so that
+    /// online AddQuery grafts have headroom to place new tables without
+    /// forcing a from-scratch rebuild (docs/query_frontend.md §4). Grafts
+    /// plan against the full budget. 0 (default) reserves nothing.
+    double churn_reserve_fraction = 0.0;
     /// Pin shard workers and producer threads to CPUs chosen by the
     /// affinity planner (util/cpu_topology.h): producers spread across
     /// NUMA nodes, each shard consumer co-located with its dominant
@@ -145,6 +151,52 @@ class StreamAggEngine {
   /// Completes the current epoch (call at end of stream).
   Status Finish();
 
+  /// Registers a new standing query online (docs/query_frontend.md §4).
+  /// The text is parsed against the engine's schema (and live relation
+  /// name, when known); its where clause must equal the engine's shared
+  /// filter and its epoch (if it names one) must agree with the engine's.
+  /// Returns a stable query id for EpochResult/Epochs/DropQuery — ids are
+  /// never reused, so they stay valid across later churn. While the plan
+  /// is live, the new query is grafted into the feeding forest at a
+  /// non-flushing Quiesce barrier (Optimizer::GraftQueries), falling back
+  /// to a full re-optimize when grafting fails; a query whose (group-by,
+  /// metrics) exactly matches a live query becomes an alias — zero plan
+  /// change — while a group-by match with different metrics is rejected.
+  /// Results accumulate from the swap onward (the epoch in flight is
+  /// flushed for the pre-existing queries first).
+  Result<int> AddQuery(const std::string& text);
+
+  /// Same, from an explicit definition (no text, no filter, engine epoch).
+  Result<int> AddQuery(QueryDef def);
+
+  /// Unregisters query `query_id` at a Quiesce barrier. Its results up to
+  /// the drop are archived and stay readable through EpochResult/Epochs
+  /// under the same id; its groups stop accumulating immediately (the HFTA
+  /// slot is remapped away and the Add target cache invalidated). Dropping
+  /// the last live query is rejected — an engine cannot run queryless.
+  /// Non-aliased drops prune the plan (Optimizer::PruneQueries) and swap
+  /// the runtime; alias drops only release the reference.
+  Status DropQuery(int query_id);
+
+  /// Query ids handed out so far (initial queries get 0..n-1). Ids of
+  /// dropped queries stay valid for result reads.
+  int num_query_ids() const { return static_cast<int>(handles_.size()); }
+  /// True while `query_id` is registered (accumulating results).
+  bool IsLive(int query_id) const {
+    return query_id >= 0 && query_id < num_query_ids() &&
+           handles_[static_cast<size_t>(query_id)].dense >= 0;
+  }
+  /// Every add/drop so far, oldest first (also exported via telemetry as
+  /// the `query_churn` section).
+  const std::vector<QueryChurnEvent>& churn_events() const {
+    return churn_events_;
+  }
+
+  /// The engine's epoch length in seconds (0 while epochless). Reflects
+  /// any epoch adopted from query texts, so churn drivers can translate
+  /// epoch numbers into record timestamps.
+  double epoch_seconds() const { return options_.epoch_seconds; }
+
   /// True once the sampling phase is over and a plan is live.
   bool planned() const {
     return runtime_ != nullptr || sharded_runtime_ != nullptr;
@@ -156,7 +208,9 @@ class StreamAggEngine {
   const OptimizedPlan* plan() const { return plan_.get(); }
 
   /// Final aggregate of query `query_index` for `epoch` (empty if none).
-  /// Results survive adaptive runtime swaps.
+  /// Results survive adaptive runtime swaps and query churn: the index is
+  /// a stable query id (initial queries are 0..n-1) and dropped queries
+  /// keep serving their archived results.
   const EpochAggregate& EpochResult(int query_index, uint64_t epoch) const;
   /// Epochs with results for `query_index`, ascending.
   std::vector<uint64_t> Epochs(int query_index) const;
@@ -178,10 +232,22 @@ class StreamAggEngine {
   }
   int reoptimizations() const { return reoptimizations_; }
   double last_optimize_millis() const { return last_optimize_millis_; }
+  /// One ParsedQuery per query id (synthesized for def-built queries:
+  /// grouping attributes, count(*), and the declared metrics as outputs).
   const std::vector<ParsedQuery>& parsed_queries() const { return parsed_; }
+  /// Live (planned-for) queries — the dense count the plan and HFTA hold.
+  /// Aliased ids share one slot, so this can be below the live id count.
   int num_queries() const { return static_cast<int>(queries_.size()); }
 
  private:
+  /// Lifecycle of one query id: the dense slot it occupies in queries_/
+  /// the plan/the HFTA (-1 once dropped), and its churn epochs.
+  struct QueryHandle {
+    int dense = -1;
+    uint64_t added_epoch = 0;
+    uint64_t dropped_epoch = 0;
+  };
+
   StreamAggEngine(const Schema& schema, std::vector<QueryDef> queries,
                   std::vector<ParsedQuery> parsed, Options options);
 
@@ -224,11 +290,41 @@ class StreamAggEngine {
   /// field and the value it held.
   static Status ValidateOptions(const Options& options);
 
+  /// Registers a parsed query: alias, structural append (sampling phase),
+  /// or live graft/full-replan swap. The workhorse behind both AddQuery
+  /// overloads; `parsed` must carry `def`.
+  Result<int> AddParsedQuery(ParsedQuery parsed);
+
+  /// Quiesce-barrier bookkeeping shared by churn swaps: drains a sharded
+  /// matrix, flushes the epoch in flight, folds the retiring runtime's
+  /// HFTA into the accumulated results and accumulates counters. Returns
+  /// the barrier wall-clock (the churn event's merge_millis).
+  double ChurnBarrier();
+
+  /// Copies query id `query_id`'s per-epoch results (dense slot `dense`)
+  /// out of the accumulated HFTA — and, when `include_live` is set, merged
+  /// with the live runtime's HFTA — into retired_ so the id keeps serving
+  /// reads after its slot is gone.
+  void ArchiveQuery(int query_id, int dense, bool include_live);
+
+  /// Records a churn event (telemetry section + flight-recorder instant).
+  void RecordChurnEvent(QueryChurnEvent event);
+
+  /// Erases dense slot `dense` from queries_/dense_refcount_, shifts every
+  /// handle above it down and remaps the accumulated HFTA to the surviving
+  /// slots (dropping the slot's results and the Add target cache).
+  void RemoveDenseSlot(int dense);
+
   /// LFTA memory the optimizer may plan for: the budget split across
   /// shards, so instantiating the plan once per shard lands on the user's
-  /// total budget.
-  double PlanningBudget() const {
-    return options_.memory_words / static_cast<double>(options_.num_shards);
+  /// total budget. Initial plans, adaptive re-plans and full-replan churn
+  /// fallbacks keep churn_reserve_fraction in reserve; AddQuery grafts
+  /// (`with_reserve` false) may spend it.
+  double PlanningBudget(bool with_reserve = true) const {
+    const double budget =
+        options_.memory_words / static_cast<double>(options_.num_shards);
+    return with_reserve ? budget * (1.0 - options_.churn_reserve_fraction)
+                        : budget;
   }
 
   /// Routes a record into whichever runtime is live.
@@ -253,8 +349,20 @@ class StreamAggEngine {
   void CaptureEpochSnapshot(uint64_t completed_epoch);
 
   Schema schema_;
+  /// Dense live query definitions — what the plan and the HFTA hold.
   std::vector<QueryDef> queries_;
-  std::vector<ParsedQuery> parsed_;  // Empty when built from QueryDefs.
+  std::vector<ParsedQuery> parsed_;  // One per query id (see handles_).
+  /// Query-id table: handles_[id].dense indexes queries_ (or -1, dropped).
+  std::vector<QueryHandle> handles_;
+  /// Live ids per dense slot (aliases share a slot); parallel to queries_.
+  std::vector<int> dense_refcount_;
+  /// Archived per-epoch results of dropped query ids.
+  std::map<int, std::map<uint64_t, EpochAggregate>> retired_;
+  /// The shared record filter (the queries' common where clause).
+  std::vector<AttributePredicate> shared_filters_;
+  /// From-clause relation name ("" when built from defs) — the parse
+  /// context AddQuery validates new queries against.
+  std::string relation_name_;
   Options options_;
   Optimizer optimizer_;
   std::unique_ptr<CollisionModel> collision_model_;
@@ -291,6 +399,10 @@ class StreamAggEngine {
   /// Every adaptive re-plan so far, oldest first; copied into snapshots by
   /// AnnotateSnapshot so the JSON export carries the re-plan lifecycle.
   std::vector<ReplanEvent> replan_events_;
+  /// Every query add/drop so far, oldest first (snapshot `query_churn`).
+  std::vector<QueryChurnEvent> churn_events_;
+  /// What EpochResult returns for a dropped id with no archived epoch.
+  EpochAggregate empty_aggregate_;
   /// Present iff Options::overload.enabled; survives runtime swaps (it is
   /// re-priced, not rebuilt, at InstallRuntime).
   std::unique_ptr<OverloadController> overload_controller_;

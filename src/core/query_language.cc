@@ -1,21 +1,69 @@
 #include "core/query_language.h"
 
 #include <algorithm>
-#include <cctype>
+#include <array>
+#include <cstdio>
 #include <cstdlib>
 
 namespace streamagg {
 
 namespace {
 
-/// Token kinds of the mini query language.
-enum class TokenKind { kIdent, kNumber, kSymbol, kEnd };
+// ---------------------------------------------------------------------------
+// Table-driven lexer. A 256-entry character-class table drives the scanner:
+// each byte of the input selects a class, and the class selects the scan
+// rule (docs/query_frontend.md §2). Tokens carry their byte offset and
+// length so every diagnostic can point at the exact source position.
+
+enum class CharClass : uint8_t {
+  kSpace,       ///< Whitespace: skipped between tokens.
+  kIdentStart,  ///< [A-Za-z_]: starts an identifier/keyword.
+  kDigit,       ///< [0-9]: starts a number.
+  kPunct,       ///< Operators and delimiters: ( ) , * / = < > !
+  kOther,       ///< Anything else: one-byte error token.
+};
+
+constexpr std::array<CharClass, 256> MakeCharClassTable() {
+  std::array<CharClass, 256> table{};
+  for (int c = 0; c < 256; ++c) table[c] = CharClass::kOther;
+  for (unsigned char c : {' ', '\t', '\r', '\n', '\f', '\v'}) {
+    table[c] = CharClass::kSpace;
+  }
+  for (int c = 'a'; c <= 'z'; ++c) table[c] = CharClass::kIdentStart;
+  for (int c = 'A'; c <= 'Z'; ++c) table[c] = CharClass::kIdentStart;
+  table[static_cast<unsigned char>('_')] = CharClass::kIdentStart;
+  for (int c = '0'; c <= '9'; ++c) table[c] = CharClass::kDigit;
+  for (unsigned char c : {'(', ')', ',', '*', '/', '=', '<', '>', '!'}) {
+    table[c] = CharClass::kPunct;
+  }
+  return table;
+}
+
+constexpr std::array<CharClass, 256> kCharClass = MakeCharClassTable();
+
+/// The reserved words, sorted — membership marks a token as a keyword so
+/// diagnostics can say "found keyword 'from'" where an attribute was
+/// expected. Keywords still resolve contextually (an attribute may be named
+/// `count`; the parser only treats it as an aggregate before a '(').
+constexpr const char* kKeywords[] = {
+    "and", "as",  "avg",    "by",  "count", "epoch", "from", "group",
+    "having", "max", "min", "select", "sum", "time", "where"};
+
+bool IsKeyword(const std::string& lower) {
+  return std::binary_search(
+      std::begin(kKeywords), std::end(kKeywords), lower,
+      [](const auto& a, const auto& b) { return std::string_view(a) < b; });
+}
+
+enum class TokenKind : uint8_t { kIdent, kNumber, kPunct, kEnd, kError };
 
 struct Token {
   TokenKind kind = TokenKind::kEnd;
-  std::string text;  // Identifier (lower-cased copy in `lower`), number, or
-                     // single-character symbol.
-  std::string lower;
+  std::string text;   ///< Source spelling (or the bad byte for kError).
+  std::string lower;  ///< Lower-cased copy (identifiers only).
+  size_t offset = 0;  ///< Byte offset into the query text.
+  size_t length = 0;  ///< Byte length (0 only for kEnd).
+  bool keyword = false;
 };
 
 class Lexer {
@@ -25,211 +73,358 @@ class Lexer {
   const Token& current() const { return current_; }
 
   void Advance() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    while (pos_ < text_.size() && Class(text_[pos_]) == CharClass::kSpace) {
       ++pos_;
     }
     current_ = Token{};
+    current_.offset = pos_;
     if (pos_ >= text_.size()) {
       current_.kind = TokenKind::kEnd;
       return;
     }
-    const char c = text_[pos_];
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      size_t start = pos_;
-      while (pos_ < text_.size() &&
-             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
-              text_[pos_] == '_')) {
-        ++pos_;
+    const size_t start = pos_;
+    switch (Class(text_[pos_])) {
+      case CharClass::kIdentStart: {
+        while (pos_ < text_.size() &&
+               (Class(text_[pos_]) == CharClass::kIdentStart ||
+                Class(text_[pos_]) == CharClass::kDigit)) {
+          ++pos_;
+        }
+        current_.kind = TokenKind::kIdent;
+        current_.text = text_.substr(start, pos_ - start);
+        current_.lower = current_.text;
+        std::transform(current_.lower.begin(), current_.lower.end(),
+                       current_.lower.begin(),
+                       [](unsigned char ch) { return std::tolower(ch); });
+        current_.keyword = IsKeyword(current_.lower);
+        break;
       }
-      current_.kind = TokenKind::kIdent;
-      current_.text = text_.substr(start, pos_ - start);
-      current_.lower = current_.text;
-      std::transform(current_.lower.begin(), current_.lower.end(),
-                     current_.lower.begin(),
-                     [](unsigned char ch) { return std::tolower(ch); });
-      return;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      size_t start = pos_;
-      while (pos_ < text_.size() &&
-             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-              text_[pos_] == '.')) {
-        ++pos_;
+      case CharClass::kDigit: {
+        while (pos_ < text_.size() &&
+               (Class(text_[pos_]) == CharClass::kDigit ||
+                text_[pos_] == '.')) {
+          ++pos_;
+        }
+        current_.kind = TokenKind::kNumber;
+        current_.text = text_.substr(start, pos_ - start);
+        break;
       }
-      current_.kind = TokenKind::kNumber;
-      current_.text = text_.substr(start, pos_ - start);
-      return;
+      case CharClass::kPunct: {
+        const char c = text_[pos_++];
+        current_.kind = TokenKind::kPunct;
+        current_.text = std::string(1, c);
+        // Two-character comparison operators: <=, >=, !=.
+        if ((c == '<' || c == '>' || c == '!') && pos_ < text_.size() &&
+            text_[pos_] == '=') {
+          current_.text.push_back('=');
+          ++pos_;
+        }
+        break;
+      }
+      case CharClass::kSpace:  // Unreachable: skipped above.
+      case CharClass::kOther: {
+        current_.kind = TokenKind::kError;
+        current_.text = text_.substr(pos_, 1);
+        ++pos_;
+        break;
+      }
     }
-    current_.kind = TokenKind::kSymbol;
-    current_.text = std::string(1, c);
-    ++pos_;
-    // Two-character comparison operators: <=, >=, !=.
-    if ((c == '<' || c == '>' || c == '!') && pos_ < text_.size() &&
-        text_[pos_] == '=') {
-      current_.text.push_back('=');
-      ++pos_;
-    }
+    current_.length = pos_ - start;
   }
 
  private:
+  static CharClass Class(char c) {
+    return kCharClass[static_cast<unsigned char>(c)];
+  }
+
   const std::string& text_;
   size_t pos_ = 0;
   Token current_;
 };
 
-/// Maps a comparison symbol token to its operator.
-Result<CompareOp> ParseCompareSymbol(const std::string& text) {
+/// Renders "at line:col" plus a caret context line for a diagnostic
+/// anchored at byte `offset` (length `length`) of `text`.
+std::string FormatPosition(const std::string& text, size_t offset,
+                           size_t length) {
+  size_t line = 1;
+  size_t line_start = 0;
+  for (size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      line_start = i + 1;
+    }
+  }
+  size_t line_end = text.find('\n', line_start);
+  if (line_end == std::string::npos) line_end = text.size();
+  const size_t col = offset - line_start + 1;
+  const std::string source = text.substr(line_start, line_end - line_start);
+  std::string caret(col - 1, ' ');
+  caret += '^';
+  const size_t span = std::max<size_t>(length, 1);
+  for (size_t i = 1; i < span && col - 1 + i < source.size() + 1; ++i) {
+    caret += '~';
+  }
+  char position[32];
+  std::snprintf(position, sizeof(position), "%zu:%zu", line, col);
+  return std::string(position) + ": ";
+}
+
+std::string FormatContext(const std::string& text, size_t offset,
+                          size_t length) {
+  size_t line_start = 0;
+  for (size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') line_start = i + 1;
+  }
+  size_t line_end = text.find('\n', line_start);
+  if (line_end == std::string::npos) line_end = text.size();
+  const size_t col = offset - line_start;
+  std::string out = "\n  ";
+  out += text.substr(line_start, line_end - line_start);
+  out += "\n  ";
+  out += std::string(col, ' ');
+  out += '^';
+  const size_t span = std::max<size_t>(length, 1);
+  for (size_t i = 1; i < span; ++i) out += '~';
+  return out;
+}
+
+/// Maps a comparison token to its operator.
+Result<CompareOp> CompareOpFor(const std::string& text) {
   if (text == "=") return CompareOp::kEq;
   if (text == "!=") return CompareOp::kNe;
   if (text == "<") return CompareOp::kLt;
   if (text == "<=") return CompareOp::kLe;
   if (text == ">") return CompareOp::kGt;
   if (text == ">=") return CompareOp::kGe;
-  return Status::InvalidArgument("query parse error: expected comparison "
-                                 "operator, found '" + text + "'");
+  return Status::InvalidArgument("not a comparison operator");
 }
 
-/// Recursive-descent parser for the grammar in the header.
+/// Recursive-descent parser for the grammar in docs/query_frontend.md:
+///
+///   query     := SELECT select_list FROM ident [WHERE conjunction]
+///                GROUP BY group_list [HAVING agg_compare] [EPOCH number]
 class QueryParser {
  public:
-  QueryParser(const Schema& schema, const std::string& text)
-      : schema_(schema), lexer_(text) {}
+  QueryParser(const Schema& schema, const std::string& text,
+              const QueryParseContext& context)
+      : schema_(schema), text_(text), context_(context), lexer_(text) {}
 
   Result<ParsedQuery> Run() {
     STREAMAGG_RETURN_NOT_OK(ExpectKeyword("select"));
     STREAMAGG_RETURN_NOT_OK(ParseSelectList());
     STREAMAGG_RETURN_NOT_OK(ExpectKeyword("from"));
-    if (lexer_.current().kind != TokenKind::kIdent) {
-      return Error("expected relation name after 'from'");
-    }
-    query_.relation = lexer_.current().text;
-    lexer_.Advance();
-    if (lexer_.current().kind == TokenKind::kIdent &&
-        lexer_.current().lower == "where") {
+    STREAMAGG_RETURN_NOT_OK(ParseRelation());
+    if (AtKeyword("where")) {
       lexer_.Advance();
       STREAMAGG_RETURN_NOT_OK(ParseWhere());
     }
     STREAMAGG_RETURN_NOT_OK(ExpectKeyword("group"));
     STREAMAGG_RETURN_NOT_OK(ExpectKeyword("by"));
     STREAMAGG_RETURN_NOT_OK(ParseGroupList());
-    if (lexer_.current().kind == TokenKind::kIdent &&
-        lexer_.current().lower == "having") {
+    if (AtKeyword("having")) {
       lexer_.Advance();
       STREAMAGG_RETURN_NOT_OK(ParseHaving());
     }
+    if (AtKeyword("epoch")) {
+      lexer_.Advance();
+      STREAMAGG_RETURN_NOT_OK(ParseEpochClause());
+    }
     if (lexer_.current().kind != TokenKind::kEnd) {
-      return Error("unexpected trailing input: " + lexer_.current().text);
+      return Error("unexpected trailing input '" + lexer_.current().text +
+                   "'");
     }
     STREAMAGG_RETURN_NOT_OK(ResolveOutputs());
     return query_;
   }
 
  private:
+  /// Anchors the diagnostic at the current token.
   Status Error(const std::string& message) {
-    return Status::InvalidArgument("query parse error: " + message);
+    return ErrorAt(lexer_.current(), message);
+  }
+
+  Status ErrorAt(const Token& token, const std::string& message) {
+    return Status::InvalidArgument(
+        "query parse error at " +
+        FormatPosition(text_, token.offset, token.length) + message +
+        FormatContext(text_, token.offset, token.length));
+  }
+
+  /// "found ..." suffix describing the current token for expectation errors.
+  std::string Found() const {
+    const Token& t = lexer_.current();
+    switch (t.kind) {
+      case TokenKind::kEnd:
+        return "found end of query";
+      case TokenKind::kError:
+        return "found unrecognized character '" + t.text + "'";
+      case TokenKind::kIdent:
+        return t.keyword ? "found keyword '" + t.text + "'"
+                         : "found '" + t.text + "'";
+      default:
+        return "found '" + t.text + "'";
+    }
   }
 
   Status ExpectKeyword(const std::string& keyword) {
     if (lexer_.current().kind != TokenKind::kIdent ||
         lexer_.current().lower != keyword) {
-      return Error("expected '" + keyword + "', found '" +
-                   lexer_.current().text + "'");
+      return Error("expected '" + keyword + "', " + Found());
     }
     lexer_.Advance();
     return Status::OK();
   }
 
-  Status ExpectSymbol(char symbol) {
-    if (lexer_.current().kind != TokenKind::kSymbol ||
-        lexer_.current().text[0] != symbol) {
-      return Error(std::string("expected '") + symbol + "', found '" +
-                   lexer_.current().text + "'");
+  Status ExpectPunct(const char* symbol) {
+    if (lexer_.current().kind != TokenKind::kPunct ||
+        lexer_.current().text != symbol) {
+      return Error("expected '" + std::string(symbol) + "', " + Found());
     }
     lexer_.Advance();
     return Status::OK();
   }
 
-  bool AtSymbol(char symbol) const {
-    return lexer_.current().kind == TokenKind::kSymbol &&
-           lexer_.current().text[0] == symbol;
+  bool AtPunct(const char* symbol) const {
+    return lexer_.current().kind == TokenKind::kPunct &&
+           lexer_.current().text == symbol;
+  }
+
+  bool AtKeyword(const char* keyword) const {
+    return lexer_.current().kind == TokenKind::kIdent &&
+           lexer_.current().lower == keyword;
+  }
+
+  /// Resolves the current token as a schema attribute; `where` names the
+  /// clause for the diagnostic.
+  Result<int> ExpectAttribute(const std::string& clause) {
+    if (lexer_.current().kind != TokenKind::kIdent) {
+      return Error("expected attribute " + clause + ", " + Found());
+    }
+    auto idx = schema_.IndexOf(lexer_.current().text);
+    if (!idx.ok()) {
+      return Error("unknown attribute '" + lexer_.current().text + "' " +
+                   clause + KnownAttributes());
+    }
+    const int attr = *idx;
+    lexer_.Advance();
+    return attr;
+  }
+
+  std::string KnownAttributes() const {
+    std::string out = " (schema attributes:";
+    for (int i = 0; i < schema_.num_attributes(); ++i) {
+      out += ' ';
+      out += schema_.name(i);
+    }
+    out += ')';
+    return out;
   }
 
   /// Optional "as IDENT"; returns the alias or "".
   Result<std::string> ParseAlias() {
-    if (lexer_.current().kind == TokenKind::kIdent &&
-        lexer_.current().lower == "as") {
-      lexer_.Advance();
-      if (lexer_.current().kind != TokenKind::kIdent) {
-        return Error("expected alias after 'as'");
-      }
-      std::string alias = lexer_.current().text;
-      lexer_.Advance();
-      return alias;
+    if (!AtKeyword("as")) return std::string();
+    lexer_.Advance();
+    if (lexer_.current().kind != TokenKind::kIdent) {
+      return Error("expected alias after 'as', " + Found());
     }
-    return std::string();
+    std::string alias = lexer_.current().text;
+    lexer_.Advance();
+    return alias;
+  }
+
+  Status ParseRelation() {
+    if (lexer_.current().kind != TokenKind::kIdent ||
+        lexer_.current().keyword) {
+      return Error("expected relation name after 'from', " + Found());
+    }
+    const Token relation = lexer_.current();
+    if (!context_.relations.empty() &&
+        std::find(context_.relations.begin(), context_.relations.end(),
+                  relation.text) == context_.relations.end()) {
+      std::string known;
+      for (const std::string& r : context_.relations) {
+        if (!known.empty()) known += ", ";
+        known += r;
+      }
+      return ErrorAt(relation, "unknown relation '" + relation.text +
+                                   "' (known relations: " + known + ")");
+    }
+    query_.relation = relation.text;
+    lexer_.Advance();
+    return Status::OK();
   }
 
   Status ParseSelectList() {
     while (true) {
       STREAMAGG_RETURN_NOT_OK(ParseSelectItem());
-      if (!AtSymbol(',')) break;
+      if (!AtPunct(",")) break;
       lexer_.Advance();
     }
     return Status::OK();
   }
 
+  /// Aggregate-argument arity: count takes exactly '*'; sum/min/max/avg
+  /// take exactly one attribute. Each violation is diagnosed at the
+  /// offending token, not at the closing parenthesis.
+  Result<QueryOutput> ParseAggregate(const std::string& lower) {
+    QueryOutput output;
+    lexer_.Advance();  // The '('.
+    if (lower == "count") {
+      if (lexer_.current().kind == TokenKind::kIdent) {
+        return Error("count(*) takes no attribute argument, " + Found());
+      }
+      STREAMAGG_RETURN_NOT_OK(ExpectPunct("*"));
+      output.kind = QueryOutput::Kind::kCount;
+    } else {
+      if (AtPunct("*")) {
+        return Error(lower + "() needs exactly one attribute argument, " +
+                     "found '*'");
+      }
+      STREAMAGG_ASSIGN_OR_RETURN(output.attr,
+                                 ExpectAttribute("inside " + lower + "()"));
+      output.kind = lower == "sum"   ? QueryOutput::Kind::kSum
+                    : lower == "min" ? QueryOutput::Kind::kMin
+                    : lower == "max" ? QueryOutput::Kind::kMax
+                                     : QueryOutput::Kind::kAvg;
+    }
+    if (AtPunct(",")) {
+      return Error(lower + "() takes exactly one argument, found ','");
+    }
+    STREAMAGG_RETURN_NOT_OK(ExpectPunct(")"));
+    return output;
+  }
+
   Status ParseSelectItem() {
     if (lexer_.current().kind != TokenKind::kIdent) {
-      return Error("expected select item, found '" + lexer_.current().text +
-                   "'");
+      return Error("expected select item, " + Found());
     }
-    const std::string word = lexer_.current().text;
-    const std::string lower = lexer_.current().lower;
+    const Token word = lexer_.current();
+    const std::string lower = word.lower;
     lexer_.Advance();
-    QueryOutput output;
-    if (lower == "count" || lower == "sum" || lower == "min" ||
-        lower == "max" || lower == "avg") {
-      if (AtSymbol('(')) {
-        lexer_.Advance();
-        if (lower == "count") {
-          STREAMAGG_RETURN_NOT_OK(ExpectSymbol('*'));
-          output.kind = QueryOutput::Kind::kCount;
-        } else {
-          if (lexer_.current().kind != TokenKind::kIdent) {
-            return Error("expected attribute inside " + lower + "()");
-          }
-          auto idx = schema_.IndexOf(lexer_.current().text);
-          if (!idx.ok()) {
-            return Error("unknown attribute '" + lexer_.current().text + "'");
-          }
-          output.attr = *idx;
-          lexer_.Advance();
-          output.kind = lower == "sum"   ? QueryOutput::Kind::kSum
-                        : lower == "min" ? QueryOutput::Kind::kMin
-                        : lower == "max" ? QueryOutput::Kind::kMax
-                                         : QueryOutput::Kind::kAvg;
-        }
-        STREAMAGG_RETURN_NOT_OK(ExpectSymbol(')'));
-        STREAMAGG_ASSIGN_OR_RETURN(std::string alias, ParseAlias());
-        output.name = alias.empty()
-                          ? lower + (output.attr >= 0
-                                         ? "_" + schema_.name(output.attr)
-                                         : "")
-                          : alias;
-        query_.outputs.push_back(output);
-        return Status::OK();
-      }
-      // Fall through: an attribute that happens to be named like a keyword.
+    if ((lower == "count" || lower == "sum" || lower == "min" ||
+         lower == "max" || lower == "avg") &&
+        AtPunct("(")) {
+      STREAMAGG_ASSIGN_OR_RETURN(QueryOutput output, ParseAggregate(lower));
+      STREAMAGG_ASSIGN_OR_RETURN(std::string alias, ParseAlias());
+      output.name = alias.empty()
+                        ? lower + (output.attr >= 0
+                                       ? "_" + schema_.name(output.attr)
+                                       : "")
+                        : alias;
+      query_.outputs.push_back(output);
+      return Status::OK();
     }
-    auto idx = schema_.IndexOf(word);
+    // Not an aggregate call: an attribute (possibly named like a keyword).
+    auto idx = schema_.IndexOf(word.text);
     if (!idx.ok()) {
-      return Error("unknown attribute '" + word + "' in select list");
+      return ErrorAt(word, "unknown attribute '" + word.text +
+                               "' in select list" + KnownAttributes());
     }
+    QueryOutput output;
     output.kind = QueryOutput::Kind::kGroupAttr;
     output.attr = *idx;
     STREAMAGG_ASSIGN_OR_RETURN(std::string alias, ParseAlias());
-    output.name = alias.empty() ? word : alias;
+    output.name = alias.empty() ? word.text : alias;
     query_.outputs.push_back(output);
     return Status::OK();
   }
@@ -237,79 +432,102 @@ class QueryParser {
   Status ParseGroupList() {
     while (true) {
       STREAMAGG_RETURN_NOT_OK(ParseGroupItem());
-      if (!AtSymbol(',')) break;
+      if (!AtPunct(",")) break;
       lexer_.Advance();
     }
+    return Status::OK();
+  }
+
+  Result<double> ParsePositiveNumber(const std::string& what) {
+    if (lexer_.current().kind != TokenKind::kNumber) {
+      return Error("expected " + what + ", " + Found());
+    }
+    const std::string& text = lexer_.current().text;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || value <= 0.0) {
+      return Error(what + " must be a positive number, found '" + text + "'");
+    }
+    lexer_.Advance();
+    return value;
+  }
+
+  Status SetEpoch(const Token& at, double seconds) {
+    if (query_.epoch_seconds > 0.0 && query_.epoch_seconds != seconds) {
+      return ErrorAt(at, "conflicting epoch specifications (" +
+                             FormatSeconds(query_.epoch_seconds) + " vs " +
+                             FormatSeconds(seconds) + ")");
+    }
+    query_.epoch_seconds = seconds;
     return Status::OK();
   }
 
   Status ParseGroupItem() {
     if (lexer_.current().kind != TokenKind::kIdent) {
-      return Error("expected grouping item, found '" + lexer_.current().text +
-                   "'");
+      return Error("expected grouping item, " + Found());
     }
-    if (lexer_.current().lower == "time") {
+    const Token item = lexer_.current();
+    if (item.lower == "time") {
       lexer_.Advance();
-      STREAMAGG_RETURN_NOT_OK(ExpectSymbol('/'));
-      if (lexer_.current().kind != TokenKind::kNumber) {
-        return Error("expected epoch length after 'time/'");
-      }
-      const double seconds = std::strtod(lexer_.current().text.c_str(), nullptr);
-      if (seconds <= 0.0) return Error("epoch length must be positive");
-      if (query_.epoch_seconds > 0.0 && query_.epoch_seconds != seconds) {
-        return Error("conflicting time/ groupings");
-      }
-      query_.epoch_seconds = seconds;
-      lexer_.Advance();
+      STREAMAGG_RETURN_NOT_OK(ExpectPunct("/"));
+      STREAMAGG_ASSIGN_OR_RETURN(double seconds,
+                                 ParsePositiveNumber("epoch length"));
+      STREAMAGG_RETURN_NOT_OK(SetEpoch(item, seconds));
       STREAMAGG_RETURN_NOT_OK(ParseAlias().status());
       return Status::OK();
     }
-    auto idx = schema_.IndexOf(lexer_.current().text);
+    auto idx = schema_.IndexOf(item.text);
     if (!idx.ok()) {
-      return Error("unknown grouping attribute '" + lexer_.current().text +
-                   "'");
+      return ErrorAt(item, "unknown grouping attribute '" + item.text + "'" +
+                               KnownAttributes());
     }
     if (query_.def.group_by.ContainsIndex(*idx)) {
-      return Error("duplicate grouping attribute '" + lexer_.current().text +
-                   "'");
+      return ErrorAt(item, "duplicate grouping attribute '" + item.text + "'");
     }
-    query_.def.group_by =
-        query_.def.group_by.Union(AttributeSet::Single(*idx));
+    query_.def.group_by = query_.def.group_by.Union(AttributeSet::Single(*idx));
     lexer_.Advance();
     STREAMAGG_RETURN_NOT_OK(ParseAlias().status());
     return Status::OK();
   }
 
+  /// Trailing `epoch N` clause: equivalent to a time/N grouping, for
+  /// queries that do not echo the time bucket in their output.
+  Status ParseEpochClause() {
+    const Token at = lexer_.current();
+    STREAMAGG_ASSIGN_OR_RETURN(double seconds,
+                               ParsePositiveNumber("epoch length"));
+    return SetEpoch(at, seconds);
+  }
+
   /// where clause: conjunction of `attr op constant` comparisons.
   Status ParseWhere() {
     while (true) {
-      if (lexer_.current().kind != TokenKind::kIdent) {
-        return Error("expected attribute in where clause");
+      STREAMAGG_ASSIGN_OR_RETURN(int attr,
+                                 ExpectAttribute("in where clause"));
+      auto op = CompareOpFor(lexer_.current().text);
+      if (lexer_.current().kind != TokenKind::kPunct || !op.ok()) {
+        return Error("expected comparison operator in where clause, " +
+                     Found());
       }
-      auto idx = schema_.IndexOf(lexer_.current().text);
-      if (!idx.ok()) {
-        return Error("unknown attribute '" + lexer_.current().text +
-                     "' in where clause");
-      }
-      lexer_.Advance();
-      if (lexer_.current().kind != TokenKind::kSymbol) {
-        return Error("expected comparison operator in where clause");
-      }
-      STREAMAGG_ASSIGN_OR_RETURN(CompareOp op,
-                                 ParseCompareSymbol(lexer_.current().text));
       lexer_.Advance();
       if (lexer_.current().kind != TokenKind::kNumber) {
-        return Error("expected constant in where clause");
+        return Error("expected constant in where clause, " + Found());
+      }
+      const std::string& text = lexer_.current().text;
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+      if (end != text.c_str() + text.size()) {
+        return Error("where-clause constant must be a non-negative integer, "
+                     "found '" +
+                     text + "'");
       }
       AttributePredicate predicate;
-      predicate.attr = *idx;
-      predicate.op = op;
-      predicate.value = static_cast<uint32_t>(
-          std::strtoull(lexer_.current().text.c_str(), nullptr, 10));
+      predicate.attr = attr;
+      predicate.op = *op;
+      predicate.value = static_cast<uint32_t>(value);
       query_.filters.push_back(predicate);
       lexer_.Advance();
-      if (lexer_.current().kind == TokenKind::kIdent &&
-          lexer_.current().lower == "and") {
+      if (AtKeyword("and")) {
         lexer_.Advance();
         continue;
       }
@@ -321,7 +539,7 @@ class QueryParser {
   /// this number of packets is more than 100".
   Status ParseHaving() {
     if (lexer_.current().kind != TokenKind::kIdent) {
-      return Error("expected aggregate in having clause");
+      return Error("expected aggregate in having clause, " + Found());
     }
     const std::string lower = lexer_.current().lower;
     HavingClause having;
@@ -336,40 +554,44 @@ class QueryParser {
     } else if (lower == "avg") {
       having.kind = QueryOutput::Kind::kAvg;
     } else {
-      return Error("expected aggregate in having clause, found '" +
-                   lexer_.current().text + "'");
+      return Error("expected aggregate in having clause, " + Found());
     }
     lexer_.Advance();
-    STREAMAGG_RETURN_NOT_OK(ExpectSymbol('('));
+    STREAMAGG_RETURN_NOT_OK(ExpectPunct("("));
     if (having.kind == QueryOutput::Kind::kCount) {
-      STREAMAGG_RETURN_NOT_OK(ExpectSymbol('*'));
+      if (lexer_.current().kind == TokenKind::kIdent) {
+        return Error("count(*) takes no attribute argument, " + Found());
+      }
+      STREAMAGG_RETURN_NOT_OK(ExpectPunct("*"));
     } else {
-      if (lexer_.current().kind != TokenKind::kIdent) {
-        return Error("expected attribute inside having aggregate");
+      if (AtPunct("*")) {
+        return Error(lower + "() needs exactly one attribute argument, "
+                     "found '*'");
       }
-      auto idx = schema_.IndexOf(lexer_.current().text);
-      if (!idx.ok()) {
-        return Error("unknown attribute '" + lexer_.current().text +
-                     "' in having clause");
-      }
-      having.attr = *idx;
-      lexer_.Advance();
+      STREAMAGG_ASSIGN_OR_RETURN(having.attr,
+                                 ExpectAttribute("in having clause"));
     }
-    STREAMAGG_RETURN_NOT_OK(ExpectSymbol(')'));
-    if (lexer_.current().kind != TokenKind::kSymbol) {
-      return Error("expected comparison operator in having clause");
+    STREAMAGG_RETURN_NOT_OK(ExpectPunct(")"));
+    auto op = CompareOpFor(lexer_.current().text);
+    if (lexer_.current().kind != TokenKind::kPunct || !op.ok()) {
+      return Error("expected comparison operator in having clause, " +
+                   Found());
     }
-    STREAMAGG_ASSIGN_OR_RETURN(CompareOp op,
-                               ParseCompareSymbol(lexer_.current().text));
-    having.op = op;
+    having.op = *op;
     lexer_.Advance();
     if (lexer_.current().kind != TokenKind::kNumber) {
-      return Error("expected constant in having clause");
+      return Error("expected constant in having clause, " + Found());
     }
     having.value = std::strtod(lexer_.current().text.c_str(), nullptr);
     lexer_.Advance();
     query_.having = having;
     return Status::OK();
+  }
+
+  static std::string FormatSeconds(double seconds) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%g", seconds);
+    return std::string(buffer) + "s";
   }
 
   /// Validates select items against the grouping and derives the metric
@@ -431,6 +653,8 @@ class QueryParser {
   }
 
   const Schema& schema_;
+  const std::string& text_;
+  const QueryParseContext& context_;
   Lexer lexer_;
   ParsedQuery query_;
 };
@@ -442,6 +666,36 @@ int MetricIndexFor(const QueryDef& def, AggregateOp op, int attr) {
     if (def.metrics[i] == target) return static_cast<int>(i);
   }
   return -1;
+}
+
+const char* OpText(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* AggregateText(AggregateOp op) {
+  switch (op) {
+    case AggregateOp::kSum:
+      return "sum";
+    case AggregateOp::kMin:
+      return "min";
+    case AggregateOp::kMax:
+      return "max";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -545,7 +799,12 @@ bool ParsedQuery::HavingSatisfied(const GroupKey& key,
 }
 
 Result<ParsedQuery> ParseQuery(const Schema& schema, const std::string& text) {
-  QueryParser parser(schema, text);
+  return ParseQuery(schema, text, QueryParseContext{});
+}
+
+Result<ParsedQuery> ParseQuery(const Schema& schema, const std::string& text,
+                               const QueryParseContext& context) {
+  QueryParser parser(schema, text, context);
   return parser.Run();
 }
 
@@ -572,6 +831,98 @@ Result<std::vector<ParsedQuery>> ParseQuerySet(
       }
     }
     out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::string FormatParsedQuery(const Schema& schema, const ParsedQuery& query) {
+  std::string out;
+  out += "relation: " + query.relation + "\n";
+  out += "group_by: " + schema.FormatAttributeSet(query.def.group_by) + "\n";
+  if (query.epoch_seconds > 0.0) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%g", query.epoch_seconds);
+    out += "epoch: " + std::string(buffer) + "\n";
+  }
+  out += "metrics:";
+  if (query.def.metrics.empty()) {
+    out += " -";
+  } else {
+    for (const MetricSpec& m : query.def.metrics) {
+      out += ' ';
+      out += AggregateText(m.op);
+      out += '(';
+      out += schema.name(m.attr);
+      out += ')';
+    }
+  }
+  out += '\n';
+  out += "outputs:";
+  for (const QueryOutput& o : query.outputs) {
+    out += ' ';
+    out += o.name;
+    out += '=';
+    switch (o.kind) {
+      case QueryOutput::Kind::kGroupAttr:
+        out += "group(" + schema.name(o.attr) + ")";
+        break;
+      case QueryOutput::Kind::kCount:
+        out += "count(*)";
+        break;
+      case QueryOutput::Kind::kSum:
+        out += "sum(" + schema.name(o.attr) + ")";
+        break;
+      case QueryOutput::Kind::kMin:
+        out += "min(" + schema.name(o.attr) + ")";
+        break;
+      case QueryOutput::Kind::kMax:
+        out += "max(" + schema.name(o.attr) + ")";
+        break;
+      case QueryOutput::Kind::kAvg:
+        out += "avg(" + schema.name(o.attr) + ")";
+        break;
+    }
+  }
+  out += '\n';
+  if (!query.filters.empty()) {
+    out += "where:";
+    for (size_t i = 0; i < query.filters.size(); ++i) {
+      const AttributePredicate& p = query.filters[i];
+      if (i > 0) out += " and";
+      out += ' ';
+      out += schema.name(p.attr);
+      out += ' ';
+      out += OpText(p.op);
+      out += ' ';
+      out += std::to_string(p.value);
+    }
+    out += '\n';
+  }
+  if (query.having.has_value()) {
+    const HavingClause& h = *query.having;
+    out += "having: ";
+    switch (h.kind) {
+      case QueryOutput::Kind::kCount:
+        out += "count(*)";
+        break;
+      case QueryOutput::Kind::kSum:
+        out += "sum(" + schema.name(h.attr) + ")";
+        break;
+      case QueryOutput::Kind::kMin:
+        out += "min(" + schema.name(h.attr) + ")";
+        break;
+      case QueryOutput::Kind::kMax:
+        out += "max(" + schema.name(h.attr) + ")";
+        break;
+      case QueryOutput::Kind::kAvg:
+        out += "avg(" + schema.name(h.attr) + ")";
+        break;
+      case QueryOutput::Kind::kGroupAttr:
+        break;
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%g", h.value);
+    out += std::string(" ") + OpText(h.op) + " " + buffer + "\n";
   }
   return out;
 }

@@ -63,13 +63,14 @@ struct HavingClause {
 ///   from R
 ///   group by A, time/60 as tb
 ///
-/// Grouping on `time/N` defines the epoch; other grouping items must be
+/// Grouping on `time/N` defines the epoch, as does the equivalent trailing
+/// `epoch N` clause (docs/query_frontend.md); other grouping items must be
 /// schema attributes. Supported aggregates: count(*), sum(x), min(x),
 /// max(x), avg(x) (avg is rewritten to a sum metric and divided by the
 /// count at result time).
 struct ParsedQuery {
   QueryDef def;                ///< Grouping attributes + required metrics.
-  double epoch_seconds = 0.0;  ///< From time/N; 0 when absent.
+  double epoch_seconds = 0.0;  ///< From time/N or epoch N; 0 when absent.
   std::vector<QueryOutput> outputs;
   std::string relation;  ///< The from-clause name (informational).
   /// Record-level conjunction from the where clause (empty = pass all).
@@ -90,9 +91,23 @@ struct ParsedQuery {
   bool HavingSatisfied(const GroupKey& key, const AggregateState& state) const;
 };
 
+/// Optional context for ParseQuery: names the relations the caller can
+/// serve. When non-empty, a from-clause naming anything else fails with a
+/// diagnostic listing the known relations — the engine passes its live
+/// relation here so AddQuery rejects a typo'd stream name at parse time.
+struct QueryParseContext {
+  std::vector<std::string> relations;
+};
+
 /// Parses one query. Keywords are case-insensitive; attribute names are
-/// resolved against `schema`.
+/// resolved against `schema`. Errors carry the precise source position:
+///
+///   query parse error at 1:36: unknown grouping attribute 'xyz'
+///     select A, count(*) from R group by xyz
+///                                        ^~~
 Result<ParsedQuery> ParseQuery(const Schema& schema, const std::string& text);
+Result<ParsedQuery> ParseQuery(const Schema& schema, const std::string& text,
+                               const QueryParseContext& context);
 
 /// Parses a query set, validating that all queries agree on the epoch
 /// (the paper processes one epoch per configuration), read the same
@@ -102,6 +117,11 @@ Result<ParsedQuery> ParseQuery(const Schema& schema, const std::string& text);
 /// their `def`s for the optimizer.
 Result<std::vector<ParsedQuery>> ParseQuerySet(
     const Schema& schema, const std::vector<std::string>& texts);
+
+/// Deterministic multi-line rendering of a parsed query — the plan half of
+/// the parser golden corpus (tests/golden/queries/) and the CLI's
+/// --explain output. Attribute names come from `schema`.
+std::string FormatParsedQuery(const Schema& schema, const ParsedQuery& query);
 
 }  // namespace streamagg
 

@@ -29,6 +29,23 @@ void Hfta::MergeFrom(const Hfta& other) {
   transfers_ += other.transfers_;
 }
 
+void Hfta::Remap(std::vector<std::vector<MetricSpec>> new_metrics,
+                 const std::vector<int>& source) {
+  std::vector<std::map<uint64_t, EpochAggregate>> remapped(new_metrics.size());
+  for (size_t i = 0; i < source.size() && i < remapped.size(); ++i) {
+    const int from = source[i];
+    if (from >= 0 && from < num_queries()) {
+      remapped[i] = std::move(per_query_[from]);
+      new_metrics[i] = metrics_[from];
+    }
+  }
+  per_query_ = std::move(remapped);
+  metrics_ = std::move(new_metrics);
+  // The cached Add target pointed into the old per_query_ layout.
+  cached_agg_ = nullptr;
+  cached_query_ = -1;
+}
+
 uint64_t Hfta::TotalCount(int query_index, uint64_t epoch) const {
   uint64_t total = 0;
   for (const auto& [key, state] : Result(query_index, epoch)) {

@@ -63,8 +63,9 @@ class Hfta {
   /// transfers overwhelmingly target the same (query, epoch) — evictions
   /// arrive from one runtime epoch at a time — so the per-(query, epoch)
   /// aggregate is cached and the std::map lookup skipped while the target
-  /// stays the same. Safe because nothing ever erases from per_query_ and
-  /// std::map mapped references are stable under insertion.
+  /// stays the same. Safe because std::map mapped references are stable
+  /// under insertion and the only operation that reshapes per_query_
+  /// (Remap, on query churn) nulls the cache.
   void Add(int query_index, uint64_t epoch, const GroupKey& key,
            const AggregateState& state) {
     if (cached_agg_ == nullptr || query_index != cached_query_ ||
@@ -115,6 +116,16 @@ class Hfta {
   /// re-planning and its results must be preserved. Transfer counts are
   /// accumulated as well.
   void MergeFrom(const Hfta& other);
+
+  /// Rewires the query slots after churn: slot `i` of the remapped HFTA
+  /// adopts the results and metric list of old slot `source[i]`, or starts
+  /// empty with metrics `new_metrics[i]` when `source[i]` is -1 (a freshly
+  /// added query). Old slots not named by `source` are discarded (dropped
+  /// queries). Invalidates the Add target cache: the cache points into
+  /// per_query_, which this call reshapes, so a stale pointer would write a
+  /// dropped query's groups into freed storage (ISSUE 10 satellite fix).
+  void Remap(std::vector<std::vector<MetricSpec>> new_metrics,
+             const std::vector<int>& source);
 
  private:
   std::vector<std::vector<MetricSpec>> metrics_;

@@ -159,6 +159,39 @@ ReplanEvent ReplanFromJson(const JsonValue& v) {
   return e;
 }
 
+JsonValue ChurnToJson(const QueryChurnEvent& e) {
+  JsonValue out = JsonValue::Object();
+  out.Set("epoch", JsonValue::Number(e.epoch));
+  // A string action keeps the export greppable (CI churn drill).
+  out.Set("action", JsonValue::Str(e.add ? "add" : "drop"));
+  out.Set("query_id", JsonValue::Number(static_cast<int64_t>(e.query_id)));
+  out.Set("relation", JsonValue::Str(e.relation));
+  out.Set("grafted", JsonValue::Bool(e.grafted));
+  out.Set("aliased", JsonValue::Bool(e.aliased));
+  out.Set("replanned_nodes",
+          JsonValue::Number(static_cast<int64_t>(e.replanned_nodes)));
+  out.Set("pinned_nodes",
+          JsonValue::Number(static_cast<int64_t>(e.pinned_nodes)));
+  out.Set("optimize_millis", JsonValue::Number(e.optimize_millis));
+  out.Set("merge_millis", JsonValue::Number(e.merge_millis));
+  return out;
+}
+
+QueryChurnEvent ChurnFromJson(const JsonValue& v) {
+  QueryChurnEvent e;
+  e.epoch = v.Get("epoch").AsUint64();
+  e.add = v.Get("action").AsString() == "add";
+  e.query_id = static_cast<int>(v.Get("query_id").AsInt64());
+  e.relation = v.Get("relation").AsString();
+  e.grafted = v.Get("grafted").AsBool();
+  e.aliased = v.Get("aliased").AsBool();
+  e.replanned_nodes = static_cast<int>(v.Get("replanned_nodes").AsInt64());
+  e.pinned_nodes = static_cast<int>(v.Get("pinned_nodes").AsInt64());
+  e.optimize_millis = v.Get("optimize_millis").AsDouble();
+  e.merge_millis = v.Get("merge_millis").AsDouble();
+  return e;
+}
+
 JsonValue SheddingToJson(const SheddingTelemetry& s) {
   JsonValue out = JsonValue::Object();
   out.Set("enabled", JsonValue::Bool(s.enabled));
@@ -301,6 +334,9 @@ void TelemetrySnapshot::MergeFrom(const TelemetrySnapshot& other) {
   // Re-plan history is engine-level: shard replicas never carry any, so
   // concatenation is the identity there and a plain union otherwise.
   replans.insert(replans.end(), other.replans.begin(), other.replans.end());
+  // Churn history is engine-level like the re-plan history.
+  query_churn.insert(query_churn.end(), other.query_churn.begin(),
+                     other.query_churn.end());
   // Shedding is engine-level too: replicas carry a disabled (empty) view,
   // which merges as the identity.
   shedding.MergeFrom(other.shedding);
@@ -357,6 +393,14 @@ std::string TelemetrySnapshot::ToJsonLine() const {
   JsonValue replan_array = JsonValue::Array();
   for (const ReplanEvent& e : replans) replan_array.Append(ReplanToJson(e));
   root.Set("replans", std::move(replan_array));
+  // The churn section exists only once a query was added or dropped.
+  if (!query_churn.empty()) {
+    JsonValue churn_array = JsonValue::Array();
+    for (const QueryChurnEvent& e : query_churn) {
+      churn_array.Append(ChurnToJson(e));
+    }
+    root.Set("query_churn", std::move(churn_array));
+  }
   // The shedding section exists only when the overload controller does:
   // disabled engines (and telemetry_level kOff, which refuses the
   // controller) serialize no trace of it.
@@ -432,6 +476,13 @@ Result<TelemetrySnapshot> TelemetrySnapshot::FromJsonLine(
     const JsonValue& replan_array = root.Get("replans");
     for (size_t i = 0; i < replan_array.size(); ++i) {
       s.replans.push_back(ReplanFromJson(replan_array.at(i)));
+    }
+  }
+  // Absent before query churn existed and while no churn happened.
+  if (root.Has("query_churn")) {
+    const JsonValue& churn_array = root.Get("query_churn");
+    for (size_t i = 0; i < churn_array.size(); ++i) {
+      s.query_churn.push_back(ChurnFromJson(churn_array.at(i)));
     }
   }
   // Absent whenever the overload controller was off (or pre-dates it).
@@ -524,6 +575,19 @@ std::string TelemetrySnapshot::ToTable() const {
                     static_cast<unsigned long long>(e.epoch),
                     e.trigger_relation.c_str(), e.drift, e.replanned_nodes,
                     e.pinned_nodes);
+      out += buffer;
+    }
+    out += '\n';
+  }
+  if (!query_churn.empty()) {
+    out += "query churn:";
+    for (const QueryChurnEvent& e : query_churn) {
+      std::snprintf(buffer, sizeof(buffer),
+                    " [epoch %llu %s q%d %s %s rebuilt %d pinned %d]",
+                    static_cast<unsigned long long>(e.epoch),
+                    e.add ? "add" : "drop", e.query_id, e.relation.c_str(),
+                    e.aliased ? "aliased" : (e.grafted ? "grafted" : "replan"),
+                    e.replanned_nodes, e.pinned_nodes);
       out += buffer;
     }
     out += '\n';

@@ -123,6 +123,29 @@ struct ReplanEvent {
   bool operator==(const ReplanEvent&) const = default;
 };
 
+/// One online query-churn event (StreamAggEngine::AddQuery/DropQuery), as
+/// recorded by the engine at the Quiesce barrier where the plan swap (or
+/// alias bump) happened. Schema in docs/observability.md §query_churn.
+struct QueryChurnEvent {
+  uint64_t epoch = 0;     ///< Epoch the engine was accumulating into.
+  bool add = true;        ///< true = AddQuery, false = DropQuery.
+  int query_id = -1;      ///< Stable engine-assigned query id.
+  std::string relation;   ///< The query's grouping, schema-formatted.
+  /// Add path taken: grafted (incremental GraftQueries), or full Optimize
+  /// fallback when false. Drops are plan surgery and report false.
+  bool grafted = false;
+  /// The query aliased an identical live query: no plan change at all.
+  bool aliased = false;
+  int replanned_nodes = 0;  ///< Relations rebuilt for this churn event.
+  int pinned_nodes = 0;     ///< Relations carried over untouched.
+  double optimize_millis = 0.0;  ///< Planning wall-clock (0 for aliases).
+  /// Wall-clock of the barrier work: quiescing shards, flushing the
+  /// retiring runtime and merging its HFTA into the accumulated results.
+  double merge_millis = 0.0;
+
+  bool operator==(const QueryChurnEvent&) const = default;
+};
+
 /// One raw relation's slice of the shedding picture: what a shed probe
 /// there is worth (the cost model's Eq-7 cycles credited to the relation's
 /// feeding tree) and how much is actually being shed.
@@ -193,6 +216,9 @@ struct TelemetrySnapshot {
   /// Adaptive re-plans up to this snapshot, oldest first (engine-level;
   /// empty for raw runtime snapshots and non-adaptive engines).
   std::vector<ReplanEvent> replans;
+  /// Query add/drop events up to this snapshot, oldest first (engine-level;
+  /// empty for raw runtime snapshots and engines without churn).
+  std::vector<QueryChurnEvent> query_churn;
   /// Overload-controller state (engine-level; enabled == false — and the
   /// JSON section absent — when the engine runs without the controller).
   SheddingTelemetry shedding;

@@ -63,6 +63,8 @@ const char* TraceEventName(TraceEventType type) {
       return "rebalance";
     case TraceEventType::kSortRunDrain:
       return "sort_run_drain";
+    case TraceEventType::kQueryChurn:
+      return "query_churn";
   }
   return "unknown";
 }
@@ -285,6 +287,11 @@ JsonValue EventArgs(const TraceEvent& e) {
       args.Set("relation", JsonValue::Number(uint64_t{e.arg0}));
       args.Set("unique_groups", JsonValue::Number(uint64_t{e.arg1}));
       args.Set("run_length", JsonValue::Number(uint64_t{e.arg2}));
+      break;
+    case TraceEventType::kQueryChurn:
+      args.Set("action", JsonValue::Str(e.arg0 != 0 ? "add" : "drop"));
+      args.Set("query_id", JsonValue::Number(uint64_t{e.arg1}));
+      args.Set("grafted", JsonValue::Bool(e.arg2 != 0));
       break;
   }
   return args;

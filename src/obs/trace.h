@@ -51,6 +51,7 @@ enum class TraceEventType : uint8_t {
   kShedPlanInstall = 8,  ///< instant: shed plan installed (arg0 = target permille, arg1 = shedding relations).
   kRebalance = 9,        ///< instant: ingest layout applied (arg0 = slots).
   kSortRunDrain = 10,    ///< span: sort-run drain (arg0 = relation, arg1 = unique groups, arg2 = run length).
+  kQueryChurn = 11,      ///< instant: query added/dropped (arg0 = 1 add / 0 drop, arg1 = query id, arg2 = 1 when grafted).
 };
 
 /// Chrome-trace event name of `type` ("epoch_flush", "blocked_push", ...).

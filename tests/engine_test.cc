@@ -456,5 +456,331 @@ TEST(StreamAggEngineTest, ShardedTelemetryMergesToEngineCounters) {
   EXPECT_EQ(routed, trace.size());
 }
 
+// --- Online query churn (docs/query_frontend.md §4) ----------------------
+
+TEST(StreamAggEngineChurnTest, AddQueryFromTextMidStream) {
+  const Trace trace = UniformTrace(500, 60000, 71);
+  const Schema& schema = trace.schema();
+  auto engine = StreamAggEngine::FromQueryTexts(
+      schema, {"select A, B, count(*) from R group by A, B, time/2"},
+      BaseOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  int added = -1;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (i == 30000) {
+      // The text parses against the live relation name and engine epoch.
+      auto id = (*engine)->AddQuery(
+          "select C, D, sum(A) from R group by C, D epoch 2");
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      added = *id;
+      EXPECT_EQ(added, 1);
+      EXPECT_TRUE((*engine)->IsLive(added));
+      EXPECT_EQ((*engine)->num_query_ids(), 2);
+      EXPECT_EQ((*engine)->parsed_queries().size(), 2u);
+    }
+    ASSERT_TRUE((*engine)->Process(trace.record(i)).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+
+  ASSERT_EQ((*engine)->churn_events().size(), 1u);
+  const QueryChurnEvent& event = (*engine)->churn_events().front();
+  EXPECT_TRUE(event.add);
+  EXPECT_EQ(event.query_id, added);
+  EXPECT_FALSE(event.aliased);
+  EXPECT_GE(event.optimize_millis, 0.0);
+  EXPECT_FALSE((*engine)->Epochs(added).empty());
+}
+
+TEST(StreamAggEngineChurnTest, AddQueryTextRejections) {
+  const Trace trace = UniformTrace(400, 40000, 73);
+  const Schema& schema = trace.schema();
+  auto engine = StreamAggEngine::FromQueryTexts(
+      schema,
+      {"select A, count(*) from R where D < 4 group by A, time/2"},
+      BaseOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  for (size_t i = 0; i < 30000; ++i) {
+    ASSERT_TRUE((*engine)->Process(trace.record(i)).ok());
+  }
+
+  // Epoch disagreement names both lengths.
+  auto bad = (*engine)->AddQuery(
+      "select B, count(*) from R where D < 4 group by B, time/60");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("60"), std::string::npos);
+  EXPECT_NE(bad.status().ToString().find("2"), std::string::npos);
+
+  // A different where clause breaks phantom sharing.
+  bad = (*engine)->AddQuery("select B, count(*) from R group by B, time/2");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("where clause"), std::string::npos);
+
+  // A typo'd relation fails at parse time with the known relation listed.
+  bad = (*engine)->AddQuery(
+      "select B, count(*) from S where D < 4 group by B, time/2");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("R"), std::string::npos);
+
+  // Same group-by as a live query but different metrics: rejected, not
+  // aliased (the slot cannot serve both result shapes).
+  bad = (*engine)->AddQuery(
+      "select A, sum(B) from R where D < 4 group by A, time/2");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("different metrics"),
+            std::string::npos);
+
+  // Nothing above disturbed the engine.
+  EXPECT_EQ((*engine)->num_query_ids(), 1);
+  EXPECT_TRUE((*engine)->churn_events().empty());
+  for (size_t i = 30000; i < trace.size(); ++i) {
+    ASSERT_TRUE((*engine)->Process(trace.record(i)).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+}
+
+TEST(StreamAggEngineChurnTest, DropQueryGuards) {
+  const Trace trace = UniformTrace(400, 50000, 79);
+  const Schema& schema = trace.schema();
+  auto engine = StreamAggEngine::FromQueryDefs(
+      schema,
+      {QueryDef(*schema.ParseAttributeSet("AB")),
+       QueryDef(*schema.ParseAttributeSet("CD"))},
+      BaseOptions());
+  ASSERT_TRUE(engine.ok());
+  for (size_t i = 0; i < 30000; ++i) {
+    ASSERT_TRUE((*engine)->Process(trace.record(i)).ok());
+  }
+
+  EXPECT_FALSE((*engine)->DropQuery(-1).ok());
+  EXPECT_FALSE((*engine)->DropQuery(7).ok());
+  ASSERT_TRUE((*engine)->DropQuery(1).ok());
+  // Already dropped.
+  const Status twice = (*engine)->DropQuery(1);
+  ASSERT_FALSE(twice.ok());
+  EXPECT_NE(twice.ToString().find("already dropped"), std::string::npos);
+  // Never below one live query.
+  const Status last = (*engine)->DropQuery(0);
+  ASSERT_FALSE(last.ok());
+  EXPECT_NE(last.ToString().find("last live query"), std::string::npos);
+
+  for (size_t i = 30000; i < trace.size(); ++i) {
+    ASSERT_TRUE((*engine)->Process(trace.record(i)).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+  EXPECT_TRUE((*engine)->IsLive(0));
+  EXPECT_FALSE((*engine)->IsLive(1));
+}
+
+TEST(StreamAggEngineChurnTest, ChurnEventsExportedThroughTelemetry) {
+  const Trace trace = UniformTrace(500, 60000, 83);
+  const Schema& schema = trace.schema();
+  auto engine = StreamAggEngine::FromQueryDefs(
+      schema,
+      {QueryDef(*schema.ParseAttributeSet("AB")),
+       QueryDef(*schema.ParseAttributeSet("CD"))},
+      BaseOptions());
+  ASSERT_TRUE(engine.ok());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (i == 30000) {
+      ASSERT_TRUE(
+          (*engine)->AddQuery(QueryDef(*schema.ParseAttributeSet("BC"))).ok());
+    }
+    if (i == 45000) {
+      ASSERT_TRUE((*engine)->DropQuery(0).ok());
+    }
+    ASSERT_TRUE((*engine)->Process(trace.record(i)).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+
+  ASSERT_EQ((*engine)->churn_events().size(), 2u);
+  const TelemetrySnapshot snap = (*engine)->telemetry();
+  ASSERT_EQ(snap.query_churn.size(), 2u);
+  EXPECT_TRUE(snap.query_churn[0] == (*engine)->churn_events()[0]);
+  EXPECT_TRUE(snap.query_churn[1] == (*engine)->churn_events()[1]);
+  EXPECT_TRUE(snap.query_churn[0].add);
+  EXPECT_FALSE(snap.query_churn[1].add);
+
+  // The section survives the JSON line round trip bit-exactly and renders
+  // in the human table.
+  const std::string line = snap.ToJsonLine();
+  EXPECT_NE(line.find("\"query_churn\""), std::string::npos);
+  EXPECT_NE(line.find("\"action\":\"add\""), std::string::npos);
+  EXPECT_NE(line.find("\"action\":\"drop\""), std::string::npos);
+  auto restored = TelemetrySnapshot::FromJsonLine(line);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->query_churn.size(), 2u);
+  EXPECT_TRUE(restored->query_churn[0] == snap.query_churn[0]);
+  EXPECT_TRUE(restored->query_churn[1] == snap.query_churn[1]);
+  EXPECT_NE(snap.ToTable().find("query churn:"), std::string::npos);
+}
+
+TEST(StreamAggEngineChurnTest, ChurnReserveKeepsGraftHeadroom) {
+  // With a reserve the initial plan leaves budget a later graft may spend;
+  // the engine runs exactly as without one (results are checked by the
+  // differential suite — here the lifecycle and the budget accounting).
+  const Trace trace = UniformTrace(500, 60000, 89);
+  const Schema& schema = trace.schema();
+  StreamAggEngine::Options options = BaseOptions();
+  options.churn_reserve_fraction = 0.25;
+  auto engine = StreamAggEngine::FromQueryDefs(
+      schema,
+      {QueryDef(*schema.ParseAttributeSet("AB")),
+       QueryDef(*schema.ParseAttributeSet("CD"))},
+      options);
+  ASSERT_TRUE(engine.ok());
+  int added = -1;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (i == 30000) {
+      auto id =
+          (*engine)->AddQuery(QueryDef(*schema.ParseAttributeSet("BD")));
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      added = *id;
+    }
+    ASSERT_TRUE((*engine)->Process(trace.record(i)).ok());
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+  EXPECT_TRUE((*engine)->IsLive(added));
+  EXPECT_FALSE((*engine)->Epochs(added).empty());
+}
+
+TEST(StreamAggEngineChurnTest, PinnedPlanWithoutCountsRejectsLiveChurn) {
+  // A pinned-plan engine with no catalog counts cannot re-plan: live
+  // AddQuery/DropQuery fail cleanly and leave the engine running.
+  const Schema schema = *Schema::Default(4);
+  auto catalog = RelationCatalog::Synthetic(
+      schema, {{AttributeSet::Single(0).mask(), 100},
+               {AttributeSet::Single(1).mask(), 100},
+               {AttributeSet::Single(2).mask(), 100},
+               {AttributeSet::Single(3).mask(), 100}});
+  ASSERT_TRUE(catalog.ok());
+  Optimizer optimizer;
+  OptimizedPlan plan = *optimizer.Optimize(
+      *catalog,
+      std::vector<QueryDef>{QueryDef(*schema.ParseAttributeSet("AB")),
+                            QueryDef(*schema.ParseAttributeSet("CD"))},
+      20000.0);
+  auto engine = StreamAggEngine::FromPinnedPlan(schema, std::move(plan), {},
+                                                BaseOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  auto added = (*engine)->AddQuery(QueryDef(*schema.ParseAttributeSet("BC")));
+  ASSERT_FALSE(added.ok());
+  EXPECT_NE(added.status().ToString().find("statistics"), std::string::npos);
+  const Status dropped = (*engine)->DropQuery(0);
+  ASSERT_FALSE(dropped.ok());
+  EXPECT_NE(dropped.ToString().find("statistics"), std::string::npos);
+  EXPECT_EQ((*engine)->num_query_ids(), 2);
+  EXPECT_TRUE((*engine)->IsLive(0));
+}
+
+// --- ValidateOptions: one test per rejected combination, each message
+// naming Options::<field> and the offending value (PR 4/6 convention). ---
+
+TEST(EngineValidation, RejectsNonPositiveNumShards) {
+  StreamAggEngine::Options options = BaseOptions();
+  options.num_shards = 0;
+  auto engine = StreamAggEngine::FromQueryDefs(
+      *Schema::Default(2), {QueryDef(AttributeSet::Single(0))}, options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_NE(engine.status().ToString().find(
+                "Options::num_shards must be >= 1 (got 0)"),
+            std::string::npos)
+      << engine.status().ToString();
+}
+
+TEST(EngineValidation, RejectsNonPositiveNumProducers) {
+  StreamAggEngine::Options options = BaseOptions();
+  options.num_producers = -2;
+  auto engine = StreamAggEngine::FromQueryDefs(
+      *Schema::Default(2), {QueryDef(AttributeSet::Single(0))}, options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_NE(engine.status().ToString().find(
+                "Options::num_producers must be >= 1 (got -2)"),
+            std::string::npos)
+      << engine.status().ToString();
+}
+
+TEST(EngineValidation, RejectsTinyShardQueue) {
+  StreamAggEngine::Options options = BaseOptions();
+  options.shard_queue_capacity = 1;
+  auto engine = StreamAggEngine::FromQueryDefs(
+      *Schema::Default(2), {QueryDef(AttributeSet::Single(0))}, options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_NE(engine.status().ToString().find(
+                "Options::shard_queue_capacity must be >= 2 (got 1)"),
+            std::string::npos)
+      << engine.status().ToString();
+}
+
+TEST(EngineValidation, RejectsOverloadAtTelemetryOff) {
+  StreamAggEngine::Options options = BaseOptions();
+  options.overload.enabled = true;
+  options.telemetry_level = TelemetryLevel::kOff;
+  auto engine = StreamAggEngine::FromQueryDefs(
+      *Schema::Default(2), {QueryDef(AttributeSet::Single(0))}, options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_NE(engine.status().ToString().find(
+                "Options::overload.enabled requires Options::telemetry_level "
+                "above kOff (got kOff)"),
+            std::string::npos)
+      << engine.status().ToString();
+}
+
+TEST(EngineValidation, RejectsNegativeChurnReserve) {
+  StreamAggEngine::Options options = BaseOptions();
+  options.churn_reserve_fraction = -0.1;
+  auto engine = StreamAggEngine::FromQueryDefs(
+      *Schema::Default(2), {QueryDef(AttributeSet::Single(0))}, options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_NE(engine.status().ToString().find(
+                "Options::churn_reserve_fraction must be in [0, 0.9] "
+                "(got -0.1)"),
+            std::string::npos)
+      << engine.status().ToString();
+}
+
+TEST(EngineValidation, RejectsOverlargeChurnReserve) {
+  // Above 0.9 the initial plan would starve; churn composes with adaptive
+  // and overload, so the range check is the only churn rejection.
+  StreamAggEngine::Options options = BaseOptions();
+  options.churn_reserve_fraction = 0.95;
+  options.adaptive = true;
+  options.overload.enabled = true;
+  auto engine = StreamAggEngine::FromQueryDefs(
+      *Schema::Default(2), {QueryDef(AttributeSet::Single(0))}, options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_NE(engine.status().ToString().find(
+                "Options::churn_reserve_fraction must be in [0, 0.9] "
+                "(got 0.95)"),
+            std::string::npos)
+      << engine.status().ToString();
+}
+
+TEST(EngineValidation, RejectsAdaptivePinnedPlanWithoutCounts) {
+  const Schema schema = *Schema::Default(4);
+  auto catalog = RelationCatalog::Synthetic(
+      schema, {{AttributeSet::Single(0).mask(), 100},
+               {AttributeSet::Single(1).mask(), 100},
+               {AttributeSet::Single(2).mask(), 100},
+               {AttributeSet::Single(3).mask(), 100}});
+  ASSERT_TRUE(catalog.ok());
+  Optimizer optimizer;
+  OptimizedPlan plan = *optimizer.Optimize(
+      *catalog,
+      std::vector<QueryDef>{QueryDef(*schema.ParseAttributeSet("AB"))},
+      20000.0);
+  StreamAggEngine::Options options = BaseOptions();
+  options.adaptive = true;
+  auto engine =
+      StreamAggEngine::FromPinnedPlan(schema, std::move(plan), {}, options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_NE(engine.status().ToString().find(
+                "Options::adaptive requires catalog counts for pinned-plan "
+                "engines (got adaptive=true with 0 catalog counts)"),
+            std::string::npos)
+      << engine.status().ToString();
+}
+
 }  // namespace
 }  // namespace streamagg

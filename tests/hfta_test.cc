@@ -84,5 +84,56 @@ TEST(HftaTest, MergesMetricStates) {
   EXPECT_EQ(hfta.query_metrics(0).size(), 2u);
 }
 
+TEST(HftaTest, RemapDropsSlotAndCarriesSurvivors) {
+  // Two queries; drop slot 0, keep slot 1 (renumbered to 0), append a
+  // fresh empty slot with its own metric list.
+  Hfta hfta(2);
+  hfta.Add(0, 3, Key1(1), AggregateState::FromCount(5));
+  hfta.Add(1, 3, Key1(2), AggregateState::FromCount(7));
+
+  const std::vector<MetricSpec> fresh = {MetricSpec{AggregateOp::kMax, 1}};
+  hfta.Remap({{}, fresh}, {1, -1});
+
+  ASSERT_EQ(hfta.num_queries(), 2);
+  EXPECT_EQ(hfta.Result(0, 3).at(Key1(2)).count, 7u);  // Old slot 1.
+  EXPECT_TRUE(hfta.Result(1, 3).empty());              // Fresh slot.
+  EXPECT_EQ(hfta.query_metrics(1), fresh);
+}
+
+TEST(HftaTest, RemapInvalidatesAddTargetCache) {
+  // The ISSUE 10 satellite regression: Add caches its (query, epoch)
+  // target aggregate between calls, and Remap reshapes the storage that
+  // cache points into. Without explicit invalidation the next Add for the
+  // same (query, epoch) would write through the stale pointer — a dropped
+  // query's groups would keep accumulating into freed storage (asan sees
+  // heap-use-after-free; unsanitized builds silently corrupt results).
+  Hfta hfta(2);
+  hfta.Add(0, 5, Key1(1), AggregateState::FromCount(1));  // Prime the cache.
+  hfta.Add(1, 5, Key1(9), AggregateState::FromCount(4));
+
+  hfta.Remap({{}}, {1});  // Drop slot 0; old slot 1 becomes slot 0.
+
+  // Same (query_index, epoch) as the primed cache — must target the NEW
+  // slot 0 (old slot 1), not the dropped slot's freed aggregate.
+  hfta.Add(0, 5, Key1(9), AggregateState::FromCount(2));
+  ASSERT_EQ(hfta.num_queries(), 1);
+  EXPECT_EQ(hfta.Result(0, 5).at(Key1(9)).count, 6u);
+  EXPECT_EQ(hfta.Result(0, 5).count(Key1(1)), 0u);  // Dropped for good.
+}
+
+TEST(HftaTest, RemapIdentityPlusFreshSlotKeepsResults) {
+  // The AddQuery shape: identity for existing slots, -1 for the newcomer.
+  Hfta hfta(1);
+  hfta.Add(0, 2, Key1(3), AggregateState::FromCount(11));
+  hfta.Remap({{}, {}}, {0, -1});
+  ASSERT_EQ(hfta.num_queries(), 2);
+  EXPECT_EQ(hfta.Result(0, 2).at(Key1(3)).count, 11u);
+  EXPECT_TRUE(hfta.Epochs(1).empty());
+  // The fresh slot accumulates independently from here on.
+  hfta.Add(1, 2, Key1(3), AggregateState::FromCount(1));
+  EXPECT_EQ(hfta.Result(0, 2).at(Key1(3)).count, 11u);
+  EXPECT_EQ(hfta.Result(1, 2).at(Key1(3)).count, 1u);
+}
+
 }  // namespace
 }  // namespace streamagg

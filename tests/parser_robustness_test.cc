@@ -2,7 +2,9 @@
 // the query language): random garbage and mutated valid inputs must never
 // crash — every input either parses or returns a clean Status.
 
+#include <cctype>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -102,6 +104,120 @@ TEST_P(ParserRobustnessTest, AttributeSetParserNeverCrashes) {
       EXPECT_FALSE(result->empty());
       EXPECT_TRUE(result->IsSubsetOf(schema.AllAttributes()));
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Token-mutation fuzzer (ISSUE 10): instead of flipping characters, mutate
+// at token granularity — delete, duplicate, swap, or substitute whole
+// tokens from a vocabulary of keywords, attributes, numbers and punctuation
+// — so the fuzz inputs stay lexically plausible and exercise the parser's
+// grammar paths, not just the lexer's error path. Deterministic (seeded,
+// stdlib only); the asan job runs it leak-checked.
+
+/// Splits `text` into lexer-shaped tokens: identifier/number runs, single
+/// punctuation characters (two-char operators arrive as two tokens, which
+/// is itself a mutation the real lexer must survive).
+std::vector<std::string> TokenizeForFuzz(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    const bool word = std::isalnum(static_cast<unsigned char>(c)) ||
+                      c == '_' || c == '.';
+    if (word) {
+      current.push_back(c);
+      continue;
+    }
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      tokens.push_back(std::string(1, c));
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+/// Applies 1-4 token-level edits drawn from `rng`.
+std::string MutateTokens(const std::string& base, Random* rng) {
+  static const std::vector<std::string> kVocabulary = {
+      "select", "from",  "where", "group", "by",   "having", "epoch",
+      "and",    "as",    "count", "sum",   "min",  "max",    "avg",
+      "time",   "A",     "B",     "C",     "D",    "R",      "xyz",
+      "0",      "1",     "60",    "1e300", "18446744073709551616",
+      "(",      ")",     ",",     "*",     "/",    "=",      "<",
+      ">",      "!",     "<=",    ">=",    "!=",   "@",      "\xff"};
+  std::vector<std::string> tokens = TokenizeForFuzz(base);
+  const int edits = 1 + static_cast<int>(rng->Uniform(4));
+  for (int e = 0; e < edits; ++e) {
+    const size_t pos = tokens.empty() ? 0 : rng->Uniform(tokens.size());
+    switch (rng->Uniform(4)) {
+      case 0:
+        if (!tokens.empty()) tokens.erase(tokens.begin() + pos);
+        break;
+      case 1:
+        if (!tokens.empty()) {
+          std::string copy = tokens[pos];
+          tokens.insert(tokens.begin() + pos, std::move(copy));
+        }
+        break;
+      case 2:
+        if (pos + 1 < tokens.size()) std::swap(tokens[pos], tokens[pos + 1]);
+        break;
+      default:
+        tokens.insert(tokens.begin() + pos,
+                      kVocabulary[rng->Uniform(kVocabulary.size())]);
+        break;
+    }
+  }
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    // Occasionally glue tokens together — the lexer must re-split them.
+    if (i > 0 && rng->Uniform(8) != 0) out.push_back(' ');
+    out += tokens[i];
+  }
+  return out;
+}
+
+TEST_P(ParserRobustnessTest, TokenMutationFuzzNeverCrashes) {
+  const Schema schema = *Schema::Default(4);
+  Random rng(GetParam() ^ 0x70ce7a11);
+  const std::vector<std::string> seeds = {
+      "select A, count(*) as cnt from R group by A, time/60 as tb",
+      "select A, B, sum(C), avg(D) from R where C >= 7 and D != 0 "
+      "group by A, B epoch 5",
+      "select D, min(A), max(B) from R group by D having count(*) > 100",
+  };
+  QueryParseContext context;
+  context.relations = {"R"};
+  for (int i = 0; i < 600; ++i) {
+    const std::string mutated = MutateTokens(seeds[i % seeds.size()], &rng);
+    auto result = ParseQuery(schema, mutated, context);
+    if (result.ok()) {
+      EXPECT_FALSE(result->outputs.empty()) << mutated;
+      EXPECT_FALSE(result->def.group_by.empty()) << mutated;
+    } else {
+      // Diagnostics stay well-formed on arbitrary garbage: a 1-based
+      // position and a caret into the echoed source line.
+      const std::string message = result.status().ToString();
+      EXPECT_NE(message.find("query parse error at "), std::string::npos)
+          << mutated;
+      EXPECT_NE(message.find('^'), std::string::npos) << mutated;
+    }
+  }
+}
+
+TEST_P(ParserRobustnessTest, TokenMutationFuzzIsDeterministic) {
+  // The fuzzer itself must be replayable: the same seed yields the same
+  // mutation stream, so a CI failure reproduces locally from the seed.
+  const std::string base =
+      "select A, count(*) from R group by A, time/60";
+  Random a(GetParam());
+  Random b(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(MutateTokens(base, &a), MutateTokens(base, &b));
   }
 }
 

@@ -1,0 +1,160 @@
+// Parser golden corpus (docs/query_frontend.md §2): every corpus query is
+// pinned byte-exact — the FormatParsedQuery rendering for queries that
+// parse, the full diagnostic (position, source excerpt, caret) for queries
+// that must not. A formatting or wording drift, however harmless-looking,
+// shows up as a golden diff here before it reaches users or the --explain
+// output. Regenerate deliberately with STREAMAGG_UPDATE_GOLDENS=1 after
+// reviewing the new rendering.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/query_language.h"
+
+namespace streamagg {
+namespace {
+
+std::string GoldenDir() { return STREAMAGG_QUERY_GOLDEN_DIR; }
+
+Schema NetSchema() {
+  return *Schema::Make({"srcIP", "srcPort", "dstIP", "dstPort", "len"});
+}
+
+/// One corpus entry: the golden file `name`.txt pins the rendering of
+/// `text` parsed against NetSchema() (with the context relations below).
+struct Case {
+  const char* name;
+  const char* text;
+};
+
+// Queries that parse: goldens pin the plan rendering.
+constexpr Case kPlanCorpus[] = {
+    {"q0_count_per_source",
+     "select srcIP, count(*) as cnt from packets group by srcIP, "
+     "time/60 as tb"},
+    {"avg_packet_length",
+     "select dstIP, dstPort, avg(len) from packets group by dstIP, dstPort, "
+     "time/300"},
+    {"all_aggregates",
+     "select srcIP, count(*), sum(len), avg(len), min(len), max(len) "
+     "from packets group by srcIP"},
+    {"where_and_having",
+     "select dstIP, count(*) as hits from packets where dstPort = 443 "
+     "group by dstIP having count(*) > 100"},
+    {"epoch_clause",
+     "select srcIP, dstIP, count(*) from packets group by srcIP, dstIP "
+     "epoch 5"},
+    {"keywords_any_case",
+     "SELECT srcIP, COUNT(*) FROM packets GROUP BY srcIP EPOCH 2"},
+    {"multi_predicate_where",
+     "select srcIP, sum(len) from packets where srcPort != 80 and len >= 64 "
+     "group by srcIP"},
+};
+
+// Queries that must fail: goldens pin the diagnostic byte-for-byte —
+// position, source excerpt and caret included.
+constexpr Case kDiagnosticCorpus[] = {
+    {"err_bad_token",
+     "select srcIP, count(*) from packets group by srcIP @ time/60"},
+    {"err_unknown_relation",
+     "select srcIP, count(*) from pakets group by srcIP"},
+    {"err_unknown_attribute",
+     "select srcIP, count(*) from packets group by sourceIP"},
+    {"err_count_with_argument",
+     "select srcIP, count(len) from packets group by srcIP"},
+    {"err_sum_star", "select srcIP, sum(*) from packets group by srcIP"},
+    {"err_sum_two_arguments",
+     "select srcIP, sum(len, srcPort) from packets group by srcIP"},
+    {"err_missing_group_by", "select srcIP, count(*) from packets"},
+    {"err_conflicting_epochs",
+     "select srcIP, count(*) from packets group by srcIP, time/60 epoch 5"},
+    {"err_select_not_grouped",
+     "select srcIP, dstIP, count(*) from packets group by srcIP"},
+    {"err_having_on_group_attr",
+     "select srcIP, count(*) from packets group by srcIP having srcIP > 3"},
+};
+
+/// The rendering a golden file pins: the parsed plan, or the diagnostic.
+std::string Render(const std::string& text) {
+  const Schema schema = NetSchema();
+  QueryParseContext context;
+  context.relations = {"packets"};
+  auto parsed = ParseQuery(schema, text, context);
+  if (!parsed.ok()) return parsed.status().ToString() + "\n";
+  return FormatParsedQuery(schema, *parsed);
+}
+
+std::string GoldenContents(const Case& c) {
+  return std::string("query: ") + c.text + "\n---\n" + Render(c.text);
+}
+
+void CheckGolden(const Case& c) {
+  SCOPED_TRACE(c.name);
+  const std::string path = GoldenDir() + "/" + c.name + ".txt";
+  const std::string want = GoldenContents(c);
+  if (std::getenv("STREAMAGG_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << want;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (regenerate with STREAMAGG_UPDATE_GOLDENS=1)";
+  std::ostringstream got;
+  got << in.rdbuf();
+  EXPECT_EQ(got.str(), want) << "golden drift in " << path
+                             << " (review, then regenerate with "
+                                "STREAMAGG_UPDATE_GOLDENS=1)";
+}
+
+TEST(QueryParserGoldenTest, PlanCorpusIsByteExact) {
+  const Schema schema = NetSchema();
+  QueryParseContext context;
+  context.relations = {"packets"};
+  for (const Case& c : kPlanCorpus) {
+    // Every plan-corpus entry must actually parse — a corpus typo would
+    // otherwise pin a diagnostic golden under a plan name.
+    SCOPED_TRACE(c.name);
+    ASSERT_TRUE(ParseQuery(schema, c.text, context).ok()) << c.text;
+    CheckGolden(c);
+  }
+}
+
+TEST(QueryParserGoldenTest, DiagnosticCorpusIsByteExact) {
+  const Schema schema = NetSchema();
+  QueryParseContext context;
+  context.relations = {"packets"};
+  for (const Case& c : kDiagnosticCorpus) {
+    SCOPED_TRACE(c.name);
+    ASSERT_FALSE(ParseQuery(schema, c.text, context).ok()) << c.text;
+    CheckGolden(c);
+  }
+}
+
+TEST(QueryParserGoldenTest, DiagnosticsCarryCaretAndPosition) {
+  // Structural guards independent of the pinned bytes: every diagnostic
+  // names a line:column position, echoes the source line, and points a
+  // caret at it — so a golden regeneration cannot silently lose them.
+  for (const Case& c : kDiagnosticCorpus) {
+    SCOPED_TRACE(c.name);
+    const std::string rendered = Render(c.text);
+    EXPECT_NE(rendered.find("query parse error at 1:"), std::string::npos)
+        << rendered;
+    EXPECT_NE(rendered.find('^'), std::string::npos) << rendered;
+  }
+}
+
+TEST(QueryParserGoldenTest, FormatParsedQueryIsDeterministic) {
+  for (const Case& c : kPlanCorpus) {
+    SCOPED_TRACE(c.name);
+    EXPECT_EQ(Render(c.text), Render(c.text));
+  }
+}
+
+}  // namespace
+}  // namespace streamagg

@@ -200,6 +200,24 @@ TelemetrySnapshot HandCraftedSnapshot() {
   snap.hfta_groups = {123, 0, 456789};
   snap.replans.push_back(ReplanEvent{40, "AB", 0.3125, 3, 2, 1.5, 0.75});
   snap.replans.push_back(ReplanEvent{41, "CD", 0.125, 1, 4, 0.25, 0.0});
+  QueryChurnEvent add;
+  add.epoch = 40;
+  add.add = true;
+  add.query_id = 3;
+  add.relation = "BD";
+  add.grafted = true;
+  add.replanned_nodes = 2;
+  add.pinned_nodes = 5;
+  add.optimize_millis = 0.5;
+  add.merge_millis = 0.125;
+  snap.query_churn.push_back(add);
+  QueryChurnEvent drop;
+  drop.epoch = 41;
+  drop.add = false;
+  drop.query_id = 1;
+  drop.relation = "AB";
+  drop.aliased = true;
+  snap.query_churn.push_back(drop);
   snap.shedding.enabled = true;
   snap.shedding.target_fraction = 0.5;
   snap.shedding.offered_records = 60000;
@@ -385,6 +403,65 @@ TEST(TelemetrySnapshotTest, ToTableMentionsReplans) {
   const std::string table = snap.ToTable();
   EXPECT_NE(table.find("re-plans:"), std::string::npos);
   EXPECT_NE(table.find("epoch 40"), std::string::npos);
+}
+
+TEST(TelemetrySnapshotTest, FromJsonLineAcceptsPreChurnSnapshots) {
+  // Lines serialized before online query churn carry no "query_churn"
+  // array; they must still parse, with an empty churn history.
+  TelemetrySnapshot old = HandCraftedSnapshot();
+  old.query_churn.clear();
+  std::string line = old.ToJsonLine();
+  ASSERT_EQ(line.find("\"query_churn\""), std::string::npos) << line;
+
+  auto restored = TelemetrySnapshot::FromJsonLine(line);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString() << "\n" << line;
+  EXPECT_TRUE(*restored == old);
+}
+
+TEST(TelemetrySnapshotTest, ChurnSectionAbsentWhenEmpty) {
+  // Engines that never saw AddQuery/DropQuery serialize no "query_churn"
+  // key at all — the schema change is invisible to old readers.
+  TelemetrySnapshot snap = HandCraftedSnapshot();
+  snap.query_churn.clear();
+  const std::string line = snap.ToJsonLine();
+  EXPECT_EQ(line.find("\"query_churn\""), std::string::npos) << line;
+}
+
+TEST(TelemetrySnapshotTest, MergeConcatenatesChurn) {
+  // Churn history is engine-level like the re-plan history (shard replicas
+  // never carry any), so merge is plain concatenation in call order.
+  TelemetrySnapshot a;
+  QueryChurnEvent e1;
+  e1.epoch = 10;
+  e1.add = true;
+  e1.query_id = 2;
+  e1.relation = "AB";
+  a.query_churn.push_back(e1);
+  TelemetrySnapshot b;
+  QueryChurnEvent e2;
+  e2.epoch = 12;
+  e2.add = false;
+  e2.query_id = 0;
+  e2.relation = "CD";
+  b.query_churn.push_back(e2);
+  a.MergeFrom(b);
+  ASSERT_EQ(a.query_churn.size(), 2u);
+  EXPECT_EQ(a.query_churn[0].relation, "AB");
+  EXPECT_EQ(a.query_churn[1].relation, "CD");
+  EXPECT_FALSE(a.query_churn[1].add);
+}
+
+TEST(TelemetrySnapshotTest, ToTableMentionsChurn) {
+  const std::string table = HandCraftedSnapshot().ToTable();
+  EXPECT_NE(table.find("query churn:"), std::string::npos) << table;
+}
+
+TEST(TelemetrySnapshotTest, ChurnActionSerializesAsString) {
+  // The add/drop flag serializes as "action":"add"/"drop" so operators can
+  // grep telemetry logs for drops without decoding booleans.
+  const std::string line = HandCraftedSnapshot().ToJsonLine();
+  EXPECT_NE(line.find("\"action\":\"add\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"action\":\"drop\""), std::string::npos) << line;
 }
 
 TEST(TelemetrySnapshotTest, FromJsonLineRejectsGarbage) {
